@@ -1,0 +1,45 @@
+package godcr_test
+
+import (
+	"sync"
+	"testing"
+
+	"godcr/internal/cluster"
+	"godcr/internal/collective"
+	"godcr/internal/spmd"
+)
+
+// benchBarrier times b.N barriers across a cluster of the given size
+// (the cross-shard fence primitive).
+func benchBarrier(b *testing.B, shards int) {
+	cl := cluster.New(cluster.Config{Nodes: shards})
+	defer cl.Close()
+	comms := make([]*collective.Comm, shards)
+	for i := range comms {
+		comms[i] = collective.New(cl.Node(cluster.NodeID(i)), 1)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < shards; r++ {
+		wg.Add(1)
+		go func(c *collective.Comm) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := c.Barrier(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(comms[r])
+	}
+	wg.Wait()
+}
+
+// benchSPMDStencil runs the hand-written explicitly parallel stencil.
+func benchSPMDStencil(b *testing.B, ranks, cells, steps int) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := spmd.Stencil1D(ranks, cells, 1.0, steps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command dcrbench regenerates the paper's evaluation figures
+// (§5, Figures 12–21) and prints each as tab-separated series suitable
+// for plotting. Figures 12–20 come from the calibrated cluster
+// simulator (internal/sim + internal/workloads); Figure 21 (the METG
+// cost of control-determinism checks) runs on the real runtime.
+//
+// Usage:
+//
+//	dcrbench                 # all simulator figures
+//	dcrbench -fig fig14      # one figure
+//	dcrbench -fig fig21      # the real-runtime METG sweep
+//	dcrbench -fig fig21 -maxshards 16 -steps 30
+//	dcrbench -list           # figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"godcr/internal/metg"
+	"godcr/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id (fig12a..fig20, fig21) or 'all'")
+	list := flag.Bool("list", false, "list figure ids")
+	maxShards := flag.Int("maxshards", 8, "largest shard count for fig21 (real runtime)")
+	steps := flag.Int("steps", 20, "steps per fig21 measurement")
+	flag.Parse()
+
+	figs := workloads.AllFigures()
+	if *list {
+		for _, f := range figs {
+			fmt.Printf("%-8s %s\n", f.ID, f.Title)
+		}
+		fmt.Printf("%-8s %s\n", "fig21", "METG(50%) of control determinism checks (real runtime)")
+		fmt.Printf("%-8s %s\n", "taskbench", "Task Bench dependence-pattern sweep (real runtime)")
+		return
+	}
+
+	want := strings.ToLower(*fig)
+	printed := false
+	for _, f := range figs {
+		if want == "all" || want == f.ID {
+			printFigure(f)
+			printed = true
+		}
+	}
+	if want == "all" || want == "fig21" {
+		runFig21(*maxShards, *steps)
+		printed = true
+	}
+	if want == "taskbench" {
+		runTaskBench(*maxShards, *steps)
+		printed = true
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (use -list)\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printFigure(f workloads.Figure) {
+	fmt.Print(workloads.FormatTSV(f))
+	fmt.Println()
+}
+
+// runTaskBench sweeps the Task Bench dependence patterns at a fixed
+// grain and prints per-pattern step overhead on the real runtime.
+func runTaskBench(shards, steps int) {
+	fmt.Println("# taskbench — dependence-pattern sweep (real runtime)")
+	fmt.Printf("# %d shards, %d steps, 100µs tasks\n", shards, steps)
+	fmt.Println("pattern\telapsed-seconds")
+	for _, p := range []metg.Pattern{
+		metg.PatternTrivial, metg.PatternChain, metg.PatternStencil,
+		metg.PatternFFT, metg.PatternRandom,
+	} {
+		el, err := metg.RunPattern(metg.Options{Shards: shards, Steps: steps, Copies: 2}, p, 100*time.Microsecond)
+		if err != nil {
+			fmt.Printf("%v\tERR: %v\n", p, err)
+			continue
+		}
+		fmt.Printf("%v\t%.4g\n", p, el.Seconds())
+	}
+	fmt.Println()
+}
+
+func runFig21(maxShards, steps int) {
+	fmt.Println("# fig21 — METG(50%) of control determinism checks (real runtime)")
+	fmt.Println("# x: shards, y: METG(50%) seconds (lower is better)")
+	fmt.Println("shards\tNoTrace/NoSafe\tNoTrace/Safe\tTrace/NoSafe\tTrace/Safe")
+	for n := 1; n <= maxShards; n *= 2 {
+		fmt.Printf("%d", n)
+		for _, cfg := range []struct{ trace, safe bool }{
+			{false, false}, {false, true}, {true, false}, {true, true},
+		} {
+			m, err := metg.Measure(metg.Options{
+				Shards: n, Steps: steps, Copies: 4,
+				Trace: cfg.trace, Safe: cfg.safe,
+			})
+			if err != nil {
+				fmt.Printf("\tERR")
+				continue
+			}
+			fmt.Printf("\t%.4g", m.Seconds())
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,145 @@
+// Command stencil2d runs the paper's first benchmark (§5.1, Fig. 12):
+// an implicitly parallel 2-D heat-diffusion stencil whose
+// nearest-neighbor communication pattern the runtime must discover
+// on the fly. The program also demonstrates tracing (§5.5): the time
+// loop is bracketed with BeginTrace/EndTrace so steady-state
+// iterations replay the memoized analysis.
+//
+// Usage:
+//
+//	go run ./examples/stencil2d -shards 4 -n 128 -tiles 4 -steps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"godcr"
+)
+
+func main() {
+	shards := flag.Int("shards", 4, "shards (nodes)")
+	n := flag.Int("n", 128, "grid edge (n x n cells)")
+	tiles := flag.Int("tiles", 4, "tile grid edge (tiles x tiles point tasks)")
+	steps := flag.Int("steps", 20, "time steps")
+	trace := flag.Bool("trace", true, "memoize the loop body's analysis")
+	verify := flag.Bool("verify", true, "check against a sequential run")
+	flag.Parse()
+
+	rt := godcr.NewRuntime(godcr.Config{Shards: *shards, SafetyChecks: true})
+	defer rt.Shutdown()
+
+	// Jacobi update: next = 0.25*(N+S+E+W), Dirichlet boundary held
+	// at the initial values.
+	rt.RegisterTask("diffuse", func(tc *godcr.TaskContext) (float64, error) {
+		next := tc.Region(0).Field("next")
+		cur := tc.Region(1).Field("cur")
+		next.Rect().Each(func(p godcr.Point) bool {
+			next.Set(p, 0.25*(cur.At(godcr.Pt2(p[0]-1, p[1]))+
+				cur.At(godcr.Pt2(p[0]+1, p[1]))+
+				cur.At(godcr.Pt2(p[0], p[1]-1))+
+				cur.At(godcr.Pt2(p[0], p[1]+1))))
+			return true
+		})
+		return 0, nil
+	})
+	rt.RegisterTask("copyback", func(tc *godcr.TaskContext) (float64, error) {
+		cur := tc.Region(0).Field("cur")
+		next := tc.Region(1).Field("next")
+		cur.Rect().Each(func(p godcr.Point) bool {
+			cur.Set(p, next.At(p))
+			return true
+		})
+		return 0, nil
+	})
+
+	var result []float64
+	start := time.Now()
+	err := rt.Execute(func(ctx *godcr.Context) error {
+		edge := int64(*n)
+		grid := ctx.CreateRegion(godcr.R2(0, 0, edge-1, edge-1), "cur", "next")
+		owned := ctx.PartitionEqual(grid, *tiles, *tiles)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		domain := godcr.R2(0, 0, int64(*tiles)-1, int64(*tiles)-1)
+
+		// Hot plate on the whole boundary: fill with 0, then set the
+		// initial condition by a one-shot launch writing owned tiles.
+		ctx.Fill(grid, "cur", 100)
+		ctx.Fill(grid, "next", 0)
+
+		for t := 0; t < *steps; t++ {
+			if *trace {
+				ctx.BeginTrace(1)
+			}
+			ctx.IndexLaunch(godcr.Launch{
+				Task: "diffuse", Domain: domain, Sharding: godcr.Tiled,
+				Reqs: []godcr.RegionReq{
+					{Part: interior, Priv: godcr.WriteDiscard, Fields: []string{"next"}},
+					{Part: ghost, Priv: godcr.ReadOnly, Fields: []string{"cur"}},
+				},
+			})
+			ctx.IndexLaunch(godcr.Launch{
+				Task: "copyback", Domain: domain, Sharding: godcr.Tiled,
+				Reqs: []godcr.RegionReq{
+					{Part: interior, Priv: godcr.ReadWrite, Fields: []string{"cur"}},
+					{Part: interior, Priv: godcr.ReadOnly, Fields: []string{"next"}},
+				},
+			})
+			if *trace {
+				ctx.EndTrace(1)
+			}
+		}
+		cur := ctx.InlineRead(grid, "cur")
+		if ctx.ShardID() == 0 {
+			result = cur
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *verify {
+		want := reference(*n, *steps)
+		for i := range want {
+			if math.Abs(result[i]-want[i]) > 1e-9 {
+				log.Fatalf("MISMATCH at %d: got %v want %v", i, result[i], want[i])
+			}
+		}
+		fmt.Printf("2-D stencil %dx%d, %d steps on %d shards — VERIFIED\n", *n, *n, *steps, *shards)
+	}
+	s := rt.Stats()
+	center := result[(*n/2)*(*n)+(*n/2)]
+	fmt.Printf("center temperature after %d steps: %.4f\n", *steps, center)
+	fmt.Printf("elapsed %v; %d point tasks; fences %d inserted / %d elided; trace replays %d\n",
+		elapsed, s.PointTasks, s.FencesInserted, s.FencesElided, s.TraceReplays)
+	throughput := float64(*n**n**steps) / elapsed.Seconds()
+	fmt.Printf("throughput: %.3g cell-updates/s\n", throughput)
+}
+
+// reference is the sequential Jacobi iteration.
+func reference(n, steps int) []float64 {
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for i := range cur {
+		cur[i] = 100
+	}
+	for t := 0; t < steps; t++ {
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				next[r*n+c] = 0.25 * (cur[(r-1)*n+c] + cur[(r+1)*n+c] + cur[r*n+c-1] + cur[r*n+c+1])
+			}
+		}
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				cur[r*n+c] = next[r*n+c]
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,3 @@
+module godcr
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package godcr is a task-based runtime for implicitly parallel
+// programs whose dependence analysis scales via dynamic control
+// replication (DCR), reproducing "Scaling Implicit Parallelism via
+// Dynamic Control Replication" (Bauer et al., PPoPP 2021).
+//
+// A program is an apparently sequential function that creates logical
+// regions, partitions them, and launches tasks over index domains. The
+// runtime executes N replicated copies of that function — one shard
+// per node of a (simulated) cluster — which cooperatively discover the
+// task graph: each shard analyzes every *task group* at coarse
+// granularity but only its own point tasks at fine granularity,
+// inserting O(log N) cross-shard fences only where a symbolic proof
+// cannot show dependences are shard-local.
+//
+// Quick start:
+//
+//	rt := godcr.NewRuntime(godcr.Config{Shards: 4})
+//	defer rt.Shutdown()
+//	rt.RegisterTask("scale", func(tc *godcr.TaskContext) (float64, error) {
+//		x := tc.Region(0).Field("x")
+//		x.Rect().Each(func(p godcr.Point) bool { x.Set(p, x.At(p)*2); return true })
+//		return 0, nil
+//	})
+//	err := rt.Execute(func(ctx *godcr.Context) error {
+//		cells := ctx.CreateRegion(godcr.R1(0, 1023), "x")
+//		tiles := ctx.PartitionEqual(cells, 4)
+//		ctx.Fill(cells, "x", 1)
+//		ctx.IndexLaunch(godcr.Launch{
+//			Task: "scale", Domain: godcr.R1(0, 3),
+//			Reqs: []godcr.RegionReq{{Part: tiles, Priv: godcr.ReadWrite, Fields: []string{"x"}}},
+//		})
+//		return nil
+//	})
+//
+// This package is a thin facade over the implementation packages; see
+// internal/core for the runtime, internal/region for the data model,
+// and DESIGN.md for the system inventory.
+package godcr
+
+import (
+	"godcr/internal/core"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/mapper"
+	"godcr/internal/region"
+	"godcr/internal/rng"
+)
+
+// Core runtime types.
+type (
+	// Runtime is a DCR runtime bound to a simulated cluster.
+	Runtime = core.Runtime
+	// Config configures a Runtime.
+	Config = core.Config
+	// Context is a shard's replicated view of the program.
+	Context = core.Context
+	// Program is a control-replicated top-level task body.
+	Program = core.Program
+	// Launch describes a task launch.
+	Launch = core.Launch
+	// RegionReq is one region requirement of a launch.
+	RegionReq = core.RegionReq
+	// Privilege declares how a requirement's data is used.
+	Privilege = core.Privilege
+	// TaskFn is a task body.
+	TaskFn = core.TaskFn
+	// TaskContext is the world a task body sees.
+	TaskContext = core.TaskContext
+	// PhysRegion is a mapped region requirement.
+	PhysRegion = core.PhysRegion
+	// Accessor reads/writes one field with privilege checks.
+	Accessor = core.Accessor
+	// Future is a task's scalar result, resolved on all shards.
+	Future = core.Future
+	// FutureMap holds an index launch's per-point results.
+	FutureMap = core.FutureMap
+	// Stats aggregates runtime counters.
+	Stats = core.Stats
+	// FenceRecord is one coarse-analysis decision (introspection).
+	FenceRecord = core.FenceRecord
+	// FenceInfo describes one inserted cross-shard fence.
+	FenceInfo = core.FenceInfo
+	// Mapper supplies per-launch policy defaults (the paper's
+	// mapping-interface extensions, §4).
+	Mapper = core.Mapper
+	// DefaultMapper replicates control and shards cyclically.
+	DefaultMapper = core.DefaultMapper
+	// TiledMapper shards every launch in contiguous blocks.
+	TiledMapper = core.TiledMapper
+	// MapperFunc adapts a sharding-selection function into a Mapper.
+	MapperFunc = core.MapperFunc
+)
+
+// Privileges.
+const (
+	ReadOnly     = core.ReadOnly
+	ReadWrite    = core.ReadWrite
+	WriteDiscard = core.WriteDiscard
+	Reduce       = core.Reduce
+)
+
+// Geometry.
+type (
+	// Point is an integer point in up to 3 dimensions.
+	Point = geom.Point
+	// Rect is a dense box with inclusive bounds.
+	Rect = geom.Rect
+)
+
+// Geometry constructors.
+var (
+	Pt1 = geom.Pt1
+	Pt2 = geom.Pt2
+	Pt3 = geom.Pt3
+	R1  = geom.R1
+	R2  = geom.R2
+	R3  = geom.R3
+)
+
+// Data model.
+type (
+	// Region is a logical region (a node of a region tree).
+	Region = region.Region
+	// Partition divides a region into colored subregions.
+	Partition = region.Partition
+	// Projection maps launch points to subregion colors.
+	Projection = region.Projection
+	// OffsetProjection shifts colors by a delta (neighbor exchange).
+	OffsetProjection = region.OffsetProjection
+	// FuncProjection wraps a pure function as a projection.
+	FuncProjection = region.FuncProjection
+)
+
+// Identity is the identity projection.
+var Identity = region.Identity
+
+// Sharding functors.
+type (
+	// ShardingFunctor assigns launch points to shards.
+	ShardingFunctor = mapper.ShardingFunctor
+	// FuncSharding wraps a pure function as a sharding functor.
+	FuncSharding = mapper.FuncSharding
+)
+
+// Built-in sharding functors.
+var (
+	// Cyclic round-robins points over shards (paper's functor 0).
+	Cyclic = mapper.Cyclic
+	// Tiled assigns contiguous blocks of points to shards.
+	Tiled = mapper.Tiled
+)
+
+// ReduceOp identifies a commutative reduction operator.
+type ReduceOp = instance.ReduceOp
+
+// Reduction operators.
+const (
+	ReduceAdd = instance.ReduceAdd
+	ReduceMul = instance.ReduceMul
+	ReduceMin = instance.ReduceMin
+	ReduceMax = instance.ReduceMax
+)
+
+// RNG is the replicable counter-based random stream (Philox4x32-10).
+type RNG = rng.Source
+
+// NewRuntime creates a runtime on a fresh simulated cluster.
+func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
+
+// NewRNG returns a counter-based random source with the given seed;
+// identical seeds give identical streams on every shard.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }

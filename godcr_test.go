@@ -1,0 +1,51 @@
+package godcr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"godcr"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the package
+// doc shows.
+func TestFacadeQuickstart(t *testing.T) {
+	rt := godcr.NewRuntime(godcr.Config{Shards: 4, SafetyChecks: true})
+	defer rt.Shutdown()
+	rt.RegisterTask("scale", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		x.Rect().Each(func(p godcr.Point) bool { x.Set(p, x.At(p)*2); return true })
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *godcr.Context) error {
+		cells := ctx.CreateRegion(godcr.R1(0, 1023), "x")
+		tiles := ctx.PartitionEqual(cells, 4)
+		ctx.Fill(cells, "x", 1)
+		ctx.IndexLaunch(godcr.Launch{
+			Task: "scale", Domain: godcr.R1(0, 3),
+			Reqs: []godcr.RegionReq{{Part: tiles, Priv: godcr.ReadWrite, Fields: []string{"x"}}},
+		})
+		vals := ctx.InlineRead(cells, "x")
+		for i, v := range vals {
+			if v != 2 {
+				return fmt.Errorf("cell %d = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().PointTasks != 4 {
+		t.Fatalf("PointTasks = %d", rt.Stats().PointTasks)
+	}
+}
+
+func TestFacadeRNGReplicable(t *testing.T) {
+	a, b := godcr.NewRNG(7), godcr.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("facade RNG not replicable")
+		}
+	}
+}

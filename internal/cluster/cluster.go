@@ -1,0 +1,276 @@
+// Package cluster provides the simulated distributed machine that the
+// DCR runtime runs on: a set of nodes that exchange asynchronous
+// messages. Nodes live in one process (each node's services run on
+// goroutines), but the transport can be configured to behave like a
+// network: per-message delivery latency, and optional gob
+// wire-encoding that deep-copies every payload so no hidden shared
+// memory can leak between nodes (the "strict distribution" mode used
+// by the integration tests).
+//
+// This is the substitution for the paper's physical clusters and
+// GASNet transport: the runtime above sees the same interface — fire
+// and forget sends, tag-matched receives, registered active-message
+// handlers — and the same cost structure when latency injection is on.
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a node in the cluster, in [0, N).
+type NodeID int
+
+// Message is one transport-level message.
+type Message struct {
+	From, To NodeID
+	Tag      uint64
+	Payload  any
+}
+
+// Handler is an active-message callback. Handlers are invoked on their
+// own goroutine (like a network progress thread handing off to a
+// worker), so they may block and may send messages.
+type Handler func(Message)
+
+// Config controls transport behaviour.
+type Config struct {
+	// Nodes is the machine size.
+	Nodes int
+	// Latency is injected one-way message delay (0 = immediate).
+	Latency time.Duration
+	// WireEncode forces every payload through gob encode/decode,
+	// guaranteeing nodes share no memory. Payload types must be
+	// registered with RegisterWireType.
+	WireEncode bool
+}
+
+// Stats aggregates transport counters.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64 // only counted when WireEncode is on
+}
+
+// Cluster is a set of nodes plus the transport connecting them.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// Node is one endpoint of the cluster.
+type Node struct {
+	id NodeID
+	c  *Cluster
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[matchKey][]Message
+	handlers map[uint64]Handler
+	closed   bool
+}
+
+type matchKey struct {
+	tag  uint64
+	from NodeID
+}
+
+// New creates a cluster with cfg.Nodes nodes.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			id:       NodeID(i),
+			c:        c,
+			pending:  make(map[matchKey][]Message),
+			handlers: make(map[uint64]Handler),
+		}
+		n.cond = sync.NewCond(&n.mu)
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
+
+// Stats returns a snapshot of the transport counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{Messages: c.msgs.Load(), Bytes: c.bytes.Load()}
+}
+
+// Close shuts the transport down; blocked receives return an error.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.closed = true
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+	c.wg.Wait()
+}
+
+// ErrClosed is returned by receives after the cluster is closed.
+var ErrClosed = fmt.Errorf("cluster: transport closed")
+
+var wireTypesMu sync.Mutex
+
+// RegisterWireType registers a payload type for WireEncode mode.
+func RegisterWireType(v any) {
+	wireTypesMu.Lock()
+	defer wireTypesMu.Unlock()
+	gob.Register(v)
+}
+
+// ID returns the node's id.
+func (n *Node) ID() NodeID { return n.id }
+
+// ClusterSize returns the size of the cluster this node belongs to.
+func (n *Node) ClusterSize() int { return n.c.Size() }
+
+// Handle registers an active-message handler for tag. Messages with a
+// registered handler are dispatched to it (on a new goroutine) instead
+// of being queued for Recv. Must be called before messages with that
+// tag arrive.
+func (n *Node) Handle(tag uint64, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[tag] = h
+}
+
+// Send delivers a message to node `to` with the configured latency. If
+// WireEncode is on, the payload is deep-copied through gob.
+func (n *Node) Send(to NodeID, tag uint64, payload any) {
+	if n.c.closed.Load() {
+		return
+	}
+	msg := Message{From: n.id, To: to, Tag: tag, Payload: payload}
+	// nil payloads (barriers) are trivially copy-safe and cannot be
+	// gob-encoded inside an interface; skip the wire round-trip.
+	if n.c.cfg.WireEncode && payload != nil {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		wrapped := wireEnvelope{Payload: payload}
+		if err := enc.Encode(&wrapped); err != nil {
+			panic(fmt.Sprintf("cluster: payload %T not wire-encodable: %v", payload, err))
+		}
+		n.c.bytes.Add(uint64(buf.Len()))
+		var out wireEnvelope
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			panic(fmt.Sprintf("cluster: payload %T not wire-decodable: %v", payload, err))
+		}
+		msg.Payload = out.Payload
+	}
+	n.c.msgs.Add(1)
+	dst := n.c.nodes[to]
+	if n.c.cfg.Latency <= 0 {
+		dst.deliver(msg)
+		return
+	}
+	n.c.wg.Add(1)
+	time.AfterFunc(n.c.cfg.Latency, func() {
+		defer n.c.wg.Done()
+		if !n.c.closed.Load() {
+			dst.deliver(msg)
+		}
+	})
+}
+
+type wireEnvelope struct{ Payload any }
+
+func (n *Node) deliver(msg Message) {
+	n.mu.Lock()
+	h, ok := n.handlers[msg.Tag]
+	if ok {
+		n.mu.Unlock()
+		go h(msg)
+		return
+	}
+	n.pending[matchKey{msg.Tag, msg.From}] = append(n.pending[matchKey{msg.Tag, msg.From}], msg)
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Recv blocks until a message with the given tag from the given sender
+// arrives, and returns its payload.
+func (n *Node) Recv(tag uint64, from NodeID) (any, error) {
+	key := matchKey{tag, from}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if q := n.pending[key]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(n.pending, key)
+			} else {
+				n.pending[key] = q[1:]
+			}
+			return msg.Payload, nil
+		}
+		if n.closed {
+			return nil, ErrClosed
+		}
+		n.cond.Wait()
+	}
+}
+
+// RecvAny blocks until a message with the given tag arrives from any
+// sender, returning the sender and payload.
+func (n *Node) RecvAny(tag uint64) (NodeID, any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		for key, q := range n.pending {
+			if key.tag != tag || len(q) == 0 {
+				continue
+			}
+			msg := q[0]
+			if len(q) == 1 {
+				delete(n.pending, key)
+			} else {
+				n.pending[key] = q[1:]
+			}
+			return msg.From, msg.Payload, nil
+		}
+		if n.closed {
+			return -1, nil, ErrClosed
+		}
+		n.cond.Wait()
+	}
+}
+
+// TryRecv returns a pending message with the given tag/from if one is
+// queued, without blocking.
+func (n *Node) TryRecv(tag uint64, from NodeID) (any, bool) {
+	key := matchKey{tag, from}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q := n.pending[key]; len(q) > 0 {
+		msg := q[0]
+		if len(q) == 1 {
+			delete(n.pending, key)
+		} else {
+			n.pending[key] = q[1:]
+		}
+		return msg.Payload, true
+	}
+	return nil, false
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import "testing"
+
+func BenchmarkSendRecv(b *testing.B) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	payload := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Node(0).Send(1, 1, payload)
+		if _, err := c.Node(1).Recv(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSendRecvWireEncoded(b *testing.B) {
+	RegisterWireType([]float64(nil))
+	c := New(Config{Nodes: 2, WireEncode: true})
+	defer c.Close()
+	payload := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Node(0).Send(1, 1, payload)
+		if _, err := c.Node(1).Recv(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	c.Node(0).Send(1, 7, "hello")
+	got, err := c.Node(1).Recv(7, 0)
+	if err != nil || got != "hello" {
+		t.Fatalf("Recv = %v, %v", got, err)
+	}
+}
+
+func TestRecvBlocksUntilDelivery(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	done := make(chan any, 1)
+	go func() {
+		v, _ := c.Node(1).Recv(1, 0)
+		done <- v
+	}()
+	select {
+	case <-done:
+		t.Fatal("Recv returned before send")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Node(0).Send(1, 1, 42)
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Fatalf("got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv never returned")
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		c.Node(0).Send(1, 5, i)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := c.Node(1).Recv(5, 0)
+		if err != nil || v != i {
+			t.Fatalf("message %d: got %v, %v", i, v, err)
+		}
+	}
+}
+
+func TestTagIsolation(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	c.Node(0).Send(1, 1, "one")
+	c.Node(0).Send(1, 2, "two")
+	v, _ := c.Node(1).Recv(2, 0)
+	if v != "two" {
+		t.Fatalf("tag 2 got %v", v)
+	}
+	v, _ = c.Node(1).Recv(1, 0)
+	if v != "one" {
+		t.Fatalf("tag 1 got %v", v)
+	}
+}
+
+func TestRecvAny(t *testing.T) {
+	c := New(Config{Nodes: 4})
+	defer c.Close()
+	for i := 1; i < 4; i++ {
+		c.Node(NodeID(i)).Send(0, 9, i*10)
+	}
+	seen := map[NodeID]bool{}
+	for i := 0; i < 3; i++ {
+		from, v, err := c.Node(0).RecvAny(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int(from)*10 {
+			t.Fatalf("payload %v from %d", v, from)
+		}
+		seen[from] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d senders", len(seen))
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	c.Node(1).Handle(3, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload.(int))
+		n := len(got)
+		mu.Unlock()
+		// Handlers may send — echo back.
+		c.Node(1).Send(m.From, 4, m.Payload.(int)*2)
+		if n == 5 {
+			close(done)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		c.Node(0).Send(1, 3, i)
+	}
+	<-done
+	sum := 0
+	for i := 0; i < 5; i++ {
+		v, err := c.Node(0).Recv(4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v.(int)
+	}
+	if sum != 2*(0+1+2+3+4) {
+		t.Fatalf("echo sum = %d", sum)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	c := New(Config{Nodes: 2, Latency: 30 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	c.Node(0).Send(1, 1, "x")
+	if _, err := c.Node(1).Recv(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("message arrived too fast: %v", d)
+	}
+}
+
+type wirePayload struct {
+	Data []int
+	Name string
+}
+
+func TestWireEncodeDeepCopies(t *testing.T) {
+	RegisterWireType(wirePayload{})
+	c := New(Config{Nodes: 2, WireEncode: true})
+	defer c.Close()
+	orig := wirePayload{Data: []int{1, 2, 3}, Name: "buf"}
+	c.Node(0).Send(1, 1, orig)
+	v, err := c.Node(1).Recv(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(wirePayload)
+	if got.Name != "buf" || len(got.Data) != 3 || got.Data[2] != 3 {
+		t.Fatalf("payload corrupted: %+v", got)
+	}
+	// Mutating the received copy must not touch the original.
+	got.Data[0] = 99
+	if orig.Data[0] != 1 {
+		t.Fatal("wire encode did not deep-copy the payload")
+	}
+	if c.Stats().Bytes == 0 {
+		t.Fatal("encoded bytes should be counted")
+	}
+}
+
+func TestStatsCountMessages(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	defer c.Close()
+	for i := 0; i < 7; i++ {
+		c.Node(0).Send(1, 1, i)
+	}
+	if got := c.Stats().Messages; got != 7 {
+		t.Fatalf("Messages = %d", got)
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	errs := make(chan error, 2)
+	go func() {
+		_, err := c.Node(1).Recv(1, 0)
+		errs <- err
+	}()
+	go func() {
+		_, _, err := c.Node(0).RecvAny(2)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Fatalf("err = %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Close did not unblock receiver")
+		}
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	if _, ok := c.Node(1).TryRecv(1, 0); ok {
+		t.Fatal("TryRecv on empty queue should miss")
+	}
+	c.Node(0).Send(1, 1, "v")
+	deadline := time.Now().Add(time.Second)
+	for {
+		if v, ok := c.Node(1).TryRecv(1, 0); ok {
+			if v != "v" {
+				t.Fatalf("got %v", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestManyNodesAllToAll(t *testing.T) {
+	const n = 16
+	c := New(Config{Nodes: n})
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me NodeID) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if NodeID(j) != me {
+					c.Node(me).Send(NodeID(j), 1, int(me))
+				}
+			}
+			sum := 0
+			for j := 0; j < n-1; j++ {
+				_, v, err := c.Node(me).RecvAny(1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sum += v.(int)
+			}
+			want := n*(n-1)/2 - int(me)
+			if sum != want {
+				t.Errorf("node %d sum=%d want %d", me, sum, want)
+			}
+		}(NodeID(i))
+	}
+	wg.Wait()
+}

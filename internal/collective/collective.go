@@ -1,0 +1,256 @@
+// Package collective implements the O(log N) collective primitives the
+// DCR runtime uses for cooperative work between shards (paper §4.2):
+// broadcast, reduce, all-gather, and all-reduce, built from binomial
+// communication trees over the cluster transport. Cross-shard
+// dependence fences are all-gathers with no payload (i.e. barriers),
+// and the control-determinism checker uses the asynchronous all-reduce
+// so its latency can be hidden (§3).
+//
+// All ranks of a Comm must invoke the same collectives in the same
+// order — which is precisely the control-determinism property the
+// runtime verifies.
+package collective
+
+import (
+	"fmt"
+
+	"godcr/internal/cluster"
+)
+
+// Op folds two values; it must be associative and commutative.
+type Op func(a, b any) any
+
+// Comm is one rank's endpoint of a collective communicator. A Comm is
+// bound to one cluster node; rank == node id. The space argument
+// isolates independent communicators sharing a transport.
+type Comm struct {
+	node  *cluster.Node
+	rank  int
+	size  int
+	space uint64
+	seq   uint64
+}
+
+// New creates rank `node.ID()`'s endpoint of communicator `space` over
+// an n-node cluster. Every node must create its own endpoint with the
+// same space.
+func New(node *cluster.Node, space uint64) *Comm {
+	return &Comm{node: node, rank: int(node.ID()), size: node.ClusterSize(), space: space}
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// nextTag allocates the unique wire tag for the next collective call.
+func (c *Comm) nextTag() uint64 {
+	c.seq++
+	return c.space<<32 | c.seq
+}
+
+// Broadcast distributes root's value to all ranks and returns it.
+func (c *Comm) Broadcast(root int, v any) (any, error) {
+	return c.broadcastTag(c.nextTag(), root, v)
+}
+
+func (c *Comm) broadcastTag(tag uint64, root int, v any) (any, error) {
+	if c.size == 1 {
+		return v, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	// Receive from parent (unless root). The tree mirrors reduceTag:
+	// the children of rel are rel|k for powers of two k below rel's
+	// lowest set bit (all powers of two for the root).
+	if rel != 0 {
+		parent := rel &^ lowestBit(rel)
+		payload, err := c.node.Recv(tag, cluster.NodeID((parent+root)%c.size))
+		if err != nil {
+			return nil, err
+		}
+		v = payload
+	}
+	limit := c.size
+	if rel != 0 {
+		limit = lowestBit(rel)
+	}
+	for k := 1; k < limit; k <<= 1 {
+		if child := rel | k; child < c.size {
+			c.node.Send(cluster.NodeID((child+root)%c.size), tag, v)
+		}
+	}
+	return v, nil
+}
+
+// Reduce folds every rank's value with op; the result is returned at
+// root (other ranks get nil).
+func (c *Comm) Reduce(root int, v any, op Op) (any, error) {
+	return c.reduceTag(c.nextTag(), root, v, op)
+}
+
+func (c *Comm) reduceTag(tag uint64, root int, v any, op Op) (any, error) {
+	if c.size == 1 {
+		return v, nil
+	}
+	rel := (c.rank - root + c.size) % c.size
+	acc := v
+	for k := 1; k < c.size; k <<= 1 {
+		if rel&k != 0 {
+			// Send partial to the peer below and exit the tree.
+			parent := rel &^ k
+			c.node.Send(cluster.NodeID((parent+root)%c.size), tag, acc)
+			return nil, nil
+		}
+		peer := rel | k
+		if peer < c.size {
+			payload, err := c.node.Recv(tag, cluster.NodeID((peer+root)%c.size))
+			if err != nil {
+				return nil, err
+			}
+			acc = op(acc, payload)
+		}
+	}
+	return acc, nil
+}
+
+// AllReduce folds every rank's value and returns the result on all
+// ranks (reduce to rank 0, then broadcast; 2·O(log N) rounds).
+func (c *Comm) AllReduce(v any, op Op) (any, error) {
+	rtag, btag := c.nextTag(), c.nextTag()
+	acc, err := c.reduceTag(rtag, 0, v, op)
+	if err != nil {
+		return nil, err
+	}
+	return c.broadcastTag(btag, 0, acc)
+}
+
+// Pending is an in-flight asynchronous collective.
+type Pending struct {
+	ch chan result
+}
+
+type result struct {
+	v   any
+	err error
+}
+
+// Wait blocks for the collective's completion.
+func (p *Pending) Wait() (any, error) {
+	r := <-p.ch
+	return r.v, r.err
+}
+
+// Ready reports (non-blocking) whether the result is available; if so
+// subsequent Wait returns immediately.
+func (p *Pending) Ready() bool {
+	select {
+	case r := <-p.ch:
+		// Re-buffer for Wait.
+		p.ch <- r
+		return true
+	default:
+		return false
+	}
+}
+
+// AllReduceAsync starts an all-reduce and returns immediately; the
+// protocol runs on a background goroutine. All ranks must start their
+// async collectives in the same order. This is how the determinism
+// checker hides verification latency (paper §3).
+func (c *Comm) AllReduceAsync(v any, op Op) *Pending {
+	rtag, btag := c.nextTag(), c.nextTag()
+	p := &Pending{ch: make(chan result, 1)}
+	go func() {
+		acc, err := c.reduceTag(rtag, 0, v, op)
+		if err != nil {
+			p.ch <- result{nil, err}
+			return
+		}
+		out, err := c.broadcastTag(btag, 0, acc)
+		p.ch <- result{out, err}
+	}()
+	return p
+}
+
+// AllGather collects every rank's value into a slice indexed by rank,
+// returned on all ranks.
+func (c *Comm) AllGather(v any) ([]any, error) {
+	gathered, err := c.Reduce(0, []gatherItem{{c.rank, v}}, func(a, b any) any {
+		return append(append([]gatherItem{}, a.([]gatherItem)...), b.([]gatherItem)...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Broadcast(0, gathered)
+	if err != nil {
+		return nil, err
+	}
+	items := out.([]gatherItem)
+	res := make([]any, c.size)
+	for _, it := range items {
+		res[it.Rank] = it.V
+	}
+	return res, nil
+}
+
+type gatherItem struct {
+	Rank int
+	V    any
+}
+
+func init() {
+	cluster.RegisterWireType(gatherItem{})
+	cluster.RegisterWireType([]gatherItem(nil))
+}
+
+// Barrier blocks until every rank has entered it. Implemented as an
+// all-gather with no payload, exactly like the paper's cross-shard
+// fences.
+func (c *Comm) Barrier() error {
+	_, err := c.AllReduce(nil, func(a, b any) any { return nil })
+	return err
+}
+
+// --- Typed conveniences -------------------------------------------------
+
+// AllReduceFloat64 all-reduces a float64 with the given fold.
+func (c *Comm) AllReduceFloat64(v float64, fold func(a, b float64) float64) (float64, error) {
+	out, err := c.AllReduce(v, func(a, b any) any { return fold(a.(float64), b.(float64)) })
+	if err != nil {
+		return 0, err
+	}
+	return out.(float64), nil
+}
+
+// AllReduceInt64 all-reduces an int64 with the given fold.
+func (c *Comm) AllReduceInt64(v int64, fold func(a, b int64) int64) (int64, error) {
+	out, err := c.AllReduce(v, func(a, b any) any { return fold(a.(int64), b.(int64)) })
+	if err != nil {
+		return 0, err
+	}
+	return out.(int64), nil
+}
+
+// SumFloat64s element-wise all-reduces a vector (model-gradient style).
+func (c *Comm) SumFloat64s(v []float64) ([]float64, error) {
+	out, err := c.AllReduce(v, func(a, b any) any {
+		x, y := a.([]float64), b.([]float64)
+		if len(x) != len(y) {
+			panic(fmt.Sprintf("collective: vector length mismatch %d vs %d", len(x), len(y)))
+		}
+		s := make([]float64, len(x))
+		for i := range x {
+			s[i] = x[i] + y[i]
+		}
+		return s
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.([]float64), nil
+}
+
+func lowestBit(x int) int {
+	return x & (-x)
+}

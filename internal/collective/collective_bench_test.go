@@ -1,0 +1,43 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"godcr/internal/cluster"
+)
+
+func benchAllReduce(b *testing.B, n int) {
+	cl := cluster.New(cluster.Config{Nodes: n})
+	defer cl.Close()
+	comms := make([]*Comm, n)
+	for i := range comms {
+		comms[i] = New(cl.Node(cluster.NodeID(i)), 1)
+	}
+	add := func(a, c any) any { return a.(int) + c.(int) }
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AllReduce(1, add); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(comms[r])
+	}
+	wg.Wait()
+}
+
+func BenchmarkAllReduce(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(sizeName(n), func(b *testing.B) { benchAllReduce(b, n) })
+	}
+}
+
+func sizeName(n int) string {
+	return map[int]string{2: "n2", 4: "n4", 8: "n8", 16: "n16"}[n]
+}

@@ -1,0 +1,289 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+)
+
+// runAll runs fn concurrently on every rank of an n-node cluster and
+// returns the per-rank results.
+func runAll(t *testing.T, n int, fn func(c *Comm) any) []any {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: n})
+	defer cl.Close()
+	out := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			out[rank] = fn(New(cl.Node(cluster.NodeID(rank)), 1))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("collective deadlocked")
+	}
+	return out
+}
+
+var sizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 32}
+
+func TestBroadcastAllSizes(t *testing.T) {
+	for _, n := range sizes {
+		for root := 0; root < n; root += maxInt(1, n/3) {
+			got := runAll(t, n, func(c *Comm) any {
+				v := any(nil)
+				if c.Rank() == root {
+					v = 4242
+				}
+				out, err := c.Broadcast(root, v)
+				if err != nil {
+					t.Error(err)
+				}
+				return out
+			})
+			for rank, v := range got {
+				if v != 4242 {
+					t.Fatalf("n=%d root=%d rank=%d got %v", n, root, rank, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	add := func(a, b any) any { return a.(int) + b.(int) }
+	for _, n := range sizes {
+		got := runAll(t, n, func(c *Comm) any {
+			out, err := c.Reduce(0, c.Rank()+1, add)
+			if err != nil {
+				t.Error(err)
+			}
+			return out
+		})
+		want := n * (n + 1) / 2
+		if got[0] != want {
+			t.Fatalf("n=%d reduce = %v, want %d", n, got[0], want)
+		}
+		for rank := 1; rank < n; rank++ {
+			if got[rank] != nil {
+				t.Fatalf("non-root rank %d got %v", rank, got[rank])
+			}
+		}
+	}
+}
+
+func TestReduceNonZeroRoot(t *testing.T) {
+	add := func(a, b any) any { return a.(int) + b.(int) }
+	got := runAll(t, 7, func(c *Comm) any {
+		out, err := c.Reduce(3, 1, add)
+		if err != nil {
+			t.Error(err)
+		}
+		return out
+	})
+	if got[3] != 7 {
+		t.Fatalf("root result = %v", got[3])
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	maxOp := func(a, b any) any {
+		if a.(int) > b.(int) {
+			return a
+		}
+		return b
+	}
+	for _, n := range sizes {
+		got := runAll(t, n, func(c *Comm) any {
+			out, err := c.AllReduce(c.Rank()*10, maxOp)
+			if err != nil {
+				t.Error(err)
+			}
+			return out
+		})
+		for rank, v := range got {
+			if v != (n-1)*10 {
+				t.Fatalf("n=%d rank=%d got %v", n, rank, v)
+			}
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, n := range sizes {
+		got := runAll(t, n, func(c *Comm) any {
+			out, err := c.AllGather(c.Rank() * c.Rank())
+			if err != nil {
+				t.Error(err)
+			}
+			return out
+		})
+		for rank := 0; rank < n; rank++ {
+			vals := got[rank].([]any)
+			if len(vals) != n {
+				t.Fatalf("rank %d gathered %d values", rank, len(vals))
+			}
+			for i, v := range vals {
+				if v != i*i {
+					t.Fatalf("rank %d slot %d = %v", rank, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// Every rank increments a counter before the barrier; after the
+	// barrier all increments must be visible.
+	const n = 8
+	var mu sync.Mutex
+	count := 0
+	runAll(t, n, func(c *Comm) any {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		if err := c.Barrier(); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if count != n {
+			t.Errorf("rank %d saw count %d after barrier", c.Rank(), count)
+		}
+		return nil
+	})
+}
+
+func TestSequentialCollectivesIsolated(t *testing.T) {
+	// Back-to-back collectives must not cross-talk.
+	add := func(a, b any) any { return a.(int) + b.(int) }
+	got := runAll(t, 6, func(c *Comm) any {
+		a, _ := c.AllReduce(1, add)
+		b, _ := c.AllReduce(100, add)
+		d, _ := c.AllReduce(c.Rank(), add)
+		return []int{a.(int), b.(int), d.(int)}
+	})
+	for rank, v := range got {
+		vals := v.([]int)
+		if vals[0] != 6 || vals[1] != 600 || vals[2] != 15 {
+			t.Fatalf("rank %d got %v", rank, vals)
+		}
+	}
+}
+
+func TestAllReduceAsyncOverlap(t *testing.T) {
+	add := func(a, b any) any { return a.(int) + b.(int) }
+	got := runAll(t, 8, func(c *Comm) any {
+		// Start three async all-reduces, then a sync one, then wait.
+		p1 := c.AllReduceAsync(1, add)
+		p2 := c.AllReduceAsync(2, add)
+		p3 := c.AllReduceAsync(c.Rank(), add)
+		s, err := c.AllReduce(10, add)
+		if err != nil {
+			t.Error(err)
+		}
+		v1, _ := p1.Wait()
+		v2, _ := p2.Wait()
+		v3, _ := p3.Wait()
+		return []int{v1.(int), v2.(int), v3.(int), s.(int)}
+	})
+	for rank, v := range got {
+		vals := v.([]int)
+		if vals[0] != 8 || vals[1] != 16 || vals[2] != 28 || vals[3] != 80 {
+			t.Fatalf("rank %d got %v", rank, vals)
+		}
+	}
+}
+
+func TestPendingReady(t *testing.T) {
+	add := func(a, b any) any { return a.(int) + b.(int) }
+	runAll(t, 4, func(c *Comm) any {
+		p := c.AllReduceAsync(1, add)
+		deadline := time.Now().Add(5 * time.Second)
+		for !p.Ready() {
+			if time.Now().After(deadline) {
+				t.Error("async all-reduce never became ready")
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		v, err := p.Wait()
+		if err != nil || v != 4 {
+			t.Errorf("Wait = %v, %v", v, err)
+		}
+		return nil
+	})
+}
+
+func TestTypedHelpers(t *testing.T) {
+	got := runAll(t, 5, func(c *Comm) any {
+		minv, err := c.AllReduceFloat64(float64(10-c.Rank()), func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		sum, err := c.AllReduceInt64(int64(c.Rank()), func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Error(err)
+		}
+		vec, err := c.SumFloat64s([]float64{1, float64(c.Rank())})
+		if err != nil {
+			t.Error(err)
+		}
+		return []float64{minv, float64(sum), vec[0], vec[1]}
+	})
+	for rank, v := range got {
+		vals := v.([]float64)
+		if vals[0] != 6 || vals[1] != 10 || vals[2] != 5 || vals[3] != 10 {
+			t.Fatalf("rank %d got %v", rank, vals)
+		}
+	}
+}
+
+func TestCollectivesWithLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency test")
+	}
+	cl := cluster.New(cluster.Config{Nodes: 8, Latency: 2 * time.Millisecond})
+	defer cl.Close()
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := New(cl.Node(cluster.NodeID(rank)), 2)
+			v, err := c.AllReduce(1, func(a, b any) any { return a.(int) + b.(int) })
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[rank] = v.(int)
+		}(i)
+	}
+	wg.Wait()
+	for rank, v := range results {
+		if v != 8 {
+			t.Fatalf("rank %d got %d", rank, v)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/region"
+)
+
+// Advanced coverage: panic containment, nested partitioning, ring
+// (wrapping) neighbor exchange through non-identity projections, and a
+// 3-D stencil.
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 2, SafetyChecks: true})
+	defer rt.Shutdown()
+	rt.RegisterTask("explode", func(tc *TaskContext) (float64, error) {
+		if tc.Point[0] == 1 {
+			panic("kaboom")
+		}
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, 3), "x")
+		p := ctx.PartitionEqual(r, 2)
+		ctx.IndexLaunch(Launch{Task: "explode", Domain: geom.R1(0, 1),
+			Reqs: []RegionReq{{Part: p, Priv: WriteDiscard, Fields: []string{"x"}}}})
+		ctx.ExecutionFence()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic should surface as error, got %v", err)
+	}
+}
+
+func TestNestedPartitioning(t *testing.T) {
+	// Partition a subregion of a partition (multi-level region tree,
+	// §4: "Subregions can be further partitioned") and launch over
+	// the inner partition.
+	register := func(rt *Runtime) {
+		rt.RegisterTask("mark", func(tc *TaskContext) (float64, error) {
+			a := tc.Region(0).Field("x")
+			a.Rect().Each(func(p geom.Point) bool {
+				a.Set(p, tc.Args[0])
+				return true
+			})
+			return 0, nil
+		})
+	}
+	runProgram(t, Config{Shards: 3, SafetyChecks: true}, register, func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, 15), "x")
+		outer := ctx.PartitionEqual(r, 2) // [0,7], [8,15]
+		left := ctx.Subregion(outer, geom.Pt1(0))
+		inner := ctx.PartitionEqual(left, 4) // [0,1],[2,3],[4,5],[6,7]
+		ctx.Fill(r, "x", 0)
+		// Write the whole region at coarse granularity, then refine
+		// just the left half through the nested partition.
+		ctx.IndexLaunch(Launch{Task: "mark", Domain: geom.R1(0, 1), Args: []float64{5},
+			Reqs: []RegionReq{{Part: outer, Priv: WriteDiscard, Fields: []string{"x"}}}})
+		ctx.IndexLaunch(Launch{Task: "mark", Domain: geom.R1(0, 3), Args: []float64{9},
+			Reqs: []RegionReq{{Part: inner, Priv: ReadWrite, Fields: []string{"x"}}}})
+		vals := ctx.InlineRead(r, "x")
+		for i, v := range vals {
+			want := 9.0
+			if i >= 8 {
+				want = 5
+			}
+			if v != want {
+				return fmt.Errorf("cell %d = %v, want %v", i, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestRingExchange uses wrapping offset projections: point i reads its
+// left and right neighbor tiles on a torus — a non-identity-projection
+// communication pattern.
+func TestRingExchange(t *testing.T) {
+	const tiles, cellsPer = 6, 4
+	register := func(rt *Runtime) {
+		rt.RegisterTask("ring.init", func(tc *TaskContext) (float64, error) {
+			a := tc.Region(0).Only()
+			a.Rect().Each(func(p geom.Point) bool {
+				a.Set(p, float64(tc.Point[0]))
+				return true
+			})
+			return 0, nil
+		})
+		// out[tile i] = sum of left-neighbor tile + right-neighbor tile values.
+		rt.RegisterTask("ring.step", func(tc *TaskContext) (float64, error) {
+			out := tc.Region(0).Only()
+			left := tc.Region(1).Only()
+			right := tc.Region(2).Only()
+			sum := 0.0
+			left.Rect().Each(func(p geom.Point) bool { sum += left.At(p); return true })
+			right.Rect().Each(func(p geom.Point) bool { sum += right.At(p); return true })
+			out.Rect().Each(func(p geom.Point) bool { out.Set(p, sum); return true })
+			return 0, nil
+		})
+	}
+	runProgram(t, Config{Shards: 4, SafetyChecks: true}, register, func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, tiles*cellsPer-1), "in", "out")
+		p := ctx.PartitionEqual(r, tiles)
+		dom := geom.R1(0, tiles-1)
+		leftProj := region.OffsetProjection{Delta: geom.Pt1(-1), Wrap: true}
+		rightProj := region.OffsetProjection{Delta: geom.Pt1(1), Wrap: true}
+		ctx.IndexLaunch(Launch{Task: "ring.init", Domain: dom,
+			Reqs: []RegionReq{{Part: p, Priv: WriteDiscard, Fields: []string{"in"}}}})
+		ctx.IndexLaunch(Launch{Task: "ring.step", Domain: dom,
+			Reqs: []RegionReq{
+				{Part: p, Priv: WriteDiscard, Fields: []string{"out"}},
+				{Part: p, Proj: leftProj, Priv: ReadOnly, Fields: []string{"in"}},
+				{Part: p, Proj: rightProj, Priv: ReadOnly, Fields: []string{"in"}},
+			}})
+		vals := ctx.InlineRead(r, "out")
+		for tile := 0; tile < tiles; tile++ {
+			l := (tile + tiles - 1) % tiles
+			rr := (tile + 1) % tiles
+			want := float64(cellsPer) * float64(l+rr)
+			for c := 0; c < cellsPer; c++ {
+				if got := vals[tile*cellsPer+c]; got != want {
+					return fmt.Errorf("tile %d cell %d = %v, want %v", tile, c, got, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestStencil3D(t *testing.T) {
+	// 3-D Jacobi sweep: full dimensionality through partitions, halos
+	// and pulls.
+	const n = 12
+	register := func(rt *Runtime) {
+		rt.RegisterTask("jac3", func(tc *TaskContext) (float64, error) {
+			next := tc.Region(0).Field("b")
+			cur := tc.Region(1).Field("a")
+			next.Rect().Each(func(p geom.Point) bool {
+				s := cur.At(geom.Pt3(p[0]-1, p[1], p[2])) + cur.At(geom.Pt3(p[0]+1, p[1], p[2])) +
+					cur.At(geom.Pt3(p[0], p[1]-1, p[2])) + cur.At(geom.Pt3(p[0], p[1]+1, p[2])) +
+					cur.At(geom.Pt3(p[0], p[1], p[2]-1)) + cur.At(geom.Pt3(p[0], p[1], p[2]+1))
+				next.Set(p, s/6)
+				return true
+			})
+			return 0, nil
+		})
+	}
+	runProgram(t, Config{Shards: 3, SafetyChecks: true}, register, func(ctx *Context) error {
+		g := ctx.CreateRegion(geom.R3(0, 0, 0, n-1, n-1, n-1), "a", "b")
+		owned := ctx.PartitionEqual(g, 2, 2, 2)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		ctx.Fill(g, "a", 6)
+		ctx.Fill(g, "b", 0)
+		ctx.IndexLaunch(Launch{Task: "jac3", Domain: geom.R3(0, 0, 0, 1, 1, 1),
+			Reqs: []RegionReq{
+				{Part: interior, Priv: WriteDiscard, Fields: []string{"b"}},
+				{Part: ghost, Priv: ReadOnly, Fields: []string{"a"}},
+			}})
+		vals := ctx.InlineRead(g, "b")
+		// Every interior cell averages six 6s -> 6; boundary stays 0.
+		idx := func(x, y, z int64) int64 { return (x*n+y)*n + z }
+		if vals[idx(5, 5, 5)] != 6 {
+			return fmt.Errorf("interior = %v", vals[idx(5, 5, 5)])
+		}
+		if vals[idx(0, 5, 5)] != 0 {
+			return fmt.Errorf("boundary written: %v", vals[idx(0, 5, 5)])
+		}
+		return nil
+	})
+}
+
+func TestLaunchValidationPanics(t *testing.T) {
+	cases := []func(ctx *Context){
+		// Unregistered task.
+		func(ctx *Context) {
+			r := ctx.CreateRegion(geom.R1(0, 3), "x")
+			p := ctx.PartitionEqual(r, 2)
+			ctx.IndexLaunch(Launch{Task: "ghost-task", Domain: geom.R1(0, 1),
+				Reqs: []RegionReq{{Part: p, Priv: ReadOnly, Fields: []string{"x"}}}})
+		},
+		// Empty domain.
+		func(ctx *Context) {
+			r := ctx.CreateRegion(geom.R1(0, 3), "x")
+			p := ctx.PartitionEqual(r, 2)
+			ctx.IndexLaunch(Launch{Task: "nop2", Domain: geom.R1(3, 1),
+				Reqs: []RegionReq{{Part: p, Priv: ReadOnly, Fields: []string{"x"}}}})
+		},
+		// Reduce without operator.
+		func(ctx *Context) {
+			r := ctx.CreateRegion(geom.R1(0, 3), "x")
+			p := ctx.PartitionEqual(r, 2)
+			ctx.IndexLaunch(Launch{Task: "nop2", Domain: geom.R1(0, 1),
+				Reqs: []RegionReq{{Part: p, Priv: Reduce, Fields: []string{"x"}}}})
+		},
+		// No fields.
+		func(ctx *Context) {
+			r := ctx.CreateRegion(geom.R1(0, 3), "x")
+			p := ctx.PartitionEqual(r, 2)
+			ctx.IndexLaunch(Launch{Task: "nop2", Domain: geom.R1(0, 1),
+				Reqs: []RegionReq{{Part: p, Priv: ReadOnly}}})
+		},
+		// Unknown field.
+		func(ctx *Context) {
+			r := ctx.CreateRegion(geom.R1(0, 3), "x")
+			ctx.Fill(r, "nope", 0)
+		},
+	}
+	for i, fn := range cases {
+		rt := NewRuntime(Config{Shards: 1})
+		rt.RegisterTask("nop2", func(tc *TaskContext) (float64, error) { return 0, nil })
+		err := rt.Execute(func(ctx *Context) error {
+			fn(ctx)
+			return nil
+		})
+		rt.Shutdown()
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("case %d: expected API-misuse panic surfaced as error, got %v", i, err)
+		}
+	}
+}
+
+func TestNoRemotePullsOnSingleShard(t *testing.T) {
+	rt := runProgram(t, Config{Shards: 1, SafetyChecks: true}, registerStencilTasks,
+		stencil1DProgram(32, 4, 3, 1.0, func(_, _ []float64) error { return nil }))
+	if got := rt.Stats().RemotePulls; got != 0 {
+		t.Fatalf("single shard made %d remote pulls", got)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+)
+
+// API-contract coverage: privilege enforcement at the accessor level,
+// runtime reuse, future arguments under replication, degenerate launch
+// shapes, and post-deletion reads.
+
+func TestAccessorPrivilegeEnforcement(t *testing.T) {
+	cases := []struct {
+		name string
+		priv Privilege
+		op   string // which access must panic
+	}{
+		{"read-through-WD", WriteDiscard, "read"},
+		{"read-through-Reduce", Reduce, "read"},
+		{"write-through-RO", ReadOnly, "write"},
+		{"fold-through-RW", ReadWrite, "fold"},
+		{"fold-through-RO", ReadOnly, "fold"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rt := NewRuntime(Config{Shards: 1})
+			defer rt.Shutdown()
+			rt.RegisterTask("touch", func(tc *TaskContext) (float64, error) {
+				a := tc.Region(0).Only()
+				p := a.Rect().Lo
+				switch c.op {
+				case "read":
+					_ = a.At(p)
+				case "write":
+					a.Set(p, 1)
+				case "fold":
+					a.Fold(p, 1)
+				}
+				return 0, nil
+			})
+			err := rt.Execute(func(ctx *Context) error {
+				r := ctx.CreateRegion(geom.R1(0, 3), "x")
+				part := ctx.PartitionEqual(r, 1)
+				req := RegionReq{Part: part, Priv: c.priv, Fields: []string{"x"}}
+				if c.priv == Reduce {
+					req.RedOp = instance.ReduceAdd
+				}
+				ctx.IndexLaunch(Launch{Task: "touch", Domain: geom.R1(0, 0), Reqs: []RegionReq{req}})
+				ctx.ExecutionFence()
+				return nil
+			})
+			if err == nil || !strings.Contains(err.Error(), "privilege") {
+				t.Fatalf("expected privilege violation, got %v", err)
+			}
+		})
+	}
+}
+
+func TestOnlyPanicsOnMultiField(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 1})
+	defer rt.Shutdown()
+	rt.RegisterTask("multi", func(tc *TaskContext) (float64, error) {
+		_ = tc.Region(0).Only() // two fields mapped -> panic -> error
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, 3), "a", "b")
+		p := ctx.PartitionEqual(r, 1)
+		ctx.IndexLaunch(Launch{Task: "multi", Domain: geom.R1(0, 0),
+			Reqs: []RegionReq{{Part: p, Priv: ReadOnly, Fields: []string{"a", "b"}}}})
+		ctx.ExecutionFence()
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "Only") {
+		t.Fatalf("expected Only() misuse error, got %v", err)
+	}
+}
+
+// TestRuntimeReuseAcrossExecutes: a runtime survives multiple Execute
+// calls (fresh region forests, shared cluster and task registry).
+func TestRuntimeReuseAcrossExecutes(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 3, SafetyChecks: true})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	for round := 0; round < 3; round++ {
+		init := float64(round + 1)
+		wantState, wantFlux := referenceStencil1D(32, init, 2)
+		err := rt.Execute(stencil1DProgram(32, 4, 2, init, func(state, flux []float64) error {
+			for i := range wantState {
+				if state[i] != wantState[i] || flux[i] != wantFlux[i] {
+					return fmt.Errorf("round %d diverged at %d", round, i)
+				}
+			}
+			return nil
+		}))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestFutureArgumentsReplicated: a future value produced by one launch
+// feeds the next launch's tasks on every shard (the Pennant dt
+// pattern, DCR mode).
+func TestFutureArgumentsReplicated(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 4, SafetyChecks: true})
+	defer rt.Shutdown()
+	rt.RegisterTask("emit", func(tc *TaskContext) (float64, error) {
+		return float64(tc.Point[0]) + 1, nil
+	})
+	rt.RegisterTask("store", func(tc *TaskContext) (float64, error) {
+		a := tc.Region(0).Only()
+		a.Rect().Each(func(p geom.Point) bool {
+			a.Set(p, tc.FutureArgs[0]*10+tc.FutureArgs[1])
+			return true
+		})
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, 7), "x")
+		p := ctx.PartitionEqual(r, 4)
+		dom := geom.R1(0, 3)
+		fm := ctx.IndexLaunch(Launch{Task: "emit", Domain: dom,
+			Reqs: []RegionReq{{Part: p, Priv: ReadOnly, Fields: []string{"x"}}}})
+		minF := fm.Reduce(instance.ReduceMin) // 1
+		maxF := fm.Reduce(instance.ReduceMax) // 4
+		ctx.IndexLaunch(Launch{Task: "store", Domain: dom, Futures: []*Future{minF, maxF},
+			Reqs: []RegionReq{{Part: p, Priv: WriteDiscard, Fields: []string{"x"}}}})
+		vals := ctx.InlineRead(r, "x")
+		for i, v := range vals {
+			if v != 14 {
+				return fmt.Errorf("cell %d = %v, want 14", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLaunchWiderThanShards: more point tasks than shards, and more
+// shards than point tasks, both behave.
+func TestLaunchWidthExtremes(t *testing.T) {
+	register := func(rt *Runtime) {
+		rt.RegisterTask("pt", func(tc *TaskContext) (float64, error) {
+			a := tc.Region(0).Only()
+			a.Rect().Each(func(p geom.Point) bool {
+				a.Set(p, float64(tc.Point[0]))
+				return true
+			})
+			return 1, nil
+		})
+	}
+	for _, tc := range []struct{ shards, tiles int }{{2, 16}, {6, 2}} {
+		runProgram(t, Config{Shards: tc.shards, SafetyChecks: true}, register, func(ctx *Context) error {
+			r := ctx.CreateRegion(geom.R1(0, 31), "x")
+			p := ctx.PartitionEqual(r, tc.tiles)
+			fm := ctx.IndexLaunch(Launch{Task: "pt", Domain: geom.R1(0, int64(tc.tiles)-1),
+				Reqs: []RegionReq{{Part: p, Priv: WriteDiscard, Fields: []string{"x"}}}})
+			if got := fm.Reduce(instance.ReduceAdd).Get(); got != float64(tc.tiles) {
+				return fmt.Errorf("task count = %v, want %d", got, tc.tiles)
+			}
+			vals := ctx.InlineRead(r, "x")
+			tileOf := geom.R1(0, 31).SplitEqual(tc.tiles)
+			for ti, tr := range tileOf {
+				tr.Each(func(p geom.Point) bool {
+					if vals[p[0]] != float64(ti) {
+						t.Errorf("cell %d = %v, want %d", p[0], vals[p[0]], ti)
+					}
+					return true
+				})
+			}
+			return nil
+		})
+	}
+}
+
+// TestReadAfterDeferredDeleteIsZero: a purged region reads as
+// unwritten (zero-fill), not stale data.
+func TestReadAfterDeferredDeleteIsZero(t *testing.T) {
+	runProgram(t, Config{Shards: 2, SafetyChecks: true}, nil, func(ctx *Context) error {
+		r := ctx.CreateRegion(geom.R1(0, 3), "x")
+		ctx.Fill(r, "x", 7)
+		ctx.ExecutionFence()
+		ctx.DeferredDelete(r)
+		ctx.ExecutionFence()
+		vals := ctx.InlineRead(r, "x")
+		for i, v := range vals {
+			if v != 0 {
+				return fmt.Errorf("cell %d = %v after deletion", i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestVersionGCCountsDrops(t *testing.T) {
+	rt := runProgram(t, Config{Shards: 2, SafetyChecks: true}, registerStencilTasks,
+		func(ctx *Context) error {
+			cells := ctx.CreateRegion(geom.R1(0, 31), "state", "flux")
+			owned := ctx.PartitionEqual(cells, 4)
+			tiles := geom.R1(0, 3)
+			ctx.Fill(cells, "state", 1)
+			for i := 0; i < 6; i++ {
+				ctx.IndexLaunch(Launch{Task: "add_one", Domain: tiles,
+					Reqs: []RegionReq{{Part: owned, Priv: ReadWrite, Fields: []string{"state"}}}})
+				ctx.ExecutionFence()
+			}
+			return nil
+		})
+	if rt.Stats().VersionsDropped == 0 {
+		t.Fatal("repeated writes + fences must reclaim versions")
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"godcr/internal/geom"
+)
+
+func TestAttachDetachWholeRegion(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.dat")
+	out := filepath.Join(dir, "out.dat")
+	rect := geom.R1(0, 15)
+	src := make([]float64, 16)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	if err := WriteRegionFile(in, rect, src); err != nil {
+		t.Fatal(err)
+	}
+
+	register := func(rt *Runtime) {
+		rt.RegisterTask("inc", func(tc *TaskContext) (float64, error) {
+			acc := tc.Region(0).Field("x")
+			acc.Rect().Each(func(p geom.Point) bool {
+				acc.Set(p, acc.At(p)+1)
+				return true
+			})
+			return 0, nil
+		})
+	}
+	runProgram(t, Config{Shards: 3, SafetyChecks: true}, register, func(ctx *Context) error {
+		r := ctx.CreateRegion(rect, "x")
+		p := ctx.PartitionEqual(r, 4)
+		ctx.AttachFile(r, "x", in)
+		ctx.IndexLaunch(Launch{Task: "inc", Domain: geom.R1(0, 3),
+			Reqs: []RegionReq{{Part: p, Priv: ReadWrite, Fields: []string{"x"}}}})
+		ctx.DetachFile(r, "x", out)
+		ctx.ExecutionFence()
+		return nil
+	})
+
+	got, err := ReadRegionFile(out, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != src[i]+1 {
+			t.Fatalf("out[%d] = %v, want %v", i, v, src[i]+1)
+		}
+	}
+}
+
+func TestAttachDetachPartitionParallelIO(t *testing.T) {
+	dir := t.TempDir()
+	rect := geom.R1(0, 19)
+	const tiles = 4
+	// Prepare per-tile input files.
+	var inPaths, outPaths []string
+	tileRects := rect.SplitEqual(tiles)
+	for i, tr := range tileRects {
+		in := filepath.Join(dir, fmt.Sprintf("in%d.dat", i))
+		out := filepath.Join(dir, fmt.Sprintf("out%d.dat", i))
+		vals := make([]float64, tr.Volume())
+		for j := range vals {
+			vals[j] = float64(i * 100)
+		}
+		if err := WriteRegionFile(in, tr, vals); err != nil {
+			t.Fatal(err)
+		}
+		inPaths = append(inPaths, in)
+		outPaths = append(outPaths, out)
+	}
+
+	register := func(rt *Runtime) {
+		rt.RegisterTask("inc", func(tc *TaskContext) (float64, error) {
+			acc := tc.Region(0).Field("x")
+			acc.Rect().Each(func(p geom.Point) bool {
+				acc.Set(p, acc.At(p)+1)
+				return true
+			})
+			return 0, nil
+		})
+	}
+	runProgram(t, Config{Shards: 2, SafetyChecks: true}, register, func(ctx *Context) error {
+		r := ctx.CreateRegion(rect, "x")
+		p := ctx.PartitionEqual(r, tiles)
+		ctx.AttachPartition(p, "x", inPaths)
+		ctx.IndexLaunch(Launch{Task: "inc", Domain: geom.R1(0, tiles-1),
+			Reqs: []RegionReq{{Part: p, Priv: ReadWrite, Fields: []string{"x"}}}})
+		ctx.DetachPartition(p, "x", outPaths)
+		ctx.ExecutionFence()
+		return nil
+	})
+
+	for i, tr := range tileRects {
+		got, err := ReadRegionFile(outPaths[i], tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range got {
+			if v != float64(i*100)+1 {
+				t.Fatalf("tile %d slot %d = %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRegionFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.dat")
+	rect := geom.R2(0, 0, 3, 3)
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i) * -0.25
+	}
+	if err := WriteRegionFile(path, rect, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRegionFile(path, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slot %d = %v", i, got[i])
+		}
+	}
+	// Size validation.
+	if _, err := ReadRegionFile(path, geom.R1(0, 99)); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+	if err := WriteRegionFile(path, rect, vals[:3]); err == nil {
+		t.Fatal("short values should error")
+	}
+}

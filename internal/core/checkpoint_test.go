@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/region"
+)
+
+// Checkpoint/restart via sharded attach/detach (§4.3's motivating use
+// case): run half the simulation, flush state to per-tile files with a
+// group detach, then restart a fresh runtime that group-attaches the
+// files and continues — and match an uninterrupted run exactly.
+func TestCheckpointRestart(t *testing.T) {
+	const ncells, ntiles = 48, 4
+	const firstSteps, secondSteps = 3, 4
+	dir := t.TempDir()
+	statePaths := make([]string, ntiles)
+	fluxPaths := make([]string, ntiles)
+	for i := range statePaths {
+		statePaths[i] = filepath.Join(dir, fmt.Sprintf("state%d.ckpt", i))
+		fluxPaths[i] = filepath.Join(dir, fmt.Sprintf("flux%d.ckpt", i))
+	}
+
+	stepOnce := func(ctx *Context, owned, interior, ghost *region.Partition) {
+		tiles := geom.R1(0, ntiles-1)
+		ctx.IndexLaunch(Launch{Task: "add_one", Domain: tiles,
+			Reqs: []RegionReq{{Part: owned, Priv: ReadWrite, Fields: []string{"state"}}}})
+		ctx.IndexLaunch(Launch{Task: "mul_two", Domain: tiles,
+			Reqs: []RegionReq{{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}}}})
+		ctx.IndexLaunch(Launch{Task: "stencil", Domain: tiles,
+			Reqs: []RegionReq{
+				{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}},
+				{Part: ghost, Priv: ReadOnly, Fields: []string{"state"}}}})
+	}
+
+	// Phase 1: run and checkpoint.
+	rt1 := NewRuntime(Config{Shards: 3, SafetyChecks: true})
+	registerStencilTasks(rt1)
+	err := rt1.Execute(func(ctx *Context) error {
+		cells := ctx.CreateRegion(geom.R1(0, ncells-1), "state", "flux")
+		owned := ctx.PartitionEqual(cells, ntiles)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		ctx.Fill(cells, "state", 1)
+		ctx.Fill(cells, "flux", 1)
+		for s := 0; s < firstSteps; s++ {
+			stepOnce(ctx, owned, interior, ghost)
+		}
+		ctx.DetachPartition(owned, "state", statePaths)
+		ctx.DetachPartition(owned, "flux", fluxPaths)
+		ctx.ExecutionFence()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	rt1.Shutdown()
+
+	// Phase 2: restart on a *different* machine size and continue.
+	var mu sync.Mutex
+	var restarted []float64
+	rt2 := NewRuntime(Config{Shards: 2, SafetyChecks: true})
+	registerStencilTasks(rt2)
+	err = rt2.Execute(func(ctx *Context) error {
+		cells := ctx.CreateRegion(geom.R1(0, ncells-1), "state", "flux")
+		owned := ctx.PartitionEqual(cells, ntiles)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		ctx.AttachPartition(owned, "state", statePaths)
+		ctx.AttachPartition(owned, "flux", fluxPaths)
+		for s := 0; s < secondSteps; s++ {
+			stepOnce(ctx, owned, interior, ghost)
+		}
+		v := ctx.InlineRead(cells, "flux")
+		mu.Lock()
+		restarted = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("phase 2: %v", err)
+	}
+	rt2.Shutdown()
+
+	// Reference: uninterrupted run.
+	_, want := referenceStencil1D(ncells, 1.0, firstSteps+secondSteps)
+	for i := range want {
+		if restarted[i] != want[i] {
+			t.Fatalf("restart diverged at cell %d: %v vs %v", i, restarted[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/region"
+)
+
+// The coarse analysis stage (paper §4.1, Fig. 9 top): every shard
+// analyzes *every* operation, but only at task-group granularity. A
+// group launch is represented by the upper bound of everything it can
+// touch (its partition's bounds), so the cost of analyzing a group is
+// independent of how many point tasks it contains — the property that
+// makes the stage scalable. Group-level dependences found against the
+// coarse directory are promoted to cross-shard fences unless a
+// symbolic comparison of (partition, projection, sharding functor,
+// domain) proves every point-level dependence is shard-local.
+
+type dirKey struct {
+	root  region.RegionID
+	field region.FieldID
+}
+
+// coarseSig is the symbolic identity of an access used by the fence
+// elision proof.
+type coarseSig struct {
+	kind     opKind
+	partID   region.PartitionID
+	projName string
+	shardFn  string
+	domain   geom.Rect
+	disjoint bool
+	// owner is the executing shard for single-shard operations
+	// (single launches, fills, attaches).
+	owner int
+}
+
+// shardLocal reports whether a dependence between accesses with these
+// signatures is provably satisfied within each shard, allowing the
+// cross-shard fence to be elided (paper §4.1: "we can prove that all
+// dependences are shard-local").
+func shardLocal(prev, cur coarseSig) bool {
+	if prev.kind == opLaunch && cur.kind == opLaunch {
+		return prev.partID == cur.partID &&
+			prev.projName == cur.projName &&
+			prev.shardFn == cur.shardFn &&
+			prev.domain.Equal(cur.domain) &&
+			prev.disjoint && cur.disjoint
+	}
+	// Two single-shard operations on the same shard are ordered by
+	// that shard's own in-order fine stage.
+	prevSingle := prev.kind == opSingle || prev.kind == opFill || prev.kind == opAttach
+	curSingle := cur.kind == opSingle || cur.kind == opFill || cur.kind == opAttach
+	if prevSingle && curSingle {
+		return prev.owner == cur.owner
+	}
+	return false
+}
+
+type coarseRec struct {
+	seq uint64
+	sig coarseSig
+}
+
+type coarseRead struct {
+	seq  uint64
+	sig  coarseSig
+	rect geom.Rect
+}
+
+type coarseRed struct {
+	seq  uint64
+	sig  coarseSig
+	rect geom.Rect
+	op   instance.ReduceOp
+}
+
+type coarseField struct {
+	writes geom.RectMap[coarseRec]
+	reads  []coarseRead
+	reds   []coarseRed
+}
+
+type coarseStage struct {
+	ctx *Context
+	out chan<- *op
+	dir map[dirKey]*coarseField
+}
+
+func newCoarseStage(ctx *Context, out chan<- *op) *coarseStage {
+	return &coarseStage{ctx: ctx, out: out, dir: make(map[dirKey]*coarseField)}
+}
+
+func (cs *coarseStage) run(in <-chan *op) {
+	defer close(cs.out)
+	for o := range in {
+		cs.analyze(o)
+		cs.ctx.rt.recordAnalysis(cs.ctx.shard, o)
+		cs.out <- o
+	}
+}
+
+func (cs *coarseStage) field(root region.RegionID, f region.FieldID) *coarseField {
+	key := dirKey{root, f}
+	cf := cs.dir[key]
+	if cf == nil {
+		cf = &coarseField{}
+		cs.dir[key] = cf
+	}
+	return cf
+}
+
+// access describes one (field, rect, privilege) touch of an operation.
+type coarseAccess struct {
+	root  region.RegionID
+	field region.FieldID
+	rect  geom.Rect
+	priv  Privilege
+	redOp instance.ReduceOp
+	sig   coarseSig
+}
+
+func (cs *coarseStage) analyze(o *op) {
+	var accesses []coarseAccess
+	switch o.kind {
+	case opShutdown, opExecFence, opDeletion, opTraceBegin, opTraceEnd:
+		// Ordered by construction; no data analysis.
+		return
+	case opFill:
+		f := o.fill
+		accesses = append(accesses, coarseAccess{
+			root: f.root, field: f.field,
+			rect: f.region.Bounds,
+			priv: WriteDiscard,
+			sig:  coarseSig{kind: opFill, owner: 0},
+		})
+	case opInlineRead:
+		in := o.inline
+		accesses = append(accesses, coarseAccess{
+			root: in.root, field: in.field,
+			rect: in.region.Bounds,
+			priv: ReadOnly,
+			sig:  coarseSig{kind: opInlineRead, owner: -1},
+		})
+	case opAttach, opDetach:
+		a := o.attach
+		priv := WriteDiscard
+		if o.kind == opDetach {
+			priv = ReadOnly
+		}
+		rect := geom.Rect{}
+		var sig coarseSig
+		if a.part != nil {
+			// A group attach behaves like a cyclic index launch over
+			// the partition's color space, so it can be fence-elided
+			// against matching launches.
+			rect = a.part.Bounds
+			sig = coarseSig{
+				kind: opLaunch, partID: a.part.ID, projName: "identity",
+				shardFn: "cyclic", domain: a.part.ColorSpace, disjoint: a.part.Disjoint,
+			}
+		} else {
+			rect = a.region.Bounds
+			sig = coarseSig{kind: opAttach, owner: a.owner}
+		}
+		accesses = append(accesses, coarseAccess{
+			root: a.root, field: a.field, rect: rect, priv: priv, sig: sig,
+		})
+	case opLaunch, opSingle:
+		ls := o.launch
+		for _, rr := range ls.reqs {
+			sig := coarseSig{
+				kind:     o.kind,
+				partID:   rr.partID,
+				projName: rr.req.Proj.Name(),
+				shardFn:  ls.spec.Sharding.Name(),
+				domain:   ls.spec.Domain,
+				disjoint: rr.disjoint,
+				owner:    ls.owner,
+			}
+			for _, f := range rr.fields {
+				accesses = append(accesses, coarseAccess{
+					root: rr.root, field: f, rect: rr.ub,
+					priv: rr.req.Priv, redOp: rr.req.RedOp, sig: sig,
+				})
+			}
+		}
+	}
+
+	type depInfo struct {
+		seq    uint64
+		sig    coarseSig
+		root   region.RegionID
+		field  region.FieldID
+		reason string
+	}
+	var deps []depInfo
+
+	// Pass 1: discover group-level dependences against the coarse
+	// directory (without enumerating point tasks).
+	for _, a := range accesses {
+		cf := cs.field(a.root, a.field)
+		switch a.priv {
+		case ReadOnly:
+			for _, e := range cf.writes.Query(a.rect) {
+				deps = append(deps, depInfo{e.Value.seq, e.Value.sig, a.root, a.field, "read-after-write"})
+			}
+			for _, r := range cf.reds {
+				if r.rect.Overlaps(a.rect) {
+					deps = append(deps, depInfo{r.seq, r.sig, a.root, a.field, "read-after-reduce"})
+				}
+			}
+		case ReadWrite, WriteDiscard:
+			for _, e := range cf.writes.Query(a.rect) {
+				deps = append(deps, depInfo{e.Value.seq, e.Value.sig, a.root, a.field, "write-after-write"})
+			}
+			for _, r := range cf.reads {
+				if r.rect.Overlaps(a.rect) {
+					deps = append(deps, depInfo{r.seq, r.sig, a.root, a.field, "write-after-read"})
+				}
+			}
+			for _, r := range cf.reds {
+				if r.rect.Overlaps(a.rect) {
+					deps = append(deps, depInfo{r.seq, r.sig, a.root, a.field, "write-after-reduce"})
+				}
+			}
+		case Reduce:
+			for _, e := range cf.writes.Query(a.rect) {
+				deps = append(deps, depInfo{e.Value.seq, e.Value.sig, a.root, a.field, "reduce-after-write"})
+			}
+			for _, r := range cf.reads {
+				if r.rect.Overlaps(a.rect) {
+					deps = append(deps, depInfo{r.seq, r.sig, a.root, a.field, "reduce-after-read"})
+				}
+			}
+			// Reductions with the same operator commute; a different
+			// operator is a dependence.
+			for _, r := range cf.reds {
+				if r.op != a.redOp && r.rect.Overlaps(a.rect) {
+					deps = append(deps, depInfo{r.seq, r.sig, a.root, a.field, "reduce-op-change"})
+				}
+			}
+		}
+	}
+
+	// Pass 2: record this operation's accesses.
+	for _, a := range accesses {
+		cf := cs.field(a.root, a.field)
+		switch a.priv {
+		case ReadOnly:
+			cf.reads = append(cf.reads, coarseRead{o.seq, a.sig, a.rect})
+		case ReadWrite, WriteDiscard:
+			cf.writes.Paint(a.rect, coarseRec{o.seq, a.sig})
+			// Overlapping readers and reductions are superseded:
+			// later writers will depend on this write, which already
+			// ordered itself against them (transitivity, §2).
+			kept := cf.reads[:0]
+			for _, r := range cf.reads {
+				if !r.rect.Overlaps(a.rect) {
+					kept = append(kept, r)
+				}
+			}
+			cf.reads = kept
+			var keptReds []coarseRed
+			for _, r := range cf.reds {
+				for _, piece := range r.rect.Subtract(a.rect) {
+					keptReds = append(keptReds, coarseRed{r.seq, r.sig, piece, r.op})
+				}
+			}
+			cf.reds = keptReds
+		case Reduce:
+			cf.reds = append(cf.reds, coarseRed{o.seq, a.sig, a.rect, a.redOp})
+		}
+	}
+
+	// Pass 3: fence decisions, deduplicated per (pred, field).
+	seen := make(map[string]bool)
+	for _, d := range deps {
+		o.groupDeps = append(o.groupDeps, d.seq)
+		var cur coarseSig
+		for _, a := range accesses {
+			if a.root == d.root && a.field == d.field {
+				cur = a.sig
+				break
+			}
+		}
+		if shardLocal(d.sig, cur) {
+			cs.ctx.rt.stats.fencesOut.Add(1)
+			continue
+		}
+		key := fmt.Sprintf("%d/%d/%d", d.seq, d.root, d.field)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cs.ctx.rt.stats.fencesIn.Add(1)
+		o.fences = append(o.fences, FenceInfo{
+			Root:    d.root,
+			Field:   d.field,
+			Reason:  d.reason,
+			PredSeq: d.seq,
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"godcr/internal/cluster"
+	"godcr/internal/region"
+)
+
+// BeginTrace marks the start of a repeated, idempotent sequence of
+// operations (a loop body). After a recording and a validation pass,
+// subsequent occurrences replay the memoized fine-stage analysis
+// (paper §5.5). Traces must not nest.
+func (ctx *Context) BeginTrace(id uint64) {
+	ctx.hashOp(hTraceBegin)
+	ctx.digest.Uint64(id)
+	ctx.submit(&op{seq: ctx.nextSeq(), kind: opTraceBegin, traceID: id})
+}
+
+// EndTrace marks the end of the trace started by BeginTrace(id).
+func (ctx *Context) EndTrace(id uint64) {
+	ctx.hashOp(hTraceEnd)
+	ctx.digest.Uint64(id)
+	ctx.submit(&op{seq: ctx.nextSeq(), kind: opTraceEnd, traceID: id})
+}
+
+// DeferredDelete requests deletion of a region tree at a point where
+// shards may disagree about timing — the garbage-collector interaction
+// of paper §4.3. The call is deliberately *not* hashed: finalizers run
+// at arbitrary times per shard. The deletion is applied (directory and
+// versions purged) at the first execution fence by which *all* shards
+// have requested it, mirroring the paper's delayed-deletion consensus
+// (the exponential-backoff polling is simplified to fence-point
+// consensus).
+func (ctx *Context) DeferredDelete(r *region.Region) {
+	ctx.deferred = append(ctx.deferred, int64(r.Root))
+}
+
+// DeletedRegions reports the region roots whose deferred deletions
+// have been applied so far (diagnostics and tests).
+func (ctx *Context) DeletedRegions() []region.RegionID {
+	return append([]region.RegionID(nil), ctx.deleted...)
+}
+
+func init() {
+	cluster.RegisterWireType([]int64(nil))
+}
+
+// applyDeferred runs the deferred-deletion consensus. Called from the
+// application thread immediately after an execution fence completes,
+// when the pipeline is quiescent.
+func (ctx *Context) applyDeferred() error {
+	ctx.fenceCount++
+	if ctx.rt.cfg.Centralized {
+		// One control stream: apply immediately.
+		for _, id := range ctx.deferred {
+			ctx.fine.purgeRegion(region.RegionID(id))
+			ctx.deleted = append(ctx.deleted, region.RegionID(id))
+		}
+		ctx.deferred = ctx.deferred[:0]
+		return nil
+	}
+	comm := ctx.rt.comm(ctx.shard, 0xDD000000+ctx.fenceCount)
+	mine := append([]int64(nil), ctx.deferred...)
+	all, err := comm.AllGather(mine)
+	if err != nil {
+		return err
+	}
+	// A deletion applies when every shard has requested it.
+	counts := make(map[int64]int)
+	for _, lst := range all {
+		seen := make(map[int64]bool)
+		for _, id := range lst.([]int64) {
+			if !seen[id] {
+				seen[id] = true
+				counts[id]++
+			}
+		}
+	}
+	var agreed []int64
+	for id, c := range counts {
+		if c == ctx.nShards {
+			agreed = append(agreed, id)
+		}
+	}
+	sort.Slice(agreed, func(i, j int) bool { return agreed[i] < agreed[j] })
+	for _, id := range agreed {
+		ctx.fine.purgeRegion(region.RegionID(id))
+		ctx.deleted = append(ctx.deleted, region.RegionID(id))
+		// Remove from the pending list.
+		kept := ctx.deferred[:0]
+		for _, d := range ctx.deferred {
+			if d != id {
+				kept = append(kept, d)
+			}
+		}
+		ctx.deferred = kept
+	}
+	return nil
+}

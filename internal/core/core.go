@@ -1,0 +1,256 @@
+// Package core implements dynamic control replication (DCR), the
+// contribution of "Scaling Implicit Parallelism via Dynamic Control
+// Replication" (PPoPP'21): a task-based runtime whose top-level task
+// executes as N replicated shards, one per node, that cooperatively
+// perform the dynamic dependence analysis of the implicitly parallel
+// program they all run.
+//
+// Each shard runs a three-stage pipeline:
+//
+//	application thread  →  coarse stage  →  fine stage  →  executor
+//
+// The application thread is the user's program: an apparently
+// sequential function that creates regions and launches tasks. Every
+// API call is hashed for the control-determinism check (§3) and
+// enqueued. The coarse stage (§4.1) analyzes *task groups* without
+// enumerating their points, discovers group-level dependences from an
+// upper-bound directory, and promotes cross-shard dependences to
+// fences unless a symbolic proof shows every point dependence is
+// shard-local. The fine stage analyzes only the points the sharding
+// functor assigns to this shard, resolves their data sources from a
+// per-field write-index directory, and hands them to an executor that
+// runs them as dataflow on completion events, pulling versioned field
+// data from producer nodes.
+//
+// The collective fabric (§4.2), tracing (§5.5), file attach (§4.3),
+// and the determinism checker are implemented in sibling files.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"godcr/internal/cluster"
+	"godcr/internal/collective"
+	"godcr/internal/mapper"
+)
+
+// TaskFn is the body of a task. It may only touch the data exposed by
+// its TaskContext; the scalar return value feeds the launch's Future
+// or FutureMap.
+type TaskFn func(tc *TaskContext) (float64, error)
+
+// Config configures a Runtime.
+type Config struct {
+	// Shards is the number of control-replicated shards (== nodes).
+	Shards int
+	// CPUsPerShard bounds concurrently *executing* point tasks per
+	// node (task-assembly I/O is not bounded). Default 4.
+	CPUsPerShard int
+	// Latency is the injected one-way network latency.
+	Latency time.Duration
+	// WireEncode forces payloads through gob (strict distribution).
+	WireEncode bool
+	// SafetyChecks enables the control-determinism verification
+	// (paper §3). Fig. 21's "Safe" configurations.
+	SafetyChecks bool
+	// CheckInterval is the number of API calls between asynchronous
+	// determinism checks. Default 64.
+	CheckInterval int
+	// DisableFences skips cross-shard fence execution (the fences
+	// are still computed for introspection). Used by the ablation
+	// benchmarks; unsafe only for programs that need analysis
+	// ordering for side effects.
+	DisableFences bool
+	// Seed seeds the replicated random stream handed to programs.
+	Seed uint64
+	// Centralized disables control replication entirely: shard 0
+	// becomes a classic control node that performs the whole
+	// dependence analysis and ships tasks to workers — the paper's
+	// "No Control Replication" baseline and the cost model of
+	// lazy-evaluation systems (Dask, TensorFlow).
+	Centralized bool
+	// Mapper supplies per-launch policy defaults (paper §4's mapping
+	// interface); nil selects DefaultMapper. Explicit Launch fields
+	// always win over mapper choices, and Config.Centralized wins
+	// over Mapper.ReplicateControl.
+	Mapper Mapper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.CPUsPerShard <= 0 {
+		c.CPUsPerShard = 4
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 64
+	}
+	if c.Mapper == nil {
+		c.Mapper = DefaultMapper{}
+	}
+	if !c.Centralized && !c.Mapper.ReplicateControl() {
+		c.Centralized = true
+	}
+	return c
+}
+
+// Stats aggregates runtime counters across all shards.
+type Stats struct {
+	// Ops is the number of operations analyzed per shard.
+	Ops uint64
+	// FencesInserted and FencesElided count coarse-stage decisions
+	// (summed over shards; every shard makes the same decisions).
+	FencesInserted uint64
+	FencesElided   uint64
+	// PointTasks counts executed point tasks (cluster-wide).
+	PointTasks uint64
+	// RemotePulls counts cross-node data fetches.
+	RemotePulls uint64
+	// LocalResolves counts data sources satisfied locally.
+	LocalResolves uint64
+	// TraceReplays counts operations whose analysis was skipped by
+	// trace replay.
+	TraceReplays uint64
+	// DeterminismChecks counts completed hash comparisons.
+	DeterminismChecks uint64
+	// VersionsDropped counts store versions reclaimed by fence-point
+	// garbage collection (summed over shards).
+	VersionsDropped uint64
+	// Messages/Bytes are transport counters.
+	Messages uint64
+	Bytes    uint64
+}
+
+// Runtime is a DCR runtime instance bound to a (simulated) machine.
+type Runtime struct {
+	cfg   Config
+	clust *cluster.Cluster
+	tasks map[string]TaskFn
+	memo  *mapper.Memo
+
+	stats struct {
+		ops         atomic.Uint64
+		fencesIn    atomic.Uint64
+		fencesOut   atomic.Uint64
+		points      atomic.Uint64
+		remotePulls atomic.Uint64
+		localRes    atomic.Uint64
+		replays     atomic.Uint64
+		detChecks   atomic.Uint64
+		gcDropped   atomic.Uint64
+	}
+
+	errOnce sync.Once
+	err     atomic.Value // error
+	aborted atomic.Bool
+
+	flog fenceLog
+
+	executing atomic.Bool
+}
+
+// NewRuntime creates a runtime on a fresh simulated cluster.
+func NewRuntime(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	if cfg.Centralized && cfg.WireEncode {
+		panic("core: Centralized mode does not support WireEncode")
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		clust: cluster.New(cluster.Config{Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode}),
+		tasks: make(map[string]TaskFn),
+		memo:  mapper.NewMemo(),
+	}
+	return rt
+}
+
+// RegisterTask registers a task body under a name. All registrations
+// must happen before Execute.
+func (rt *Runtime) RegisterTask(name string, fn TaskFn) {
+	if rt.executing.Load() {
+		panic("core: RegisterTask during Execute")
+	}
+	if _, dup := rt.tasks[name]; dup {
+		panic(fmt.Sprintf("core: duplicate task %q", name))
+	}
+	rt.tasks[name] = fn
+}
+
+// Shutdown releases the runtime's cluster.
+func (rt *Runtime) Shutdown() { rt.clust.Close() }
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	cs := rt.clust.Stats()
+	return Stats{
+		Ops:               rt.stats.ops.Load(),
+		FencesInserted:    rt.stats.fencesIn.Load(),
+		FencesElided:      rt.stats.fencesOut.Load(),
+		PointTasks:        rt.stats.points.Load(),
+		RemotePulls:       rt.stats.remotePulls.Load(),
+		LocalResolves:     rt.stats.localRes.Load(),
+		TraceReplays:      rt.stats.replays.Load(),
+		DeterminismChecks: rt.stats.detChecks.Load(),
+		VersionsDropped:   rt.stats.gcDropped.Load(),
+		Messages:          cs.Messages,
+		Bytes:             cs.Bytes,
+	}
+}
+
+// abort records the first fatal error; the runtime unwinds after it.
+func (rt *Runtime) abort(err error) {
+	rt.errOnce.Do(func() {
+		rt.err.Store(err)
+		rt.aborted.Store(true)
+	})
+}
+
+// Err returns the first fatal error, if any.
+func (rt *Runtime) Err() error {
+	if v := rt.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Program is a control-replicated top-level task: the same function
+// body executes on every shard, and must be control deterministic —
+// all its runtime API calls must be identical across shards (paper
+// §3). Programs must interact with the outside world only through the
+// Context (per-shard local state is fine; shared mutable state across
+// shard closures is not).
+type Program func(ctx *Context) error
+
+// Execute runs the program under dynamic control replication: one
+// shard per node executes a replica, and the shards cooperatively
+// perform the dependence analysis. Execute returns after all shards
+// finish and all launched tasks complete.
+func (rt *Runtime) Execute(program Program) error {
+	if rt.executing.Swap(true) {
+		panic("core: concurrent Execute")
+	}
+	defer rt.executing.Store(false)
+
+	n := rt.cfg.Shards
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			ctx := newContext(rt, shard)
+			ctx.run(program)
+		}(s)
+	}
+	wg.Wait()
+	return rt.Err()
+}
+
+// comm builds a collective endpoint for the given shard in the given
+// tag space.
+func (rt *Runtime) comm(shard int, space uint64) *collective.Comm {
+	return collective.New(rt.clust.Node(cluster.NodeID(shard)), space)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"godcr/internal/cluster"
+)
+
+// Control-determinism verification (paper §3): every runtime API call
+// from a replicated shard folds a descriptor into a 128-bit digest;
+// every CheckInterval calls the shards compare digests with an
+// *asynchronous* all-reduce so the check's latency is hidden. On
+// mismatch the runtime aborts with the divergent call index.
+//
+// Each check runs in its own collective tag space indexed by the check
+// number, so shards whose call *counts* diverge still line their
+// comparison protocols up (and then fail the comparison) instead of
+// deadlocking on crossed collective tags.
+
+const (
+	detSpaceBase  = uint64(0xD0000000)
+	detSpaceCount = uint64(0xDF000000)
+	detSpaceFinal = uint64(0xDFF00000)
+)
+
+// checkVal is the determinism all-reduce payload.
+type checkVal struct {
+	A, B     uint64 // 128-bit digest halves
+	Calls    uint64 // API calls folded so far
+	Mismatch bool
+	// At is the call count where a mismatch was first observed.
+	At uint64
+}
+
+func init() {
+	cluster.RegisterWireType(checkVal{})
+}
+
+func foldCheck(a, b any) any {
+	x, y := a.(checkVal), b.(checkVal)
+	if x.Mismatch {
+		return x
+	}
+	if y.Mismatch {
+		return y
+	}
+	if x.A != y.A || x.B != y.B || x.Calls != y.Calls {
+		at := x.Calls
+		if y.Calls < at {
+			at = y.Calls
+		}
+		return checkVal{Mismatch: true, At: at}
+	}
+	return x
+}
+
+type pendingCheck struct {
+	idx     uint64
+	pending interface {
+		Ready() bool
+		Wait() (any, error)
+	}
+}
+
+type detChecker struct {
+	ctx      *Context
+	interval uint64
+	last     uint64
+	nchecks  uint64
+	pending  []pendingCheck
+}
+
+func newDetChecker(ctx *Context) *detChecker {
+	return &detChecker{ctx: ctx, interval: uint64(ctx.rt.cfg.CheckInterval)}
+}
+
+// maybeCheck starts a new asynchronous comparison if enough calls have
+// accumulated, and reaps any completed ones.
+func (d *detChecker) maybeCheck() {
+	d.reap(false)
+	calls := d.ctx.digest.Calls()
+	if calls-d.last < d.interval {
+		return
+	}
+	d.last = calls
+	d.start()
+}
+
+func (d *detChecker) start() {
+	idx := d.nchecks
+	d.nchecks++
+	comm := d.ctx.rt.comm(d.ctx.shard, detSpaceBase+idx)
+	sum := d.ctx.digest.Sum()
+	payload := checkVal{A: sum[0], B: sum[1], Calls: d.ctx.digest.Calls()}
+	p := comm.AllReduceAsync(payload, foldCheck)
+	d.pending = append(d.pending, pendingCheck{idx: idx, pending: p})
+}
+
+// reap consumes completed checks (all of them if block is true).
+func (d *detChecker) reap(block bool) {
+	for len(d.pending) > 0 {
+		head := d.pending[0]
+		if !block && !head.pending.Ready() {
+			return
+		}
+		v, err := head.pending.Wait()
+		d.pending = d.pending[1:]
+		d.ctx.rt.stats.detChecks.Add(1)
+		if err != nil {
+			return
+		}
+		if cv := v.(checkVal); cv.Mismatch {
+			d.ctx.rt.abort(fmt.Errorf(
+				"control determinism violation: shards diverged by runtime API call %d (check %d); "+
+					"a replicated task issued different operations on different shards", cv.At, head.idx))
+			return
+		}
+	}
+}
+
+// finish aligns check counts across shards (shards that issued fewer
+// checks run filler checks so the indexed protocols pair up), runs one
+// final synchronous comparison, and drains.
+func (d *detChecker) finish() {
+	countComm := d.ctx.rt.comm(d.ctx.shard, detSpaceCount)
+	maxv, err := countComm.AllReduceInt64(int64(d.nchecks), func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if err != nil {
+		return
+	}
+	for d.nchecks < uint64(maxv) {
+		d.start()
+	}
+	finalComm := d.ctx.rt.comm(d.ctx.shard, detSpaceFinal)
+	sum := d.ctx.digest.Sum()
+	v, err := finalComm.AllReduce(checkVal{A: sum[0], B: sum[1], Calls: d.ctx.digest.Calls()}, foldCheck)
+	if err == nil {
+		if cv := v.(checkVal); cv.Mismatch {
+			d.ctx.rt.abort(fmt.Errorf(
+				"control determinism violation: shards diverged by runtime API call %d (final check)", cv.At))
+		}
+	}
+	d.reap(true)
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"godcr/internal/cluster"
+	"godcr/internal/collective"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/region"
+)
+
+// The fine analysis stage (paper §4.1, Fig. 9 bottom): operations
+// arrive in program order once their coarse-stage dependences are
+// known. The stage first executes any cross-shard fences the coarse
+// stage inserted (an all-gather with no payload). It then evaluates
+// the sharding functor to find the point tasks this shard owns,
+// resolves each point's data sources against the per-field
+// write-index directory, submits them to the executor, and finally
+// paints the directory with the operation's writes — for *all* points,
+// not just local ones, so any shard can locate any producer (legal
+// because projection and sharding functors are pure).
+
+// fineRec is one painted write in the directory: which operation
+// produced this rectangle, at which point, executing on which shard.
+type fineRec struct {
+	seq     uint64
+	fill    bool
+	fillVal float64
+	point   geom.Point
+	owner   int
+}
+
+// fineRed is one layered reduction contribution.
+type fineRed struct {
+	seq   uint64
+	rect  geom.Rect
+	point geom.Point
+	owner int
+	op    instance.ReduceOp
+}
+
+type fineField struct {
+	writes geom.RectMap[fineRec]
+	reds   []fineRed
+}
+
+type fineStage struct {
+	ctx   *Context
+	comm  *collective.Comm
+	store *store
+	fetch *fetcher
+	exec  *executor
+	dir   map[dirKey]*fineField
+
+	traces *fineTraces
+
+	// central is the controller-side state in centralized mode.
+	central *centralizedState
+}
+
+func newFineStage(ctx *Context) *fineStage {
+	st := newStore()
+	f := newFetcher(ctx, st)
+	fs := &fineStage{
+		ctx:    ctx,
+		comm:   ctx.rt.comm(ctx.shard, 0xCE000000),
+		store:  st,
+		fetch:  f,
+		exec:   newExecutor(ctx, st, f),
+		dir:    make(map[dirKey]*fineField),
+		traces: newFineTraces(),
+	}
+	if ctx.rt.cfg.Centralized {
+		fs.central = newCentralizedState()
+		fs.installResultHandler()
+	}
+	return fs
+}
+
+func (fs *fineStage) field(root region.RegionID, f region.FieldID) *fineField {
+	key := dirKey{root, f}
+	ff := fs.dir[key]
+	if ff == nil {
+		ff = &fineField{}
+		fs.dir[key] = ff
+	}
+	return ff
+}
+
+func (fs *fineStage) run(in <-chan *op) {
+	for o := range in {
+		// Cross-shard fences first: they order this shard's fine
+		// analysis against its peers'.
+		if len(o.fences) > 0 && !fs.ctx.rt.cfg.DisableFences && fs.central == nil {
+			_ = fs.comm.Barrier()
+		}
+		switch o.kind {
+		case opFill:
+			f := o.fill
+			fs.paintWrite(f.root, f.field, f.region.Bounds, fineRec{seq: o.seq, fill: true, fillVal: f.value})
+		case opLaunch, opSingle:
+			fs.handleLaunch(o)
+		case opExecFence:
+			if fs.central != nil {
+				fs.quiesceCentral()
+			} else {
+				fs.exec.quiesce()
+				_ = fs.comm.Barrier()
+			}
+			fs.gcStore()
+			o.done.Trigger()
+		case opInlineRead:
+			fs.handleInline(o)
+		case opAttach, opDetach:
+			fs.handleAttach(o)
+		case opTraceBegin:
+			fs.traces.begin(o.traceID)
+		case opTraceEnd:
+			fs.traces.end(o.traceID)
+		case opShutdown:
+			if fs.central != nil {
+				fs.quiesceCentral()
+				fs.stopWorkers()
+			} else {
+				fs.exec.quiesce()
+				_ = fs.comm.Barrier()
+			}
+			o.done.Trigger()
+		}
+	}
+}
+
+// pointRect returns the rectangle requirement ri of launch ls touches
+// at point p.
+func (fs *fineStage) pointRect(ls *launchState, ri int, p geom.Point) geom.Rect {
+	rr := &ls.reqs[ri]
+	if ls.single {
+		return rr.req.Region.Bounds
+	}
+	color := rr.req.Proj.Color(ls.spec.Domain, p)
+	return fs.ctx.tree.Subregion(rr.req.Part, color).Bounds
+}
+
+// writeMap returns, memoized, the (rect, point) pairs requirement ri
+// writes across the whole launch domain.
+func (fs *fineStage) writeMap(ls *launchState, ri int) []rectPoint {
+	if ls.writeMaps[ri] != nil {
+		return ls.writeMaps[ri]
+	}
+	var out []rectPoint
+	ls.spec.Domain.Each(func(p geom.Point) bool {
+		if rc := fs.pointRect(ls, ri, p); !rc.Empty() {
+			out = append(out, rectPoint{rect: rc, point: p})
+		}
+		return true
+	})
+	if out == nil {
+		out = []rectPoint{}
+	}
+	ls.writeMaps[ri] = out
+	return out
+}
+
+func (fs *fineStage) handleLaunch(o *op) {
+	ls := o.launch
+
+	if fs.central != nil {
+		fs.handleLaunchCentral(o)
+		return
+	}
+
+	// Which points do we own?
+	var pts []geom.Point
+	if ls.single {
+		if ls.owner == fs.ctx.shard {
+			pts = []geom.Point{ls.point}
+		} else {
+			// Await the owner's pushed future value.
+			owner := ls.owner
+			fut := ls.fut
+			go func() {
+				payload, err := fs.ctx.node.Recv(futureTagBit|o.seq, cluster.NodeID(owner))
+				if err != nil {
+					fut.set(0)
+					return
+				}
+				fut.set(payload.(float64))
+			}()
+		}
+	} else {
+		pts = fs.ctx.rt.memo.LocalPoints(ls.spec.Sharding, ls.spec.Domain, fs.ctx.nShards, fs.ctx.shard)
+	}
+
+	// Build per-point plans: recorded-trace replay or fresh analysis.
+	// Launch seqs are noted in the trace history first, so relative
+	// producer references can name ops of the current occurrence.
+	if ti := fs.traces.active; ti != nil {
+		ti.noteLaunch(o.seq)
+	}
+	mode := fs.traces.mode()
+	var plans [][]fieldPlan
+	if mode == traceReplay {
+		if rec := fs.traces.record(o); rec != nil {
+			plans = decodePlans(fs.traces.active, rec)
+			if plans == nil {
+				fs.traces.active.invalid = true
+			} else {
+				fs.ctx.rt.stats.replays.Add(1)
+			}
+		}
+	}
+	if plans == nil {
+		plans = make([][]fieldPlan, len(pts))
+		for pi, p := range pts {
+			plans[pi] = fs.planPoint(o, ls, p)
+		}
+		switch mode {
+		case traceRecording:
+			fs.traces.store(o, encodePlans(fs.traces.active, plans, pts))
+		case traceValidating:
+			fs.traces.validate(o, encodePlans(fs.traces.active, plans, pts))
+		}
+	}
+
+	if !ls.single {
+		ls.fm.expectLocal(len(pts))
+	}
+	for pi, p := range pts {
+		fs.exec.submit(&pointTask{o: o, ls: ls, point: p, plans: plans[pi]})
+	}
+
+	// Directory update for every point of every writing requirement.
+	for ri, rr := range ls.reqs {
+		switch {
+		case rr.req.Priv == Reduce:
+			for _, wp := range fs.writeMap(ls, ri) {
+				owner := ls.spec.Sharding.Shard(ls.spec.Domain, wp.point, fs.ctx.nShards)
+				for _, f := range rr.fields {
+					ff := fs.field(rr.root, f)
+					ff.reds = append(ff.reds, fineRed{
+						seq: o.seq, rect: wp.rect, point: wp.point, owner: owner, op: rr.req.RedOp,
+					})
+				}
+			}
+		case rr.req.Priv.writes():
+			wm := fs.writeMap(ls, ri)
+			if fs.ctx.rt.cfg.SafetyChecks {
+				fs.checkGroupIndependence(ls, ri, wm)
+			}
+			for _, wp := range wm {
+				owner := ls.spec.Sharding.Shard(ls.spec.Domain, wp.point, fs.ctx.nShards)
+				for _, f := range rr.fields {
+					fs.paintWrite(rr.root, f, wp.rect, fineRec{seq: o.seq, point: wp.point, owner: owner})
+				}
+			}
+		}
+	}
+}
+
+// checkGroupIndependence enforces the task-group well-formedness rule
+// of the paper's model (§2): tasks launched together must be pairwise
+// independent, so two point tasks of one launch may not write
+// overlapping data (reductions commute and are exempt). Violations
+// abort the run: overlapping group writes have no sequential meaning.
+func (fs *fineStage) checkGroupIndependence(ls *launchState, ri int, wm []rectPoint) {
+	if ls.single || ls.reqs[ri].disjoint {
+		return
+	}
+	var cover geom.RectMap[geom.Point]
+	for _, wp := range wm {
+		if hits := cover.Query(wp.rect); len(hits) > 0 {
+			fs.ctx.rt.abort(fmt.Errorf(
+				"task group %q: points %v and %v write overlapping data %v of requirement %d "+
+					"(tasks in a group must be pairwise independent)",
+				ls.taskName, hits[0].Value, wp.point, hits[0].Rect, ri))
+			return
+		}
+		cover.Paint(wp.rect, wp.point)
+	}
+}
+
+// planPoint computes the fine analysis for one owned point.
+func (fs *fineStage) planPoint(o *op, ls *launchState, p geom.Point) []fieldPlan {
+	var plans []fieldPlan
+	for ri, rr := range ls.reqs {
+		rect := fs.pointRect(ls, ri, p)
+		for fi, f := range rr.fields {
+			pl := fieldPlan{
+				reqIdx:    ri,
+				root:      rr.root,
+				field:     f,
+				fieldName: rr.req.Fields[fi],
+				rect:      rect,
+				priv:      rr.req.Priv,
+				redOp:     rr.req.RedOp,
+			}
+			if rr.req.Priv.reads() && !rect.Empty() {
+				pl.sources = fs.resolveRead(rr.root, f, rect)
+			}
+			plans = append(plans, pl)
+		}
+	}
+	return plans
+}
+
+// resolveRead maps a rectangle of a field to the exact version pieces
+// that hold its current value: painted producers, zero-fill for
+// never-written holes, and layered reduction contributions to fold on
+// top.
+func (fs *fineStage) resolveRead(root region.RegionID, f region.FieldID, rect geom.Rect) []sourcePiece {
+	ff := fs.field(root, f)
+	var out []sourcePiece
+	addReds := func(sp *sourcePiece) {
+		for _, r := range ff.reds {
+			if inter := r.rect.Intersect(sp.rect); !inter.Empty() {
+				sp.reds = append(sp.reds, redPull{
+					rect:  inter,
+					key:   verKey{Seq: r.seq, Point: r.point, Root: root, Field: f},
+					owner: r.owner,
+					op:    r.op,
+				})
+			}
+		}
+	}
+	for _, e := range ff.writes.Query(rect) {
+		sp := sourcePiece{rect: e.Rect}
+		if e.Value.fill {
+			sp.fill = true
+			sp.fillVal = e.Value.fillVal
+		} else {
+			sp.key = verKey{Seq: e.Value.seq, Point: e.Value.point, Root: root, Field: f}
+			sp.owner = e.Value.owner
+		}
+		addReds(&sp)
+		out = append(out, sp)
+	}
+	for _, h := range ff.writes.Holes(rect) {
+		sp := sourcePiece{rect: h, fill: true, fillVal: 0}
+		addReds(&sp)
+		out = append(out, sp)
+	}
+	// Canonical order: the directory's paint bookkeeping reshuffles
+	// entry positions between structurally identical iterations, so
+	// sort by rectangle for deterministic assembly and stable trace
+	// validation (the pieces are disjoint, so Lo is a total key).
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].rect, out[j].rect
+		for d := 0; d < a.Dim; d++ {
+			if a.Lo[d] != b.Lo[d] {
+				return a.Lo[d] < b.Lo[d]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// paintWrite records a write in the directory, superseding overlapped
+// writers and reduction layers.
+func (fs *fineStage) paintWrite(root region.RegionID, f region.FieldID, rect geom.Rect, rec fineRec) {
+	if rect.Empty() {
+		return
+	}
+	ff := fs.field(root, f)
+	ff.writes.Paint(rect, rec)
+	if len(ff.reds) > 0 {
+		var kept []fineRed
+		for _, r := range ff.reds {
+			for _, piece := range r.rect.Subtract(rect) {
+				nr := r
+				nr.rect = piece
+				kept = append(kept, nr)
+			}
+		}
+		ff.reds = kept
+	}
+}
+
+// handleInline assembles the whole region's field on this shard.
+func (fs *fineStage) handleInline(o *op) {
+	in := o.inline
+	srcs := fs.resolveRead(in.root, in.field, in.region.Bounds)
+	bounds := in.region.Bounds
+	res := in.result
+	fs.exec.inflight.Add(1)
+	go func() {
+		defer fs.exec.inflight.Done()
+		inst := instance.New(bounds)
+		if err := fs.exec.assemble(inst, srcs); err != nil {
+			fs.ctx.rt.abort(err)
+		}
+		res.vals = inst.Data
+		res.done.Trigger()
+	}()
+}
+
+// gcStore drops versions unreachable from the directory. Only legal at
+// quiescent points (execution fences).
+func (fs *fineStage) gcStore() {
+	live := make(map[uint64]bool)
+	for _, ff := range fs.dir {
+		for _, e := range ff.writes.Entries() {
+			live[e.Value.seq] = true
+		}
+		for _, r := range ff.reds {
+			live[r.seq] = true
+		}
+	}
+	dropped := fs.store.retain(live)
+	fs.ctx.rt.stats.gcDropped.Add(uint64(dropped))
+}
+
+// purgeRegion drops a deleted region tree's directory and versions
+// (deferred-deletion consensus, §4.3).
+func (fs *fineStage) purgeRegion(root region.RegionID) {
+	for key := range fs.dir {
+		if key.root == root {
+			delete(fs.dir, key)
+		}
+	}
+	fs.store.mu.Lock()
+	for k := range fs.store.versions {
+		if k.Root == root {
+			delete(fs.store.versions, k)
+		}
+	}
+	fs.store.mu.Unlock()
+}

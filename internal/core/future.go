@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+
+	"godcr/internal/collective"
+	"godcr/internal/event"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+)
+
+// Futures carry task results back into replicated control flow. A
+// single launch's Future resolves on every shard (the owner pushes the
+// value to its peers), so control flow that branches on Get observes
+// identical values everywhere. IsReady is hashed by the determinism
+// checker precisely because branching on readiness is the paper's
+// Figure 5 control-determinism bug: readiness is timing-dependent.
+type Future struct {
+	ctx   *Context
+	seq   uint64
+	owner int
+
+	mu    sync.Mutex
+	ready event.UserEvent
+	val   float64
+}
+
+func newFuture(ctx *Context, seq uint64, owner int) *Future {
+	return &Future{ctx: ctx, seq: seq, owner: owner, ready: event.NewUserEvent()}
+}
+
+func (f *Future) set(v float64) {
+	f.mu.Lock()
+	f.val = v
+	f.mu.Unlock()
+	f.ready.Trigger()
+}
+
+// Get blocks until the task completes and returns its value. The value
+// is identical on every shard.
+func (f *Future) Get() float64 {
+	f.ctx.hashOp(hFutureGet)
+	f.ctx.digest.Uint64(f.seq)
+	f.ready.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val
+}
+
+// IsReady reports whether the value has resolved. The result is folded
+// into the determinism digest: if shards observe different readiness
+// and then diverge (launch different work), the checker aborts with a
+// diagnostic instead of hanging — the dynamic detection of the
+// paper's Figure 5 violation.
+func (f *Future) IsReady() bool {
+	f.ctx.hashOp(hFutureReady)
+	f.ctx.digest.Uint64(f.seq)
+	r := f.ready.HasTriggered()
+	f.ctx.digest.Bool(r)
+	return r
+}
+
+// Done exposes the completion event.
+func (f *Future) Done() event.Event { return f.ready.Event }
+
+// FutureMap is the per-point result map of an index launch.
+type FutureMap struct {
+	ctx *Context
+	seq uint64
+	ls  *launchState
+
+	mu        sync.Mutex
+	results   map[geom.Point]float64
+	expect    int
+	delivered int
+	expectSet bool
+	localDone event.UserEvent
+
+	reduceCount int
+}
+
+func newFutureMap(ctx *Context, seq uint64, ls *launchState) *FutureMap {
+	return &FutureMap{
+		ctx: ctx, seq: seq, ls: ls,
+		results:   make(map[geom.Point]float64),
+		localDone: event.NewUserEvent(),
+	}
+}
+
+// expectLocal is called by the fine stage with the number of local
+// point tasks before any of them can deliver.
+func (fm *FutureMap) expectLocal(n int) {
+	fm.mu.Lock()
+	fm.expect = n
+	fm.expectSet = true
+	fire := fm.delivered == fm.expect
+	fm.mu.Unlock()
+	if fire {
+		fm.localDone.Trigger()
+	}
+}
+
+func (fm *FutureMap) deliver(p geom.Point, v float64) {
+	fm.mu.Lock()
+	fm.results[p] = v
+	fm.delivered++
+	fire := fm.expectSet && fm.delivered == fm.expect
+	fm.mu.Unlock()
+	if fire {
+		fm.localDone.Trigger()
+	}
+}
+
+// LocalDone exposes the event that fires when this shard's point tasks
+// have all completed.
+func (fm *FutureMap) LocalDone() event.Event { return fm.localDone.Event }
+
+// Reduce folds every point task's result with the operator and returns
+// a Future of the global value, identical on all shards (an
+// asynchronous all-reduce under the hood — this is how the Pennant
+// time-step collective in §5.1 is expressed).
+func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
+	fm.ctx.hashOp(hFutureGet)
+	fm.ctx.digest.Uint64(fm.seq)
+	fm.ctx.digest.Int(int(op))
+	fm.ctx.digest.Int(fm.reduceCount)
+	space := uint64(0xB0000000) + fm.seq<<4 + uint64(fm.reduceCount)
+	fm.reduceCount++
+	fut := newFuture(fm.ctx, fm.seq, -1)
+	centralized := fm.ctx.rt.cfg.Centralized
+	var comm *collective.Comm
+	if !centralized {
+		comm = fm.ctx.rt.comm(fm.ctx.shard, space)
+	}
+	go func() {
+		fm.localDone.Wait()
+		fm.mu.Lock()
+		acc := op.Identity()
+		// Fold in deterministic (row-major) point order.
+		fm.ls.spec.Domain.Each(func(p geom.Point) bool {
+			if v, ok := fm.results[p]; ok {
+				acc = op.Fold(acc, v)
+			}
+			return true
+		})
+		fm.mu.Unlock()
+		if centralized {
+			// The controller holds every point's result already.
+			fut.set(acc)
+			return
+		}
+		out, err := comm.AllReduceFloat64(acc, op.Fold)
+		if err != nil {
+			fut.set(0)
+			return
+		}
+		fut.set(out)
+	}()
+	return fut
+}

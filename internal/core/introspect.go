@@ -1,0 +1,52 @@
+package core
+
+import "sync"
+
+// Analysis introspection: when enabled, the runtime records every
+// coarse-stage decision made by shard 0 (all shards make identical
+// decisions), so tests and tools can check fence placement against the
+// paper's Figure 10/11 walkthroughs.
+
+// FenceRecord is one operation's coarse-analysis outcome.
+type FenceRecord struct {
+	Seq       uint64
+	Kind      string
+	Task      string
+	Fences    []FenceInfo
+	GroupDeps []uint64
+}
+
+type fenceLog struct {
+	mu      sync.Mutex
+	enabled bool
+	records []FenceRecord
+}
+
+// EnableAnalysisLog turns on coarse-decision recording. Call before
+// Execute.
+func (rt *Runtime) EnableAnalysisLog() { rt.flog.enabled = true }
+
+// AnalysisLog returns the recorded coarse decisions in program order.
+func (rt *Runtime) AnalysisLog() []FenceRecord {
+	rt.flog.mu.Lock()
+	defer rt.flog.mu.Unlock()
+	return append([]FenceRecord(nil), rt.flog.records...)
+}
+
+func (rt *Runtime) recordAnalysis(shard int, o *op) {
+	if !rt.flog.enabled || shard != 0 {
+		return
+	}
+	rec := FenceRecord{
+		Seq:       o.seq,
+		Kind:      o.kind.String(),
+		Fences:    append([]FenceInfo(nil), o.fences...),
+		GroupDeps: append([]uint64(nil), o.groupDeps...),
+	}
+	if o.launch != nil {
+		rec.Task = o.launch.taskName
+	}
+	rt.flog.mu.Lock()
+	rt.flog.records = append(rt.flog.records, rec)
+	rt.flog.mu.Unlock()
+}

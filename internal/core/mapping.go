@@ -1,0 +1,64 @@
+package core
+
+import (
+	"godcr/internal/geom"
+	"godcr/internal/mapper"
+)
+
+// The mapping interface (paper §4): Legion exposes performance policy
+// — which tasks to replicate, how many shards, which sharding functor
+// each launch uses — through mappers rather than baking heuristics
+// into the runtime ("there is nothing that prevents the use of DCR
+// from being automated ... we have simply chosen to expose it through
+// an API so users can decide"). This runtime mirrors that: a Mapper
+// supplies defaults that explicit Launch fields override.
+
+// Mapper is the application/machine policy hook.
+type Mapper interface {
+	// SelectSharding picks the sharding functor for a launch that did
+	// not specify one. Returning nil falls back to cyclic (the
+	// paper's functor 0).
+	SelectSharding(task string, domain geom.Rect) mapper.ShardingFunctor
+
+	// ReplicateControl reports whether the top-level task should be
+	// dynamically control replicated; false selects the centralized
+	// controller instead. Consulted once at runtime construction (it
+	// is the Mapper counterpart of Config.Centralized).
+	ReplicateControl() bool
+}
+
+// DefaultMapper is the built-in policy: replicate control, shard
+// cyclically.
+type DefaultMapper struct{}
+
+// SelectSharding implements Mapper.
+func (DefaultMapper) SelectSharding(string, geom.Rect) mapper.ShardingFunctor {
+	return mapper.Cyclic
+}
+
+// ReplicateControl implements Mapper.
+func (DefaultMapper) ReplicateControl() bool { return true }
+
+// TiledMapper shards every launch in contiguous blocks — the
+// locality-preserving policy the paper's HPC applications use.
+type TiledMapper struct{}
+
+// SelectSharding implements Mapper.
+func (TiledMapper) SelectSharding(string, geom.Rect) mapper.ShardingFunctor {
+	return mapper.Tiled
+}
+
+// ReplicateControl implements Mapper.
+func (TiledMapper) ReplicateControl() bool { return true }
+
+// MapperFunc adapts a sharding-selection function into a replicating
+// Mapper.
+type MapperFunc func(task string, domain geom.Rect) mapper.ShardingFunctor
+
+// SelectSharding implements Mapper.
+func (f MapperFunc) SelectSharding(task string, domain geom.Rect) mapper.ShardingFunctor {
+	return f(task, domain)
+}
+
+// ReplicateControl implements Mapper.
+func (MapperFunc) ReplicateControl() bool { return true }

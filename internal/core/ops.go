@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"godcr/internal/event"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/mapper"
+	"godcr/internal/region"
+)
+
+// Privilege declares how a task uses a region requirement, the input
+// to the dependence oracle (paper §4.1).
+type Privilege int
+
+// Privileges.
+const (
+	// ReadOnly tasks may only observe the data.
+	ReadOnly Privilege = iota
+	// ReadWrite tasks observe and mutate the data in place.
+	ReadWrite
+	// WriteDiscard tasks overwrite the data without reading it, so
+	// they carry no read dependences.
+	WriteDiscard
+	// Reduce tasks fold contributions with a commutative operator;
+	// two Reduce tasks with the same operator are independent.
+	Reduce
+)
+
+// String names the privilege.
+func (p Privilege) String() string {
+	switch p {
+	case ReadOnly:
+		return "RO"
+	case ReadWrite:
+		return "RW"
+	case WriteDiscard:
+		return "WD"
+	case Reduce:
+		return "RED"
+	}
+	return fmt.Sprintf("priv(%d)", int(p))
+}
+
+func (p Privilege) reads() bool  { return p == ReadOnly || p == ReadWrite }
+func (p Privilege) writes() bool { return p == ReadWrite || p == WriteDiscard }
+
+// RegionReq is one region requirement of a launch: which data the
+// task(s) touch and with what privilege. For index launches, Part and
+// Proj select each point's subregion; for single launches, Region
+// names the data directly.
+type RegionReq struct {
+	// Region is the target for single-task launches (nil for index
+	// launches).
+	Region *region.Region
+	// Part is the target partition for index launches; point i uses
+	// subregion Part[Proj(i)].
+	Part *region.Partition
+	// Proj is the projection functor (default: identity).
+	Proj region.Projection
+	// Priv is the access privilege.
+	Priv Privilege
+	// RedOp is the fold operator when Priv == Reduce.
+	RedOp instance.ReduceOp
+	// Fields lists the accessed fields by name.
+	Fields []string
+}
+
+// Launch describes a task launch. Zero-valued optional fields take
+// defaults: Proj = identity, Sharding = cyclic.
+type Launch struct {
+	// Task is the registered task name.
+	Task string
+	// Domain is the launch domain; one point task per point. For
+	// single launches, leave Domain empty and use Single.
+	Domain geom.Rect
+	// Reqs are the region requirements.
+	Reqs []RegionReq
+	// Args are scalar arguments delivered to every point task.
+	Args []float64
+	// Futures are future arguments; their values are delivered to
+	// the task after the futures resolve.
+	Futures []*Future
+	// Sharding assigns point tasks to shards (paper §4).
+	Sharding mapper.ShardingFunctor
+}
+
+// opKind discriminates pipeline operations.
+type opKind uint8
+
+const (
+	opLaunch opKind = iota
+	opSingle
+	opFill
+	opExecFence
+	opInlineRead
+	opAttach
+	opDetach
+	opDeletion
+	opTraceBegin
+	opTraceEnd
+	opShutdown
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opLaunch:
+		return "index-launch"
+	case opSingle:
+		return "single-launch"
+	case opFill:
+		return "fill"
+	case opExecFence:
+		return "execution-fence"
+	case opInlineRead:
+		return "inline-read"
+	case opAttach:
+		return "attach"
+	case opDetach:
+		return "detach"
+	case opDeletion:
+		return "deletion"
+	case opTraceBegin:
+		return "trace-begin"
+	case opTraceEnd:
+		return "trace-end"
+	case opShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// resolvedReq is a region requirement after name/field resolution.
+type resolvedReq struct {
+	req    RegionReq
+	root   region.RegionID
+	fields []region.FieldID
+	// ub is the coarse-stage upper bound of everything the
+	// requirement can touch.
+	ub geom.Rect
+	// partID is the partition id, or -1 for single-region reqs.
+	partID   region.PartitionID
+	disjoint bool
+}
+
+// launchState carries a launch through the pipeline.
+type launchState struct {
+	spec   Launch
+	reqs   []resolvedReq
+	single bool
+	// point/owner for single launches.
+	point geom.Point
+	owner int
+	// fm is the result future map (index launches) and fut the
+	// result future (single launches).
+	fm  *FutureMap
+	fut *Future
+	// taskName echoes spec.Task for error reporting.
+	taskName string
+
+	// writeMaps caches, per requirement index, the (rect, point)
+	// pairs each point task writes — the metadata used to locate
+	// producers from any shard (legal because projection and
+	// sharding functors are pure).
+	writeMaps []([]rectPoint)
+}
+
+type rectPoint struct {
+	rect  geom.Rect
+	point geom.Point
+}
+
+// fillState carries a fill operation.
+type fillState struct {
+	region *region.Region
+	root   region.RegionID
+	field  region.FieldID
+	name   string
+	value  float64
+}
+
+// inlineState carries an inline read-back (physical mapping of a whole
+// region on every shard, used to extract results).
+type inlineState struct {
+	region *region.Region
+	root   region.RegionID
+	field  region.FieldID
+	result *InlineResult
+}
+
+// attachState carries file attach/detach operations (paper §4.3).
+// Whole-region attaches are performed by a single owner shard; group
+// (partition) attaches shard the files cyclically for parallel I/O.
+type attachState struct {
+	region *region.Region    // whole-region mode
+	part   *region.Partition // partition (group) mode
+	root   region.RegionID
+	field  region.FieldID
+	// paths holds one file for whole-region mode, or one per color.
+	paths []string
+	owner int
+	done  event.UserEvent
+}
+
+// FenceInfo describes one cross-shard fence the coarse stage inserted,
+// for introspection and the Fig. 10/11 golden tests.
+type FenceInfo struct {
+	// Root and Field name the fenced data.
+	Root  region.RegionID
+	Field region.FieldID
+	// Reason is a human-readable explanation.
+	Reason string
+	// PredSeq is the operation the fence orders against.
+	PredSeq uint64
+}
+
+// op is one pipeline operation, created by the application thread and
+// flowing through the coarse then fine stages.
+type op struct {
+	seq  uint64
+	kind opKind
+
+	launch *launchState
+	fill   *fillState
+	inline *inlineState
+	attach *attachState
+
+	// execution-fence completion (also used by shutdown).
+	done event.UserEvent
+
+	// traceID tags trace begin/end markers.
+	traceID uint64
+
+	// Coarse-stage outputs.
+	fences    []FenceInfo
+	groupDeps []uint64 // predecessor op seqs at group granularity
+}

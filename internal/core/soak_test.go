@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"godcr/internal/geom"
+)
+
+// Soak test: a long traced stencil run with execution fences (which
+// trigger version garbage collection), injected latency, and strict
+// wire encoding — the full stack under sustained load. Guarded by
+// -short.
+func TestSoakLongTracedRunWithGC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const ncells, ntiles, epochs, stepsPerEpoch = 96, 6, 6, 10
+	wantState, wantFlux := referenceStencil1D(ncells, 1.0, epochs*stepsPerEpoch)
+
+	rt := NewRuntime(Config{
+		Shards:       3,
+		SafetyChecks: true,
+		Latency:      200 * time.Microsecond,
+		WireEncode:   true,
+	})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	err := rt.Execute(func(ctx *Context) error {
+		cells := ctx.CreateRegion(geom.R1(0, ncells-1), "state", "flux")
+		owned := ctx.PartitionEqual(cells, ntiles)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		tiles := geom.R1(0, ntiles-1)
+		ctx.Fill(cells, "state", 1)
+		ctx.Fill(cells, "flux", 1)
+		for e := 0; e < epochs; e++ {
+			for s := 0; s < stepsPerEpoch; s++ {
+				ctx.BeginTrace(42)
+				ctx.IndexLaunch(Launch{Task: "add_one", Domain: tiles,
+					Reqs: []RegionReq{{Part: owned, Priv: ReadWrite, Fields: []string{"state"}}}})
+				ctx.IndexLaunch(Launch{Task: "mul_two", Domain: tiles,
+					Reqs: []RegionReq{{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}}}})
+				ctx.IndexLaunch(Launch{Task: "stencil", Domain: tiles,
+					Reqs: []RegionReq{
+						{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}},
+						{Part: ghost, Priv: ReadOnly, Fields: []string{"state"}}}})
+				ctx.EndTrace(42)
+			}
+			// Epoch boundary: quiesce and garbage-collect versions.
+			ctx.ExecutionFence()
+			// The store must stay bounded: after GC only versions
+			// still reachable from the directory survive — at most a
+			// few per (field, tile).
+			if size := ctx.fine.store.size(); size > 6*ntiles {
+				return fmt.Errorf("epoch %d: store holds %d versions; GC is not keeping up", e, size)
+			}
+		}
+		state := ctx.InlineRead(cells, "state")
+		flux := ctx.InlineRead(cells, "flux")
+		for i := range wantState {
+			if state[i] != wantState[i] || flux[i] != wantFlux[i] {
+				return fmt.Errorf("soak diverged at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().TraceReplays == 0 {
+		t.Fatal("soak run should replay traces")
+	}
+}

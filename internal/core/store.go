@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"godcr/internal/cluster"
+	"godcr/internal/event"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/region"
+)
+
+// The versioned field store and pull protocol. Every write-privilege
+// point task publishes the data it produced under a version key
+// (operation seq, point, region root, field); consumers — located by
+// evaluating the pure sharding functor anywhere — pull the exact
+// rectangles they need at the exact version the fine-stage analysis
+// resolved. Versions are retained until a fence-point garbage
+// collection proves them unreachable, which is what makes cross-shard
+// write-after-read safe without blocking: a writer creates a new
+// version instead of mutating the one in flight.
+
+// verKey names one point task's output for one field.
+type verKey struct {
+	Seq   uint64
+	Point geom.Point
+	Root  region.RegionID
+	Field region.FieldID
+}
+
+type storedVersion struct {
+	ready event.UserEvent
+	inst  *instance.Instance // valid once ready triggers
+}
+
+type store struct {
+	mu       sync.Mutex
+	versions map[verKey]*storedVersion
+}
+
+func newStore() *store {
+	return &store{versions: make(map[verKey]*storedVersion)}
+}
+
+// entry returns the version record for key, creating a placeholder if
+// the producer's fine stage has not declared it yet (a consumer shard
+// may run ahead of a producer shard).
+func (s *store) entry(key verKey) *storedVersion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv := s.versions[key]
+	if sv == nil {
+		sv = &storedVersion{ready: event.NewUserEvent()}
+		s.versions[key] = sv
+	}
+	return sv
+}
+
+// publish installs the produced instance and releases waiters.
+func (s *store) publish(key verKey, inst *instance.Instance) {
+	sv := s.entry(key)
+	sv.inst = inst
+	sv.ready.Trigger()
+}
+
+// retain drops every version whose seq is not in live. Callers must
+// guarantee quiescence (no in-flight tasks), which execution fences
+// provide.
+func (s *store) retain(live map[uint64]bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for k := range s.versions {
+		if !live[k.Seq] {
+			delete(s.versions, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// size returns the number of retained versions.
+func (s *store) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.versions)
+}
+
+// --- Pull protocol -------------------------------------------------------
+
+const (
+	pullReqTag   = uint64(0xF0) << 56
+	pullReplyTag = uint64(0xF1) << 56
+	futureTagBit = uint64(0xFA) << 56
+)
+
+type pullReq struct {
+	Key      verKey
+	Rect     geom.Rect
+	ReplyTag uint64
+	From     int
+}
+
+type pullResp struct {
+	Vals []float64
+}
+
+func init() {
+	cluster.RegisterWireType(pullReq{})
+	cluster.RegisterWireType(pullResp{})
+	cluster.RegisterWireType(float64(0))
+	cluster.RegisterWireType([]float64(nil))
+	cluster.RegisterWireType(int64(0))
+	cluster.RegisterWireType(0)
+	cluster.RegisterWireType(false)
+	cluster.RegisterWireType("")
+}
+
+// fetcher resolves version pulls, locally or over the wire.
+type fetcher struct {
+	ctx      *Context
+	store    *store
+	replySeq atomic.Uint64
+}
+
+func newFetcher(ctx *Context, st *store) *fetcher {
+	f := &fetcher{ctx: ctx, store: st}
+	// Serve incoming pulls: wait for the version, extract, reply.
+	// Handlers run on their own goroutines, so blocking is fine.
+	ctx.node.Handle(pullReqTag, func(m cluster.Message) {
+		req := m.Payload.(pullReq)
+		sv := st.entry(req.Key)
+		sv.ready.Wait()
+		vals := sv.inst.Extract(req.Rect)
+		ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
+	})
+	return f
+}
+
+// fetch returns the values of rect at the given version, pulling from
+// the owner node if remote.
+func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error) {
+	if rect.Empty() {
+		return nil, nil
+	}
+	if owner == f.ctx.shard {
+		sv := f.store.entry(key)
+		sv.ready.Wait()
+		f.ctx.rt.stats.localRes.Add(1)
+		if sv.inst == nil {
+			return nil, fmt.Errorf("core: version %+v published without data", key)
+		}
+		return sv.inst.Extract(rect), nil
+	}
+	f.ctx.rt.stats.remotePulls.Add(1)
+	tag := pullReplyTag | f.replySeq.Add(1)
+	f.ctx.node.Send(cluster.NodeID(owner), pullReqTag, pullReq{
+		Key: key, Rect: rect, ReplyTag: tag, From: f.ctx.shard,
+	})
+	payload, err := f.ctx.node.Recv(tag, cluster.NodeID(owner))
+	if err != nil {
+		return nil, err
+	}
+	return payload.(pullResp).Vals, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/mapper"
+)
+
+func TestTrace2DWriteDiscardReplays(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 2})
+	defer rt.Shutdown()
+	rt.RegisterTask("diffuse", func(tc *TaskContext) (float64, error) {
+		next := tc.Region(0).Field("next")
+		cur := tc.Region(1).Field("cur")
+		next.Rect().Each(func(p geom.Point) bool {
+			next.Set(p, 0.25*(cur.At(geom.Pt2(p[0]-1, p[1]))+cur.At(geom.Pt2(p[0]+1, p[1]))+
+				cur.At(geom.Pt2(p[0], p[1]-1))+cur.At(geom.Pt2(p[0], p[1]+1))))
+			return true
+		})
+		return 0, nil
+	})
+	rt.RegisterTask("copyback", func(tc *TaskContext) (float64, error) {
+		cur := tc.Region(0).Field("cur")
+		next := tc.Region(1).Field("next")
+		cur.Rect().Each(func(p geom.Point) bool {
+			cur.Set(p, next.At(p))
+			return true
+		})
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *Context) error {
+		grid := ctx.CreateRegion(geom.R2(0, 0, 31, 31), "cur", "next")
+		owned := ctx.PartitionEqual(grid, 2, 2)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		domain := geom.R2(0, 0, 1, 1)
+		ctx.Fill(grid, "cur", 100)
+		ctx.Fill(grid, "next", 0)
+		for i := 0; i < 8; i++ {
+			ctx.BeginTrace(1)
+			ctx.IndexLaunch(Launch{Task: "diffuse", Domain: domain, Sharding: mapper.Tiled,
+				Reqs: []RegionReq{
+					{Part: interior, Priv: WriteDiscard, Fields: []string{"next"}},
+					{Part: ghost, Priv: ReadOnly, Fields: []string{"cur"}},
+				}})
+			ctx.IndexLaunch(Launch{Task: "copyback", Domain: domain, Sharding: mapper.Tiled,
+				Reqs: []RegionReq{
+					{Part: interior, Priv: ReadWrite, Fields: []string{"cur"}},
+					{Part: interior, Priv: ReadOnly, Fields: []string{"next"}},
+				}})
+			ctx.EndTrace(1)
+		}
+		ctx.ExecutionFence()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().TraceReplays == 0 {
+		t.Fatal("no replays")
+	}
+}

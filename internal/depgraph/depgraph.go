@@ -1,0 +1,397 @@
+// Package depgraph is a direct, executable transcription of the
+// paper's formal model of dependence analysis (§2 and Appendix A):
+//
+//   - a Program is a sequence of TaskGroups whose members are pairwise
+//     independent;
+//   - DEPseq (Fig. 3) is the sequential analysis that folds each group
+//     into a task graph;
+//   - DEPrep (Fig. 2) is the replicated analysis: N shards each hold a
+//     copy of the program, analyze only the tasks a sharding function
+//     assigns them, and register dependences into a shared graph under
+//     the Ta/Tb/Tc transition rules.
+//
+// Theorem 1 states that any terminating DEPrep execution produces the
+// same task graph as DEPseq. The property tests in this package check
+// exactly that, over randomized programs, sharding functions, and
+// schedules — the mechanized counterpart of the paper's proof.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID globally identifies a task as (group index, index in group).
+type TaskID struct {
+	Group int
+	Index int
+}
+
+func (t TaskID) String() string { return fmt.Sprintf("t%d.%d", t.Group, t.Index) }
+
+// Task is a unit of the model: an identity plus the access sets the
+// oracle uses. Reads/Writes name abstract locations.
+type Task struct {
+	ID     TaskID
+	Shard  int // owner shard, assigned by the sharding function
+	Reads  []int
+	Writes []int
+}
+
+// TaskGroup is a set of pairwise-independent tasks.
+type TaskGroup []Task
+
+// Program is a sequence of task groups.
+type Program []TaskGroup
+
+// Edge is a dependence t1 ⇒ t2.
+type Edge struct {
+	From, To TaskID
+}
+
+// Graph is the analysis output: a set of tasks and dependence edges.
+type Graph struct {
+	Tasks map[TaskID]bool
+	Deps  map[Edge]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{Tasks: make(map[TaskID]bool), Deps: make(map[Edge]bool)}
+}
+
+// Equal reports whether two graphs have identical tasks and edges.
+func (g *Graph) Equal(h *Graph) bool {
+	if len(g.Tasks) != len(h.Tasks) || len(g.Deps) != len(h.Deps) {
+		return false
+	}
+	for t := range g.Tasks {
+		if !h.Tasks[t] {
+			return false
+		}
+	}
+	for e := range g.Deps {
+		if !h.Deps[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns the dependence edges in a deterministic order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.Deps))
+	for e := range g.Deps {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			if a.From.Group != b.From.Group {
+				return a.From.Group < b.From.Group
+			}
+			return a.From.Index < b.From.Index
+		}
+		if a.To.Group != b.To.Group {
+			return a.To.Group < b.To.Group
+		}
+		return a.To.Index < b.To.Index
+	})
+	return out
+}
+
+// Independent is the dependence oracle '∗': two tasks are independent
+// iff neither writes a location the other accesses.
+func Independent(a, b Task) bool {
+	touches := func(t Task, loc int) bool {
+		for _, r := range t.Reads {
+			if r == loc {
+				return true
+			}
+		}
+		for _, w := range t.Writes {
+			if w == loc {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range a.Writes {
+		if touches(b, w) {
+			return false
+		}
+	}
+	for _, w := range b.Writes {
+		if touches(a, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depends reports t2 ⇒-depends on t1 given t1 precedes t2 in program
+// order (t1 ⇒ t2 iff ¬(t1 ∗ t2)).
+func Depends(t1, t2 Task) bool { return !Independent(t1, t2) }
+
+// Validate checks the well-formedness invariant: members of each group
+// are pairwise independent.
+func (p Program) Validate() error {
+	for gi, tg := range p {
+		for i := 0; i < len(tg); i++ {
+			if tg[i].ID != (TaskID{gi, i}) {
+				return fmt.Errorf("task %v mislabeled in group %d slot %d", tg[i].ID, gi, i)
+			}
+			for j := i + 1; j < len(tg); j++ {
+				if !Independent(tg[i], tg[j]) {
+					return fmt.Errorf("group %d: tasks %d and %d are dependent", gi, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Seq runs the sequential analysis DEPseq (Fig. 3) to completion.
+func Seq(p Program) *Graph {
+	g := NewGraph()
+	var done []Task
+	for _, tg := range p {
+		for _, t := range tg {
+			for _, prev := range done {
+				if Depends(prev, t) {
+					g.Deps[Edge{prev.ID, t.ID}] = true
+				}
+			}
+			g.Tasks[t.ID] = true
+		}
+		done = append(done, tg...)
+	}
+	return g
+}
+
+// Scheduler picks which of the enabled shards takes the next DEPrep
+// transition. It receives the ids of shards with an enabled rule and
+// returns one of them.
+type Scheduler func(enabled []int) int
+
+// shardState is s_i = (p_i, c_i, d_i) from the paper, with c_i
+// represented by pc (c_i = all tasks of groups [0, pc)).
+type shardState struct {
+	pc      int
+	hasDeps bool
+	deps    []Edge
+}
+
+// Rep runs the replicated analysis DEPrep (Fig. 2) with nShards shards
+// under the given scheduler and returns the resulting graph. The
+// sharding is read from each task's Shard field. Rep panics if the
+// program is malformed or a shard id is out of range.
+func Rep(p Program, nShards int, pick Scheduler) *Graph {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := NewGraph()
+	shards := make([]shardState, nShards)
+	// ownedBy caches tg(i) per group.
+	owned := make([][][]Task, nShards)
+	for i := range owned {
+		owned[i] = make([][]Task, len(p))
+	}
+	for gi, tg := range p {
+		for _, t := range tg {
+			if t.Shard < 0 || t.Shard >= nShards {
+				panic(fmt.Sprintf("task %v sharded to %d of %d", t.ID, t.Shard, nShards))
+			}
+			owned[t.Shard][gi] = append(owned[t.Shard][gi], t)
+		}
+	}
+	// completedTasks(i) enumerates c_i lazily via pc.
+	inC := func(k int, t TaskID) bool { return t.Group < shards[k].pc }
+
+	computeDeps := func(i int) []Edge {
+		// c_i ⇒× tg(i): edges from any earlier-group task to my
+		// subset of the current group.
+		var out []Edge
+		st := shards[i]
+		for _, t := range owned[i][st.pc] {
+			for gj := 0; gj < st.pc; gj++ {
+				for _, prev := range p[gj] {
+					if Depends(prev, t) {
+						out = append(out, Edge{prev.ID, t.ID})
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	enabled := func(i int) bool {
+		st := shards[i]
+		if st.pc >= len(p) {
+			return false
+		}
+		if !st.hasDeps {
+			return true // Ta or Tc applies
+		}
+		// Tb: every predecessor must be registered by its owner.
+		for _, e := range st.deps {
+			k := p[e.From.Group][e.From.Index].Shard
+			if !inC(k, e.From) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		var ready []int
+		doneAll := true
+		for i := range shards {
+			if shards[i].pc < len(p) || shards[i].hasDeps {
+				doneAll = false
+			}
+			if enabled(i) {
+				ready = append(ready, i)
+			}
+		}
+		if doneAll {
+			return g
+		}
+		if len(ready) == 0 {
+			panic("depgraph: DEPrep deadlocked (should be impossible)")
+		}
+		i := pick(ready)
+		st := &shards[i]
+		if !st.hasDeps {
+			deps := computeDeps(i)
+			if len(deps) == 0 {
+				// Rule Tc: register immediately.
+				for _, t := range owned[i][st.pc] {
+					g.Tasks[t.ID] = true
+				}
+				st.pc++
+			} else {
+				// Rule Ta: record outstanding dependences.
+				st.hasDeps = true
+				st.deps = deps
+			}
+			continue
+		}
+		// Rule Tb: preconditions checked in enabled().
+		for _, t := range owned[i][st.pc] {
+			g.Tasks[t.ID] = true
+		}
+		for _, e := range st.deps {
+			g.Deps[e] = true
+		}
+		st.hasDeps = false
+		st.deps = nil
+		st.pc++
+	}
+}
+
+// TransitiveReduce removes edges implied by transitivity (the paper's
+// §2 optimization: transitive dependences are redundant). The result
+// has the same transitive closure.
+func TransitiveReduce(g *Graph) *Graph {
+	// Order tasks by (group, index) — a topological order since all
+	// edges point forward in program order.
+	var order []TaskID
+	for t := range g.Tasks {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Group != order[j].Group {
+			return order[i].Group < order[j].Group
+		}
+		return order[i].Index < order[j].Index
+	})
+	pos := make(map[TaskID]int, len(order))
+	for i, t := range order {
+		pos[t] = i
+	}
+	succ := make([][]int, len(order))
+	for e := range g.Deps {
+		succ[pos[e.From]] = append(succ[pos[e.From]], pos[e.To])
+	}
+	// reach[i] = bitset of nodes reachable from i.
+	n := len(order)
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := n - 1; i >= 0; i-- {
+		reach[i] = make([]uint64, words)
+		for _, s := range succ[i] {
+			reach[i][s/64] |= 1 << (s % 64)
+			for w := 0; w < words; w++ {
+				reach[i][w] |= reach[s][w]
+			}
+		}
+	}
+	out := NewGraph()
+	for t := range g.Tasks {
+		out.Tasks[t] = true
+	}
+	for e := range g.Deps {
+		i, j := pos[e.From], pos[e.To]
+		redundant := false
+		for _, s := range succ[i] {
+			if s == j {
+				continue
+			}
+			if reach[s][j/64]&(1<<(j%64)) != 0 {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out.Deps[e] = true
+		}
+	}
+	return out
+}
+
+// Closure returns the transitive closure edge set of g.
+func Closure(g *Graph) map[Edge]bool {
+	var order []TaskID
+	for t := range g.Tasks {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Group != order[j].Group {
+			return order[i].Group < order[j].Group
+		}
+		return order[i].Index < order[j].Index
+	})
+	pos := make(map[TaskID]int, len(order))
+	for i, t := range order {
+		pos[t] = i
+	}
+	n := len(order)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for e := range g.Deps {
+		adj[pos[e.From]][pos[e.To]] = true
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := 0; j < n; j++ {
+			if adj[i][j] {
+				for k := 0; k < n; k++ {
+					if adj[j][k] {
+						adj[i][k] = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[Edge]bool)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if adj[i][j] {
+				out[Edge{order[i], order[j]}] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genProgram builds a random well-formed program: groups of pairwise-
+// independent tasks over a small location alphabet, sharded randomly.
+func genProgram(rnd *rand.Rand, nGroups, maxGroup, nLocs, nShards int) Program {
+	var p Program
+	for gi := 0; gi < nGroups; gi++ {
+		var tg TaskGroup
+		want := 1 + rnd.Intn(maxGroup)
+		for attempts := 0; len(tg) < want && attempts < want*20; attempts++ {
+			t := Task{
+				ID:    TaskID{gi, len(tg)},
+				Shard: rnd.Intn(nShards),
+			}
+			for k := 0; k <= rnd.Intn(2); k++ {
+				t.Reads = append(t.Reads, rnd.Intn(nLocs))
+			}
+			if rnd.Intn(3) > 0 {
+				t.Writes = append(t.Writes, rnd.Intn(nLocs))
+			}
+			ok := true
+			for _, u := range tg {
+				if !Independent(t, u) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tg = append(tg, t)
+			}
+		}
+		p = append(p, tg)
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func randomScheduler(rnd *rand.Rand) Scheduler {
+	return func(enabled []int) int { return enabled[rnd.Intn(len(enabled))] }
+}
+
+func TestOracle(t *testing.T) {
+	w1 := Task{Writes: []int{1}}
+	r1 := Task{Reads: []int{1}}
+	w2 := Task{Writes: []int{2}}
+	if Independent(w1, r1) {
+		t.Fatal("RAW must be dependent")
+	}
+	if Independent(w1, w1) {
+		t.Fatal("WAW must be dependent")
+	}
+	if Independent(r1, w1) {
+		t.Fatal("WAR must be dependent")
+	}
+	if !Independent(w1, w2) {
+		t.Fatal("disjoint writes are independent")
+	}
+	if !Independent(r1, r1) {
+		t.Fatal("read-read is independent")
+	}
+}
+
+func TestSeqSimpleChain(t *testing.T) {
+	// fill(x); read(x)+write(y); read(y)
+	p := Program{
+		{Task{ID: TaskID{0, 0}, Writes: []int{1}}},
+		{Task{ID: TaskID{1, 0}, Reads: []int{1}, Writes: []int{2}}},
+		{Task{ID: TaskID{2, 0}, Reads: []int{2}}},
+	}
+	g := Seq(p)
+	if len(g.Tasks) != 3 {
+		t.Fatalf("tasks = %d", len(g.Tasks))
+	}
+	wantEdges := []Edge{
+		{TaskID{0, 0}, TaskID{1, 0}},
+		{TaskID{1, 0}, TaskID{2, 0}},
+	}
+	if len(g.Deps) != 2 {
+		t.Fatalf("deps = %v", g.Edges())
+	}
+	for _, e := range wantEdges {
+		if !g.Deps[e] {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestRepMatchesSeqHandCase(t *testing.T) {
+	// The Figure 1 program shape: groups {A,B}, {C,D}, {E,F} with
+	// B⇒C and C⇒F cross-shard dependences.
+	p := Program{
+		{Task{ID: TaskID{0, 0}, Writes: []int{1}}, Task{ID: TaskID{0, 1}, Writes: []int{2}}},
+		{Task{ID: TaskID{1, 0}, Reads: []int{2}, Writes: []int{3}}, Task{ID: TaskID{1, 1}, Writes: []int{4}}},
+		{Task{ID: TaskID{2, 0}, Writes: []int{5}}, Task{ID: TaskID{2, 1}, Reads: []int{3}}},
+	}
+	// Alternate sharding per the figure: shards swap roles.
+	p[0][0].Shard, p[0][1].Shard = 0, 1
+	p[1][0].Shard, p[1][1].Shard = 1, 0
+	p[2][0].Shard, p[2][1].Shard = 0, 1
+	gs := Seq(p)
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		gr := Rep(p, 2, randomScheduler(rnd))
+		if !gr.Equal(gs) {
+			t.Fatalf("trial %d: replicated graph differs\nseq: %v\nrep: %v", trial, gs.Edges(), gr.Edges())
+		}
+	}
+}
+
+// TestTheorem1 is the mechanized Theorem 1: DEPrep == DEPseq over
+// random programs, shardings, shard counts, and schedules.
+func TestTheorem1(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2021))
+	for trial := 0; trial < 400; trial++ {
+		nShards := 1 + rnd.Intn(6)
+		p := genProgram(rnd, 1+rnd.Intn(8), 4, 6, nShards)
+		gs := Seq(p)
+		gr := Rep(p, nShards, randomScheduler(rnd))
+		if !gr.Equal(gs) {
+			t.Fatalf("trial %d (shards=%d): graphs differ\nseq: %v\nrep: %v",
+				trial, nShards, gs.Edges(), gr.Edges())
+		}
+	}
+}
+
+// Adversarial schedulers: always favor the most- or least-advanced
+// shard, or strictly alternate.
+func TestTheorem1AdversarialSchedules(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	first := func(enabled []int) int { return enabled[0] }
+	last := func(enabled []int) int { return enabled[len(enabled)-1] }
+	rr := func() Scheduler {
+		i := 0
+		return func(enabled []int) int {
+			i++
+			return enabled[i%len(enabled)]
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		nShards := 2 + rnd.Intn(4)
+		p := genProgram(rnd, 6, 4, 5, nShards)
+		gs := Seq(p)
+		for name, sched := range map[string]Scheduler{"first": first, "last": last, "rr": rr()} {
+			gr := Rep(p, nShards, sched)
+			if !gr.Equal(gs) {
+				t.Fatalf("trial %d scheduler %s: graphs differ", trial, name)
+			}
+		}
+	}
+}
+
+func TestRepSingleShardDegeneratesToSeq(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := genProgram(rnd, 5, 3, 4, 1)
+		if !Rep(p, 1, randomScheduler(rnd)).Equal(Seq(p)) {
+			t.Fatal("single-shard DEPrep must equal DEPseq")
+		}
+	}
+}
+
+func TestValidateRejectsConflictingGroup(t *testing.T) {
+	p := Program{
+		{Task{ID: TaskID{0, 0}, Writes: []int{1}}, Task{ID: TaskID{0, 1}, Reads: []int{1}}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("conflicting group must fail validation")
+	}
+}
+
+func TestTransitiveReduce(t *testing.T) {
+	p := Program{
+		{Task{ID: TaskID{0, 0}, Writes: []int{1}}},
+		{Task{ID: TaskID{1, 0}, Reads: []int{1}, Writes: []int{1}}},
+		{Task{ID: TaskID{2, 0}, Reads: []int{1}}},
+	}
+	g := Seq(p)
+	// Seq has the transitive edge 0→2 as well as 0→1, 1→2.
+	if len(g.Deps) != 3 {
+		t.Fatalf("expected 3 edges, got %v", g.Edges())
+	}
+	r := TransitiveReduce(g)
+	if len(r.Deps) != 2 {
+		t.Fatalf("reduced should have 2 edges, got %v", r.Edges())
+	}
+	if r.Deps[Edge{TaskID{0, 0}, TaskID{2, 0}}] {
+		t.Fatal("transitive edge survived reduction")
+	}
+}
+
+// Property: reduction preserves the transitive closure.
+func TestTransitiveReducePreservesClosure(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		p := genProgram(rnd, 6, 3, 4, 2)
+		g := Seq(p)
+		r := TransitiveReduce(g)
+		if len(r.Deps) > len(g.Deps) {
+			t.Fatal("reduction added edges")
+		}
+		cg, cr := Closure(g), Closure(r)
+		if len(cg) != len(cr) {
+			t.Fatalf("closure size changed: %d vs %d", len(cg), len(cr))
+		}
+		for e := range cg {
+			if !cr[e] {
+				t.Fatalf("closure lost edge %v", e)
+			}
+		}
+	}
+}
+
+func TestRepPanicsOnBadShard(t *testing.T) {
+	p := Program{{Task{ID: TaskID{0, 0}, Shard: 5}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range shard must panic")
+		}
+	}()
+	Rep(p, 2, func(e []int) int { return e[0] })
+}

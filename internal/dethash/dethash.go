@@ -1,0 +1,135 @@
+// Package dethash computes the 128-bit hashes used by the
+// control-determinism checker (paper §3): every runtime API call made
+// from a replicated task folds a descriptor of the call and all its
+// arguments into a running 128-bit digest; shards periodically
+// all-reduce the digest and abort if they disagree.
+//
+// The hash is a 2×64-bit multiply-xor construction (two independently
+// keyed FNV/xxhash-style lanes). It is not cryptographic — the threat
+// model is accidental divergence, not adversaries — but 128 bits makes
+// spurious collisions vanishingly unlikely, as the paper notes.
+package dethash
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Digest is a running 128-bit hash.
+type Digest struct {
+	a, b uint64
+	// n counts the API calls folded in, so error reports can say
+	// *which* call diverged.
+	n uint64
+}
+
+const (
+	seedA  = 0x9E3779B97F4A7C15
+	seedB  = 0xC2B2AE3D27D4EB4F
+	primeA = 0x100000001B3
+	primeB = 0xFF51AFD7ED558CCD
+)
+
+// New returns a fresh digest.
+func New() *Digest { return &Digest{a: seedA, b: seedB} }
+
+// Reset returns the digest to its initial state.
+func (d *Digest) Reset() { d.a, d.b, d.n = seedA, seedB, 0 }
+
+// Calls returns the number of operations folded in so far.
+func (d *Digest) Calls() uint64 { return d.n }
+
+// Sum returns the current 128-bit value.
+func (d *Digest) Sum() [2]uint64 {
+	// Final avalanche so short inputs still differ in all bits.
+	return [2]uint64{mix(d.a ^ d.n), mix(d.b + d.n)}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= primeB
+	x ^= x >> 29
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 32
+	return x
+}
+
+func (d *Digest) word(w uint64) {
+	d.a = (d.a ^ w) * primeA
+	d.b = (d.b + w) * primeB
+	d.b ^= d.b >> 31
+}
+
+// Op begins a new operation record with the given opcode, bumping the
+// call counter. Arguments are folded with the Uint64/Int64/... methods.
+func (d *Digest) Op(code uint64) {
+	d.n++
+	d.word(0xA5A5A5A5 ^ code)
+}
+
+// Uint64 folds a 64-bit argument.
+func (d *Digest) Uint64(v uint64) { d.word(v) }
+
+// Int64 folds a signed argument.
+func (d *Digest) Int64(v int64) { d.word(uint64(v)) }
+
+// Int folds an int argument.
+func (d *Digest) Int(v int) { d.word(uint64(int64(v))) }
+
+// Float64 folds a float argument by bit pattern (NaNs normalized so
+// that semantically equal control decisions hash equally).
+func (d *Digest) Float64(v float64) {
+	if v != v { // NaN
+		d.word(0x7FF8000000000001)
+		return
+	}
+	d.word(math.Float64bits(v))
+}
+
+// Bool folds a boolean argument.
+func (d *Digest) Bool(v bool) {
+	if v {
+		d.word(1)
+	} else {
+		d.word(0)
+	}
+}
+
+// String folds a string argument, length-prefixed so concatenations
+// cannot collide.
+func (d *Digest) String(s string) {
+	d.word(uint64(len(s)) ^ 0x5354)
+	var buf [8]byte
+	for len(s) >= 8 {
+		copy(buf[:], s[:8])
+		d.word(binary.LittleEndian.Uint64(buf[:]))
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		buf = [8]byte{}
+		copy(buf[:], s)
+		d.word(binary.LittleEndian.Uint64(buf[:]))
+	}
+}
+
+// Bytes folds a byte-slice argument, length-prefixed.
+func (d *Digest) Bytes(p []byte) {
+	d.word(uint64(len(p)) ^ 0x4253)
+	for len(p) >= 8 {
+		d.word(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		var buf [8]byte
+		copy(buf[:], p)
+		d.word(binary.LittleEndian.Uint64(buf[:]))
+	}
+}
+
+// Ints folds a slice of int64 arguments.
+func (d *Digest) Ints(vs []int64) {
+	d.word(uint64(len(vs)) ^ 0x4953)
+	for _, v := range vs {
+		d.word(uint64(v))
+	}
+}

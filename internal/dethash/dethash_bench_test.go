@@ -1,0 +1,14 @@
+package dethash
+
+import "testing"
+
+func BenchmarkOpWithArgs(b *testing.B) {
+	d := New()
+	for i := 0; i < b.N; i++ {
+		d.Op(4)
+		d.Int64(int64(i))
+		d.String("stencil")
+		d.Float64(3.14)
+	}
+	_ = d.Sum()
+}

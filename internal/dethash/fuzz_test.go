@@ -1,0 +1,23 @@
+package dethash
+
+import "testing"
+
+// FuzzStringInjective checks that distinct string sequences hash
+// distinctly (no concatenation or boundary collisions).
+func FuzzStringInjective(f *testing.F) {
+	f.Add("ab", "c", "a", "bc")
+	f.Add("", "x", "x", "")
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 string) {
+		if a1 == b1 && a2 == b2 {
+			return
+		}
+		x, y := New(), New()
+		x.String(a1)
+		x.String(a2)
+		y.String(b1)
+		y.String(b2)
+		if x.Sum() == y.Sum() {
+			t.Fatalf("collision: (%q,%q) vs (%q,%q)", a1, a2, b1, b2)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package event implements Realm-style completion events, the
+// deferred-execution substrate the Legion runtime dispatches into
+// (paper §4.1, "dispatches execution to the lowest layer of Legion").
+//
+// An Event names something that will finish; operations declare their
+// preconditions as events and expose their own completion as a new
+// event, so the fine-stage analysis can wire a dataflow graph and never
+// block. Events trigger exactly once; merges trigger when all inputs
+// have triggered.
+package event
+
+import "sync"
+
+// Event is a handle on a completion. The zero Event is "no event": it
+// has always already triggered. Events are safe for concurrent use.
+type Event struct {
+	t *trigger
+}
+
+type trigger struct {
+	mu        sync.Mutex
+	triggered bool
+	waiters   []func()
+	done      chan struct{}
+}
+
+// NoEvent is the already-triggered event.
+var NoEvent = Event{}
+
+// UserEvent is an event triggered explicitly by its creator.
+type UserEvent struct {
+	Event
+}
+
+// NewUserEvent creates an untriggered user event.
+func NewUserEvent() UserEvent {
+	return UserEvent{Event{t: &trigger{done: make(chan struct{})}}}
+}
+
+// Trigger fires the event, releasing all waiters. Triggering twice
+// panics: double-trigger indicates a runtime logic bug.
+func (u UserEvent) Trigger() {
+	t := u.t
+	t.mu.Lock()
+	if t.triggered {
+		t.mu.Unlock()
+		panic("event: double trigger")
+	}
+	t.triggered = true
+	waiters := t.waiters
+	t.waiters = nil
+	close(t.done)
+	t.mu.Unlock()
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// HasTriggered reports whether the event has fired.
+func (e Event) HasTriggered() bool {
+	if e.t == nil {
+		return true
+	}
+	e.t.mu.Lock()
+	defer e.t.mu.Unlock()
+	return e.t.triggered
+}
+
+// Done returns a channel closed when the event triggers.
+func (e Event) Done() <-chan struct{} {
+	if e.t == nil {
+		return closedChan
+	}
+	return e.t.done
+}
+
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Wait blocks until the event triggers.
+func (e Event) Wait() {
+	if e.t == nil {
+		return
+	}
+	<-e.t.done
+}
+
+// OnTrigger schedules fn to run once the event triggers; if it already
+// has, fn runs immediately on the caller's goroutine.
+func (e Event) OnTrigger(fn func()) {
+	if e.t == nil {
+		fn()
+		return
+	}
+	e.t.mu.Lock()
+	if e.t.triggered {
+		e.t.mu.Unlock()
+		fn()
+		return
+	}
+	e.t.waiters = append(e.t.waiters, fn)
+	e.t.mu.Unlock()
+}
+
+// Merge returns an event that triggers when all inputs have triggered.
+// Already-triggered inputs (including NoEvent) are free.
+func Merge(events ...Event) Event {
+	var pendingList []Event
+	for _, e := range events {
+		if !e.HasTriggered() {
+			pendingList = append(pendingList, e)
+		}
+	}
+	switch len(pendingList) {
+	case 0:
+		return NoEvent
+	case 1:
+		return pendingList[0]
+	}
+	out := NewUserEvent()
+	counter := int64(len(pendingList))
+	var mu sync.Mutex
+	for _, e := range pendingList {
+		e.OnTrigger(func() {
+			mu.Lock()
+			counter--
+			fire := counter == 0
+			mu.Unlock()
+			if fire {
+				out.Trigger()
+			}
+		})
+	}
+	return out.Event
+}

@@ -1,0 +1,163 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNoEventAlwaysTriggered(t *testing.T) {
+	if !NoEvent.HasTriggered() {
+		t.Fatal("NoEvent must be triggered")
+	}
+	NoEvent.Wait() // must not block
+	select {
+	case <-NoEvent.Done():
+	default:
+		t.Fatal("NoEvent.Done must be closed")
+	}
+	ran := false
+	NoEvent.OnTrigger(func() { ran = true })
+	if !ran {
+		t.Fatal("OnTrigger on NoEvent must run immediately")
+	}
+}
+
+func TestUserEventTrigger(t *testing.T) {
+	u := NewUserEvent()
+	if u.HasTriggered() {
+		t.Fatal("fresh user event must be untriggered")
+	}
+	var ran atomic.Bool
+	u.OnTrigger(func() { ran.Store(true) })
+	done := make(chan struct{})
+	go func() {
+		u.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned before trigger")
+	case <-time.After(5 * time.Millisecond):
+	}
+	u.Trigger()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait never returned")
+	}
+	if !ran.Load() || !u.HasTriggered() {
+		t.Fatal("callbacks/state not updated")
+	}
+}
+
+func TestDoubleTriggerPanics(t *testing.T) {
+	u := NewUserEvent()
+	u.Trigger()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double trigger should panic")
+		}
+	}()
+	u.Trigger()
+}
+
+func TestOnTriggerAfterFire(t *testing.T) {
+	u := NewUserEvent()
+	u.Trigger()
+	ran := false
+	u.OnTrigger(func() { ran = true })
+	if !ran {
+		t.Fatal("late OnTrigger must run immediately")
+	}
+}
+
+func TestMergeAllTriggered(t *testing.T) {
+	a, b := NewUserEvent(), NewUserEvent()
+	a.Trigger()
+	b.Trigger()
+	m := Merge(a.Event, b.Event, NoEvent)
+	if !m.HasTriggered() {
+		t.Fatal("merge of triggered events must be triggered")
+	}
+}
+
+func TestMergeWaitsForAll(t *testing.T) {
+	a, b, c := NewUserEvent(), NewUserEvent(), NewUserEvent()
+	m := Merge(a.Event, b.Event, c.Event)
+	a.Trigger()
+	b.Trigger()
+	if m.HasTriggered() {
+		t.Fatal("merge fired before all inputs")
+	}
+	c.Trigger()
+	m.Wait()
+	if !m.HasTriggered() {
+		t.Fatal("merge did not fire")
+	}
+}
+
+func TestMergeSinglePendingPassthrough(t *testing.T) {
+	a := NewUserEvent()
+	m := Merge(NoEvent, a.Event)
+	if m.HasTriggered() {
+		t.Fatal("passthrough fired early")
+	}
+	a.Trigger()
+	if !m.HasTriggered() {
+		t.Fatal("passthrough did not follow input")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if !Merge().HasTriggered() {
+		t.Fatal("empty merge must be NoEvent")
+	}
+}
+
+func TestConcurrentWaiters(t *testing.T) {
+	u := NewUserEvent()
+	const n = 64
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u.Wait()
+			count.Add(1)
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	u.Trigger()
+	wg.Wait()
+	if count.Load() != n {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestMergeFanInStress(t *testing.T) {
+	const n = 100
+	events := make([]Event, n)
+	users := make([]UserEvent, n)
+	for i := range events {
+		users[i] = NewUserEvent()
+		events[i] = users[i].Event
+	}
+	m := Merge(events...)
+	var wg sync.WaitGroup
+	for i := range users {
+		wg.Add(1)
+		go func(u UserEvent) {
+			defer wg.Done()
+			u.Trigger()
+		}(users[i])
+	}
+	wg.Wait()
+	select {
+	case <-m.Done():
+	case <-time.After(time.Second):
+		t.Fatal("merge never fired")
+	}
+}

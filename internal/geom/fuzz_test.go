@@ -1,0 +1,73 @@
+package geom
+
+import "testing"
+
+// Native fuzz targets for the rectangle algebra invariants (the seed
+// corpus runs under plain `go test`; use `go test -fuzz` to explore).
+
+func FuzzSubtractVolume(f *testing.F) {
+	f.Add(int64(0), int64(9), int64(3), int64(5))
+	f.Add(int64(-5), int64(5), int64(5), int64(-5))
+	f.Add(int64(2), int64(2), int64(2), int64(2))
+	f.Fuzz(func(t *testing.T, aLo, aHi, bLo, bHi int64) {
+		clamp := func(v int64) int64 {
+			if v > 1000 {
+				return 1000
+			}
+			if v < -1000 {
+				return -1000
+			}
+			return v
+		}
+		a := R1(clamp(aLo), clamp(aHi))
+		b := R1(clamp(bLo), clamp(bHi))
+		pieces := a.Subtract(b)
+		vol := a.Intersect(b).Volume()
+		for i, p := range pieces {
+			vol += p.Volume()
+			if p.Overlaps(b) {
+				t.Fatalf("piece %v overlaps subtrahend %v", p, b)
+			}
+			for j := i + 1; j < len(pieces); j++ {
+				if p.Overlaps(pieces[j]) {
+					t.Fatal("pieces overlap")
+				}
+			}
+		}
+		if vol != a.Volume() {
+			t.Fatalf("volume identity broken: %d vs %d", vol, a.Volume())
+		}
+	})
+}
+
+func FuzzRectMapLastWriterWins(f *testing.F) {
+	f.Add(int64(0), int64(5), int64(3), int64(9), int64(4))
+	f.Fuzz(func(t *testing.T, aLo, aHi, bLo, bHi, q int64) {
+		clamp := func(v int64) int64 { return v % 64 }
+		var m RectMap[int]
+		a := R1(clamp(aLo), clamp(aHi))
+		b := R1(clamp(bLo), clamp(bHi))
+		m.Paint(a, 1)
+		m.Paint(b, 2)
+		p := Pt1(clamp(q))
+		pt := Rect{Dim: 1, Lo: p, Hi: p}
+		got, found := 0, false
+		for _, e := range m.Query(pt) {
+			got, found = e.Value, true
+		}
+		switch {
+		case b.Contains(p):
+			if !found || got != 2 {
+				t.Fatalf("point %v: want 2, got %d (found=%v)", p, got, found)
+			}
+		case a.Contains(p):
+			if !found || got != 1 {
+				t.Fatalf("point %v: want 1, got %d (found=%v)", p, got, found)
+			}
+		default:
+			if found {
+				t.Fatalf("point %v: spurious value %d", p, got)
+			}
+		}
+	})
+}

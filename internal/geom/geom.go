@@ -1,0 +1,399 @@
+// Package geom provides the integer point and rectangle algebra that
+// underlies index spaces, regions, and the dependence oracle.
+//
+// All shapes are dense axis-aligned boxes in 1, 2, or 3 dimensions with
+// inclusive bounds, matching Legion's structured index spaces. The
+// dependence oracle in the runtime reduces to "do two rectangles
+// intersect"; data movement reduces to rectangle intersection and
+// subtraction.
+package geom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDim is the maximum supported dimensionality.
+const MaxDim = 3
+
+// Point is an integer point in up to MaxDim dimensions. Unused trailing
+// coordinates are zero. The dimensionality is carried by the containing
+// Rect (or passed explicitly); Point itself is dimension-agnostic.
+type Point [MaxDim]int64
+
+// Pt1 returns a 1-D point.
+func Pt1(x int64) Point { return Point{x, 0, 0} }
+
+// Pt2 returns a 2-D point.
+func Pt2(x, y int64) Point { return Point{x, y, 0} }
+
+// Pt3 returns a 3-D point.
+func Pt3(x, y, z int64) Point { return Point{x, y, z} }
+
+// Add returns the coordinate-wise sum p+q.
+func (p Point) Add(q Point) Point {
+	return Point{p[0] + q[0], p[1] + q[1], p[2] + q[2]}
+}
+
+// Sub returns the coordinate-wise difference p-q.
+func (p Point) Sub(q Point) Point {
+	return Point{p[0] - q[0], p[1] - q[1], p[2] - q[2]}
+}
+
+// Rect is a dense axis-aligned box with inclusive bounds Lo..Hi in Dim
+// dimensions. A Rect with any Hi[d] < Lo[d] for d < Dim is empty.
+type Rect struct {
+	Dim    int
+	Lo, Hi Point
+}
+
+// R1 returns the 1-D rectangle [lo, hi].
+func R1(lo, hi int64) Rect {
+	return Rect{Dim: 1, Lo: Pt1(lo), Hi: Pt1(hi)}
+}
+
+// R2 returns the 2-D rectangle [lox,hix] x [loy,hiy].
+func R2(lox, loy, hix, hiy int64) Rect {
+	return Rect{Dim: 2, Lo: Pt2(lox, loy), Hi: Pt2(hix, hiy)}
+}
+
+// R3 returns the 3-D rectangle with the given inclusive corners.
+func R3(lox, loy, loz, hix, hiy, hiz int64) Rect {
+	return Rect{Dim: 3, Lo: Pt3(lox, loy, loz), Hi: Pt3(hix, hiy, hiz)}
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool {
+	if r.Dim == 0 {
+		return true
+	}
+	for d := 0; d < r.Dim; d++ {
+		if r.Hi[d] < r.Lo[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the number of points in r.
+func (r Rect) Volume() int64 {
+	if r.Empty() {
+		return 0
+	}
+	v := int64(1)
+	for d := 0; d < r.Dim; d++ {
+		v *= r.Hi[d] - r.Lo[d] + 1
+	}
+	return v
+}
+
+// Size returns the extent of r along dimension d.
+func (r Rect) Size(d int) int64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi[d] - r.Lo[d] + 1
+}
+
+// Contains reports whether point p lies inside r.
+func (r Rect) Contains(p Point) bool {
+	if r.Empty() {
+		return false
+	}
+	for d := 0; d < r.Dim; d++ {
+		if p[d] < r.Lo[d] || p[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s is entirely inside r. The empty
+// rectangle is contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	if r.Empty() || r.Dim != s.Dim {
+		return false
+	}
+	for d := 0; d < r.Dim; d++ {
+		if s.Lo[d] < r.Lo[d] || s.Hi[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool {
+	return !r.Intersect(s).Empty()
+}
+
+// Intersect returns the intersection of r and s. If the dimensions
+// differ or the boxes are disjoint, the result is empty.
+func (r Rect) Intersect(s Rect) Rect {
+	if r.Dim != s.Dim || r.Empty() || s.Empty() {
+		return Rect{}
+	}
+	out := Rect{Dim: r.Dim}
+	for d := 0; d < r.Dim; d++ {
+		out.Lo[d] = max64(r.Lo[d], s.Lo[d])
+		out.Hi[d] = min64(r.Hi[d], s.Hi[d])
+		if out.Hi[d] < out.Lo[d] {
+			return Rect{}
+		}
+	}
+	return out
+}
+
+// UnionBound returns the smallest rectangle containing both r and s.
+func (r Rect) UnionBound(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	if r.Dim != s.Dim {
+		panic(fmt.Sprintf("geom: union of mismatched dims %d and %d", r.Dim, s.Dim))
+	}
+	out := Rect{Dim: r.Dim}
+	for d := 0; d < r.Dim; d++ {
+		out.Lo[d] = min64(r.Lo[d], s.Lo[d])
+		out.Hi[d] = max64(r.Hi[d], s.Hi[d])
+	}
+	return out
+}
+
+// Subtract returns r \ s as a set of disjoint rectangles (at most
+// 2*Dim pieces). If r and s do not overlap, the result is {r}.
+func (r Rect) Subtract(s Rect) []Rect {
+	inter := r.Intersect(s)
+	if inter.Empty() {
+		if r.Empty() {
+			return nil
+		}
+		return []Rect{r}
+	}
+	var out []Rect
+	rem := r
+	for d := 0; d < r.Dim; d++ {
+		// Slab below the intersection along dimension d.
+		if rem.Lo[d] < inter.Lo[d] {
+			low := rem
+			low.Hi[d] = inter.Lo[d] - 1
+			out = append(out, low)
+		}
+		// Slab above the intersection along dimension d.
+		if rem.Hi[d] > inter.Hi[d] {
+			high := rem
+			high.Lo[d] = inter.Hi[d] + 1
+			out = append(out, high)
+		}
+		// Shrink the remainder to the intersection along d and
+		// continue carving along the next dimension.
+		rem.Lo[d] = inter.Lo[d]
+		rem.Hi[d] = inter.Hi[d]
+	}
+	return out
+}
+
+// Equal reports whether r and s denote the same point set. All empty
+// rectangles are equal.
+func (r Rect) Equal(s Rect) bool {
+	if r.Empty() && s.Empty() {
+		return true
+	}
+	if r.Empty() != s.Empty() || r.Dim != s.Dim {
+		return false
+	}
+	for d := 0; d < r.Dim; d++ {
+		if r.Lo[d] != s.Lo[d] || r.Hi[d] != s.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Translate returns r shifted by offset off.
+func (r Rect) Translate(off Point) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{Dim: r.Dim, Lo: r.Lo.Add(off), Hi: r.Hi.Add(off)}
+}
+
+// Grow returns r expanded by n points on every face (a halo). Negative
+// n shrinks the rectangle.
+func (r Rect) Grow(n int64) Rect {
+	if r.Empty() {
+		return r
+	}
+	out := Rect{Dim: r.Dim}
+	for d := 0; d < r.Dim; d++ {
+		out.Lo[d] = r.Lo[d] - n
+		out.Hi[d] = r.Hi[d] + n
+	}
+	return out
+}
+
+// Clamp returns r clipped to bound.
+func (r Rect) Clamp(bound Rect) Rect { return r.Intersect(bound) }
+
+// Index linearizes point p inside r in row-major order (last dimension
+// fastest). p must be contained in r.
+func (r Rect) Index(p Point) int64 {
+	idx := int64(0)
+	for d := 0; d < r.Dim; d++ {
+		idx = idx*r.Size(d) + (p[d] - r.Lo[d])
+	}
+	return idx
+}
+
+// PointAt is the inverse of Index: it returns the i-th point of r in
+// row-major order.
+func (r Rect) PointAt(i int64) Point {
+	var p Point
+	for d := r.Dim - 1; d >= 0; d-- {
+		sz := r.Size(d)
+		p[d] = r.Lo[d] + i%sz
+		i /= sz
+	}
+	return p
+}
+
+// Each calls fn for every point of r in row-major order. Iteration
+// stops early if fn returns false.
+func (r Rect) Each(fn func(Point) bool) {
+	if r.Empty() {
+		return
+	}
+	n := r.Volume()
+	for i := int64(0); i < n; i++ {
+		if !fn(r.PointAt(i)) {
+			return
+		}
+	}
+}
+
+// String renders the rectangle as e.g. "[0,3]x[0,7]".
+func (r Rect) String() string {
+	if r.Empty() {
+		return "[empty]"
+	}
+	var b strings.Builder
+	for d := 0; d < r.Dim; d++ {
+		if d > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%d,%d]", r.Lo[d], r.Hi[d])
+	}
+	return b.String()
+}
+
+// SplitEqual divides r into n near-equal contiguous tiles along its
+// longest dimension only when Dim==1; for multi-dimensional rects use
+// TileGrid. Tiles are returned in order; when n exceeds the extent,
+// trailing tiles are empty.
+func (r Rect) SplitEqual(n int) []Rect {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Rect, n)
+	if r.Empty() {
+		return out
+	}
+	total := r.Size(0)
+	base := total / int64(n)
+	rem := total % int64(n)
+	lo := r.Lo[0]
+	for i := 0; i < n; i++ {
+		sz := base
+		if int64(i) < rem {
+			sz++
+		}
+		tile := r
+		tile.Lo[0] = lo
+		tile.Hi[0] = lo + sz - 1
+		if sz == 0 {
+			tile.Hi[0] = tile.Lo[0] - 1 // empty
+		}
+		out[i] = tile
+		lo += sz
+	}
+	return out
+}
+
+// TileGrid divides r into a grid of tiles with shape counts (one count
+// per dimension; counts beyond r.Dim are ignored, missing counts
+// default to 1). Tiles are returned in row-major order of their grid
+// coordinates.
+func (r Rect) TileGrid(counts ...int) []Rect {
+	if r.Empty() {
+		return nil
+	}
+	cnt := [MaxDim]int{1, 1, 1}
+	for d := 0; d < r.Dim && d < len(counts); d++ {
+		if counts[d] < 1 {
+			return nil
+		}
+		cnt[d] = counts[d]
+	}
+	// Per-dimension split boundaries.
+	var splits [MaxDim][]Rect
+	for d := 0; d < r.Dim; d++ {
+		line := R1(r.Lo[d], r.Hi[d])
+		splits[d] = line.SplitEqual(cnt[d])
+	}
+	total := 1
+	for d := 0; d < r.Dim; d++ {
+		total *= cnt[d]
+	}
+	out := make([]Rect, 0, total)
+	idx := make([]int, r.Dim)
+	for {
+		tile := Rect{Dim: r.Dim}
+		empty := false
+		for d := 0; d < r.Dim; d++ {
+			seg := splits[d][idx[d]]
+			if seg.Empty() {
+				empty = true
+			}
+			tile.Lo[d] = seg.Lo[0]
+			tile.Hi[d] = seg.Hi[0]
+		}
+		if empty {
+			tile = Rect{Dim: r.Dim, Lo: Pt1(1), Hi: Pt1(0)} // canonical empty
+		}
+		out = append(out, tile)
+		// Row-major increment (last dimension fastest).
+		d := r.Dim - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < cnt[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package geom
+
+import "testing"
+
+func BenchmarkIntersect(b *testing.B) {
+	r := R3(0, 0, 0, 63, 63, 63)
+	s := R3(32, 32, 32, 95, 95, 95)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intersect(s)
+	}
+}
+
+func BenchmarkSubtract3D(b *testing.B) {
+	r := R3(0, 0, 0, 63, 63, 63)
+	s := R3(16, 16, 16, 47, 47, 47)
+	for i := 0; i < b.N; i++ {
+		_ = r.Subtract(s)
+	}
+}
+
+func BenchmarkRectMapPaint(b *testing.B) {
+	// Steady-state directory painting: the same 16 tiles repainted
+	// each iteration, as a stencil loop does.
+	tiles := R1(0, 1023).SplitEqual(16)
+	var m RectMap[int]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t, r := range tiles {
+			m.Paint(r, i*16+t)
+		}
+	}
+}
+
+func BenchmarkRectMapQuery(b *testing.B) {
+	var m RectMap[int]
+	for t, r := range R1(0, 1023).SplitEqual(16) {
+		m.Paint(r, t)
+	}
+	q := R1(100, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Query(q)
+	}
+}
+
+func BenchmarkTileGrid(b *testing.B) {
+	r := R2(0, 0, 4095, 4095)
+	for i := 0; i < b.N; i++ {
+		_ = r.TileGrid(8, 8)
+	}
+}

@@ -1,0 +1,266 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R2(0, 0, 3, 7)
+	if r.Empty() {
+		t.Fatal("R2(0,0,3,7) should not be empty")
+	}
+	if got := r.Volume(); got != 32 {
+		t.Fatalf("Volume = %d, want 32", got)
+	}
+	if got := r.Size(0); got != 4 {
+		t.Fatalf("Size(0) = %d, want 4", got)
+	}
+	if got := r.Size(1); got != 8 {
+		t.Fatalf("Size(1) = %d, want 8", got)
+	}
+	if !r.Contains(Pt2(3, 7)) || r.Contains(Pt2(4, 0)) {
+		t.Fatal("Contains misbehaves on boundary")
+	}
+	if r.String() != "[0,3]x[0,7]" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := R1(5, 4)
+	if !e.Empty() || e.Volume() != 0 {
+		t.Fatal("R1(5,4) should be empty with volume 0")
+	}
+	if e.Contains(Pt1(5)) {
+		t.Fatal("empty rect contains nothing")
+	}
+	if !e.Equal(R2(1, 1, 0, 0)) {
+		t.Fatal("all empties are equal")
+	}
+	full := R1(0, 9)
+	if !full.ContainsRect(e) {
+		t.Fatal("empty is contained in everything")
+	}
+	if got := full.Intersect(e); !got.Empty() {
+		t.Fatal("intersection with empty is empty")
+	}
+	if got := full.UnionBound(e); !got.Equal(full) {
+		t.Fatal("union with empty is identity")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := R2(0, 0, 5, 5)
+	b := R2(3, 3, 8, 8)
+	got := a.Intersect(b)
+	if !got.Equal(R2(3, 3, 5, 5)) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.Overlaps(b) || a.Overlaps(R2(6, 0, 7, 5)) {
+		t.Fatal("Overlaps misbehaves")
+	}
+	// Mismatched dims never intersect.
+	if !a.Intersect(R1(0, 5)).Empty() {
+		t.Fatal("dim mismatch should produce empty intersection")
+	}
+}
+
+func TestSubtract1D(t *testing.T) {
+	r := R1(0, 9)
+	pieces := r.Subtract(R1(3, 5))
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %v", pieces)
+	}
+	vol := int64(0)
+	for _, p := range pieces {
+		vol += p.Volume()
+		if p.Overlaps(R1(3, 5)) {
+			t.Fatalf("piece %v overlaps subtracted rect", p)
+		}
+	}
+	if vol != 7 {
+		t.Fatalf("volume after subtract = %d, want 7", vol)
+	}
+	// Subtracting a non-overlapping rect returns the original.
+	pieces = r.Subtract(R1(20, 30))
+	if len(pieces) != 1 || !pieces[0].Equal(r) {
+		t.Fatalf("disjoint subtract = %v", pieces)
+	}
+	// Subtracting a covering rect returns nothing.
+	if got := r.Subtract(R1(-5, 15)); len(got) != 0 {
+		t.Fatalf("covering subtract = %v", got)
+	}
+}
+
+func randRect(rnd *rand.Rand, dim int) Rect {
+	r := Rect{Dim: dim}
+	for d := 0; d < dim; d++ {
+		a := rnd.Int63n(20) - 10
+		b := a + rnd.Int63n(12)
+		r.Lo[d] = a
+		r.Hi[d] = b
+	}
+	return r
+}
+
+// Property: subtraction produces disjoint pieces that exactly tile r\s.
+func TestSubtractProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		dim := 1 + rnd.Intn(3)
+		r := randRect(rnd, dim)
+		s := randRect(rnd, dim)
+		pieces := r.Subtract(s)
+		// Pieces are pairwise disjoint.
+		for i := range pieces {
+			for j := i + 1; j < len(pieces); j++ {
+				if pieces[i].Overlaps(pieces[j]) {
+					t.Fatalf("pieces %v and %v overlap", pieces[i], pieces[j])
+				}
+			}
+		}
+		// Volume identity: |r| = |r∩s| + Σ|pieces|.
+		vol := r.Intersect(s).Volume()
+		for _, p := range pieces {
+			vol += p.Volume()
+			if !r.ContainsRect(p) {
+				t.Fatalf("piece %v escapes %v", p, r)
+			}
+			if p.Overlaps(s) {
+				t.Fatalf("piece %v overlaps %v", p, s)
+			}
+		}
+		if vol != r.Volume() {
+			t.Fatalf("volume mismatch: %d vs %d", vol, r.Volume())
+		}
+	}
+}
+
+// Property: Index/PointAt are inverse bijections over r.
+func TestIndexPointAtRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		dim := 1 + rnd.Intn(3)
+		r := randRect(rnd, dim)
+		n := r.Volume()
+		if n > 4096 {
+			continue
+		}
+		seen := make(map[Point]bool)
+		for i := int64(0); i < n; i++ {
+			p := r.PointAt(i)
+			if !r.Contains(p) {
+				t.Fatalf("PointAt(%d) = %v outside %v", i, p, r)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate point %v", p)
+			}
+			seen[p] = true
+			if got := r.Index(p); got != i {
+				t.Fatalf("Index(PointAt(%d)) = %d", i, got)
+			}
+		}
+	}
+}
+
+func TestEach(t *testing.T) {
+	r := R2(1, 1, 2, 3)
+	var pts []Point
+	r.Each(func(p Point) bool {
+		pts = append(pts, p)
+		return true
+	})
+	if len(pts) != 6 {
+		t.Fatalf("Each visited %d points, want 6", len(pts))
+	}
+	if pts[0] != Pt2(1, 1) || pts[5] != Pt2(2, 3) {
+		t.Fatalf("row-major order violated: %v", pts)
+	}
+	// Early stop.
+	count := 0
+	r.Each(func(Point) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSplitEqual(t *testing.T) {
+	r := R1(0, 9)
+	tiles := r.SplitEqual(4)
+	if len(tiles) != 4 {
+		t.Fatalf("len = %d", len(tiles))
+	}
+	want := []Rect{R1(0, 2), R1(3, 5), R1(6, 7), R1(8, 9)}
+	for i, w := range want {
+		if !tiles[i].Equal(w) {
+			t.Fatalf("tile %d = %v, want %v", i, tiles[i], w)
+		}
+	}
+	// More tiles than points: trailing tiles empty, coverage exact.
+	tiles = R1(0, 2).SplitEqual(5)
+	vol := int64(0)
+	for _, tl := range tiles {
+		vol += tl.Volume()
+	}
+	if vol != 3 {
+		t.Fatalf("split coverage = %d", vol)
+	}
+}
+
+func TestTileGrid(t *testing.T) {
+	r := R2(0, 0, 7, 7)
+	tiles := r.TileGrid(2, 4)
+	if len(tiles) != 8 {
+		t.Fatalf("len = %d", len(tiles))
+	}
+	vol := int64(0)
+	for i, a := range tiles {
+		vol += a.Volume()
+		for j := i + 1; j < len(tiles); j++ {
+			if a.Overlaps(tiles[j]) {
+				t.Fatalf("tiles %d,%d overlap", i, j)
+			}
+		}
+		if !r.ContainsRect(a) {
+			t.Fatalf("tile %v escapes", a)
+		}
+	}
+	if vol != 64 {
+		t.Fatalf("tile coverage = %d, want 64", vol)
+	}
+	// First tile occupies the low corner.
+	if !tiles[0].Equal(R2(0, 0, 3, 1)) {
+		t.Fatalf("tile 0 = %v", tiles[0])
+	}
+}
+
+func TestGrowTranslate(t *testing.T) {
+	r := R2(2, 2, 4, 4)
+	g := r.Grow(1)
+	if !g.Equal(R2(1, 1, 5, 5)) {
+		t.Fatalf("Grow = %v", g)
+	}
+	if !r.Translate(Pt2(-2, 3)).Equal(R2(0, 5, 2, 7)) {
+		t.Fatalf("Translate = %v", r.Translate(Pt2(-2, 3)))
+	}
+	if !g.Clamp(R2(0, 0, 3, 3)).Equal(R2(1, 1, 3, 3)) {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestQuickUnionBoundContains(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := R2(int64(ax), int64(ay), int64(ax)+5, int64(ay)+5)
+		b := R2(int64(bx), int64(by), int64(bx)+3, int64(by)+3)
+		u := a.UnionBound(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

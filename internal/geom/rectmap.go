@@ -1,0 +1,101 @@
+package geom
+
+// RectMap maintains a set of disjoint rectangles each carrying a value,
+// with last-writer-wins "paint" semantics: painting a rectangle
+// overwrites any overlapping parts of previously painted rectangles.
+// It is the substrate for the runtime's per-field write-index directory.
+//
+// The zero value is an empty map. RectMap is not safe for concurrent
+// mutation.
+type RectMap[T any] struct {
+	entries []RectEntry[T]
+}
+
+// RectEntry is one disjoint piece of a RectMap.
+type RectEntry[T any] struct {
+	Rect  Rect
+	Value T
+}
+
+// Paint records value v over rectangle r, splitting or discarding any
+// overlapped parts of earlier entries.
+func (m *RectMap[T]) Paint(r Rect, v T) {
+	if r.Empty() {
+		return
+	}
+	kept := m.entries[:0]
+	var split []RectEntry[T]
+	for _, e := range m.entries {
+		if !e.Rect.Overlaps(r) {
+			kept = append(kept, e)
+			continue
+		}
+		for _, piece := range e.Rect.Subtract(r) {
+			split = append(split, RectEntry[T]{Rect: piece, Value: e.Value})
+		}
+	}
+	m.entries = append(kept, split...)
+	m.entries = append(m.entries, RectEntry[T]{Rect: r, Value: v})
+}
+
+// Query returns the entries intersecting r, clipped to r. The returned
+// rectangles are disjoint; together they cover the painted subset of r.
+func (m *RectMap[T]) Query(r Rect) []RectEntry[T] {
+	if r.Empty() {
+		return nil
+	}
+	var out []RectEntry[T]
+	for _, e := range m.entries {
+		if in := e.Rect.Intersect(r); !in.Empty() {
+			out = append(out, RectEntry[T]{Rect: in, Value: e.Value})
+		}
+	}
+	return out
+}
+
+// Covers reports whether every point of r is painted.
+func (m *RectMap[T]) Covers(r Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	holes := []Rect{r}
+	for _, e := range m.entries {
+		if len(holes) == 0 {
+			return true
+		}
+		var next []Rect
+		for _, h := range holes {
+			next = append(next, h.Subtract(e.Rect)...)
+		}
+		holes = next
+	}
+	return len(holes) == 0
+}
+
+// Holes returns the unpainted parts of r as disjoint rectangles.
+func (m *RectMap[T]) Holes(r Rect) []Rect {
+	if r.Empty() {
+		return nil
+	}
+	holes := []Rect{r}
+	for _, e := range m.entries {
+		var next []Rect
+		for _, h := range holes {
+			next = append(next, h.Subtract(e.Rect)...)
+		}
+		holes = next
+		if len(holes) == 0 {
+			return nil
+		}
+	}
+	return holes
+}
+
+// Len returns the number of disjoint entries currently stored.
+func (m *RectMap[T]) Len() int { return len(m.entries) }
+
+// Entries returns the raw disjoint entries (not a copy; do not mutate).
+func (m *RectMap[T]) Entries() []RectEntry[T] { return m.entries }
+
+// Clear removes all entries.
+func (m *RectMap[T]) Clear() { m.entries = m.entries[:0] }

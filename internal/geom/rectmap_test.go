@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRectMapPaintQuery(t *testing.T) {
+	var m RectMap[string]
+	m.Paint(R1(0, 9), "a")
+	m.Paint(R1(3, 5), "b")
+	got := m.Query(R1(0, 9))
+	volA, volB := int64(0), int64(0)
+	for _, e := range got {
+		switch e.Value {
+		case "a":
+			volA += e.Rect.Volume()
+		case "b":
+			volB += e.Rect.Volume()
+		}
+	}
+	if volA != 7 || volB != 3 {
+		t.Fatalf("volA=%d volB=%d", volA, volB)
+	}
+	// Query clips to the query rect.
+	got = m.Query(R1(4, 20))
+	total := int64(0)
+	for _, e := range got {
+		if !R1(4, 20).ContainsRect(e.Rect) {
+			t.Fatalf("entry %v not clipped", e.Rect)
+		}
+		total += e.Rect.Volume()
+	}
+	if total != 6 {
+		t.Fatalf("clipped coverage = %d, want 6", total)
+	}
+}
+
+func TestRectMapCoversHoles(t *testing.T) {
+	var m RectMap[int]
+	if m.Covers(R1(0, 0)) {
+		t.Fatal("empty map covers nothing")
+	}
+	if !m.Covers(R1(1, 0)) {
+		t.Fatal("empty rect always covered")
+	}
+	m.Paint(R2(0, 0, 4, 4), 1)
+	m.Paint(R2(5, 0, 9, 4), 2)
+	if !m.Covers(R2(0, 0, 9, 4)) {
+		t.Fatal("two tiles should cover the row")
+	}
+	if m.Covers(R2(0, 0, 9, 5)) {
+		t.Fatal("row 5 is unpainted")
+	}
+	holes := m.Holes(R2(0, 0, 9, 5))
+	vol := int64(0)
+	for _, h := range holes {
+		vol += h.Volume()
+	}
+	if vol != 10 {
+		t.Fatalf("hole volume = %d, want 10", vol)
+	}
+}
+
+// Property: after any paint sequence, entries are pairwise disjoint and
+// the last paint over a point wins.
+func TestRectMapProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		var m RectMap[int]
+		type op struct {
+			r Rect
+			v int
+		}
+		var ops []op
+		dim := 1 + rnd.Intn(2)
+		for k := 0; k < 12; k++ {
+			r := randRect(rnd, dim)
+			ops = append(ops, op{r, k})
+			m.Paint(r, k)
+		}
+		es := m.Entries()
+		for i := range es {
+			for j := i + 1; j < len(es); j++ {
+				if es[i].Rect.Overlaps(es[j].Rect) {
+					t.Fatalf("entries overlap: %v %v", es[i], es[j])
+				}
+			}
+		}
+		// Sample points: the map value must equal the last op covering it.
+		for s := 0; s < 50; s++ {
+			var p Point
+			for d := 0; d < dim; d++ {
+				p[d] = rnd.Int63n(30) - 15
+			}
+			want, painted := -1, false
+			for _, o := range ops {
+				if o.r.Contains(p) {
+					want, painted = o.v, true
+				}
+			}
+			got, found := -1, false
+			pt := Rect{Dim: dim, Lo: p, Hi: p}
+			for _, e := range m.Query(pt) {
+				got, found = e.Value, true
+			}
+			if painted != found || (painted && got != want) {
+				t.Fatalf("point %v: painted=%v found=%v want=%d got=%d", p, painted, found, want, got)
+			}
+		}
+	}
+}
+
+func TestRectMapClearLen(t *testing.T) {
+	var m RectMap[int]
+	m.Paint(R1(0, 3), 1)
+	m.Paint(R1(2, 5), 2)
+	if m.Len() < 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Clear()
+	if m.Len() != 0 || m.Covers(R1(0, 0)) {
+		t.Fatal("Clear did not empty the map")
+	}
+}

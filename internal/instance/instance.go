@@ -1,0 +1,195 @@
+// Package instance implements physical instances: the actual field
+// data backing a logical region's rectangle on some node, plus the
+// copy and reduction-fold operations the fine analysis stage issues
+// (the role Realm's instances and copy engine play under Legion).
+//
+// All fields are float64-valued — sufficient for every workload in the
+// paper's evaluation — stored row-major over the instance's rectangle.
+package instance
+
+import (
+	"fmt"
+	"math"
+
+	"godcr/internal/geom"
+)
+
+// Instance is one field's data over one rectangle.
+type Instance struct {
+	Rect geom.Rect
+	Data []float64
+}
+
+// New allocates a zero-filled instance over rect.
+func New(rect geom.Rect) *Instance {
+	if rect.Empty() {
+		return &Instance{Rect: rect}
+	}
+	return &Instance{Rect: rect, Data: make([]float64, rect.Volume())}
+}
+
+// NewFilled allocates an instance with every element set to v.
+func NewFilled(rect geom.Rect, v float64) *Instance {
+	inst := New(rect)
+	for i := range inst.Data {
+		inst.Data[i] = v
+	}
+	return inst
+}
+
+// At returns the value at point p (which must lie in the instance).
+func (in *Instance) At(p geom.Point) float64 {
+	return in.Data[in.Rect.Index(p)]
+}
+
+// Set stores v at point p.
+func (in *Instance) Set(p geom.Point, v float64) {
+	in.Data[in.Rect.Index(p)] = v
+}
+
+// Fill sets every element of the subrectangle r (clipped to the
+// instance) to v.
+func (in *Instance) Fill(r geom.Rect, v float64) {
+	r = r.Intersect(in.Rect)
+	r.Each(func(p geom.Point) bool {
+		in.Set(p, v)
+		return true
+	})
+}
+
+// Clone returns a deep copy.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Rect: in.Rect, Data: make([]float64, len(in.Data))}
+	copy(out.Data, in.Data)
+	return out
+}
+
+// Extract serializes the values of subrectangle r (which must be
+// contained in the instance) in row-major order of r — the wire format
+// for cross-node copies.
+func (in *Instance) Extract(r geom.Rect) []float64 {
+	if !in.Rect.ContainsRect(r) {
+		panic(fmt.Sprintf("instance: extract %v from %v", r, in.Rect))
+	}
+	out := make([]float64, 0, r.Volume())
+	r.Each(func(p geom.Point) bool {
+		out = append(out, in.At(p))
+		return true
+	})
+	return out
+}
+
+// Apply writes vals (row-major over r) into the instance; r must be
+// contained in the instance and len(vals) == r.Volume().
+func (in *Instance) Apply(r geom.Rect, vals []float64) {
+	if !in.Rect.ContainsRect(r) {
+		panic(fmt.Sprintf("instance: apply %v into %v", r, in.Rect))
+	}
+	if int64(len(vals)) != r.Volume() {
+		panic(fmt.Sprintf("instance: %d values for rect of %d points", len(vals), r.Volume()))
+	}
+	i := 0
+	r.Each(func(p geom.Point) bool {
+		in.Set(p, vals[i])
+		i++
+		return true
+	})
+}
+
+// Copy copies src's values over the intersection of dst, src, and r.
+func Copy(dst, src *Instance, r geom.Rect) {
+	r = r.Intersect(dst.Rect).Intersect(src.Rect)
+	r.Each(func(p geom.Point) bool {
+		dst.Set(p, src.At(p))
+		return true
+	})
+}
+
+// ReduceOp identifies a reduction operator. Reductions with the same
+// operator commute, so tasks folding with the same op into the same
+// field need no mutual ordering (the oracle's reduction rule).
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	ReduceNone ReduceOp = iota
+	ReduceAdd
+	ReduceMul
+	ReduceMin
+	ReduceMax
+)
+
+// String returns the operator name.
+func (op ReduceOp) String() string {
+	switch op {
+	case ReduceNone:
+		return "none"
+	case ReduceAdd:
+		return "add"
+	case ReduceMul:
+		return "mul"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	}
+	return fmt.Sprintf("reduce(%d)", int(op))
+}
+
+// Identity returns the operator's identity element.
+func (op ReduceOp) Identity() float64 {
+	switch op {
+	case ReduceAdd:
+		return 0
+	case ReduceMul:
+		return 1
+	case ReduceMin:
+		return math.Inf(1)
+	case ReduceMax:
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+// Fold combines an accumulator with a contribution.
+func (op ReduceOp) Fold(acc, v float64) float64 {
+	switch op {
+	case ReduceAdd:
+		return acc + v
+	case ReduceMul:
+		return acc * v
+	case ReduceMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case ReduceMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	}
+	return v
+}
+
+// FoldInto folds src into dst over the intersection with r.
+func FoldInto(op ReduceOp, dst, src *Instance, r geom.Rect) {
+	r = r.Intersect(dst.Rect).Intersect(src.Rect)
+	r.Each(func(p geom.Point) bool {
+		dst.Set(p, op.Fold(dst.At(p), src.At(p)))
+		return true
+	})
+}
+
+// FoldApply folds vals (row-major over r) into the instance.
+func (in *Instance) FoldApply(op ReduceOp, r geom.Rect, vals []float64) {
+	if int64(len(vals)) != r.Volume() {
+		panic("instance: fold length mismatch")
+	}
+	i := 0
+	r.Each(func(p geom.Point) bool {
+		in.Set(p, op.Fold(in.At(p), vals[i]))
+		i++
+		return true
+	})
+}

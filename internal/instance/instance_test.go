@@ -1,0 +1,152 @@
+package instance
+
+import (
+	"math"
+	"testing"
+
+	"godcr/internal/geom"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	in := New(geom.R2(2, 2, 4, 5))
+	if len(in.Data) != 12 {
+		t.Fatalf("len = %d", len(in.Data))
+	}
+	in.Set(geom.Pt2(3, 4), 7.5)
+	if in.At(geom.Pt2(3, 4)) != 7.5 {
+		t.Fatal("Set/At round trip failed")
+	}
+	if in.At(geom.Pt2(2, 2)) != 0 {
+		t.Fatal("fresh instance must be zeroed")
+	}
+}
+
+func TestNewFilledAndFill(t *testing.T) {
+	in := NewFilled(geom.R1(0, 9), 3.0)
+	for i := int64(0); i < 10; i++ {
+		if in.At(geom.Pt1(i)) != 3.0 {
+			t.Fatal("NewFilled missed a point")
+		}
+	}
+	in.Fill(geom.R1(3, 5), -1)
+	if in.At(geom.Pt1(3)) != -1 || in.At(geom.Pt1(5)) != -1 || in.At(geom.Pt1(6)) != 3 {
+		t.Fatal("Fill subrect wrong")
+	}
+	// Fill clips to the instance.
+	in.Fill(geom.R1(8, 20), 9)
+	if in.At(geom.Pt1(9)) != 9 {
+		t.Fatal("clipped fill missed")
+	}
+}
+
+func TestExtractApplyRoundTrip(t *testing.T) {
+	in := New(geom.R2(0, 0, 3, 3))
+	k := 0.0
+	geom.R2(0, 0, 3, 3).Each(func(p geom.Point) bool {
+		in.Set(p, k)
+		k++
+		return true
+	})
+	r := geom.R2(1, 1, 2, 2)
+	vals := in.Extract(r)
+	if len(vals) != 4 {
+		t.Fatalf("extract len = %d", len(vals))
+	}
+	out := New(geom.R2(0, 0, 3, 3))
+	out.Apply(r, vals)
+	r.Each(func(p geom.Point) bool {
+		if out.At(p) != in.At(p) {
+			t.Fatalf("round trip mismatch at %v", p)
+		}
+		return true
+	})
+	if out.At(geom.Pt2(0, 0)) != 0 {
+		t.Fatal("apply wrote outside rect")
+	}
+}
+
+func TestExtractPanicsOutside(t *testing.T) {
+	in := New(geom.R1(0, 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("extract outside must panic")
+		}
+	}()
+	in.Extract(geom.R1(4, 8))
+}
+
+func TestCopyIntersectionOnly(t *testing.T) {
+	src := NewFilled(geom.R1(0, 5), 1)
+	dst := NewFilled(geom.R1(3, 9), 2)
+	Copy(dst, src, geom.R1(0, 100))
+	if dst.At(geom.Pt1(3)) != 1 || dst.At(geom.Pt1(5)) != 1 {
+		t.Fatal("overlap not copied")
+	}
+	if dst.At(geom.Pt1(6)) != 2 {
+		t.Fatal("non-overlap clobbered")
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	cases := []struct {
+		op   ReduceOp
+		a, b float64
+		want float64
+	}{
+		{ReduceAdd, 2, 3, 5},
+		{ReduceMul, 2, 3, 6},
+		{ReduceMin, 2, 3, 2},
+		{ReduceMax, 2, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.op.Fold(c.a, c.b); got != c.want {
+			t.Fatalf("%v.Fold(%v,%v) = %v", c.op, c.a, c.b, got)
+		}
+		// Folding the identity is a no-op.
+		if got := c.op.Fold(c.a, c.op.Identity()); got != c.a {
+			t.Fatalf("%v identity broken: %v", c.op, got)
+		}
+	}
+	if !math.IsInf(float64(ReduceMin.Identity()), 1) {
+		t.Fatal("min identity must be +Inf")
+	}
+}
+
+func TestFoldInto(t *testing.T) {
+	dst := NewFilled(geom.R1(0, 3), 10)
+	src := NewFilled(geom.R1(2, 5), 5)
+	FoldInto(ReduceAdd, dst, src, geom.R1(0, 5))
+	if dst.At(geom.Pt1(1)) != 10 || dst.At(geom.Pt1(2)) != 15 || dst.At(geom.Pt1(3)) != 15 {
+		t.Fatalf("fold wrong: %v", dst.Data)
+	}
+}
+
+func TestFoldApply(t *testing.T) {
+	in := NewFilled(geom.R1(0, 2), 1)
+	in.FoldApply(ReduceMax, geom.R1(0, 2), []float64{0, 5, 1})
+	want := []float64{1, 5, 1}
+	for i, w := range want {
+		if in.Data[i] != w {
+			t.Fatalf("FoldApply = %v", in.Data)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewFilled(geom.R1(0, 3), 2)
+	b := a.Clone()
+	b.Set(geom.Pt1(0), 99)
+	if a.At(geom.Pt1(0)) != 2 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := New(geom.Rect{Dim: 1, Lo: geom.Pt1(1), Hi: geom.Pt1(0)})
+	if len(in.Data) != 0 {
+		t.Fatal("empty instance should hold no data")
+	}
+	if got := in.Extract(in.Rect); len(got) != 0 {
+		t.Fatal("empty extract")
+	}
+}

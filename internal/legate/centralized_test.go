@@ -1,0 +1,58 @@
+package legate
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"godcr/internal/core"
+)
+
+// The Legate workloads also run under the centralized (Dask-model)
+// baseline: same answers, different scaling — the real-runtime
+// counterpart of Figure 19/20's comparison.
+func TestLegateUnderCentralizedBaseline(t *testing.T) {
+	get := func(centralized bool) []float64 {
+		rt := core.NewRuntime(core.Config{Shards: 3, Centralized: centralized})
+		defer rt.Shutdown()
+		Register(rt)
+		var mu sync.Mutex
+		var w []float64
+		if err := rt.Execute(func(ctx *core.Context) error {
+			v := RunLogReg(ctx, 48, 6, 8, 0.4).Weights
+			mu.Lock()
+			w = v
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	dcr := get(false)
+	central := get(true)
+	for i := range dcr {
+		if math.Abs(dcr[i]-central[i]) > 1e-12 {
+			t.Fatalf("weight %d differs: dcr %v central %v", i, dcr[i], central[i])
+		}
+	}
+}
+
+func TestCGUnderCentralizedBaseline(t *testing.T) {
+	rt := core.NewRuntime(core.Config{Shards: 2, Centralized: true})
+	defer rt.Shutdown()
+	Register(rt)
+	if err := rt.Execute(func(ctx *core.Context) error {
+		l := New(ctx, 4)
+		b := l.NewArray(24)
+		b.Fill(1)
+		res := PreconditionedCG(l, b, 200, 1e-9)
+		if !res.Converged {
+			return fmt.Errorf("centralized CG did not converge")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package legate
+
+import (
+	"fmt"
+
+	"godcr/internal/core"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+)
+
+// Extended array operations: reductions to scalars beyond sums,
+// distributed matrix multiply, and whole-array statistics. These cover
+// the remaining NumPy surface the paper's Legate applications rely on.
+
+// RegisterExtra installs the extended task suite; call alongside
+// Register.
+func RegisterExtra(rt *core.Runtime) {
+	rt.RegisterTask("lg.minmax", taskMinMax)
+	rt.RegisterTask("lg.matmul", taskMatMul)
+	rt.RegisterTask("lg.scale_rows", taskScaleRows)
+}
+
+// Max returns the maximum element as a future.
+func (l *Lib) Max(x *Array) *core.Future {
+	fm := x.launch("lg.minmax", []float64{1}, x.tileReq(core.ReadOnly))
+	return fm.Reduce(instance.ReduceMax)
+}
+
+// Min returns the minimum element as a future.
+func (l *Lib) Min(x *Array) *core.Future {
+	fm := x.launch("lg.minmax", []float64{0}, x.tileReq(core.ReadOnly))
+	return fm.Reduce(instance.ReduceMin)
+}
+
+func taskMinMax(tc *core.TaskContext) (float64, error) {
+	x := tc.Region(0).Field("data")
+	wantMax := tc.Args[0] != 0
+	acc := instance.ReduceMin.Identity()
+	if wantMax {
+		acc = instance.ReduceMax.Identity()
+	}
+	x.Rect().Each(func(p geom.Point) bool {
+		v := x.At(p)
+		if wantMax {
+			acc = instance.ReduceMax.Fold(acc, v)
+		} else {
+			acc = instance.ReduceMin.Fold(acc, v)
+		}
+		return true
+	})
+	return acc, nil
+}
+
+// MatMul computes C = A·B for row-tiled A and C with B broadcast to
+// every point task — the data-parallel GEMM decomposition.
+func (l *Lib) MatMul(c, a, b *Matrix) {
+	if a.cols != b.rows || c.rows != a.rows || c.cols != b.cols {
+		panic(fmt.Sprintf("legate: matmul shape mismatch (%dx%d)·(%dx%d) -> (%dx%d)",
+			a.rows, a.cols, b.rows, b.cols, c.rows, c.cols))
+	}
+	// B is broadcast: an aliased partition where every color is the
+	// whole matrix.
+	fullRects := make([]geom.Rect, l.tiles)
+	for i := range fullRects {
+		fullRects[i] = b.reg.Bounds
+	}
+	bFull := l.ctx.PartitionCustom(b.reg, l.domain(), fullRects)
+	l.ctx.IndexLaunch(core.Launch{
+		Task: "lg.matmul", Domain: l.domain(),
+		Reqs: []core.RegionReq{
+			{Part: c.part, Priv: core.WriteDiscard, Fields: []string{"data"}},
+			{Part: a.part, Priv: core.ReadOnly, Fields: []string{"data"}},
+			{Part: bFull, Priv: core.ReadOnly, Fields: []string{"data"}},
+		},
+	})
+}
+
+func taskMatMul(tc *core.TaskContext) (float64, error) {
+	c := tc.Region(0).Field("data")
+	a := tc.Region(1).Field("data")
+	b := tc.Region(2).Field("data")
+	rows := a.Rect()
+	if rows.Empty() {
+		return 0, nil
+	}
+	bRect := b.Rect()
+	for r := rows.Lo[0]; r <= rows.Hi[0]; r++ {
+		for cc := bRect.Lo[1]; cc <= bRect.Hi[1]; cc++ {
+			acc := 0.0
+			for k := rows.Lo[1]; k <= rows.Hi[1]; k++ {
+				acc += a.At(geom.Pt2(r, k)) * b.At(geom.Pt2(k, cc))
+			}
+			c.Set(geom.Pt2(r, cc), acc)
+		}
+	}
+	return 0, nil
+}
+
+// ScaleRows multiplies each row of m by the corresponding element of
+// the row-tiled vector s (diagonal preconditioning).
+func (l *Lib) ScaleRows(m *Matrix, s *Array) {
+	if s.n != m.rows {
+		panic("legate: ScaleRows length mismatch")
+	}
+	l.ctx.IndexLaunch(core.Launch{
+		Task: "lg.scale_rows", Domain: l.domain(),
+		Reqs: []core.RegionReq{
+			{Part: m.part, Priv: core.ReadWrite, Fields: []string{"data"}},
+			{Part: s.part, Priv: core.ReadOnly, Fields: []string{"data"}},
+		},
+	})
+}
+
+func taskScaleRows(tc *core.TaskContext) (float64, error) {
+	m := tc.Region(0).Field("data")
+	s := tc.Region(1).Field("data")
+	rect := m.Rect()
+	if rect.Empty() {
+		return 0, nil
+	}
+	for r := rect.Lo[0]; r <= rect.Hi[0]; r++ {
+		f := s.At(geom.Pt1(r))
+		for c := rect.Lo[1]; c <= rect.Hi[1]; c++ {
+			m.Set(geom.Pt2(r, c), m.At(geom.Pt2(r, c))*f)
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,136 @@
+package legate
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"godcr/internal/core"
+)
+
+func runExtra(t *testing.T, shards int, prog core.Program) {
+	t.Helper()
+	rt := core.NewRuntime(core.Config{Shards: shards, SafetyChecks: true})
+	defer rt.Shutdown()
+	Register(rt)
+	RegisterExtra(rt)
+	if err := rt.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxFutures(t *testing.T) {
+	runExtra(t, 3, func(ctx *core.Context) error {
+		l := New(ctx, 4)
+		a := l.NewArray(17)
+		a.Linear(-5, 1.5) // -5, -3.5, ..., 19
+		if got := l.Max(a).Get(); got != -5+1.5*16 {
+			return fmt.Errorf("max = %v", got)
+		}
+		if got := l.Min(a).Get(); got != -5 {
+			return fmt.Errorf("min = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestMatMul(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		runExtra(t, shards, func(ctx *core.Context) error {
+			l := New(ctx, 3)
+			a := l.NewMatrix(5, 4)
+			b := l.NewMatrix(4, 6)
+			c := l.NewMatrix(5, 6)
+			a.FillRand(1)
+			b.FillRand(2)
+			l.MatMul(c, a, b)
+
+			av, bv, cv := a.Read(), b.Read(), c.Read()
+			for r := 0; r < 5; r++ {
+				for cc := 0; cc < 6; cc++ {
+					want := 0.0
+					for k := 0; k < 4; k++ {
+						want += av[r*4+k] * bv[k*6+cc]
+					}
+					if math.Abs(cv[r*6+cc]-want) > 1e-12 {
+						return fmt.Errorf("c[%d,%d] = %v, want %v", r, cc, cv[r*6+cc], want)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestMatMulChained(t *testing.T) {
+	// (A·B)·C exercises dependences between successive GEMMs.
+	runExtra(t, 2, func(ctx *core.Context) error {
+		l := New(ctx, 2)
+		a := l.NewMatrix(3, 3)
+		b := l.NewMatrix(3, 3)
+		ab := l.NewMatrix(3, 3)
+		abc := l.NewMatrix(3, 3)
+		a.FillRand(5)
+		b.FillRand(6)
+		l.MatMul(ab, a, b)
+		l.MatMul(abc, ab, b)
+		av, bv := a.Read(), b.Read()
+		mm := func(x, y []float64) []float64 {
+			out := make([]float64, 9)
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 3; c++ {
+					for k := 0; k < 3; k++ {
+						out[r*3+c] += x[r*3+k] * y[k*3+c]
+					}
+				}
+			}
+			return out
+		}
+		want := mm(mm(av, bv), bv)
+		got := abc.Read()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return fmt.Errorf("abc[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestScaleRows(t *testing.T) {
+	runExtra(t, 2, func(ctx *core.Context) error {
+		l := New(ctx, 2)
+		m := l.NewMatrix(4, 3)
+		m.Fill(2)
+		s := l.NewArray(4)
+		s.Linear(1, 1) // 1,2,3,4
+		l.ScaleRows(m, s)
+		mv := m.Read()
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 3; c++ {
+				if mv[r*3+c] != 2*float64(r+1) {
+					return fmt.Errorf("m[%d,%d] = %v", r, c, mv[r*3+c])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	rt := core.NewRuntime(core.Config{Shards: 1})
+	defer rt.Shutdown()
+	Register(rt)
+	RegisterExtra(rt)
+	err := rt.Execute(func(ctx *core.Context) error {
+		l := New(ctx, 2)
+		a := l.NewMatrix(3, 4)
+		b := l.NewMatrix(3, 4) // mismatched inner dim
+		c := l.NewMatrix(3, 4)
+		l.MatMul(c, a, b)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("shape mismatch should abort")
+	}
+}

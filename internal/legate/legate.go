@@ -1,0 +1,296 @@
+// Package legate is a miniature Legate NumPy (paper §5.4): a
+// distributed dense-array library that dynamically translates array
+// operations into Legion-style index launches on the DCR runtime.
+// Arrays are backed by region fields; every operation becomes a group
+// task launch over the array's tiling, so an unmodified "NumPy-ish"
+// program scales across nodes with the runtime replicating its control
+// flow — no chunk-size tuning required from the user (the paper's
+// contrast with dask.array).
+package legate
+
+import (
+	"fmt"
+
+	"godcr/internal/core"
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/region"
+)
+
+// Binary op codes for the "lg.binop" task.
+const (
+	opAdd = iota
+	opSub
+	opMul
+	opDiv
+)
+
+// Unary op codes for the "lg.unary" task.
+const (
+	opSigmoid = iota
+	opExp
+	opAbs
+	opNeg
+)
+
+// Register installs the legate task suite on a runtime. Call once
+// before Execute.
+func Register(rt *core.Runtime) {
+	rt.RegisterTask("lg.init_linear", taskInitLinear)
+	rt.RegisterTask("lg.binop", taskBinop)
+	rt.RegisterTask("lg.affine", taskAffine)
+	rt.RegisterTask("lg.axpy", taskAXPY)
+	rt.RegisterTask("lg.unary", taskUnary)
+	rt.RegisterTask("lg.dot", taskDot)
+	rt.RegisterTask("lg.sum", taskSum)
+	rt.RegisterTask("lg.matvec", taskMatVec)
+	rt.RegisterTask("lg.mattvec", taskMatTVec)
+	rt.RegisterTask("lg.laplace", taskLaplace)
+	rt.RegisterTask("lg.jacobi", taskJacobi)
+	rt.RegisterTask("lg.fill_rand", taskFillRand)
+}
+
+// Lib is one shard's handle to the array library.
+type Lib struct {
+	ctx   *core.Context
+	tiles int
+}
+
+// New creates the library handle; arrays are tiled into `tiles` chunks
+// (0 = one per shard, the default Legate policy).
+func New(ctx *core.Context, tiles int) *Lib {
+	if tiles <= 0 {
+		tiles = ctx.NumShards()
+	}
+	return &Lib{ctx: ctx, tiles: tiles}
+}
+
+// Array is a distributed 1-D float64 array.
+type Array struct {
+	lib   *Lib
+	n     int64
+	reg   *region.Region
+	part  *region.Partition // disjoint equal tiling
+	full  *region.Partition // aliased: every color sees the whole array
+	ghost *region.Partition // lazy halo tiling (stencil matvecs)
+}
+
+// Matrix is a distributed dense row-tiled 2-D float64 array.
+type Matrix struct {
+	lib        *Lib
+	rows, cols int64
+	reg        *region.Region
+	part       *region.Partition // row tiles
+}
+
+func (l *Lib) domain() geom.Rect { return geom.R1(0, int64(l.tiles)-1) }
+
+// NewArray allocates a zeroed distributed array of length n.
+func (l *Lib) NewArray(n int64) *Array {
+	if n <= 0 {
+		panic("legate: array length must be positive")
+	}
+	reg := l.ctx.CreateRegion(geom.R1(0, n-1), "data")
+	part := l.ctx.PartitionEqual(reg, l.tiles)
+	fullRects := make([]geom.Rect, l.tiles)
+	for i := range fullRects {
+		fullRects[i] = reg.Bounds
+	}
+	full := l.ctx.PartitionCustom(reg, l.domain(), fullRects)
+	return &Array{lib: l, n: n, reg: reg, part: part, full: full}
+}
+
+// Len returns the array length.
+func (a *Array) Len() int64 { return a.n }
+
+// Fill sets every element to v.
+func (a *Array) Fill(v float64) { a.lib.ctx.Fill(a.reg, "data", v) }
+
+// Linear initializes a[i] = base + step*i.
+func (a *Array) Linear(base, step float64) {
+	a.launch("lg.init_linear", []float64{base, step},
+		core.RegionReq{Part: a.part, Priv: core.WriteDiscard, Fields: []string{"data"}})
+}
+
+// FillRand fills with deterministic pseudo-random values in [0,1)
+// derived from the seed and element index (counter-based, so every
+// shard agrees).
+func (a *Array) FillRand(seed uint64) {
+	a.launch("lg.fill_rand", []float64{float64(seed)},
+		core.RegionReq{Part: a.part, Priv: core.WriteDiscard, Fields: []string{"data"}})
+}
+
+// Read extracts the array's contents on every shard (collective).
+func (a *Array) Read() []float64 { return a.lib.ctx.InlineRead(a.reg, "data") }
+
+func (a *Array) launch(task string, args []float64, reqs ...core.RegionReq) *core.FutureMap {
+	return a.lib.ctx.IndexLaunch(core.Launch{
+		Task: task, Domain: a.lib.domain(), Args: args, Reqs: reqs,
+	})
+}
+
+// tileReq is this array's disjoint tile requirement.
+func (a *Array) tileReq(priv core.Privilege) core.RegionReq {
+	return core.RegionReq{Part: a.part, Priv: priv, Fields: []string{"data"}}
+}
+
+// fullReq exposes the whole array to every point task (broadcast
+// read or reduction target).
+func (a *Array) fullReq(priv core.Privilege, red instance.ReduceOp) core.RegionReq {
+	return core.RegionReq{Part: a.full, Priv: priv, RedOp: red, Fields: []string{"data"}}
+}
+
+func sameLib(xs ...*Array) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i].lib != xs[0].lib || xs[i].n != xs[0].n {
+			panic("legate: arrays must share a library and length")
+		}
+	}
+}
+
+// Add computes dst = x + y.
+func (l *Lib) Add(dst, x, y *Array) { l.binop(opAdd, dst, x, y) }
+
+// Sub computes dst = x - y.
+func (l *Lib) Sub(dst, x, y *Array) { l.binop(opSub, dst, x, y) }
+
+// Mul computes dst = x * y (elementwise).
+func (l *Lib) Mul(dst, x, y *Array) { l.binop(opMul, dst, x, y) }
+
+// Div computes dst = x / y (elementwise).
+func (l *Lib) Div(dst, x, y *Array) { l.binop(opDiv, dst, x, y) }
+
+func (l *Lib) binop(code int, dst, x, y *Array) {
+	sameLib(dst, x, y)
+	dst.launch("lg.binop", []float64{float64(code)},
+		dst.tileReq(core.WriteDiscard), x.tileReq(core.ReadOnly), y.tileReq(core.ReadOnly))
+}
+
+// Affine computes dst = alpha*x + beta.
+func (l *Lib) Affine(dst, x *Array, alpha, beta float64) {
+	sameLib(dst, x)
+	dst.launch("lg.affine", []float64{alpha, beta},
+		dst.tileReq(core.WriteDiscard), x.tileReq(core.ReadOnly))
+}
+
+// Copy computes dst = x.
+func (l *Lib) Copy(dst, x *Array) { l.Affine(dst, x, 1, 0) }
+
+// AXPY computes y += alpha*x.
+func (l *Lib) AXPY(y *Array, alpha float64, x *Array) {
+	sameLib(y, x)
+	y.launch("lg.axpy", []float64{alpha},
+		y.tileReq(core.ReadWrite), x.tileReq(core.ReadOnly))
+}
+
+// Sigmoid computes dst = 1/(1+exp(-x)).
+func (l *Lib) Sigmoid(dst, x *Array) { l.unary(opSigmoid, dst, x) }
+
+// Exp computes dst = exp(x).
+func (l *Lib) Exp(dst, x *Array) { l.unary(opExp, dst, x) }
+
+// Abs computes dst = |x|.
+func (l *Lib) Abs(dst, x *Array) { l.unary(opAbs, dst, x) }
+
+func (l *Lib) unary(code int, dst, x *Array) {
+	sameLib(dst, x)
+	dst.launch("lg.unary", []float64{float64(code)},
+		dst.tileReq(core.WriteDiscard), x.tileReq(core.ReadOnly))
+}
+
+// Dot returns the inner product <x, y> as a future.
+func (l *Lib) Dot(x, y *Array) *core.Future {
+	sameLib(x, y)
+	fm := x.launch("lg.dot", nil, x.tileReq(core.ReadOnly), y.tileReq(core.ReadOnly))
+	return fm.Reduce(instance.ReduceAdd)
+}
+
+// Sum returns the element sum as a future.
+func (l *Lib) Sum(x *Array) *core.Future {
+	fm := x.launch("lg.sum", nil, x.tileReq(core.ReadOnly))
+	return fm.Reduce(instance.ReduceAdd)
+}
+
+// Norm2 returns <x, x> as a future.
+func (l *Lib) Norm2(x *Array) *core.Future { return l.Dot(x, x) }
+
+// NewMatrix allocates a zeroed rows×cols matrix, row-tiled.
+func (l *Lib) NewMatrix(rows, cols int64) *Matrix {
+	reg := l.ctx.CreateRegion(geom.R2(0, 0, rows-1, cols-1), "data")
+	part := l.ctx.PartitionEqual(reg, l.tiles, 1)
+	return &Matrix{lib: l, rows: rows, cols: cols, reg: reg, part: part}
+}
+
+// Fill sets every matrix element to v.
+func (m *Matrix) Fill(v float64) { m.lib.ctx.Fill(m.reg, "data", v) }
+
+// FillRand fills the matrix with deterministic pseudo-random values.
+func (m *Matrix) FillRand(seed uint64) {
+	m.lib.ctx.IndexLaunch(core.Launch{
+		Task: "lg.fill_rand", Domain: m.lib.domain(), Args: []float64{float64(seed)},
+		Reqs: []core.RegionReq{{Part: m.part, Priv: core.WriteDiscard, Fields: []string{"data"}}},
+	})
+}
+
+// Read extracts the matrix (row-major) on every shard.
+func (m *Matrix) Read() []float64 { return m.lib.ctx.InlineRead(m.reg, "data") }
+
+// MatVec computes dst = M·x. dst is tiled like M's rows; x is
+// broadcast-read by every point task.
+func (l *Lib) MatVec(dst *Array, m *Matrix, x *Array) {
+	if dst.n != m.rows || x.n != m.cols {
+		panic(fmt.Sprintf("legate: matvec shape mismatch (%d×%d)·%d -> %d", m.rows, m.cols, x.n, dst.n))
+	}
+	l.ctx.IndexLaunch(core.Launch{
+		Task: "lg.matvec", Domain: l.domain(),
+		Reqs: []core.RegionReq{
+			dst.tileReq(core.WriteDiscard),
+			{Part: m.part, Priv: core.ReadOnly, Fields: []string{"data"}},
+			x.fullReq(core.ReadOnly, instance.ReduceNone),
+		},
+	})
+}
+
+// MatTVec computes dst = Mᵀ·x via per-tile reduction contributions:
+// each point task folds its rows' contribution into the whole dst —
+// the cross-shard reduction pattern of the paper's circuit benchmark.
+func (l *Lib) MatTVec(dst *Array, m *Matrix, x *Array) {
+	if dst.n != m.cols || x.n != m.rows {
+		panic(fmt.Sprintf("legate: matTvec shape mismatch (%d×%d)ᵀ·%d -> %d", m.rows, m.cols, x.n, dst.n))
+	}
+	dst.Fill(0)
+	l.ctx.IndexLaunch(core.Launch{
+		Task: "lg.mattvec", Domain: l.domain(),
+		Reqs: []core.RegionReq{
+			dst.fullReq(core.Reduce, instance.ReduceAdd),
+			{Part: m.part, Priv: core.ReadOnly, Fields: []string{"data"}},
+			x.tileReq(core.ReadOnly),
+		},
+	})
+}
+
+// Laplace1D computes dst = A·x where A is the 1-D Dirichlet Laplacian
+// (2 on the diagonal, -1 off-diagonal) — a ghost-exchange matvec.
+func (l *Lib) Laplace1D(dst, x *Array) {
+	sameLib(dst, x)
+	if x.ghost == nil {
+		x.ghost = l.ctx.PartitionHalo(x.part, 1)
+	}
+	ghost := x.ghost
+	l.ctx.IndexLaunch(core.Launch{
+		Task: "lg.laplace", Domain: l.domain(),
+		Reqs: []core.RegionReq{
+			dst.tileReq(core.WriteDiscard),
+			{Part: ghost, Priv: core.ReadOnly, Fields: []string{"data"}},
+		},
+	})
+}
+
+// JacobiPrecondition computes dst = r / diag where diag is the 1-D
+// Laplacian diagonal (2) — the preconditioner of the paper's CG
+// benchmark.
+func (l *Lib) JacobiPrecondition(dst, r *Array) {
+	sameLib(dst, r)
+	dst.launch("lg.jacobi", nil,
+		dst.tileReq(core.WriteDiscard), r.tileReq(core.ReadOnly))
+}

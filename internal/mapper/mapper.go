@@ -1,0 +1,156 @@
+// Package mapper implements the slice of Legion's mapping interface
+// that DCR extends (paper §4): sharding functors — pure, total
+// functions from launch-domain points to shards — plus their
+// memoization, and the default policies (which tasks replicate, one
+// shard per node).
+//
+// A good sharding functor assigns tasks near where their data lives; a
+// poor one forces the runtime to move metadata and field data. The
+// functors here mirror the ones the paper's applications used: cyclic
+// (round-robin, the paper's ID 0) and tiled (block) sharding.
+package mapper
+
+import (
+	"fmt"
+	"sync"
+
+	"godcr/internal/geom"
+)
+
+// ShardingFunctor maps each point of a launch domain to an owner
+// shard. Implementations must be pure: the runtime memoizes results
+// and evaluates functors on any shard to locate remote work.
+type ShardingFunctor interface {
+	// Name identifies the functor; the symbolic fence-elision proof
+	// compares launches by functor name (paper §4.1).
+	Name() string
+	// Shard returns the owner shard of point p, in [0, nShards).
+	Shard(domain geom.Rect, p geom.Point, nShards int) int
+}
+
+// CyclicSharding round-robins tasks over shards by linearized index —
+// the paper's sharding function ID 0.
+type CyclicSharding struct{}
+
+// Name implements ShardingFunctor.
+func (CyclicSharding) Name() string { return "cyclic" }
+
+// Shard implements ShardingFunctor.
+func (CyclicSharding) Shard(domain geom.Rect, p geom.Point, nShards int) int {
+	return int(domain.Index(p) % int64(nShards))
+}
+
+// TiledSharding assigns contiguous blocks of the launch domain to
+// shards, preserving locality for neighbor-exchange patterns.
+type TiledSharding struct{}
+
+// Name implements ShardingFunctor.
+func (TiledSharding) Name() string { return "tiled" }
+
+// Shard implements ShardingFunctor.
+func (TiledSharding) Shard(domain geom.Rect, p geom.Point, nShards int) int {
+	n := domain.Volume()
+	if n == 0 {
+		return 0
+	}
+	i := domain.Index(p)
+	s := int(i * int64(nShards) / n)
+	if s >= nShards {
+		s = nShards - 1
+	}
+	return s
+}
+
+// FuncSharding wraps an arbitrary pure function. Distinct functions
+// must carry distinct labels.
+type FuncSharding struct {
+	Label string
+	Fn    func(domain geom.Rect, p geom.Point, nShards int) int
+}
+
+// Name implements ShardingFunctor.
+func (f FuncSharding) Name() string { return f.Label }
+
+// Shard implements ShardingFunctor.
+func (f FuncSharding) Shard(domain geom.Rect, p geom.Point, nShards int) int {
+	return f.Fn(domain, p, nShards)
+}
+
+// Default sharding functors.
+var (
+	Cyclic ShardingFunctor = CyclicSharding{}
+	Tiled  ShardingFunctor = TiledSharding{}
+)
+
+// Memo caches evaluated sharding assignments. Because functors are
+// pure, an assignment depends only on (functor name, domain, nShards);
+// memoizing removes the per-launch evaluation cost (paper §4:
+// "Because sharding functions are pure, we can memoize their
+// results").
+type Memo struct {
+	mu    sync.Mutex
+	cache map[memoKey][]int
+	hits  int
+	miss  int
+}
+
+type memoKey struct {
+	name    string
+	domain  geom.Rect
+	nShards int
+}
+
+// NewMemo returns an empty memo table.
+func NewMemo() *Memo { return &Memo{cache: make(map[memoKey][]int)} }
+
+// Assignment returns the owner shard of every point of domain in
+// row-major order, computing and caching it on first use.
+func (m *Memo) Assignment(f ShardingFunctor, domain geom.Rect, nShards int) []int {
+	key := memoKey{f.Name(), domain, nShards}
+	m.mu.Lock()
+	if a, ok := m.cache[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return a
+	}
+	m.miss++
+	m.mu.Unlock()
+	a := make([]int, domain.Volume())
+	i := 0
+	domain.Each(func(p geom.Point) bool {
+		s := f.Shard(domain, p, nShards)
+		if s < 0 || s >= nShards {
+			panic(fmt.Sprintf("mapper: functor %q sharded %v to %d of %d", f.Name(), p, s, nShards))
+		}
+		a[i] = s
+		i++
+		return true
+	})
+	m.mu.Lock()
+	m.cache[key] = a
+	m.mu.Unlock()
+	return a
+}
+
+// Stats returns (hits, misses) of the memo table.
+func (m *Memo) Stats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.miss
+}
+
+// LocalPoints returns the points of domain owned by shard, in
+// row-major order.
+func (m *Memo) LocalPoints(f ShardingFunctor, domain geom.Rect, nShards, shard int) []geom.Point {
+	a := m.Assignment(f, domain, nShards)
+	var out []geom.Point
+	i := 0
+	domain.Each(func(p geom.Point) bool {
+		if a[i] == shard {
+			out = append(out, p)
+		}
+		i++
+		return true
+	})
+	return out
+}

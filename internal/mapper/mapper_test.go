@@ -1,0 +1,132 @@
+package mapper
+
+import (
+	"testing"
+
+	"godcr/internal/geom"
+)
+
+func TestCyclicSharding(t *testing.T) {
+	dom := geom.R1(0, 7)
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	i := 0
+	dom.Each(func(p geom.Point) bool {
+		if got := Cyclic.Shard(dom, p, 3); got != want[i] {
+			t.Fatalf("point %v -> %d, want %d", p, got, want[i])
+		}
+		i++
+		return true
+	})
+}
+
+func TestTiledSharding(t *testing.T) {
+	dom := geom.R1(0, 7)
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	i := 0
+	dom.Each(func(p geom.Point) bool {
+		if got := Tiled.Shard(dom, p, 4); got != want[i] {
+			t.Fatalf("point %v -> %d, want %d", p, got, want[i])
+		}
+		i++
+		return true
+	})
+}
+
+func TestShardingTotality(t *testing.T) {
+	// Every point must map to exactly one shard in range, for both
+	// functors, across awkward domain/shard combinations.
+	doms := []geom.Rect{geom.R1(0, 0), geom.R1(3, 17), geom.R2(0, 0, 4, 6), geom.R3(0, 0, 0, 2, 2, 2)}
+	for _, dom := range doms {
+		for _, n := range []int{1, 2, 3, 5, 16, 100} {
+			for _, f := range []ShardingFunctor{Cyclic, Tiled} {
+				dom.Each(func(p geom.Point) bool {
+					s := f.Shard(dom, p, n)
+					if s < 0 || s >= n {
+						t.Fatalf("%s(%v, n=%d) = %d out of range", f.Name(), p, n, s)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+func TestShardingBalance(t *testing.T) {
+	dom := geom.R1(0, 99)
+	for _, f := range []ShardingFunctor{Cyclic, Tiled} {
+		counts := make([]int, 4)
+		dom.Each(func(p geom.Point) bool {
+			counts[f.Shard(dom, p, 4)]++
+			return true
+		})
+		for s, c := range counts {
+			if c != 25 {
+				t.Fatalf("%s: shard %d got %d of 100 tasks", f.Name(), s, c)
+			}
+		}
+	}
+}
+
+func TestFuncSharding(t *testing.T) {
+	f := FuncSharding{Label: "all-zero", Fn: func(geom.Rect, geom.Point, int) int { return 0 }}
+	if f.Name() != "all-zero" {
+		t.Fatal("name")
+	}
+	if f.Shard(geom.R1(0, 9), geom.Pt1(5), 8) != 0 {
+		t.Fatal("shard")
+	}
+}
+
+func TestMemoCachesAssignments(t *testing.T) {
+	m := NewMemo()
+	dom := geom.R1(0, 999)
+	a1 := m.Assignment(Cyclic, dom, 8)
+	a2 := m.Assignment(Cyclic, dom, 8)
+	if &a1[0] != &a2[0] {
+		t.Fatal("memo did not return the cached slice")
+	}
+	hits, misses := m.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// Different shard count is a different key.
+	m.Assignment(Cyclic, dom, 4)
+	_, misses = m.Stats()
+	if misses != 2 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestMemoPanicsOnBadFunctor(t *testing.T) {
+	m := NewMemo()
+	bad := FuncSharding{Label: "bad", Fn: func(geom.Rect, geom.Point, int) int { return 99 }}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range functor must panic")
+		}
+	}()
+	m.Assignment(bad, geom.R1(0, 3), 2)
+}
+
+func TestLocalPoints(t *testing.T) {
+	m := NewMemo()
+	dom := geom.R1(0, 9)
+	pts := m.LocalPoints(Cyclic, dom, 4, 1)
+	want := []geom.Point{geom.Pt1(1), geom.Pt1(5), geom.Pt1(9)}
+	if len(pts) != len(want) {
+		t.Fatalf("pts = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts = %v", pts)
+		}
+	}
+	// Union of all shards' local points covers the domain exactly.
+	total := 0
+	for s := 0; s < 4; s++ {
+		total += len(m.LocalPoints(Cyclic, dom, 4, s))
+	}
+	if total != 10 {
+		t.Fatalf("coverage = %d", total)
+	}
+}

@@ -1,0 +1,56 @@
+package mapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"godcr/internal/geom"
+)
+
+// testing/quick property: both built-in functors are total functions
+// into [0, nShards) for arbitrary 1-D/2-D domains (the paper's only
+// requirements on sharding functions: "it be a function ... and total").
+func TestQuickFunctorTotality(t *testing.T) {
+	f := func(lo int16, extent uint16, extent2 uint8, shards uint8, pick uint8) bool {
+		n := 1 + int(shards%40)
+		dom := geom.R2(int64(lo), int64(lo), int64(lo)+int64(extent%128), int64(lo)+int64(extent2%16))
+		fn := []ShardingFunctor{Cyclic, Tiled}[pick%2]
+		ok := true
+		dom.Each(func(p geom.Point) bool {
+			s := fn.Shard(dom, p, n)
+			if s < 0 || s >= n {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tiled sharding assigns monotonically non-decreasing shards along the
+// linearized domain (contiguity).
+func TestQuickTiledContiguous(t *testing.T) {
+	f := func(extent uint16, shards uint8) bool {
+		n := 1 + int(shards%16)
+		dom := geom.R1(0, int64(extent%512))
+		prev := -1
+		ok := true
+		dom.Each(func(p geom.Point) bool {
+			s := Tiled.Shard(dom, p, n)
+			if s < prev {
+				ok = false
+				return false
+			}
+			prev = s
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

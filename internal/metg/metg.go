@@ -1,0 +1,188 @@
+// Package metg implements the Task Bench metric the paper uses to
+// quantify the cost of control-determinism checks (§5.5, Fig. 21):
+// METG(50%), the minimum effective task granularity at which the
+// system reaches 50% efficiency against its own runtime overheads.
+// Smaller is better — it is the shortest task a user can run without
+// the runtime eating half the machine.
+//
+// The workload is Task Bench's stencil dependence pattern: every step,
+// every processor runs one task that reads its neighbors' previous
+// output — a pattern whose ghost-vs-owned dependence forces the
+// runtime through its full analysis (and, under DCR, a cross-shard
+// fence) on every step. As in the paper, several independent copies of
+// the pattern run simultaneously to provide a modicum of task
+// parallelism for the pipeline to hide latency in.
+package metg
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"godcr/internal/core"
+	"godcr/internal/geom"
+	"godcr/internal/region"
+)
+
+// Options configures a measurement.
+type Options struct {
+	// Shards is the machine size.
+	Shards int
+	// Steps is the number of stencil steps per run.
+	Steps int
+	// Copies is the number of independent stencil instances (the
+	// paper uses four).
+	Copies int
+	// Trace enables Legion-style tracing of the step body.
+	Trace bool
+	// Safe enables the control-determinism checks.
+	Safe bool
+	// CellsPerTask sizes each task's region (data volume is not the
+	// point of Task Bench; keep it small).
+	CellsPerTask int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.Steps <= 0 {
+		o.Steps = 20
+	}
+	if o.Copies <= 0 {
+		o.Copies = 4
+	}
+	if o.CellsPerTask <= 0 {
+		o.CellsPerTask = 16
+	}
+	return o
+}
+
+// spinTask busy-waits for Args[0] seconds — the synthetic compute
+// kernel of Task Bench.
+func spinTask(tc *core.TaskContext) (float64, error) {
+	d := time.Duration(tc.Args[0] * float64(time.Second))
+	// Touch the data so the dependence is genuine. Patterns without a
+	// read requirement (trivial) map only the write.
+	out := tc.Region(0).Field("v")
+	sum := 0.0
+	if tc.NumRegions() > 1 {
+		in := tc.Region(1).Field("v")
+		in.Rect().Each(func(p geom.Point) bool {
+			sum += in.At(p)
+			return true
+		})
+	}
+	out.Rect().Each(func(p geom.Point) bool {
+		out.Set(p, sum)
+		return true
+	})
+	if d > 0 {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+	}
+	return sum, nil
+}
+
+// RunOnce executes the Task Bench pattern with the given task grain
+// and returns the measured wall time of the stepped section.
+func RunOnce(opts Options, grain time.Duration) (time.Duration, error) {
+	opts = opts.withDefaults()
+	rt := core.NewRuntime(core.Config{
+		Shards:       opts.Shards,
+		CPUsPerShard: opts.Copies,
+		SafetyChecks: opts.Safe,
+	})
+	defer rt.Shutdown()
+	rt.RegisterTask("tb.spin", spinTask)
+
+	var elapsed time.Duration
+	err := rt.Execute(func(ctx *core.Context) error {
+		width := int64(opts.Shards)
+		domain := geom.R1(0, width-1)
+		var owns, ghosts []*region.Partition
+		for c := 0; c < opts.Copies; c++ {
+			r := ctx.CreateRegion(geom.R1(0, width*int64(opts.CellsPerTask)-1), "v")
+			owned := ctx.PartitionEqual(r, opts.Shards)
+			ghost := ctx.PartitionHalo(owned, int64(opts.CellsPerTask))
+			ctx.Fill(r, "v", 1)
+			owns = append(owns, owned)
+			ghosts = append(ghosts, ghost)
+		}
+		ctx.ExecutionFence()
+		start := time.Now()
+		for s := 0; s < opts.Steps; s++ {
+			if opts.Trace {
+				ctx.BeginTrace(77)
+			}
+			for c := 0; c < opts.Copies; c++ {
+				ctx.IndexLaunch(core.Launch{
+					Task:   "tb.spin",
+					Domain: domain,
+					Args:   []float64{grain.Seconds()},
+					Reqs: []core.RegionReq{
+						{Part: owns[c], Priv: core.ReadWrite, Fields: []string{"v"}},
+						{Part: ghosts[c], Priv: core.ReadOnly, Fields: []string{"v"}},
+					},
+				})
+			}
+			if opts.Trace {
+				ctx.EndTrace(77)
+			}
+		}
+		ctx.ExecutionFence()
+		if ctx.ShardID() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// Efficiency measures the run against ideal execution: total useful
+// task-seconds divided by elapsed time times the machine's parallel
+// capacity. The cluster is simulated in-process, so capacity is the
+// lesser of the host's GOMAXPROCS and the cluster's processor count —
+// on a single-core host every spin serializes and the ideal time is
+// the serial sum, exactly as Task Bench accounts for resources.
+func Efficiency(opts Options, grain time.Duration) (float64, error) {
+	opts = opts.withDefaults()
+	elapsed, err := RunOnce(opts, grain)
+	if err != nil {
+		return 0, err
+	}
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("metg: measured nothing")
+	}
+	totalTasks := opts.Steps * opts.Copies * opts.Shards
+	capacity := runtime.GOMAXPROCS(0)
+	if c := opts.Shards * opts.Copies; c < capacity {
+		capacity = c
+	}
+	totalWork := time.Duration(totalTasks) * grain
+	ideal := totalWork / time.Duration(capacity)
+	return float64(ideal) / float64(elapsed), nil
+}
+
+// Measure finds METG(50%): the smallest task grain (by geometric
+// search) at which efficiency reaches 50%.
+func Measure(opts Options) (time.Duration, error) {
+	opts = opts.withDefaults()
+	grain := 2 * time.Microsecond
+	const maxGrain = 200 * time.Millisecond
+	for grain <= maxGrain {
+		eff, err := Efficiency(opts, grain)
+		if err != nil {
+			return 0, err
+		}
+		if eff >= 0.5 {
+			return grain, nil
+		}
+		grain = grain * 3 / 2
+	}
+	return 0, fmt.Errorf("metg: no grain up to %v reached 50%% efficiency", maxGrain)
+}

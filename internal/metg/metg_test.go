@@ -1,0 +1,78 @@
+package metg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunOnceMeasuresSomething(t *testing.T) {
+	opts := Options{Shards: 2, Steps: 10, Copies: 2}
+	grain := 200 * time.Microsecond
+	elapsed, err := RunOnce(opts, grain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run cannot be faster than the serial chain of one copy's
+	// spins on one processor.
+	if elapsed < time.Duration(opts.Steps)*grain {
+		t.Fatalf("elapsed %v < ideal %v", elapsed, time.Duration(opts.Steps)*grain)
+	}
+}
+
+func TestEfficiencyIncreasesWithGrain(t *testing.T) {
+	opts := Options{Shards: 2, Steps: 10, Copies: 2}
+	small, err := Efficiency(opts, 20*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Efficiency(opts, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large < small {
+		t.Fatalf("efficiency should grow with grain: %.3f -> %.3f", small, large)
+	}
+	if large < 0.5 {
+		t.Fatalf("5ms tasks should exceed 50%% efficiency, got %.3f", large)
+	}
+	if large > 1.2 {
+		t.Fatalf("efficiency cannot exceed 1 (+noise): %.3f", large)
+	}
+}
+
+func TestMeasureFindsAGrain(t *testing.T) {
+	for _, cfg := range []Options{
+		{Shards: 2, Steps: 10, Copies: 2},
+		{Shards: 2, Steps: 10, Copies: 2, Safe: true},
+		{Shards: 2, Steps: 12, Copies: 2, Trace: true},
+		{Shards: 2, Steps: 12, Copies: 2, Trace: true, Safe: true},
+	} {
+		m, err := Measure(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if m <= 0 || m > 100*time.Millisecond {
+			t.Fatalf("%+v: implausible METG %v", cfg, m)
+		}
+		t.Logf("METG(50%%) shards=%d trace=%v safe=%v: %v", cfg.Shards, cfg.Trace, cfg.Safe, m)
+	}
+}
+
+func TestSafeChecksNegligible(t *testing.T) {
+	// The paper's Fig. 21 headline: determinism checks have
+	// negligible impact on METG. Timing noise in CI makes exact
+	// comparison flaky, so allow a generous factor.
+	opts := Options{Shards: 4, Steps: 15, Copies: 2}
+	base, err := Measure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Safe = true
+	safe, err := Measure(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe > base*4 {
+		t.Fatalf("Safe METG %v vastly exceeds base %v", safe, base)
+	}
+}

@@ -1,0 +1,154 @@
+package metg
+
+import (
+	"fmt"
+	"time"
+
+	"godcr/internal/core"
+	"godcr/internal/geom"
+	"godcr/internal/region"
+	"godcr/internal/rng"
+)
+
+// Task Bench dependence patterns (Slaughter et al., cited in §5.5).
+// Each pattern determines which *previous-step* tile every task reads;
+// the runtime must discover and enforce exactly those dependences.
+
+// Pattern selects the Task Bench dependence pattern.
+type Pattern int
+
+// Patterns.
+const (
+	// PatternStencil reads the left/right neighbor tiles (default).
+	PatternStencil Pattern = iota
+	// PatternTrivial has no read dependences at all.
+	PatternTrivial
+	// PatternChain reads only the task's own previous output.
+	PatternChain
+	// PatternFFT reads the butterfly partner (i XOR 2^step).
+	PatternFFT
+	// PatternRandom reads a pseudo-random (but deterministic) tile.
+	PatternRandom
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternStencil:
+		return "stencil"
+	case PatternTrivial:
+		return "trivial"
+	case PatternChain:
+		return "chain"
+	case PatternFFT:
+		return "fft"
+	case PatternRandom:
+		return "random"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// readProjection returns the projection selecting the tile each task
+// reads at the given step, or nil for no read requirement.
+func (p Pattern) readProjection(step, width int) region.Projection {
+	switch p {
+	case PatternTrivial:
+		return nil
+	case PatternChain:
+		return region.Identity
+	case PatternStencil:
+		return nil // handled via halo partitions in RunOnce
+	case PatternFFT:
+		stride := int64(1) << (uint(step) % uint(log2(width)+1))
+		return region.FuncProjection{
+			Label: fmt.Sprintf("fft/%d", stride),
+			Fn: func(dom geom.Rect, pt geom.Point) geom.Point {
+				partner := pt[0] ^ stride
+				if partner >= dom.Size(0) {
+					partner = pt[0]
+				}
+				return geom.Pt1(partner)
+			},
+		}
+	case PatternRandom:
+		s := uint64(step)
+		return region.FuncProjection{
+			Label: fmt.Sprintf("rand/%d", step),
+			Fn: func(dom geom.Rect, pt geom.Point) geom.Point {
+				return geom.Pt1(int64(rng.At(s*1315423911+7, uint64(pt[0]))) % dom.Size(0))
+			},
+		}
+	}
+	return nil
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// RunPattern executes the Task Bench pattern for `steps` steps at the
+// given grain and returns the stepped section's wall time. Unlike
+// RunOnce (the paper's Fig. 21 stencil), the dependence pattern is
+// selectable.
+func RunPattern(opts Options, pattern Pattern, grain time.Duration) (time.Duration, error) {
+	if pattern == PatternStencil {
+		return RunOnce(opts, grain)
+	}
+	opts = opts.withDefaults()
+	rt := core.NewRuntime(core.Config{
+		Shards:       opts.Shards,
+		CPUsPerShard: opts.Copies,
+		SafetyChecks: opts.Safe,
+	})
+	defer rt.Shutdown()
+	rt.RegisterTask("tb.spin", spinTask)
+
+	var elapsed time.Duration
+	err := rt.Execute(func(ctx *core.Context) error {
+		width := int64(opts.Shards)
+		domain := geom.R1(0, width-1)
+		var parts []*region.Partition
+		var regions []*region.Region
+		for c := 0; c < opts.Copies; c++ {
+			r := ctx.CreateRegion(geom.R1(0, width*int64(opts.CellsPerTask)-1), "v")
+			parts = append(parts, ctx.PartitionEqual(r, opts.Shards))
+			regions = append(regions, r)
+			ctx.Fill(r, "v", 1)
+		}
+		ctx.ExecutionFence()
+		start := time.Now()
+		for s := 0; s < opts.Steps; s++ {
+			for c := 0; c < opts.Copies; c++ {
+				reqs := []core.RegionReq{
+					{Part: parts[c], Priv: core.ReadWrite, Fields: []string{"v"}},
+				}
+				if proj := pattern.readProjection(s, int(width)); proj != nil {
+					reqs[0].Priv = core.WriteDiscard
+					reqs = append(reqs, core.RegionReq{
+						Part: parts[c], Proj: proj, Priv: core.ReadOnly, Fields: []string{"v"},
+					})
+				}
+				ctx.IndexLaunch(core.Launch{
+					Task:   "tb.spin",
+					Domain: domain,
+					Args:   []float64{grain.Seconds()},
+					Reqs:   reqs,
+				})
+			}
+		}
+		ctx.ExecutionFence()
+		if ctx.ShardID() == 0 {
+			elapsed = time.Since(start)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}

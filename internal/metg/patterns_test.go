@@ -1,0 +1,51 @@
+package metg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAllPatternsRun(t *testing.T) {
+	opts := Options{Shards: 3, Steps: 8, Copies: 2}
+	for _, p := range []Pattern{PatternTrivial, PatternChain, PatternStencil, PatternFFT, PatternRandom} {
+		el, err := RunPattern(opts, p, 100*time.Microsecond)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if el <= 0 {
+			t.Fatalf("%v: no elapsed time", p)
+		}
+		t.Logf("%-8v %v", p, el)
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	want := map[Pattern]string{
+		PatternStencil: "stencil", PatternTrivial: "trivial",
+		PatternChain: "chain", PatternFFT: "fft", PatternRandom: "random",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Fatalf("%d: %q", p, p.String())
+		}
+	}
+}
+
+func TestTrivialFasterOrEqualToRandom(t *testing.T) {
+	// Dependence-free steps cannot be slower than all-to-all-ish
+	// random dependences at the same grain (generous tolerance for
+	// scheduler noise on shared CI).
+	opts := Options{Shards: 4, Steps: 12, Copies: 2}
+	grain := 300 * time.Microsecond
+	triv, err := RunPattern(opts, PatternTrivial, grain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndDur, err := RunPattern(opts, PatternRandom, grain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triv > rndDur*2 {
+		t.Fatalf("trivial (%v) much slower than random (%v)", triv, rndDur)
+	}
+}

@@ -1,0 +1,125 @@
+package region
+
+import (
+	"godcr/internal/geom"
+)
+
+// Projection maps a point of a launch domain to the color of the
+// subregion that point task uses (paper §4: "the task calls have the
+// form t(p[f(i)])"). Projections must be pure functions of their
+// inputs: the runtime memoizes them and evaluates them on any shard to
+// locate data, and the symbolic fence-elision proof compares launches
+// by projection identity.
+type Projection interface {
+	// Name identifies the projection for symbolic comparison; two
+	// launches with the same partition, same launch domain, and same
+	// projection name provably access identical subregions
+	// point-by-point.
+	Name() string
+	// Color returns the subregion color for launch-domain point p.
+	Color(domain geom.Rect, p geom.Point) geom.Point
+}
+
+// IdentityProjection maps point i to color i — the projection the
+// Regent compiler emits for data-parallel loops.
+type IdentityProjection struct{}
+
+// Name implements Projection.
+func (IdentityProjection) Name() string { return "identity" }
+
+// Color implements Projection.
+func (IdentityProjection) Color(_ geom.Rect, p geom.Point) geom.Point { return p }
+
+// Identity is the shared identity projection.
+var Identity Projection = IdentityProjection{}
+
+// OffsetProjection maps point i to color i+Delta, optionally wrapping
+// around the color-space torus — the neighbor-exchange projection.
+type OffsetProjection struct {
+	Delta geom.Point
+	Wrap  bool
+	Label string
+}
+
+// Name implements Projection.
+func (o OffsetProjection) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	w := ""
+	if o.Wrap {
+		w = "w"
+	}
+	return "offset" + w + pointKey(o.Delta)
+}
+
+// Color implements Projection.
+func (o OffsetProjection) Color(domain geom.Rect, p geom.Point) geom.Point {
+	c := p.Add(o.Delta)
+	if o.Wrap {
+		for d := 0; d < domain.Dim; d++ {
+			sz := domain.Size(d)
+			c[d] = domain.Lo[d] + mod64(c[d]-domain.Lo[d], sz)
+		}
+	} else {
+		for d := 0; d < domain.Dim; d++ {
+			if c[d] < domain.Lo[d] {
+				c[d] = domain.Lo[d]
+			}
+			if c[d] > domain.Hi[d] {
+				c[d] = domain.Hi[d]
+			}
+		}
+	}
+	return c
+}
+
+// FuncProjection wraps an arbitrary pure function as a projection.
+// Distinct functions must carry distinct labels.
+type FuncProjection struct {
+	Label string
+	Fn    func(domain geom.Rect, p geom.Point) geom.Point
+}
+
+// Name implements Projection.
+func (f FuncProjection) Name() string { return f.Label }
+
+// Color implements Projection.
+func (f FuncProjection) Color(domain geom.Rect, p geom.Point) geom.Point {
+	return f.Fn(domain, p)
+}
+
+func mod64(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func pointKey(p geom.Point) string {
+	b := make([]byte, 0, 24)
+	for d := 0; d < geom.MaxDim; d++ {
+		b = appendInt(b, p[d])
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

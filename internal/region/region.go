@@ -1,0 +1,264 @@
+// Package region implements Legion's data model (paper §4): logical
+// regions built from structured index spaces and typed fields,
+// recursively partitioned into subregions to form region trees. Any
+// region in a tree is a superset of the regions in its subtree, so a
+// partition's bounding rectangle is a valid upper bound for every
+// subregion a group task launch can touch — the property the coarse
+// analysis stage exploits to analyze a whole task group in O(1).
+//
+// Unlike Legion's opaque index spaces, every region here is a dense
+// rectangle, so aliasing tests between regions of the same tree are
+// exact rectangle intersections.
+package region
+
+import (
+	"fmt"
+	"sync"
+
+	"godcr/internal/geom"
+)
+
+// RegionID names a logical region within a Tree. IDs are assigned
+// deterministically in creation order, so replicated shards that make
+// identical API calls agree on every ID.
+type RegionID int32
+
+// PartitionID names a partition within a Tree.
+type PartitionID int32
+
+// FieldID names a field of a region's field space.
+type FieldID int32
+
+// NoRegion is the invalid region id.
+const NoRegion RegionID = -1
+
+// Region is a node of a region tree: a rectangle of index points plus
+// the tree bookkeeping. The root region owns the field space.
+type Region struct {
+	ID     RegionID
+	Bounds geom.Rect
+	// Root is the root region of this tree (== ID for roots).
+	Root RegionID
+	// Parent is the partition this region is a subregion of, or -1.
+	Parent PartitionID
+	// Fields of the tree (shared by all regions of the tree; only
+	// populated on roots).
+	Fields []string
+}
+
+// Partition is a (possibly aliased) division of a region into colored
+// subregions. Colors are the points of ColorSpace; Subregions is
+// indexed by the row-major linearization of the color.
+type Partition struct {
+	ID         PartitionID
+	Parent     RegionID
+	Root       RegionID
+	ColorSpace geom.Rect
+	Subregions []RegionID
+	// Disjoint reports whether subregions are pairwise disjoint.
+	Disjoint bool
+	// Complete reports whether the subregions cover the parent.
+	Complete bool
+	// Bounds is the union bound of all subregions — the coarse
+	// stage's upper bound for any group launch over this partition.
+	Bounds geom.Rect
+}
+
+// Tree holds a forest of region trees. All shards build identical
+// trees by replaying identical creation calls. Creation happens on the
+// application thread while the analysis stages read concurrently, so
+// the slices are guarded; Region and Partition values themselves are
+// immutable once created.
+type Tree struct {
+	mu         sync.RWMutex
+	regions    []*Region
+	partitions []*Partition
+}
+
+// NewTree returns an empty forest.
+func NewTree() *Tree { return &Tree{} }
+
+// CreateRegion creates a new root region with the given bounds and
+// field names.
+func (t *Tree) CreateRegion(bounds geom.Rect, fields ...string) *Region {
+	if bounds.Empty() {
+		panic("region: empty bounds")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := &Region{
+		ID:     RegionID(len(t.regions)),
+		Bounds: bounds,
+		Parent: -1,
+		Fields: append([]string(nil), fields...),
+	}
+	r.Root = r.ID
+	t.regions = append(t.regions, r)
+	return r
+}
+
+// Region returns the region with the given id.
+func (t *Tree) Region(id RegionID) *Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.regions[id]
+}
+
+// Partition returns the partition with the given id.
+func (t *Tree) Partition(id PartitionID) *Partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.partitions[id]
+}
+
+// NumRegions returns the number of regions created so far.
+func (t *Tree) NumRegions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions)
+}
+
+// FieldIndex resolves a field name on the tree containing r.
+func (t *Tree) FieldIndex(r *Region, name string) (FieldID, error) {
+	t.mu.RLock()
+	root := t.regions[r.Root]
+	t.mu.RUnlock()
+	for i, f := range root.Fields {
+		if f == name {
+			return FieldID(i), nil
+		}
+	}
+	return -1, fmt.Errorf("region: no field %q on region %d", name, r.ID)
+}
+
+// NumFields returns the number of fields on r's tree.
+func (t *Tree) NumFields(r *Region) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions[r.Root].Fields)
+}
+
+// createPartition installs a partition with the given subregion rects.
+func (t *Tree) createPartition(parent *Region, colorSpace geom.Rect, rects []geom.Rect) *Partition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int64(len(rects)) != colorSpace.Volume() {
+		panic(fmt.Sprintf("region: %d rects for color space of %d points", len(rects), colorSpace.Volume()))
+	}
+	p := &Partition{
+		ID:         PartitionID(len(t.partitions)),
+		Parent:     parent.ID,
+		Root:       parent.Root,
+		ColorSpace: colorSpace,
+	}
+	disjoint := true
+	var bounds geom.Rect
+	for i, rc := range rects {
+		if !parent.Bounds.ContainsRect(rc) {
+			panic(fmt.Sprintf("region: subregion %v escapes parent %v", rc, parent.Bounds))
+		}
+		sub := &Region{
+			ID:     RegionID(len(t.regions)),
+			Bounds: rc,
+			Root:   parent.Root,
+			Parent: p.ID,
+		}
+		t.regions = append(t.regions, sub)
+		p.Subregions = append(p.Subregions, sub.ID)
+		bounds = bounds.UnionBound(rc)
+		for j := 0; j < i && disjoint; j++ {
+			if rc.Overlaps(rects[j]) {
+				disjoint = false
+			}
+		}
+	}
+	p.Disjoint = disjoint
+	p.Bounds = bounds
+	// Completeness: subregions cover the parent exactly.
+	var cover geom.RectMap[struct{}]
+	for _, rc := range rects {
+		cover.Paint(rc, struct{}{})
+	}
+	p.Complete = cover.Covers(parent.Bounds)
+	t.partitions = append(t.partitions, p)
+	return p
+}
+
+// PartitionEqual divides parent into a near-equal dense grid of tiles,
+// counts[d] tiles along dimension d (missing counts default to 1). The
+// result is disjoint and complete; the color space is the tile grid.
+func (t *Tree) PartitionEqual(parent *Region, counts ...int) *Partition {
+	if len(counts) == 0 {
+		panic("region: PartitionEqual needs at least one count")
+	}
+	cs := geom.Rect{Dim: parent.Bounds.Dim}
+	for d := 0; d < cs.Dim; d++ {
+		n := 1
+		if d < len(counts) {
+			n = counts[d]
+		}
+		cs.Lo[d] = 0
+		cs.Hi[d] = int64(n) - 1
+	}
+	tiles := parent.Bounds.TileGrid(counts...)
+	return t.createPartition(parent, cs, tiles)
+}
+
+// PartitionHalo creates an aliased partition whose color-i subregion
+// is base's color-i subregion grown by radius and clamped to the
+// parent — the classic ghost partition.
+func (t *Tree) PartitionHalo(base *Partition, radius int64) *Partition {
+	t.mu.RLock()
+	parent := t.regions[base.Parent]
+	rects := make([]geom.Rect, len(base.Subregions))
+	for i, sid := range base.Subregions {
+		rects[i] = t.regions[sid].Bounds.Grow(radius).Clamp(parent.Bounds)
+	}
+	t.mu.RUnlock()
+	return t.createPartition(parent, base.ColorSpace, rects)
+}
+
+// PartitionInterior creates a partition whose color-i subregion is
+// base's color-i subregion minus a band of the given radius along the
+// *global* boundary of the parent (the stencil "interior" partition:
+// points whose full neighborhood exists).
+func (t *Tree) PartitionInterior(base *Partition, radius int64) *Partition {
+	t.mu.RLock()
+	parent := t.regions[base.Parent]
+	inner := parent.Bounds.Grow(-radius)
+	rects := make([]geom.Rect, len(base.Subregions))
+	for i, sid := range base.Subregions {
+		rects[i] = t.regions[sid].Bounds.Clamp(inner)
+		if rects[i].Empty() {
+			// Canonical empty rect of the right dimension.
+			rects[i] = geom.Rect{Dim: parent.Bounds.Dim, Lo: geom.Pt1(1), Hi: geom.Pt1(0)}
+		}
+	}
+	t.mu.RUnlock()
+	return t.createPartition(parent, base.ColorSpace, rects)
+}
+
+// PartitionCustom creates a partition from explicit rectangles, one
+// per color in row-major order of colorSpace.
+func (t *Tree) PartitionCustom(parent *Region, colorSpace geom.Rect, rects []geom.Rect) *Partition {
+	return t.createPartition(parent, colorSpace, rects)
+}
+
+// Subregion returns the subregion of p with the given color.
+func (t *Tree) Subregion(p *Partition, color geom.Point) *Region {
+	if !p.ColorSpace.Contains(color) {
+		panic(fmt.Sprintf("region: color %v outside color space %v", color, p.ColorSpace))
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.regions[p.Subregions[p.ColorSpace.Index(color)]]
+}
+
+// SameTree reports whether two regions belong to the same region tree.
+func SameTree(a, b *Region) bool { return a.Root == b.Root }
+
+// MayAlias reports whether two regions can name a common index point.
+// Dense rectangles make this exact: same tree and overlapping bounds.
+func MayAlias(a, b *Region) bool {
+	return SameTree(a, b) && a.Bounds.Overlaps(b.Bounds)
+}

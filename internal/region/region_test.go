@@ -1,0 +1,203 @@
+package region
+
+import (
+	"testing"
+
+	"godcr/internal/geom"
+)
+
+func TestCreateRegionAndFields(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R1(0, 99), "state", "flux")
+	if r.ID != 0 || r.Root != r.ID || r.Parent != -1 {
+		t.Fatalf("root bookkeeping wrong: %+v", r)
+	}
+	if tr.NumFields(r) != 2 {
+		t.Fatalf("NumFields = %d", tr.NumFields(r))
+	}
+	f, err := tr.FieldIndex(r, "flux")
+	if err != nil || f != 1 {
+		t.Fatalf("FieldIndex = %v, %v", f, err)
+	}
+	if _, err := tr.FieldIndex(r, "missing"); err == nil {
+		t.Fatal("missing field should error")
+	}
+}
+
+func TestPartitionEqual1D(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R1(0, 99), "f")
+	p := tr.PartitionEqual(r, 4)
+	if !p.Disjoint || !p.Complete {
+		t.Fatalf("equal partition should be disjoint+complete: %+v", p)
+	}
+	if len(p.Subregions) != 4 {
+		t.Fatalf("subregions = %d", len(p.Subregions))
+	}
+	s0 := tr.Subregion(p, geom.Pt1(0))
+	s3 := tr.Subregion(p, geom.Pt1(3))
+	if !s0.Bounds.Equal(geom.R1(0, 24)) || !s3.Bounds.Equal(geom.R1(75, 99)) {
+		t.Fatalf("tiles wrong: %v %v", s0.Bounds, s3.Bounds)
+	}
+	if s0.Root != r.ID || s0.Parent != p.ID {
+		t.Fatal("subregion tree links wrong")
+	}
+	if !p.Bounds.Equal(r.Bounds) {
+		t.Fatalf("partition bound = %v", p.Bounds)
+	}
+}
+
+func TestPartitionEqual2D(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R2(0, 0, 7, 7), "f")
+	p := tr.PartitionEqual(r, 2, 2)
+	if len(p.Subregions) != 4 || !p.Disjoint || !p.Complete {
+		t.Fatalf("bad 2D partition: %+v", p)
+	}
+	if got := tr.Subregion(p, geom.Pt2(1, 1)).Bounds; !got.Equal(geom.R2(4, 4, 7, 7)) {
+		t.Fatalf("corner tile = %v", got)
+	}
+}
+
+func TestPartitionHaloAliased(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R1(0, 99), "f")
+	owned := tr.PartitionEqual(r, 4)
+	ghost := tr.PartitionHalo(owned, 1)
+	if ghost.Disjoint {
+		t.Fatal("halo partition must be aliased")
+	}
+	g1 := tr.Subregion(ghost, geom.Pt1(1))
+	if !g1.Bounds.Equal(geom.R1(24, 50)) {
+		t.Fatalf("ghost tile 1 = %v", g1.Bounds)
+	}
+	// Clamped at the domain edge.
+	g0 := tr.Subregion(ghost, geom.Pt1(0))
+	if !g0.Bounds.Equal(geom.R1(0, 25)) {
+		t.Fatalf("ghost tile 0 = %v", g0.Bounds)
+	}
+}
+
+func TestPartitionInterior(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R1(0, 99), "f")
+	owned := tr.PartitionEqual(r, 4)
+	interior := tr.PartitionInterior(owned, 1)
+	i0 := tr.Subregion(interior, geom.Pt1(0))
+	if !i0.Bounds.Equal(geom.R1(1, 24)) {
+		t.Fatalf("interior tile 0 = %v", i0.Bounds)
+	}
+	i3 := tr.Subregion(interior, geom.Pt1(3))
+	if !i3.Bounds.Equal(geom.R1(75, 98)) {
+		t.Fatalf("interior tile 3 = %v", i3.Bounds)
+	}
+	i1 := tr.Subregion(interior, geom.Pt1(1))
+	if !i1.Bounds.Equal(geom.R1(25, 49)) {
+		t.Fatalf("interior tile 1 = %v", i1.Bounds)
+	}
+	if interior.Complete {
+		t.Fatal("interior partition must be incomplete")
+	}
+}
+
+func TestPartitionCustomValidation(t *testing.T) {
+	tr := NewTree()
+	r := tr.CreateRegion(geom.R1(0, 9), "f")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("escaping subregion should panic")
+		}
+	}()
+	tr.PartitionCustom(r, geom.R1(0, 0), []geom.Rect{geom.R1(5, 15)})
+}
+
+func TestMayAlias(t *testing.T) {
+	tr := NewTree()
+	a := tr.CreateRegion(geom.R1(0, 99), "f")
+	b := tr.CreateRegion(geom.R1(0, 99), "f")
+	pa := tr.PartitionEqual(a, 4)
+	s0 := tr.Subregion(pa, geom.Pt1(0))
+	s1 := tr.Subregion(pa, geom.Pt1(1))
+	if MayAlias(s0, s1) {
+		t.Fatal("disjoint siblings cannot alias")
+	}
+	if !MayAlias(s0, a) {
+		t.Fatal("subregion aliases its root")
+	}
+	if MayAlias(a, b) {
+		t.Fatal("separate trees never alias")
+	}
+	ghost := tr.PartitionHalo(pa, 1)
+	g1 := tr.Subregion(ghost, geom.Pt1(1))
+	if !MayAlias(s0, g1) {
+		t.Fatal("ghost tile 1 overlaps owned tile 0")
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	build := func() []RegionID {
+		tr := NewTree()
+		r := tr.CreateRegion(geom.R2(0, 0, 15, 15), "a", "b")
+		p := tr.PartitionEqual(r, 2, 2)
+		h := tr.PartitionHalo(p, 1)
+		var ids []RegionID
+		ids = append(ids, r.ID)
+		ids = append(ids, p.Subregions...)
+		ids = append(ids, h.Subregions...)
+		return ids
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replayed tree diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIdentityProjection(t *testing.T) {
+	dom := geom.R1(0, 3)
+	if Identity.Name() != "identity" {
+		t.Fatal("identity name")
+	}
+	if got := Identity.Color(dom, geom.Pt1(2)); got != geom.Pt1(2) {
+		t.Fatalf("identity(2) = %v", got)
+	}
+}
+
+func TestOffsetProjectionWrap(t *testing.T) {
+	dom := geom.R1(0, 3)
+	left := OffsetProjection{Delta: geom.Pt1(-1), Wrap: true}
+	if got := left.Color(dom, geom.Pt1(0)); got != geom.Pt1(3) {
+		t.Fatalf("wrap left(0) = %v", got)
+	}
+	right := OffsetProjection{Delta: geom.Pt1(1), Wrap: true}
+	if got := right.Color(dom, geom.Pt1(3)); got != geom.Pt1(0) {
+		t.Fatalf("wrap right(3) = %v", got)
+	}
+	if left.Name() == right.Name() {
+		t.Fatal("distinct offsets must have distinct names")
+	}
+}
+
+func TestOffsetProjectionClamp(t *testing.T) {
+	dom := geom.R2(0, 0, 3, 3)
+	up := OffsetProjection{Delta: geom.Pt2(0, -1)}
+	if got := up.Color(dom, geom.Pt2(2, 0)); got != geom.Pt2(2, 0) {
+		t.Fatalf("clamp = %v", got)
+	}
+	if got := up.Color(dom, geom.Pt2(2, 2)); got != geom.Pt2(2, 1) {
+		t.Fatalf("interior = %v", got)
+	}
+}
+
+func TestFuncProjection(t *testing.T) {
+	p := FuncProjection{Label: "transpose", Fn: func(_ geom.Rect, pt geom.Point) geom.Point {
+		return geom.Pt2(pt[1], pt[0])
+	}}
+	if p.Name() != "transpose" {
+		t.Fatal("name")
+	}
+	if got := p.Color(geom.R2(0, 0, 3, 3), geom.Pt2(1, 2)); got != geom.Pt2(2, 1) {
+		t.Fatalf("transpose = %v", got)
+	}
+}

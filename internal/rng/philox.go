@@ -1,0 +1,146 @@
+// Package rng implements the Philox4x32-10 counter-based pseudo-random
+// number generator of Salmon et al. ("Parallel Random Numbers: As Easy
+// As 1, 2, 3", SC'11), cited by the DCR paper (§3) as the generator that
+// lets replicated control code draw identical random sequences on every
+// shard: the state is a pure (key, counter) pair, so any shard that has
+// executed the same sequence of API calls observes the same stream.
+package rng
+
+import "math"
+
+// Philox round constants (from the reference implementation).
+const (
+	philoxM0 = 0xD2511F53
+	philoxM1 = 0xCD9E8D57
+	philoxW0 = 0x9E3779B9 // golden ratio
+	philoxW1 = 0xBB67AE85 // sqrt(3)-1
+)
+
+// Block is the 128-bit output of one Philox invocation.
+type Block [4]uint32
+
+// Philox4x32 computes ten rounds of the Philox4x32 function for the
+// given 128-bit counter and 64-bit key. It is a pure function.
+func Philox4x32(ctr Block, key [2]uint32) Block {
+	k0, k1 := key[0], key[1]
+	x := ctr
+	for round := 0; round < 10; round++ {
+		hi0, lo0 := mulhilo(philoxM0, x[0])
+		hi1, lo1 := mulhilo(philoxM1, x[2])
+		x = Block{
+			hi1 ^ x[1] ^ k0,
+			lo1,
+			hi0 ^ x[3] ^ k1,
+			lo0,
+		}
+		k0 += philoxW0
+		k1 += philoxW1
+	}
+	return x
+}
+
+func mulhilo(a, b uint32) (hi, lo uint32) {
+	p := uint64(a) * uint64(b)
+	return uint32(p >> 32), uint32(p)
+}
+
+// Source is a counter-based random stream. Unlike stateful generators,
+// copying a Source and advancing the copies produces identical streams;
+// two Sources with the same seed and counter are interchangeable, which
+// is exactly the control-determinism property replicated shards need.
+//
+// Source implements a subset of math/rand.Source-like behaviour plus
+// convenience draws. It is not safe for concurrent use.
+type Source struct {
+	key [2]uint32
+	ctr uint64 // draw index; each draw consumes one 32-bit lane
+	buf Block
+	idx int // next unread lane of buf, 4 = refill
+}
+
+// New returns a Source seeded with the given 64-bit seed.
+func New(seed uint64) *Source {
+	return &Source{key: [2]uint32{uint32(seed), uint32(seed >> 32)}, idx: 4}
+}
+
+// Clone returns an independent copy that will produce the same
+// subsequent stream as s.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
+// Skip advances the stream by n 32-bit draws in O(1).
+func (s *Source) Skip(n uint64) {
+	s.ctr += n
+	s.idx = 4
+}
+
+// Counter returns the number of 32-bit draws consumed so far.
+func (s *Source) Counter() uint64 { return s.ctr }
+
+// Uint32 returns the next 32 random bits.
+func (s *Source) Uint32() uint32 {
+	if s.idx >= 4 {
+		block := s.ctr / 4
+		s.buf = Philox4x32(Block{uint32(block), uint32(block >> 32), 0, 0}, s.key)
+		s.idx = int(s.ctr % 4)
+	}
+	v := s.buf[s.idx]
+	s.idx++
+	s.ctr++
+	return v
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	hi := uint64(s.Uint32())
+	lo := uint64(s.Uint32())
+	return hi<<32 | lo
+}
+
+// Int63 returns a non-negative 63-bit integer (math/rand.Source shape).
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is present to satisfy math/rand.Source; it reseeds the key and
+// resets the counter.
+func (s *Source) Seed(seed int64) {
+	s.key = [2]uint32{uint32(uint64(seed)), uint32(uint64(seed) >> 32)}
+	s.ctr = 0
+	s.idx = 4
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal draw (Box–Muller, consuming two
+// uniform draws; counter-based so replicated shards stay in lockstep).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		u2 := s.Float64()
+		if u1 == 0 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// At returns the i-th 32-bit draw of the stream with the given seed
+// without any state: the pure counter-based access pattern.
+func At(seed, i uint64) uint32 {
+	key := [2]uint32{uint32(seed), uint32(seed >> 32)}
+	block := i / 4
+	out := Philox4x32(Block{uint32(block), uint32(block >> 32), 0, 0}, key)
+	return out[i%4]
+}

@@ -1,0 +1,17 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkPhiloxBlock(b *testing.B) {
+	key := [2]uint32{1, 2}
+	for i := 0; i < b.N; i++ {
+		_ = Philox4x32(Block{uint32(i), 0, 0, 0}, key)
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"godcr/internal/cluster"
+	"godcr/internal/collective"
+	"godcr/internal/core"
+	"godcr/internal/geom"
+)
+
+// Calibration: derive the simulator's cost constants from the real
+// runtime instead of assuming them. Calibrate runs two
+// micro-measurements —
+//
+//   - an analysis-bound loop (zero-duration tasks, one point per
+//     shard) whose wall time is dominated by per-op coarse+fine
+//     analysis, and
+//   - a barrier loop measuring the fence primitive's latency —
+//
+// and returns a Machine carrying the measured constants. The bundled
+// figure workloads use paper-calibrated Legion constants instead (this
+// Go runtime is not Legion), but Calibrate grounds the model: the
+// simulator's asymptotics can be checked against a machine whose
+// constants are measured, not chosen. See EXPERIMENTS.md.
+func Calibrate() Machine {
+	m := DefaultMachine(1)
+	m.FinePerTask, m.CoarsePerOp = measureAnalysis()
+	m.NetLatency = measureBarrier(2) / 2
+	m.DispatchPerTask = m.FinePerTask * 4
+	return m
+}
+
+// measureAnalysis times an analysis-dominated loop and splits the
+// per-op cost between the coarse (group) and fine (per-task) stages
+// using two task-group widths.
+func measureAnalysis() (finePerTask, coarsePerOp float64) {
+	perOp := func(tiles int) float64 {
+		rt := core.NewRuntime(core.Config{Shards: 1})
+		defer rt.Shutdown()
+		rt.RegisterTask("cal.nop", func(tc *core.TaskContext) (float64, error) { return 0, nil })
+		const steps = 400
+		var elapsed time.Duration
+		_ = rt.Execute(func(ctx *core.Context) error {
+			r := ctx.CreateRegion(geom.R1(0, int64(tiles)*4-1), "x")
+			p := ctx.PartitionEqual(r, tiles)
+			dom := geom.R1(0, int64(tiles)-1)
+			ctx.Fill(r, "x", 0)
+			ctx.ExecutionFence()
+			start := time.Now()
+			for i := 0; i < steps; i++ {
+				ctx.IndexLaunch(core.Launch{Task: "cal.nop", Domain: dom,
+					Reqs: []core.RegionReq{{Part: p, Priv: core.ReadWrite, Fields: []string{"x"}}}})
+			}
+			ctx.ExecutionFence()
+			elapsed = time.Since(start)
+			return nil
+		})
+		return elapsed.Seconds() / steps
+	}
+	// cost(tiles) ≈ coarse + tiles·fine: solve from two widths.
+	c1 := perOp(1)
+	c8 := perOp(8)
+	finePerTask = (c8 - c1) / 7
+	if finePerTask <= 0 {
+		finePerTask = c1 / 2
+	}
+	coarsePerOp = c1 - finePerTask
+	if coarsePerOp <= 0 {
+		coarsePerOp = c1 / 2
+	}
+	return finePerTask, coarsePerOp
+}
+
+// measureBarrier times the collective fence primitive round trip.
+func measureBarrier(nodes int) float64 {
+	cl := cluster.New(cluster.Config{Nodes: nodes})
+	defer cl.Close()
+	comms := make([]*collective.Comm, nodes)
+	for i := range comms {
+		comms[i] = collective.New(cl.Node(cluster.NodeID(i)), 1)
+	}
+	const rounds = 200
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range comms {
+		wg.Add(1)
+		go func(c *collective.Comm) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				_ = c.Barrier()
+			}
+		}(comms[i])
+	}
+	wg.Wait()
+	return time.Since(start).Seconds() / rounds
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func TestCalibrateProducesSaneMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs the real runtime")
+	}
+	m := Calibrate()
+	// Per-task analysis on this host: somewhere between 100ns and 10ms.
+	if m.FinePerTask < 1e-7 || m.FinePerTask > 1e-2 {
+		t.Fatalf("implausible FinePerTask %v", m.FinePerTask)
+	}
+	if m.CoarsePerOp <= 0 || m.CoarsePerOp > 1e-1 {
+		t.Fatalf("implausible CoarsePerOp %v", m.CoarsePerOp)
+	}
+	if m.NetLatency <= 0 || m.NetLatency > 1e-2 {
+		t.Fatalf("implausible NetLatency %v", m.NetLatency)
+	}
+	t.Logf("calibrated: coarse=%.3gs fine=%.3gs latency=%.3gs", m.CoarsePerOp, m.FinePerTask, m.NetLatency)
+
+	// The calibrated machine still exhibits the paper's shape: the
+	// centralized controller collapses relative to DCR at scale.
+	wl := func(n int) Workload {
+		return Workload{
+			Phases: []Phase{{Name: "w", TasksPerNode: 4,
+				TaskTime: m.FinePerTask * 50, Pattern: CommNeighbor, BytesPerTask: 4096, Fenced: true}},
+			Iterations: 30, WorkPerIteration: float64(n),
+		}
+	}
+	mk := func(n int) Machine { mm := m; mm.Nodes = n; mm.ProcsPerNode = 1; return mm }
+	dcr := Run(mk(256), DCR, wl(256))
+	cen := Run(mk(256), Central, wl(256))
+	if cen.PerNode > dcr.PerNode/2 {
+		t.Fatalf("calibrated machine lost the collapse: central %.3g vs dcr %.3g", cen.PerNode, dcr.PerNode)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests of the cost model's sanity, via testing/quick.
+
+func clampWorkload(tasks uint8, taskUs uint16, iters uint8) Workload {
+	return Workload{
+		Phases: []Phase{{
+			Name:         "w",
+			TasksPerNode: 1 + int(tasks%16),
+			TaskTime:     float64(1+taskUs%5000) * 1e-6,
+			Pattern:      CommNeighbor,
+			BytesPerTask: 1024,
+			Fenced:       true,
+		}},
+		Iterations:       1 + int(iters%20),
+		WorkPerIteration: 1,
+	}
+}
+
+// Makespans are positive and finite for any bounded workload/system.
+func TestQuickMakespanPositive(t *testing.T) {
+	f := func(tasks uint8, taskUs uint16, iters uint8, nodes uint8, sysPick uint8) bool {
+		n := 1 + int(nodes%64)
+		sys := []System{DCR, Central, SCR, MPI}[sysPick%4]
+		r := Run(DefaultMachine(n), sys, clampWorkload(tasks, taskUs, iters))
+		return r.Makespan > 0 && r.Throughput > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SCR (zero analysis) never loses to DCR, and DCR never loses to the
+// centralized controller, at any size — the paper's cost ordering.
+func TestQuickSystemOrdering(t *testing.T) {
+	f := func(tasks uint8, taskUs uint16, iters uint8, nodes uint8) bool {
+		n := 1 + int(nodes%64)
+		w := clampWorkload(tasks, taskUs, iters)
+		scr := Run(DefaultMachine(n), SCR, w).Makespan
+		dcr := Run(DefaultMachine(n), DCR, w).Makespan
+		cen := Run(DefaultMachine(n), Central, w).Makespan
+		const eps = 1e-12
+		return scr <= dcr+eps && dcr <= cen+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Makespan is monotonic in iteration count.
+func TestQuickIterationMonotonic(t *testing.T) {
+	f := func(tasks uint8, taskUs uint16, iters uint8, nodes uint8) bool {
+		n := 1 + int(nodes%32)
+		w := clampWorkload(tasks, taskUs, iters)
+		short := Run(DefaultMachine(n), DCR, w).Makespan
+		w.Iterations *= 2
+		long := Run(DefaultMachine(n), DCR, w).Makespan
+		return long >= short
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Faster processors never increase the makespan.
+func TestQuickTaskTimeMonotonic(t *testing.T) {
+	f := func(tasks uint8, taskUs uint16, iters uint8, nodes uint8) bool {
+		n := 1 + int(nodes%32)
+		w := clampWorkload(tasks, taskUs, iters)
+		slow := Run(DefaultMachine(n), SCR, w).Makespan
+		for i := range w.Phases {
+			w.Phases[i].TaskTime /= 2
+		}
+		fast := Run(DefaultMachine(n), SCR, w).Makespan
+		return fast <= slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package sim is the cluster-scale performance model used to
+// regenerate the paper's evaluation figures (§5). The real Go runtime
+// in internal/core executes honestly on in-process nodes, but it
+// cannot demonstrate 512-node scaling from one machine; this package
+// substitutes a calibrated pipeline simulation, mirroring the decision
+// structure of the real runtime:
+//
+//   - every node runs an analysis pipeline (the coarse+fine stages)
+//     and an execution engine (its processors);
+//   - under DCR each node analyzes the per-group constant cost plus
+//     its own points; cross-shard fences synchronize analysis with
+//     O(log N) latency; analysis overlaps execution (the pipeline);
+//   - under a centralized controller (no-CR Legion / Dask / lazy
+//     TensorFlow dispatch) node 0 analyzes and dispatches *every*
+//     point task — the sequential bottleneck;
+//   - under static control replication (SCR) and MPI the analysis
+//     cost is zero (it was paid at compile time / by the programmer).
+//
+// Execution and communication are modeled identically across systems:
+// per-phase task compute on P processors per node, neighbor exchanges
+// with latency+bandwidth, and tree collectives. The per-op analysis
+// constants are calibrated from the real runtime's microbenchmarks
+// (see bench_test.go and EXPERIMENTS.md).
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Machine describes the modeled cluster.
+type Machine struct {
+	// Nodes is the machine size (== shards under DCR).
+	Nodes int
+	// ProcsPerNode is the number of task processors per node (GPUs
+	// or cores).
+	ProcsPerNode int
+	// NetLatency is the one-way message latency in seconds.
+	NetLatency float64
+	// NetBandwidth is per-node NIC bandwidth in bytes/second.
+	NetBandwidth float64
+	// CoarsePerOp is the coarse-stage analysis cost of one group
+	// operation (independent of machine size — the paper's key
+	// property).
+	CoarsePerOp float64
+	// FinePerTask is the fine-stage analysis cost per point task.
+	FinePerTask float64
+	// DispatchPerTask is the centralized controller's extra cost to
+	// marshal and send one task to a worker.
+	DispatchPerTask float64
+}
+
+// DefaultMachine is calibrated against the real runtime's
+// microbenchmarks (per-op and per-task analysis costs) and typical
+// HPC interconnects (1.5 µs latency, 10 GB/s effective per-NIC).
+func DefaultMachine(nodes int) Machine {
+	return Machine{
+		Nodes:           nodes,
+		ProcsPerNode:    1,
+		NetLatency:      1.5e-6,
+		NetBandwidth:    10e9,
+		CoarsePerOp:     4e-6,
+		FinePerTask:     6e-6,
+		DispatchPerTask: 10e-6,
+	}
+}
+
+// System selects the runtime model.
+type System int
+
+// Systems.
+const (
+	// DCR is dynamic control replication.
+	DCR System = iota
+	// Central is the centralized controller (no control replication;
+	// also the Dask / lazy-evaluation model).
+	Central
+	// SCR is static control replication (compile-time SPMD; zero
+	// runtime analysis).
+	SCR
+	// MPI is hand-written explicit message passing (zero analysis,
+	// programmer-scheduled communication).
+	MPI
+)
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case DCR:
+		return "DCR"
+	case Central:
+		return "Central"
+	case SCR:
+		return "SCR"
+	case MPI:
+		return "MPI"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// CommPattern classifies a phase's communication.
+type CommPattern int
+
+// Communication patterns.
+const (
+	// CommNone: no inter-node data movement.
+	CommNone CommPattern = iota
+	// CommNeighbor: nearest-neighbor (halo) exchange.
+	CommNeighbor
+	// CommIrregular: data-dependent neighbor set (graph edges);
+	// couples a node to a widening set as the machine grows.
+	CommIrregular
+	// CommAllReduce: a global collective ends the phase.
+	CommAllReduce
+	// CommAllToAll: every node exchanges with every other node.
+	CommAllToAll
+	// CommAllReduceTree: a tree/hierarchical collective that moves
+	// the full payload at every level — the behaviour of large-model
+	// gradient synchronization at scale (vs the bandwidth-optimal
+	// ring CommAllReduce models).
+	CommAllReduceTree
+)
+
+// Phase is one group launch (task group) in an iteration.
+type Phase struct {
+	Name string
+	// TasksPerNode point tasks per node (weak-scaling unit).
+	TasksPerNode int
+	// TaskTime is each point task's execution time in seconds.
+	TaskTime float64
+	// Pattern and BytesPerTask describe the phase's communication.
+	Pattern      CommPattern
+	BytesPerTask float64
+	// Fenced marks the phase as needing a cross-shard fence under
+	// DCR (aliased partitions / mismatched functors; cf. Fig. 10).
+	Fenced bool
+	// ImbalancePct models load imbalance and wavefront-fill critical
+	// path that grow with machine diameter: the phase's execution
+	// time is stretched by (1 + ImbalancePct·log2(N)). Applies to
+	// every system (it is an application property, not a runtime
+	// one).
+	ImbalancePct float64
+}
+
+// Workload is an iterative application.
+type Workload struct {
+	Name string
+	// Phases per iteration.
+	Phases []Phase
+	// Iterations of the outer loop.
+	Iterations int
+	// WorkPerIteration converts makespan to throughput (e.g. cells
+	// processed per iteration, cluster-wide).
+	WorkPerIteration float64
+}
+
+// Result is a simulated run.
+type Result struct {
+	System     System
+	Nodes      int
+	Makespan   float64 // seconds
+	Throughput float64 // WorkPerIteration*Iterations / Makespan
+	PerNode    float64 // Throughput / Nodes
+}
+
+func logTerm(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// Run simulates the workload on the machine under the given system
+// and returns the result.
+func Run(m Machine, sys System, w Workload) Result {
+	n := m.Nodes
+	if n < 1 {
+		panic("sim: need at least one node")
+	}
+	// Per-node pipeline clocks.
+	analysis := make([]float64, n) // when each node's analysis thread is free
+	exec := make([]float64, n)     // when each node's processors are free
+	done := make([]float64, n)     // completion time of this node's previous phase
+	var ctrl float64               // centralized controller clock
+
+	commDelay := func(ph Phase, tasks int) float64 {
+		bytes := ph.BytesPerTask * float64(tasks)
+		switch ph.Pattern {
+		case CommNone:
+			return 0
+		case CommNeighbor:
+			if n == 1 {
+				return 0
+			}
+			return m.NetLatency + bytes/m.NetBandwidth
+		case CommIrregular:
+			if n == 1 {
+				return 0
+			}
+			// Fan-out grows slowly with machine size: the paper's
+			// circuit graph couples more nodes as it is cut finer.
+			fan := 1 + logTerm(n)/2
+			return fan*m.NetLatency + fan*bytes/m.NetBandwidth
+		case CommAllReduce:
+			return 2*logTerm(n)*m.NetLatency + 2*bytes/m.NetBandwidth
+		case CommAllReduceTree:
+			// Reduce then broadcast, full payload at every level.
+			return 2 * logTerm(n) * (m.NetLatency + bytes/m.NetBandwidth)
+		case CommAllToAll:
+			return float64(n-1)*m.NetLatency + float64(n-1)*bytes/m.NetBandwidth
+		}
+		return 0
+	}
+
+	for iter := 0; iter < w.Iterations; iter++ {
+		for _, ph := range w.Phases {
+			tasks := ph.TasksPerNode
+			execTime := math.Ceil(float64(tasks)/float64(m.ProcsPerNode)) * ph.TaskTime
+			execTime *= 1 + ph.ImbalancePct*logTerm(n)
+			delay := commDelay(ph, tasks)
+
+			// 1. Analysis: when is each node's copy of this phase
+			// ready to execute?
+			ready := make([]float64, n)
+			switch sys {
+			case DCR:
+				for i := 0; i < n; i++ {
+					analysis[i] += m.CoarsePerOp + float64(tasks)*m.FinePerTask
+				}
+				if ph.Fenced {
+					// Cross-shard fence: align fine stages, O(log N).
+					maxA := 0.0
+					for i := 0; i < n; i++ {
+						if analysis[i] > maxA {
+							maxA = analysis[i]
+						}
+					}
+					maxA += 2 * logTerm(n) * m.NetLatency
+					for i := 0; i < n; i++ {
+						analysis[i] = maxA
+					}
+				}
+				copy(ready, analysis)
+			case Central:
+				// Controller analyzes every point task in the whole
+				// machine sequentially, and pays marshal+send for the
+				// tasks that execute remotely.
+				ctrl += m.CoarsePerOp + float64(tasks*n)*m.FinePerTask +
+					float64(tasks*(n-1))*m.DispatchPerTask
+				for i := 0; i < n; i++ {
+					ready[i] = ctrl
+					if i != 0 {
+						ready[i] += m.NetLatency // dispatch message
+					}
+				}
+			case SCR, MPI:
+				// Compile-time / hand-written: tasks are ready as
+				// soon as their data is.
+				for i := 0; i < n; i++ {
+					ready[i] = 0
+				}
+			}
+
+			// 2. Execution: data dependences + processor availability.
+			newDone := make([]float64, n)
+			globalPrev := 0.0
+			for i := 0; i < n; i++ {
+				if done[i] > globalPrev {
+					globalPrev = done[i]
+				}
+			}
+			for i := 0; i < n; i++ {
+				dataReady := done[i]
+				switch ph.Pattern {
+				case CommNeighbor:
+					for _, j := range []int{i - 1, i + 1} {
+						if j >= 0 && j < n && done[j]+delay > dataReady {
+							dataReady = done[j] + delay
+						}
+					}
+				case CommIrregular, CommAllReduce, CommAllToAll, CommAllReduceTree:
+					if globalPrev+delay > dataReady {
+						dataReady = globalPrev + delay
+					}
+				}
+				start := math.Max(math.Max(ready[i], dataReady), exec[i])
+				newDone[i] = start + execTime
+				exec[i] = newDone[i]
+			}
+			done = newDone
+		}
+	}
+	makespan := 0.0
+	for i := 0; i < n; i++ {
+		if done[i] > makespan {
+			makespan = done[i]
+		}
+	}
+	// Analysis that outlives the last execution also counts (a pure
+	// overhead-bound regime).
+	for i := 0; i < n; i++ {
+		if analysis[i] > makespan {
+			makespan = analysis[i]
+		}
+	}
+	if ctrl > makespan {
+		makespan = ctrl
+	}
+	totalWork := w.WorkPerIteration * float64(w.Iterations)
+	res := Result{System: sys, Nodes: n, Makespan: makespan}
+	if makespan > 0 {
+		res.Throughput = totalWork / makespan
+		res.PerNode = res.Throughput / float64(n)
+	}
+	return res
+}
+
+// Sweep runs the workload builder at each node count and returns the
+// series (the rows of a figure).
+func Sweep(sys System, nodes []int, machine func(n int) Machine, workload func(n int) Workload) []Result {
+	out := make([]Result, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, Run(machine(n), sys, workload(n)))
+	}
+	return out
+}

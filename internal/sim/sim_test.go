@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"testing"
+)
+
+// weakStencil builds a stencil-like weak-scaling workload: constant
+// work per node.
+func weakStencil(n int) Workload {
+	return Workload{
+		Name: "stencil",
+		Phases: []Phase{
+			{Name: "update", TasksPerNode: 1, TaskTime: 2e-3, Pattern: CommNone},
+			{Name: "exchange", TasksPerNode: 1, TaskTime: 2e-3, Pattern: CommNeighbor, BytesPerTask: 1 << 16, Fenced: true},
+		},
+		Iterations:       20,
+		WorkPerIteration: float64(n) * 1e6,
+	}
+}
+
+// strongStencil: fixed total work divided over nodes.
+func strongStencil(total float64) func(n int) Workload {
+	return func(n int) Workload {
+		per := total / float64(n)
+		return Workload{
+			Name: "stencil-strong",
+			Phases: []Phase{
+				{Name: "update", TasksPerNode: 1, TaskTime: per, Pattern: CommNeighbor,
+					BytesPerTask: float64(1<<22) / float64(n), Fenced: true},
+			},
+			Iterations:       20,
+			WorkPerIteration: 1e6,
+		}
+	}
+}
+
+var nodeCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+func TestWeakScalingShapes(t *testing.T) {
+	dcr := Sweep(DCR, nodeCounts, DefaultMachine, weakStencil)
+	scr := Sweep(SCR, nodeCounts, DefaultMachine, weakStencil)
+	cen := Sweep(Central, nodeCounts, DefaultMachine, weakStencil)
+
+	// SCR is the zero-overhead bound: nothing beats it.
+	for i := range nodeCounts {
+		if dcr[i].Throughput > scr[i].Throughput*1.0001 {
+			t.Fatalf("n=%d: DCR (%.3g) beats SCR (%.3g)", nodeCounts[i], dcr[i].Throughput, scr[i].Throughput)
+		}
+	}
+	// DCR stays within 2x of SCR at every scale (paper: "within a
+	// factor of two", §5.1).
+	for i := range nodeCounts {
+		if dcr[i].Makespan > 2*scr[i].Makespan {
+			t.Fatalf("n=%d: DCR makespan %.3g > 2x SCR %.3g", nodeCounts[i], dcr[i].Makespan, scr[i].Makespan)
+		}
+	}
+	// DCR weak scaling is near-flat: per-node throughput at 512 nodes
+	// stays within 40%% of the 1-node value.
+	if dcr[len(dcr)-1].PerNode < 0.6*dcr[0].PerNode {
+		t.Fatalf("DCR per-node throughput collapsed: %.3g -> %.3g", dcr[0].PerNode, dcr[len(dcr)-1].PerNode)
+	}
+	// The centralized controller collapses: at 512 nodes its
+	// per-node throughput is far below DCR's.
+	if cen[len(cen)-1].PerNode > dcr[len(dcr)-1].PerNode/3 {
+		t.Fatalf("central did not collapse: central %.3g vs dcr %.3g",
+			cen[len(cen)-1].PerNode, dcr[len(dcr)-1].PerNode)
+	}
+	// And the collapse begins somewhere in the middle: central is
+	// fine at 1 node.
+	if cen[0].Throughput < 0.9*dcr[0].Throughput {
+		t.Fatalf("central should match DCR at 1 node: %.3g vs %.3g", cen[0].Throughput, dcr[0].Throughput)
+	}
+}
+
+func TestCentralCrossover(t *testing.T) {
+	// Throughput ordering flips as the machine grows: centralized
+	// wins or ties early, DCR wins late; find the crossover and check
+	// it is interior.
+	dcr := Sweep(DCR, nodeCounts, DefaultMachine, weakStencil)
+	cen := Sweep(Central, nodeCounts, DefaultMachine, weakStencil)
+	cross := -1
+	for i := range nodeCounts {
+		if dcr[i].Throughput > cen[i].Throughput*1.05 {
+			cross = nodeCounts[i]
+			break
+		}
+	}
+	if cross <= 1 || cross > 256 {
+		t.Fatalf("implausible crossover at %d nodes", cross)
+	}
+}
+
+func TestStrongScalingSaturates(t *testing.T) {
+	wl := strongStencil(0.004) // 4 ms of work per iteration, total
+	dcr := Sweep(DCR, nodeCounts, DefaultMachine, wl)
+	// Strong scaling improves at small scale...
+	if dcr[3].Throughput <= dcr[0].Throughput {
+		t.Fatalf("no strong-scaling speedup: %v vs %v", dcr[3].Throughput, dcr[0].Throughput)
+	}
+	// ...but saturates: the gain from 256 to 512 nodes is < 1.5x
+	// (at this problem size per-node work shrinks into the runtime
+	// overhead, the paper's Fig. 12b degradation).
+	if dcr[9].Throughput > 1.5*dcr[8].Throughput {
+		t.Fatalf("strong scaling should saturate at the tail: 256n=%v 512n=%v",
+			dcr[8].Throughput, dcr[9].Throughput)
+	}
+}
+
+func TestFenceCostGrowsWithScale(t *testing.T) {
+	fenced := func(n int) Workload {
+		w := weakStencil(n)
+		return w
+	}
+	unfenced := func(n int) Workload {
+		w := weakStencil(n)
+		for i := range w.Phases {
+			w.Phases[i].Fenced = false
+		}
+		return w
+	}
+	for _, n := range []int{16, 256} {
+		f := Run(DefaultMachine(n), DCR, fenced(n))
+		u := Run(DefaultMachine(n), DCR, unfenced(n))
+		if f.Makespan < u.Makespan {
+			t.Fatalf("n=%d: fences made it faster?", n)
+		}
+	}
+}
+
+func TestAllReducePhaseLatencyBound(t *testing.T) {
+	// A workload dominated by a global collective scales with log N,
+	// the Pennant dt-collective effect (paper §5.1).
+	wl := func(n int) Workload {
+		return Workload{
+			Phases: []Phase{
+				{Name: "dt", TasksPerNode: 1, TaskTime: 1e-6, Pattern: CommAllReduce, BytesPerTask: 8},
+			},
+			Iterations:       100,
+			WorkPerIteration: 1,
+		}
+	}
+	t8 := Run(DefaultMachine(8), SCR, wl(8)).Makespan
+	t512 := Run(DefaultMachine(512), SCR, wl(512)).Makespan
+	if t512 <= t8 {
+		t.Fatal("collective latency must grow with machine size")
+	}
+	if t512 > t8*5 {
+		t.Fatalf("collective latency should grow ~log: %v vs %v", t512, t8)
+	}
+}
+
+func TestMPIAndSCREquivalentHere(t *testing.T) {
+	// Both have zero analysis cost; identical phases give identical
+	// makespans (app-level differences come from workload constants).
+	w := weakStencil(64)
+	a := Run(DefaultMachine(64), SCR, w)
+	b := Run(DefaultMachine(64), MPI, w)
+	if a.Makespan != b.Makespan {
+		t.Fatalf("SCR %v vs MPI %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestSingleNodeDegenerate(t *testing.T) {
+	w := weakStencil(1)
+	for _, sys := range []System{DCR, Central, SCR, MPI} {
+		r := Run(DefaultMachine(1), sys, w)
+		if r.Makespan <= 0 || r.Throughput <= 0 {
+			t.Fatalf("%v: bad single-node result %+v", sys, r)
+		}
+	}
+	// On one node, analysis is the only difference; SCR <= DCR <= Central.
+	d := Run(DefaultMachine(1), DCR, w).Makespan
+	s := Run(DefaultMachine(1), SCR, w).Makespan
+	c := Run(DefaultMachine(1), Central, w).Makespan
+	if !(s <= d && d <= c+1e-12) {
+		t.Fatalf("single-node ordering violated: scr=%v dcr=%v central=%v", s, d, c)
+	}
+}
+
+func TestPipelineHidesAnalysis(t *testing.T) {
+	// With long tasks, DCR's analysis is fully hidden: makespan ≈ SCR.
+	long := func(n int) Workload {
+		w := weakStencil(n)
+		for i := range w.Phases {
+			w.Phases[i].TaskTime = 50e-3
+		}
+		return w
+	}
+	n := 64
+	d := Run(DefaultMachine(n), DCR, long(n)).Makespan
+	s := Run(DefaultMachine(n), SCR, long(n)).Makespan
+	if d > s*1.05 {
+		t.Fatalf("long tasks should hide DCR overhead: dcr=%v scr=%v", d, s)
+	}
+	// With tiny tasks, overhead dominates and the gap appears.
+	tiny := func(n int) Workload {
+		w := weakStencil(n)
+		for i := range w.Phases {
+			w.Phases[i].TaskTime = 1e-6
+		}
+		return w
+	}
+	d = Run(DefaultMachine(n), DCR, tiny(n)).Makespan
+	s = Run(DefaultMachine(n), SCR, tiny(n)).Makespan
+	if d < s*1.5 {
+		t.Fatalf("tiny tasks should expose DCR overhead: dcr=%v scr=%v", d, s)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	rs := Sweep(DCR, []int{1, 2, 4}, DefaultMachine, weakStencil)
+	if len(rs) != 3 || rs[0].Nodes != 1 || rs[2].Nodes != 4 {
+		t.Fatalf("sweep = %+v", rs)
+	}
+	for _, r := range rs {
+		if r.System != DCR {
+			t.Fatal("system not recorded")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package spmd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRunCollectsErrors(t *testing.T) {
+	err := Run(3, func(r *Rank) error {
+		if r.ID() == 1 {
+			return fmt.Errorf("rank failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("rank error must propagate")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID() == 0 {
+			panic("boom")
+		}
+		// Rank 1 must not deadlock on a dead partner here (it makes
+		// no communication calls).
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic must surface as error")
+	}
+}
+
+func TestSendRecvAndSendrecv(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		partner := 1 - r.ID()
+		got, err := r.Sendrecv(partner, 9, []float64{float64(r.ID()) + 10})
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(partner)+10 {
+			return fmt.Errorf("rank %d got %v", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceAndBarrier(t *testing.T) {
+	err := Run(5, func(r *Rank) error {
+		sum, err := r.AllReduce(float64(r.ID()), func(a, b float64) float64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		vec, err := r.AllReduceVec([]float64{1, float64(r.ID())})
+		if err != nil {
+			return err
+		}
+		if vec[0] != 5 || vec[1] != 10 {
+			return fmt.Errorf("vec = %v", vec)
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// referenceStencil mirrors internal/core's sequential semantics.
+func referenceStencil(n int, init float64, steps int) (state, flux []float64) {
+	state = make([]float64, n)
+	flux = make([]float64, n)
+	for i := range state {
+		state[i], flux[i] = init, init
+	}
+	for t := 0; t < steps; t++ {
+		for i := range state {
+			state[i]++
+		}
+		for i := 1; i < n-1; i++ {
+			flux[i] *= 2
+		}
+		prev := append([]float64(nil), state...)
+		for i := 1; i < n-1; i++ {
+			flux[i] += 0.5 * (prev[i-1] + prev[i+1])
+		}
+	}
+	return
+}
+
+// TestStencil1DMatchesSequential: the hand-written explicitly parallel
+// stencil computes the same answers as the sequential semantics (and
+// therefore as the DCR version, which is tested against the same
+// reference in internal/core).
+func TestStencil1DMatchesSequential(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 7} {
+		const n, steps = 64, 5
+		state, flux, err := Stencil1D(ranks, n, 1.0, steps)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		ws, wf := referenceStencil(n, 1.0, steps)
+		for i := range ws {
+			if state[i] != ws[i] || flux[i] != wf[i] {
+				t.Fatalf("ranks=%d cell %d: state %v/%v flux %v/%v",
+					ranks, i, state[i], ws[i], flux[i], wf[i])
+			}
+		}
+	}
+}
+
+func TestStencilMoreRanksThanCells(t *testing.T) {
+	state, _, err := Stencil1D(8, 6, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := referenceStencil(6, 2.0, 2)
+	for i := range ws {
+		if state[i] != ws[i] {
+			t.Fatalf("cell %d: %v vs %v", i, state[i], ws[i])
+		}
+	}
+}
+
+func TestPennantDt(t *testing.T) {
+	dts, err := PennantDt(4, 6, func(rank, iter int) float64 {
+		return float64(10 + iter - rank) // min over ranks = 10+iter-3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it, dt := range dts {
+		if dt != float64(10+it-3) {
+			t.Fatalf("iter %d dt = %v", it, dt)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package spmd
+
+import "fmt"
+
+// Stencil1D is the hand-written explicitly parallel version of the
+// paper's Figure 7 program: the programmer splits the grid, posts the
+// halo exchanges, and orders every phase manually — the code the
+// Regent compiler's static control replication would emit, and the
+// productivity cost DCR exists to avoid. Compare its length and
+// fragility against the implicit version in examples/quickstart.
+//
+// It returns rank 0's assembled global state and flux arrays.
+func Stencil1D(ranks, ncells int, init float64, steps int) (state, flux []float64, err error) {
+	var outState, outFlux []float64
+	err = Run(ranks, func(r *Rank) error {
+		// Manual block decomposition, mirroring SplitEqual.
+		lo, hi := blockRange(ncells, r.Size(), r.ID())
+		n := hi - lo + 1
+		st := make([]float64, n+2) // +2 halo cells
+		fl := make([]float64, n)
+		for i := 0; i < n; i++ {
+			st[i+1] = init
+			fl[i] = init
+		}
+		// One tag per (edge, step): both endpoints of an exchange
+		// must agree on the tag.
+		edgeTag := func(a, b, step int) uint64 {
+			low := a
+			if b < low {
+				low = b
+			}
+			return uint64(step)<<16 | uint64(low)<<1 | 1
+		}
+		for s := 0; s < steps; s++ {
+			// add_one on owned cells.
+			for i := 1; i <= n; i++ {
+				st[i]++
+			}
+			// mul_two on interior cells (global interior!).
+			for i := 0; i < n; i++ {
+				g := lo + i
+				if g >= 1 && g <= ncells-2 {
+					fl[i] *= 2
+				}
+			}
+			// Halo exchange — the explicit choreography: send my
+			// boundary cells, receive my neighbors'.
+			if r.ID() > 0 {
+				got, err := r.Sendrecv(r.ID()-1, edgeTag(r.ID()-1, r.ID(), s), []float64{st[1]})
+				if err != nil {
+					return err
+				}
+				st[0] = got[0]
+			}
+			if r.ID() < r.Size()-1 {
+				got, err := r.Sendrecv(r.ID()+1, edgeTag(r.ID(), r.ID()+1, s), []float64{st[n]})
+				if err != nil {
+					return err
+				}
+				st[n+1] = got[0]
+			}
+			// stencil on interior cells.
+			prev := append([]float64(nil), st...)
+			for i := 0; i < n; i++ {
+				g := lo + i
+				if g >= 1 && g <= ncells-2 {
+					fl[i] += 0.5 * (prev[i] + prev[i+2])
+				}
+			}
+		}
+		// Gather results to rank 0 (explicitly, of course).
+		if r.ID() == 0 {
+			gs := make([]float64, ncells)
+			gf := make([]float64, ncells)
+			copy(gs, st[1:n+1])
+			copy(gf, fl)
+			for src := 1; src < r.Size(); src++ {
+				slo, shi := blockRange(ncells, r.Size(), src)
+				sv, err := r.Recv(src, 100)
+				if err != nil {
+					return err
+				}
+				fv, err := r.Recv(src, 101)
+				if err != nil {
+					return err
+				}
+				copy(gs[slo:shi+1], sv)
+				copy(gf[slo:shi+1], fv)
+			}
+			outState, outFlux = gs, gf
+			return nil
+		}
+		r.Send(0, 100, st[1:n+1])
+		r.Send(0, 101, fl)
+		return nil
+	})
+	return outState, outFlux, err
+}
+
+// blockRange mirrors geom.Rect.SplitEqual's block decomposition.
+func blockRange(n, ranks, rank int) (lo, hi int) {
+	base := n / ranks
+	rem := n % ranks
+	lo = rank*base + min(rank, rem)
+	size := base
+	if rank < rem {
+		size++
+	}
+	hi = lo + size - 1
+	if size == 0 {
+		return 1, 0
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PennantDt is the explicit version of the Pennant time-step pattern:
+// every rank computes a local candidate dt and the job min-reduces it
+// each iteration — the collective that bounds the real Pennant's
+// parallel efficiency (§5.1).
+func PennantDt(ranks, iters int, local func(rank, iter int) float64) ([]float64, error) {
+	out := make([]float64, iters)
+	err := Run(ranks, func(r *Rank) error {
+		for it := 0; it < iters; it++ {
+			dt, err := r.AllReduce(local(r.ID(), it), func(a, b float64) float64 {
+				if a < b {
+					return a
+				}
+				return b
+			})
+			if err != nil {
+				return err
+			}
+			if r.ID() == 0 {
+				out[it] = dt
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, err
+}
+
+var _ = fmt.Sprintf // reserved for diagnostics

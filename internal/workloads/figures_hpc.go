@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"godcr/internal/sim"
+)
+
+// Regent application figures (§5.2): Soleil-X (Fig. 16) and the HTR
+// solver (Fig. 17). Both run only under DCR in the paper (SCR's static
+// analysis rejects them); the figures show absolute scaling.
+
+// GPU counts for Soleil-X on Sierra (4 GPUs per node).
+var SoleilGPUs = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// soleilWork models the three coupled solvers: fluid (halo exchange),
+// particles (irregular), and DOM radiation (sweep with wavefront
+// dependences). The full 3-D communication pattern is only reached at
+// 32 nodes (128 GPUs), the paper's explanation for the efficiency
+// step there.
+func soleilWork(gpus int) sim.Workload {
+	nodes := gpus / 4
+	if nodes < 1 {
+		nodes = 1
+	}
+	const cellsPerGPU = 64 * 64 * 64
+	const gpuRate = 2.6e7 // cells/s through all three physics steps
+	exchangeBytes := 64.0 * 64 * 8 * 2
+	if nodes >= 32 {
+		exchangeBytes *= 3 // 3-D pattern: faces in every dimension
+	}
+	taskTime := float64(cellsPerGPU) / gpuRate
+	return sim.Workload{
+		Name: "soleil-x",
+		Phases: []sim.Phase{
+			{Name: "fluid", TasksPerNode: 4, TaskTime: taskTime * 0.45,
+				Pattern: sim.CommNeighbor, BytesPerTask: exchangeBytes, Fenced: true},
+			// Particle load imbalance and the DOM radiation sweep's
+			// wavefront fill both stretch with machine diameter.
+			{Name: "particles", TasksPerNode: 4, TaskTime: taskTime * 0.25,
+				Pattern: sim.CommIrregular, BytesPerTask: exchangeBytes / 4, Fenced: true,
+				ImbalancePct: 0.035},
+			{Name: "radiation", TasksPerNode: 4, TaskTime: taskTime * 0.3,
+				Pattern: sim.CommNeighbor, BytesPerTask: exchangeBytes, Fenced: true,
+				ImbalancePct: 0.04},
+		},
+		Iterations:       30,
+		WorkPerIteration: float64(gpus) * cellsPerGPU,
+	}
+}
+
+// Fig16 is Soleil-X weak scaling on Sierra (per-GPU throughput).
+func Fig16() Figure {
+	machine := func(g int) sim.Machine {
+		m := legionMachine(g)
+		m.NetBandwidth = 12e9
+		return m
+	}
+	return Figure{
+		ID: "fig16", Title: "Soleil-X Weak Scaling on Sierra",
+		XLabel: "GPUs", YLabel: "cells/s per GPU",
+		Series: []Series{
+			{Label: "Soleil-X with Dynamic Control Replication",
+				Points: sim.Sweep(sim.DCR, SoleilGPUs, machine, soleilWork)},
+		},
+	}
+}
+
+// HTR node sweeps: Quartz packs 36 cores/node (to 9216 cores at 256
+// nodes); Lassen packs 4 GPUs/node (to 512 GPUs at 128 nodes).
+var (
+	HTRQuartzNodes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	HTRLassenNodes = []int{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// htrWork models the hypersonic solver: a wide stencil exchange, a
+// heavy zero-communication chemistry phase (most of the time), and a
+// global time-step reduction.
+func htrWork(procs int, procRate, imbalance float64) func(n int) sim.Workload {
+	return func(n int) sim.Workload {
+		const cellsPerProc = 32 * 32 * 32
+		taskTime := float64(cellsPerProc) / procRate
+		return sim.Workload{
+			Name: "htr",
+			Phases: []sim.Phase{
+				{Name: "euler-stencil", TasksPerNode: procs, TaskTime: taskTime * 0.3,
+					Pattern: sim.CommNeighbor, BytesPerTask: 32 * 32 * 8 * 6, Fenced: true,
+					ImbalancePct: imbalance},
+				{Name: "chemistry", TasksPerNode: procs, TaskTime: taskTime * 0.65, Pattern: sim.CommNone},
+				{Name: "dt", TasksPerNode: procs, TaskTime: taskTime * 0.05,
+					Pattern: sim.CommAllReduce, BytesPerTask: 8},
+			},
+			Iterations:       30,
+			WorkPerIteration: float64(n*procs) * cellsPerProc,
+		}
+	}
+}
+
+// Fig17a is HTR weak scaling on Quartz (36 CPU cores per node),
+// reported as parallel efficiency.
+func Fig17a() Figure {
+	machine := func(n int) sim.Machine {
+		m := legionMachine(n)
+		m.ProcsPerNode = 36
+		m.NetBandwidth = 8e9
+		return m
+	}
+	return Figure{
+		ID: "fig17a", Title: "HTR Weak Scaling on Quartz",
+		XLabel: "nodes (36 cores each)", YLabel: "parallel efficiency",
+		Series: []Series{
+			{Label: "HTR with Dynamic Control Replication",
+				Points: sim.Sweep(sim.DCR, HTRQuartzNodes, machine, htrWork(36, 6e5, 0.06))},
+		},
+	}
+}
+
+// Fig17b is HTR weak scaling on Lassen (4 GPUs per node).
+func Fig17b() Figure {
+	machine := func(n int) sim.Machine {
+		m := legionMachine(n)
+		m.ProcsPerNode = 4
+		m.NetBandwidth = 12e9
+		return m
+	}
+	return Figure{
+		ID: "fig17b", Title: "HTR Weak Scaling on Lassen",
+		XLabel: "nodes (4 GPUs each)", YLabel: "parallel efficiency",
+		Series: []Series{
+			{Label: "HTR with Dynamic Control Replication",
+				Points: sim.Sweep(sim.DCR, HTRLassenNodes, machine, htrWork(4, 1.6e7, 0.028))},
+		},
+	}
+}
+
+// Efficiency converts a weak-scaling series to parallel efficiency
+// relative to its first point.
+func Efficiency(s Series) []float64 {
+	out := make([]float64, len(s.Points))
+	if len(s.Points) == 0 {
+		return out
+	}
+	base := s.Points[0].PerNode
+	for i, p := range s.Points {
+		out[i] = p.PerNode / base
+	}
+	return out
+}

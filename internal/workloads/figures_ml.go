@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"godcr/internal/sim"
+)
+
+// Machine-learning figures (§5.1 Fig. 15, §5.3 Fig. 18). The x axis is
+// GPUs; the simulation models one GPU per node (FlexFlow runs one
+// Legion shard per GPU).
+
+// GPU sweeps used by the paper (1, 3, 6 GPUs within a node, then
+// multiples of 6 across Summit nodes).
+var GPUs768 = []int{1, 3, 6, 12, 24, 48, 96, 192, 384, 768}
+
+func mlMachine(n int) sim.Machine {
+	m := legionMachine(n)
+	m.NetBandwidth = 12e9 // Summit NVLink/IB effective per-GPU
+	m.NetLatency = 2e-6
+	return m
+}
+
+// resnetWork models one ResNet-50 training epoch: 1.28M ImageNet
+// images, batch 64 per GPU, ~50 operator tasks per GPU per step, and a
+// 25.5M-parameter (102 MB) gradient all-reduce per step.
+func resnetWork(dataParallelBytes float64) func(g int) sim.Workload {
+	return func(g int) sim.Workload {
+		const imagesPerEpoch = 1_281_167
+		const batchPerGPU = 64
+		const stepCompute = 0.128 // seconds per step per GPU (V100, batch 64)
+		const opsPerGPU = 50
+		steps := imagesPerEpoch / (batchPerGPU * g)
+		if steps < 1 {
+			steps = 1
+		}
+		return sim.Workload{
+			Name: "resnet50",
+			Phases: []sim.Phase{
+				{Name: "fwd-bwd", TasksPerNode: opsPerGPU, TaskTime: stepCompute / opsPerGPU, Pattern: sim.CommNone},
+				{Name: "grad-allreduce", TasksPerNode: 1, TaskTime: 1e-5,
+					Pattern: sim.CommAllReduce, BytesPerTask: dataParallelBytes},
+			},
+			Iterations:       steps,
+			WorkPerIteration: float64(batchPerGPU * g),
+		}
+	}
+}
+
+// Fig15 is ResNet-50 per-epoch training time: TensorFlow+Horovod vs
+// FlexFlow without and with DCR.
+func Fig15() Figure {
+	const resnetGradBytes = 25.5e6 * 4
+	return Figure{
+		ID: "fig15", Title: "ResNet-50 Training on Summit",
+		XLabel: "GPUs", YLabel: "per-epoch time (s)",
+		Series: []Series{
+			// TensorFlow's dataflow executes without a per-task
+			// controller once placed: zero-analysis model.
+			{Label: "TensorFlow", Points: sim.Sweep(sim.SCR, GPUs768, mlMachine, resnetWork(resnetGradBytes))},
+			{Label: "FlexFlow (No Control Replication)", Points: sim.Sweep(sim.Central, GPUs768, mlMachine, resnetWork(resnetGradBytes))},
+			{Label: "FlexFlow (Dynamic Control Replication)", Points: sim.Sweep(sim.DCR, GPUs768, mlMachine, resnetWork(resnetGradBytes))},
+		},
+	}
+}
+
+// candleWork models the CANDLE Uno pilot1 MLP: 768M weights. Under
+// data parallelism every step all-reduces the full 3 GB gradient
+// (hierarchical tree at scale); FlexFlow's searched hybrid strategy
+// cuts communication 20x (§5.3).
+func candleWork(hybrid bool) func(g int) sim.Workload {
+	return func(g int) sim.Workload {
+		const samples = 423_952
+		const batchPerGPU = 64
+		const stepCompute = 0.38 // 768M-weight fwd+bwd per 64-batch
+		gradBytes := 768e6 * 4.0
+		pattern := sim.CommAllReduceTree
+		if hybrid {
+			gradBytes /= 20
+			pattern = sim.CommAllReduce
+		}
+		steps := samples / (batchPerGPU * g)
+		if steps < 1 {
+			steps = 1
+		}
+		return sim.Workload{
+			Name: "candle",
+			Phases: []sim.Phase{
+				{Name: "fwd-bwd", TasksPerNode: 40, TaskTime: stepCompute / 40, Pattern: sim.CommNone},
+				{Name: "sync", TasksPerNode: 1, TaskTime: 1e-5, Pattern: pattern, BytesPerTask: gradBytes},
+			},
+			Iterations:       steps,
+			WorkPerIteration: float64(batchPerGPU * g),
+		}
+	}
+}
+
+// Fig18 is CANDLE MLP per-epoch training time: TensorFlow
+// data-parallel vs FlexFlow's hybrid strategy on DCR.
+func Fig18() Figure {
+	return Figure{
+		ID: "fig18", Title: "CANDLE Uno MLP Training on Summit",
+		XLabel: "GPUs", YLabel: "per-epoch time (s)",
+		Series: []Series{
+			{Label: "TensorFlow", Points: sim.Sweep(sim.SCR, GPUs768, mlMachine, candleWork(false))},
+			{Label: "FlexFlow (Dynamic Control Replication)", Points: sim.Sweep(sim.DCR, GPUs768, mlMachine, candleWork(true))},
+		},
+	}
+}

@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTSV renders a figure as tab-separated series with a comment
+// header — the output format of cmd/dcrbench. The y column adapts to
+// the figure's unit: parallel-efficiency figures normalize against the
+// first point, per-epoch figures print makespans, per-node figures
+// print normalized throughput.
+func FormatTSV(f Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x: %s, y: %s\n", f.XLabel, f.YLabel)
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte('\t')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	efficiency := strings.Contains(f.YLabel, "efficiency")
+	perEpoch := strings.Contains(f.YLabel, "per-epoch")
+	perUnit := strings.Contains(f.YLabel, "per node") || strings.Contains(f.YLabel, "per GPU")
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%d", f.Series[0].Points[i].Nodes)
+		for _, s := range f.Series {
+			p := s.Points[i]
+			switch {
+			case efficiency:
+				fmt.Fprintf(&b, "\t%.4f", Efficiency(s)[i])
+			case perEpoch:
+				fmt.Fprintf(&b, "\t%.4g", p.Makespan)
+			case perUnit:
+				fmt.Fprintf(&b, "\t%.4g", p.PerNode)
+			default:
+				fmt.Fprintf(&b, "\t%.4g", p.Throughput)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race chaos bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fault-injection soak: reliable delivery, dedup, reorder tolerance,
+# chaos runs of the stencil and circuit workloads, and the deadlock
+# watchdog — all under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Fault|Chaos|Watchdog|Reliable|Dedup|Crash|Stall|Interrupt' \
+		./internal/cluster ./internal/collective ./internal/core .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

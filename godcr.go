@@ -38,6 +38,7 @@
 package godcr
 
 import (
+	"godcr/internal/cluster"
 	"godcr/internal/core"
 	"godcr/internal/geom"
 	"godcr/internal/instance"
@@ -159,6 +160,24 @@ const (
 	ReduceMul = instance.ReduceMul
 	ReduceMin = instance.ReduceMin
 	ReduceMax = instance.ReduceMax
+)
+
+// Fault injection and resilience (see DESIGN.md §4).
+type (
+	// FaultPlan seeds deterministic transport-fault injection
+	// (drop, duplication, reordering, latency jitter, stall/crash
+	// windows) for chaos testing. Set it on Config.Faults.
+	FaultPlan = cluster.FaultPlan
+	// StallWindow freezes or crashes one node's transport after a
+	// trigger count of sends.
+	StallWindow = cluster.StallWindow
+	// TransportStats counts messages, bytes, and injected faults.
+	TransportStats = cluster.Stats
+	// StallError is the deadlock watchdog's verdict: no cross-shard
+	// progress for Config.OpDeadline, with a per-shard snapshot.
+	StallError = core.StallError
+	// ShardProgress is one shard's entry in a StallError snapshot.
+	ShardProgress = core.ShardProgress
 )
 
 // RNG is the replicable counter-based random stream (Philox4x32-10).

@@ -3,6 +3,7 @@ package godcr_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"godcr"
 )
@@ -38,6 +39,51 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if rt.Stats().PointTasks != 4 {
 		t.Fatalf("PointTasks = %d", rt.Stats().PointTasks)
+	}
+}
+
+// TestFacadeChaos runs the quickstart workload under an injected
+// fault plan through the public API: results must be unchanged, the
+// watchdog must stay quiet, and the transport counters must show the
+// faults actually fired.
+func TestFacadeChaos(t *testing.T) {
+	rt := godcr.NewRuntime(godcr.Config{
+		Shards:       4,
+		SafetyChecks: true,
+		OpDeadline:   10 * time.Second,
+		Faults: &godcr.FaultPlan{
+			Seed: 1, Drop: 0.05, Duplicate: 0.05, Reorder: 0.1,
+			JitterMax: 200 * time.Microsecond,
+		},
+	})
+	defer rt.Shutdown()
+	rt.RegisterTask("scale", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		x.Rect().Each(func(p godcr.Point) bool { x.Set(p, x.At(p)*2); return true })
+		return 0, nil
+	})
+	err := rt.Execute(func(ctx *godcr.Context) error {
+		cells := ctx.CreateRegion(godcr.R1(0, 1023), "x")
+		tiles := ctx.PartitionEqual(cells, 4)
+		ctx.Fill(cells, "x", 1)
+		for step := 0; step < 5; step++ {
+			ctx.IndexLaunch(godcr.Launch{
+				Task: "scale", Domain: godcr.R1(0, 3),
+				Reqs: []godcr.RegionReq{{Part: tiles, Priv: godcr.ReadWrite, Fields: []string{"x"}}},
+			})
+		}
+		for i, v := range ctx.InlineRead(cells, "x") {
+			if v != 32 {
+				return fmt.Errorf("cell %d = %v, want 32", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.TransportStats(); st.Dropped == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", st)
 	}
 }
 

@@ -2,10 +2,13 @@
 // DCR runtime runs on: a set of nodes that exchange asynchronous
 // messages. Nodes live in one process (each node's services run on
 // goroutines), but the transport can be configured to behave like a
-// network: per-message delivery latency, and optional gob
-// wire-encoding that deep-copies every payload so no hidden shared
-// memory can leak between nodes (the "strict distribution" mode used
-// by the integration tests).
+// network: per-message delivery latency, optional gob wire-encoding
+// that deep-copies every payload so no hidden shared memory can leak
+// between nodes (the "strict distribution" mode used by the
+// integration tests), and seeded fault injection (message drop,
+// duplication, reordering, latency jitter, node stall/crash — see
+// FaultPlan in faults.go) with a transparent ack/retransmit sublayer
+// that preserves exactly-once delivery under loss.
 //
 // This is the substitution for the paper's physical clusters and
 // GASNet transport: the runtime above sees the same interface — fire
@@ -47,24 +50,50 @@ type Config struct {
 	// guaranteeing nodes share no memory. Payload types must be
 	// registered with RegisterWireType.
 	WireEncode bool
+	// Faults injects transport faults (chaos testing); nil keeps the
+	// perfect-network fast path.
+	Faults *FaultPlan
 }
 
 // Stats aggregates transport counters.
 type Stats struct {
 	Messages uint64
 	Bytes    uint64 // only counted when WireEncode is on
+
+	// Fault-injection counters (zero on unperturbed clusters).
+	Dropped       uint64 // transmissions swallowed by drop/crash faults
+	Duplicated    uint64 // transmissions delivered twice
+	Reordered     uint64 // transmissions held back to force reordering
+	Jittered      uint64 // transmissions given random extra latency
+	Stalled       uint64 // stall/crash windows triggered
+	Retransmits   uint64 // reliable-sublayer retransmissions
+	Acks          uint64 // reliable-sublayer acks consumed
+	DupDeliveries uint64 // duplicates suppressed by receiver dedup
 }
 
 // Cluster is a set of nodes plus the transport connecting them.
 type Cluster struct {
-	cfg   Config
-	nodes []*Node
+	cfg    Config
+	nodes  []*Node
+	faults *faultState
 
 	msgs  atomic.Uint64
 	bytes atomic.Uint64
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	dropped      atomic.Uint64
+	duplicated   atomic.Uint64
+	reordered    atomic.Uint64
+	jittered     atomic.Uint64
+	stalled      atomic.Uint64
+	retransmits  atomic.Uint64
+	acks         atomic.Uint64
+	dupDelivered atomic.Uint64
+
+	closed   atomic.Bool
+	intr     atomic.Value // error: set by Interrupt
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // Node is one endpoint of the cluster.
@@ -74,9 +103,12 @@ type Node struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	pending  map[matchKey][]Message
+	pending  map[matchKey][]queuedMsg
 	handlers map[uint64]Handler
 	closed   bool
+	arrival  uint64
+	waits    map[uint64]*waitRecord
+	waitSeq  uint64
 }
 
 type matchKey struct {
@@ -84,21 +116,39 @@ type matchKey struct {
 	from NodeID
 }
 
+// queuedMsg is one queued message plus its arrival index, which makes
+// RecvAny's choice of sender deterministic (oldest first).
+type queuedMsg struct {
+	msg     Message
+	arrival uint64
+}
+
+// waitRecord tracks one blocked receive for the stall watchdog.
+type waitRecord struct {
+	tag   uint64
+	from  NodeID // -1 for RecvAny
+	since time.Time
+}
+
 // New creates a cluster with cfg.Nodes nodes.
 func New(cfg Config) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("cluster: need at least one node")
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, stop: make(chan struct{})}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
 			id:       NodeID(i),
 			c:        c,
-			pending:  make(map[matchKey][]Message),
+			pending:  make(map[matchKey][]queuedMsg),
 			handlers: make(map[uint64]Handler),
+			waits:    make(map[uint64]*waitRecord),
 		}
 		n.cond = sync.NewCond(&n.mu)
 		c.nodes = append(c.nodes, n)
+	}
+	if cfg.Faults != nil {
+		c.faults = newFaultState(c, cfg.Faults)
 	}
 	return c
 }
@@ -111,7 +161,18 @@ func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
 
 // Stats returns a snapshot of the transport counters.
 func (c *Cluster) Stats() Stats {
-	return Stats{Messages: c.msgs.Load(), Bytes: c.bytes.Load()}
+	return Stats{
+		Messages:      c.msgs.Load(),
+		Bytes:         c.bytes.Load(),
+		Dropped:       c.dropped.Load(),
+		Duplicated:    c.duplicated.Load(),
+		Reordered:     c.reordered.Load(),
+		Jittered:      c.jittered.Load(),
+		Stalled:       c.stalled.Load(),
+		Retransmits:   c.retransmits.Load(),
+		Acks:          c.acks.Load(),
+		DupDeliveries: c.dupDelivered.Load(),
+	}
 }
 
 // Close shuts the transport down; blocked receives return an error.
@@ -119,6 +180,7 @@ func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
 	}
+	c.stopOnce.Do(func() { close(c.stop) })
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		n.closed = true
@@ -128,8 +190,46 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
-// ErrClosed is returned by receives after the cluster is closed.
-var ErrClosed = fmt.Errorf("cluster: transport closed")
+// Interrupt poisons the transport with err: every blocked and future
+// receive (and send) on every node fails with err. This is the abort
+// broadcast of the runtime above — when one shard dies, Interrupt
+// unwedges every peer blocked in a collective on the dead shard so the
+// whole machine can unwind instead of deadlocking. Unlike Close it
+// does not wait for in-flight timers; a later Close still joins them.
+func (c *Cluster) Interrupt(err error) {
+	if err == nil {
+		err = ErrInterrupted
+	}
+	if !c.intr.CompareAndSwap(nil, err) {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+}
+
+// Err returns the interrupt error, or nil if the transport is healthy.
+func (c *Cluster) Err() error {
+	if v := c.intr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Errors returned by the transport.
+var (
+	// ErrClosed is returned by receives after the cluster is closed.
+	ErrClosed = fmt.Errorf("cluster: transport closed")
+	// ErrInterrupted is the default Interrupt error.
+	ErrInterrupted = fmt.Errorf("cluster: transport interrupted")
+	// ErrTimeout is returned by RecvTimeout when the deadline passes.
+	ErrTimeout = fmt.Errorf("cluster: receive timed out")
+	// ErrBadPayload wraps payloads that fail wire encoding.
+	ErrBadPayload = fmt.Errorf("cluster: bad payload")
+)
 
 var wireTypesMu sync.Mutex
 
@@ -157,10 +257,17 @@ func (n *Node) Handle(tag uint64, h Handler) {
 }
 
 // Send delivers a message to node `to` with the configured latency. If
-// WireEncode is on, the payload is deep-copied through gob.
-func (n *Node) Send(to NodeID, tag uint64, payload any) {
+// WireEncode is on, the payload is deep-copied through gob. A non-nil
+// error means the message was provably not delivered (encode failure
+// or interrupted transport); nil is fire-and-forget as on a real NIC —
+// with fault injection on, delivery is only guaranteed by the reliable
+// sublayer.
+func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 	if n.c.closed.Load() {
-		return
+		return ErrClosed
+	}
+	if err := n.c.Err(); err != nil {
+		return err
 	}
 	msg := Message{From: n.id, To: to, Tag: tag, Payload: payload}
 	// nil payloads (barriers) are trivially copy-safe and cannot be
@@ -170,25 +277,35 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) {
 		enc := gob.NewEncoder(&buf)
 		wrapped := wireEnvelope{Payload: payload}
 		if err := enc.Encode(&wrapped); err != nil {
-			panic(fmt.Sprintf("cluster: payload %T not wire-encodable: %v", payload, err))
+			return fmt.Errorf("%w: %T not wire-encodable: %v", ErrBadPayload, payload, err)
 		}
 		n.c.bytes.Add(uint64(buf.Len()))
 		var out wireEnvelope
 		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
-			panic(fmt.Sprintf("cluster: payload %T not wire-decodable: %v", payload, err))
+			return fmt.Errorf("%w: %T not wire-decodable: %v", ErrBadPayload, payload, err)
 		}
 		msg.Payload = out.Payload
 	}
 	n.c.msgs.Add(1)
-	dst := n.c.nodes[to]
-	if n.c.cfg.Latency <= 0 {
+	if n.c.faults != nil {
+		return n.c.faults.send(msg)
+	}
+	n.c.deliverAfter(msg, n.c.cfg.Latency)
+	return nil
+}
+
+// deliverAfter schedules delivery of msg after delay d (immediately
+// when d <= 0).
+func (c *Cluster) deliverAfter(msg Message, d time.Duration) {
+	dst := c.nodes[msg.To]
+	if d <= 0 {
 		dst.deliver(msg)
 		return
 	}
-	n.c.wg.Add(1)
-	time.AfterFunc(n.c.cfg.Latency, func() {
-		defer n.c.wg.Done()
-		if !n.c.closed.Load() {
+	c.wg.Add(1)
+	time.AfterFunc(d, func() {
+		defer c.wg.Done()
+		if !c.closed.Load() && c.Err() == nil {
 			dst.deliver(msg)
 		}
 	})
@@ -197,6 +314,15 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) {
 type wireEnvelope struct{ Payload any }
 
 func (n *Node) deliver(msg Message) {
+	if f := n.c.faults; f != nil && f.reliable {
+		f.intercept(msg, n.enqueue)
+		return
+	}
+	n.enqueue(msg)
+}
+
+// enqueue dispatches a logical message to its handler or match queue.
+func (n *Node) enqueue(msg Message) {
 	n.mu.Lock()
 	h, ok := n.handlers[msg.Tag]
 	if ok {
@@ -204,54 +330,141 @@ func (n *Node) deliver(msg Message) {
 		go h(msg)
 		return
 	}
-	n.pending[matchKey{msg.Tag, msg.From}] = append(n.pending[matchKey{msg.Tag, msg.From}], msg)
+	n.arrival++
+	key := matchKey{msg.Tag, msg.From}
+	n.pending[key] = append(n.pending[key], queuedMsg{msg: msg, arrival: n.arrival})
 	n.cond.Broadcast()
 	n.mu.Unlock()
+}
+
+// popLocked dequeues the head of key's queue. Caller holds n.mu.
+func (n *Node) popLocked(key matchKey) Message {
+	q := n.pending[key]
+	msg := q[0].msg
+	if len(q) == 1 {
+		delete(n.pending, key)
+	} else {
+		n.pending[key] = q[1:]
+	}
+	return msg
+}
+
+// beginWaitLocked registers a blocked receive for the watchdog; caller
+// holds n.mu.
+func (n *Node) beginWaitLocked(tag uint64, from NodeID) uint64 {
+	n.waitSeq++
+	n.waits[n.waitSeq] = &waitRecord{tag: tag, from: from, since: time.Now()}
+	return n.waitSeq
+}
+
+func (n *Node) endWaitLocked(id uint64) { delete(n.waits, id) }
+
+// OldestWait reports the longest-blocked receive on this node: its
+// tag, the sender it waits on (-1 for RecvAny), and when it started.
+// ok is false when nothing is blocked. The stall watchdog uses this to
+// name the collective a wedged shard is stuck inside.
+func (n *Node) OldestWait() (tag uint64, from NodeID, since time.Time, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, w := range n.waits {
+		if !ok || w.since.Before(since) {
+			tag, from, since, ok = w.tag, w.from, w.since, true
+		}
+	}
+	return tag, from, since, ok
 }
 
 // Recv blocks until a message with the given tag from the given sender
 // arrives, and returns its payload.
 func (n *Node) Recv(tag uint64, from NodeID) (any, error) {
+	return n.recv(tag, from, 0)
+}
+
+// RecvTimeout is Recv with a deadline: it returns ErrTimeout if no
+// matching message arrives within d.
+func (n *Node) RecvTimeout(tag uint64, from NodeID, d time.Duration) (any, error) {
+	return n.recv(tag, from, d)
+}
+
+func (n *Node) recv(tag uint64, from NodeID, timeout time.Duration) (any, error) {
 	key := matchKey{tag, from}
+	var deadline time.Time
+	var timer *time.Timer
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// The timer only wakes the cond loop; the loop checks the clock.
+		timer = time.AfterFunc(timeout, func() {
+			n.mu.Lock()
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	waitID := uint64(0)
+	defer func() {
+		if waitID != 0 {
+			n.endWaitLocked(waitID)
+		}
+	}()
 	for {
-		if q := n.pending[key]; len(q) > 0 {
-			msg := q[0]
-			if len(q) == 1 {
-				delete(n.pending, key)
-			} else {
-				n.pending[key] = q[1:]
-			}
-			return msg.Payload, nil
+		if len(n.pending[key]) > 0 {
+			return n.popLocked(key).Payload, nil
 		}
 		if n.closed {
 			return nil, ErrClosed
+		}
+		if err := n.c.Err(); err != nil {
+			return nil, err
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		if waitID == 0 {
+			waitID = n.beginWaitLocked(tag, from)
 		}
 		n.cond.Wait()
 	}
 }
 
 // RecvAny blocks until a message with the given tag arrives from any
-// sender, returning the sender and payload.
+// sender, returning the sender and payload. When several senders have
+// pending messages it picks the oldest (earliest arrival), so the
+// choice is deterministic and no sender can be starved.
 func (n *Node) RecvAny(tag uint64) (NodeID, any, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	waitID := uint64(0)
+	defer func() {
+		if waitID != 0 {
+			n.endWaitLocked(waitID)
+		}
+	}()
 	for {
+		bestKey := matchKey{}
+		bestArrival := uint64(0)
+		found := false
 		for key, q := range n.pending {
 			if key.tag != tag || len(q) == 0 {
 				continue
 			}
-			msg := q[0]
-			if len(q) == 1 {
-				delete(n.pending, key)
-			} else {
-				n.pending[key] = q[1:]
+			if !found || q[0].arrival < bestArrival {
+				bestKey, bestArrival, found = key, q[0].arrival, true
 			}
+		}
+		if found {
+			msg := n.popLocked(bestKey)
 			return msg.From, msg.Payload, nil
 		}
 		if n.closed {
 			return -1, nil, ErrClosed
+		}
+		if err := n.c.Err(); err != nil {
+			return -1, nil, err
+		}
+		if waitID == 0 {
+			waitID = n.beginWaitLocked(tag, -1)
 		}
 		n.cond.Wait()
 	}
@@ -263,14 +476,8 @@ func (n *Node) TryRecv(tag uint64, from NodeID) (any, bool) {
 	key := matchKey{tag, from}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if q := n.pending[key]; len(q) > 0 {
-		msg := q[0]
-		if len(q) == 1 {
-			delete(n.pending, key)
-		} else {
-			n.pending[key] = q[1:]
-		}
-		return msg.Payload, true
+	if len(n.pending[key]) > 0 {
+		return n.popLocked(key).Payload, true
 	}
 	return nil, false
 }

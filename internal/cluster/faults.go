@@ -1,0 +1,381 @@
+package cluster
+
+// Fault injection and reliable delivery. A FaultPlan turns the perfect
+// in-process transport into a misbehaving network: messages can be
+// dropped, duplicated, reordered, delayed by random jitter, and whole
+// nodes can stall or crash mid-run. Every fault decision is derived
+// from a counter-based PRNG keyed by (plan seed, sender, receiver,
+// per-link transmission index), so a failing run reproduces from its
+// seed as long as each sender's per-link send order is stable.
+//
+// When a plan can lose messages (Drop or Duplicate > 0) the transport
+// automatically interposes a reliable-delivery sublayer: every logical
+// message gets a per-link sequence number, the receiver acks each
+// receipt, dedups by sequence, and holds out-of-order arrivals back so
+// the stream it releases is exactly-once and per-link FIFO; the sender
+// retransmits with capped exponential backoff until acked. The
+// sublayer is entirely absent on zero-fault clusters — the fast path
+// is the one the benchmarks measure.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan configures deterministic, seeded fault injection on a
+// cluster's transport. The zero value injects nothing; a nil plan on
+// Config selects the unperturbed fast path.
+type FaultPlan struct {
+	// Seed keys the fault PRNG; identical seeds reproduce identical
+	// fault schedules (per sender/receiver link).
+	Seed uint64
+	// Drop is the per-transmission probability a message vanishes.
+	// Drop > 0 auto-enables the reliable-delivery sublayer.
+	Drop float64
+	// Duplicate is the probability a transmission is delivered twice.
+	// Duplicate > 0 auto-enables the reliable-delivery sublayer.
+	Duplicate float64
+	// Reorder is the probability a transmission is held back long
+	// enough for later messages to overtake it.
+	Reorder float64
+	// JitterMax adds uniform random latency in [0, JitterMax) to every
+	// transmission (on top of Config.Latency).
+	JitterMax time.Duration
+	// ReorderDelay is how long a reordered message is held back
+	// (default 1ms).
+	ReorderDelay time.Duration
+	// Stalls schedules per-node stall/crash windows.
+	Stalls []StallWindow
+	// RetransmitBase/RetransmitCap bound the reliable sublayer's
+	// exponential backoff (defaults 1ms / 32ms).
+	RetransmitBase time.Duration
+	RetransmitCap  time.Duration
+}
+
+// StallWindow stalls or kills one node's traffic. The window triggers
+// when the node has attempted its AfterSends-th send, so the trigger
+// point is reproducible from the workload rather than wall-clock time.
+type StallWindow struct {
+	// Node is the afflicted node.
+	Node NodeID
+	// AfterSends is the send-attempt count that triggers the window.
+	AfterSends uint64
+	// Duration delays the node's traffic (both directions) for this
+	// long after the trigger. Ignored when Crash is set.
+	Duration time.Duration
+	// Crash kills the node's network permanently: every later message
+	// to or from it is silently dropped (the fail-stop model — the
+	// node's goroutines still run, but its NIC is gone).
+	Crash bool
+}
+
+// reliable reports whether the plan requires the ack/retransmit
+// sublayer to preserve exactly-once delivery semantics.
+func (p *FaultPlan) reliable() bool {
+	return p != nil && (p.Drop > 0 || p.Duplicate > 0)
+}
+
+// Reserved wire tags for the reliable sublayer's envelopes.
+const (
+	relDataTag = uint64(0xFE) << 56
+	relAckTag  = uint64(0xFD) << 56
+)
+
+// relData wraps one logical message with its link sequence number. It
+// never crosses the gob boundary (the inner payload is already
+// wire-encoded by the time it is wrapped), so it needs no registration.
+type relData struct {
+	Seq     uint64
+	Tag     uint64
+	Payload any
+}
+
+// relLink is the sender-side state of one (from, to) reliable link.
+type relLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	unacked map[uint64]*relPending
+}
+
+type relPending struct {
+	msg Message
+	ack chan struct{}
+}
+
+// relRecv is the receiver-side dedup/reorder state of one (to, from)
+// link: out-of-sequence arrivals are held back so the logical stream
+// the node observes is exactly the fault-free one (per-link FIFO).
+type relRecv struct {
+	mu sync.Mutex
+	// contig is the highest sequence released so far; held buffers
+	// arrivals above the first gap.
+	contig uint64
+	held   map[uint64]*Message
+}
+
+// release records seq's logical message and emits, in sequence order,
+// every message that has become contiguously deliverable; it reports
+// whether seq was a duplicate. emit runs under the link lock so
+// concurrent arrivals cannot interleave their release batches.
+func (r *relRecv) release(seq uint64, msg Message, emit func(Message)) (dup bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq <= r.contig {
+		return true
+	}
+	if r.held == nil {
+		r.held = make(map[uint64]*Message)
+	}
+	if _, have := r.held[seq]; have {
+		return true
+	}
+	r.held[seq] = &msg
+	for {
+		m, ok := r.held[r.contig+1]
+		if !ok {
+			return false
+		}
+		delete(r.held, r.contig+1)
+		r.contig++
+		emit(*m)
+	}
+}
+
+// nodeFaultState tracks one node's send count and stall/crash status.
+type nodeFaultState struct {
+	mu         sync.Mutex
+	sends      uint64
+	crashed    bool
+	stallUntil time.Time
+	windows    []StallWindow // untriggered windows for this node
+}
+
+// faultState is the per-cluster fault-injection engine.
+type faultState struct {
+	c        *Cluster
+	plan     FaultPlan
+	reliable bool
+	nodes    []*nodeFaultState
+	links    [][]*relLink // [from][to], reliable mode only
+	recvs    [][]*relRecv // [to][from], reliable mode only
+	// wires counts physical transmissions per (from, to) link; it
+	// indexes the fault PRNG so decisions reproduce from the seed.
+	wires [][]*atomic.Uint64
+}
+
+func newFaultState(c *Cluster, plan *FaultPlan) *faultState {
+	f := &faultState{c: c, plan: *plan, reliable: plan.reliable()}
+	if f.plan.ReorderDelay <= 0 {
+		f.plan.ReorderDelay = time.Millisecond
+	}
+	if f.plan.RetransmitBase <= 0 {
+		f.plan.RetransmitBase = time.Millisecond
+	}
+	if f.plan.RetransmitCap <= 0 {
+		f.plan.RetransmitCap = 32 * time.Millisecond
+	}
+	n := len(c.nodes)
+	f.nodes = make([]*nodeFaultState, n)
+	for i := range f.nodes {
+		ns := &nodeFaultState{}
+		for _, w := range f.plan.Stalls {
+			if w.Node == NodeID(i) {
+				ns.windows = append(ns.windows, w)
+			}
+		}
+		f.nodes[i] = ns
+	}
+	f.wires = make([][]*atomic.Uint64, n)
+	for i := range f.wires {
+		f.wires[i] = make([]*atomic.Uint64, n)
+		for j := range f.wires[i] {
+			f.wires[i][j] = &atomic.Uint64{}
+		}
+	}
+	if f.reliable {
+		f.links = make([][]*relLink, n)
+		f.recvs = make([][]*relRecv, n)
+		for i := 0; i < n; i++ {
+			f.links[i] = make([]*relLink, n)
+			f.recvs[i] = make([]*relRecv, n)
+			for j := 0; j < n; j++ {
+				f.links[i][j] = &relLink{unacked: make(map[uint64]*relPending)}
+				f.recvs[i][j] = &relRecv{}
+			}
+		}
+	}
+	return f
+}
+
+// splitmix64 is the finalizer of Vigna's SplitMix64 — a cheap, strong
+// bit mixer used here as a counter-based PRNG (same construction as
+// the Philox stream in internal/rng, minimized for the transport).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll returns a uniform float in [0, 1) for fault decision `salt` of
+// transmission `seq` on link from→to. Pure in its arguments.
+func (f *faultState) roll(from, to NodeID, seq, salt uint64) float64 {
+	x := splitmix64(f.plan.Seed ^ uint64(from)<<48 ^ uint64(to)<<32 ^ seq<<4 ^ salt)
+	return float64(x>>11) / (1 << 53)
+}
+
+// senderGate applies the sender's stall/crash window; it returns the
+// extra delay to impose and whether the message is swallowed.
+func (f *faultState) senderGate(from NodeID) (extra time.Duration, dead bool) {
+	ns := f.nodes[from]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.sends++
+	kept := ns.windows[:0]
+	for _, w := range ns.windows {
+		if ns.sends >= w.AfterSends {
+			if w.Crash {
+				ns.crashed = true
+			} else if until := time.Now().Add(w.Duration); until.After(ns.stallUntil) {
+				ns.stallUntil = until
+			}
+			f.c.stalled.Add(1)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	ns.windows = kept
+	if ns.crashed {
+		return 0, true
+	}
+	if d := time.Until(ns.stallUntil); d > 0 {
+		extra = d
+	}
+	return extra, false
+}
+
+// crashedNode reports whether a node's network is permanently dead.
+func (f *faultState) crashedNode(id NodeID) bool {
+	ns := f.nodes[id]
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.crashed
+}
+
+// send is the faulty counterpart of the direct delivery path: it
+// applies the sender's stall/crash gate, then either hands the message
+// to the reliable sublayer or transmits it raw.
+func (f *faultState) send(msg Message) error {
+	extra, dead := f.senderGate(msg.From)
+	if dead {
+		f.c.dropped.Add(1)
+		return nil // fail-stop: the send "succeeds" into the void
+	}
+	if !f.reliable {
+		f.transmit(msg, extra)
+		return nil
+	}
+	l := f.links[msg.From][msg.To]
+	l.mu.Lock()
+	l.nextSeq++
+	seq := l.nextSeq
+	wire := Message{From: msg.From, To: msg.To, Tag: relDataTag,
+		Payload: relData{Seq: seq, Tag: msg.Tag, Payload: msg.Payload}}
+	p := &relPending{msg: wire, ack: make(chan struct{})}
+	l.unacked[seq] = p
+	l.mu.Unlock()
+	f.transmit(wire, extra)
+	f.c.wg.Add(1)
+	go f.retransmitLoop(l, p)
+	return nil
+}
+
+// transmit is one physical transmission attempt: it rolls the drop,
+// jitter, reorder, and duplication faults and schedules delivery.
+func (f *faultState) transmit(msg Message, extra time.Duration) {
+	if f.crashedNode(msg.To) || f.crashedNode(msg.From) {
+		f.c.dropped.Add(1)
+		return
+	}
+	linkSeq := f.wires[msg.From][msg.To].Add(1)
+	if f.plan.Drop > 0 && f.roll(msg.From, msg.To, linkSeq, 0) < f.plan.Drop {
+		f.c.dropped.Add(1)
+		return
+	}
+	d := f.c.cfg.Latency + extra
+	if f.plan.JitterMax > 0 {
+		d += time.Duration(f.roll(msg.From, msg.To, linkSeq, 1) * float64(f.plan.JitterMax))
+		f.c.jittered.Add(1)
+	}
+	if f.plan.Reorder > 0 && f.roll(msg.From, msg.To, linkSeq, 2) < f.plan.Reorder {
+		d += f.plan.ReorderDelay
+		f.c.reordered.Add(1)
+	}
+	f.c.deliverAfter(msg, d)
+	if f.plan.Duplicate > 0 && f.roll(msg.From, msg.To, linkSeq, 3) < f.plan.Duplicate {
+		f.c.duplicated.Add(1)
+		f.c.deliverAfter(msg, d+f.plan.ReorderDelay/2)
+	}
+}
+
+// retransmitLoop re-sends one unacked message with capped exponential
+// backoff until it is acked, the cluster stops, or the node crashes.
+func (f *faultState) retransmitLoop(l *relLink, p *relPending) {
+	defer f.c.wg.Done()
+	backoff := f.plan.RetransmitBase
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.ack:
+			return
+		case <-f.c.stop:
+			return
+		case <-timer.C:
+			if f.crashedNode(p.msg.To) || f.crashedNode(p.msg.From) {
+				return
+			}
+			f.c.retransmits.Add(1)
+			f.transmit(p.msg, 0)
+			backoff *= 2
+			if backoff > f.plan.RetransmitCap {
+				backoff = f.plan.RetransmitCap
+			}
+			timer.Reset(backoff)
+		}
+	}
+}
+
+// intercept handles reliable-sublayer envelopes on the receive path,
+// invoking release (possibly several times, in per-link sequence
+// order) for each logical message that becomes deliverable.
+func (f *faultState) intercept(msg Message, release func(Message)) {
+	switch msg.Tag {
+	case relAckTag:
+		// Ack for a message this node sent earlier: From is the
+		// original receiver, To the original sender.
+		l := f.links[msg.To][msg.From]
+		seq := msg.Payload.(uint64)
+		l.mu.Lock()
+		p := l.unacked[seq]
+		if p != nil {
+			delete(l.unacked, seq)
+		}
+		l.mu.Unlock()
+		if p != nil {
+			f.c.acks.Add(1)
+			close(p.ack)
+		}
+	case relDataTag:
+		d := msg.Payload.(relData)
+		// Ack every receipt — acks themselves may be lost.
+		f.transmit(Message{From: msg.To, To: msg.From, Tag: relAckTag, Payload: d.Seq}, 0)
+		logical := Message{From: msg.From, To: msg.To, Tag: d.Tag, Payload: d.Payload}
+		if f.recvs[msg.To][msg.From].release(d.Seq, logical, release) {
+			f.c.dupDelivered.Add(1)
+		}
+	default:
+		release(msg)
+	}
+}

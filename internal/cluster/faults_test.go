@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestReliableDeliveryUnderDrop: a heavy-loss plan must still deliver
+// every message exactly once, in per-link FIFO order.
+func TestReliableDeliveryUnderDrop(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{Seed: 42, Drop: 0.3}})
+	defer c.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Node(1).Recv(5, 0)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("message %d: got %v (order broken)", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("plan with Drop=0.3 dropped nothing")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("drops recovered without any retransmission")
+	}
+}
+
+// TestDedupUnderDuplication: duplicated transmissions must be
+// suppressed by the receiver, delivering each logical message once.
+func TestDedupUnderDuplication(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{Seed: 7, Duplicate: 0.5}})
+	defer c.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 3, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Node(1).Recv(3, 0)
+		if err != nil || v != i {
+			t.Fatalf("message %d: got %v, %v", i, v, err)
+		}
+	}
+	// No extras: the queue must be empty once all logical messages are
+	// consumed (give in-flight duplicates time to arrive).
+	time.Sleep(20 * time.Millisecond)
+	if v, ok := c.Node(1).TryRecv(3, 0); ok {
+		t.Fatalf("duplicate leaked through dedup: %v", v)
+	}
+	if c.Stats().Duplicated == 0 {
+		t.Fatal("plan with Duplicate=0.5 duplicated nothing")
+	}
+}
+
+// TestJitterAndReorderDeliverEverything: unreliable-class faults
+// (jitter, reorder) must not lose messages even without the sublayer.
+func TestJitterAndReorderDeliverEverything(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{
+		Seed: 3, Reorder: 0.3, JitterMax: 2 * time.Millisecond,
+	}})
+	defer c.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 9, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		v, err := c.Node(1).Recv(9, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v.(int)
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+	st := c.Stats()
+	if st.Reordered == 0 || st.Jittered == 0 {
+		t.Fatalf("fault counters flat: %+v", st)
+	}
+}
+
+// TestFaultScheduleIsSeedDeterministic: identical seeds must yield
+// identical drop schedules; a different seed should diverge.
+func TestFaultScheduleIsSeedDeterministic(t *testing.T) {
+	// Retransmissions are timing-dependent (they race their acks) and
+	// advance the per-link transmission counter, so the deterministic
+	// property holds per first attempt; push the backoff out of reach
+	// to observe the pure seeded schedule. Zero-latency delivery is
+	// synchronous, so all counters are settled when Send returns.
+	run := func(seed uint64) uint64 {
+		c := New(Config{Nodes: 2, Faults: &FaultPlan{
+			Seed: seed, Drop: 0.2,
+			RetransmitBase: time.Hour, RetransmitCap: time.Hour,
+		}})
+		for i := 0; i < 100; i++ {
+			c.Node(0).Send(1, 1, i)
+		}
+		st := c.Stats()
+		c.Close()
+		return st.Dropped
+	}
+	a, b := run(11), run(11)
+	if a != b {
+		t.Fatalf("same seed, different drop counts: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no drops at Drop=0.2")
+	}
+}
+
+// TestCrashWindowSwallowsTraffic: after the crash trigger, messages to
+// and from the node vanish without erroring the sender.
+func TestCrashWindowSwallowsTraffic(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{
+		Stalls: []StallWindow{{Node: 0, AfterSends: 3, Crash: true}},
+	}})
+	defer c.Close()
+	// Sends 1 and 2 pass; send 3 triggers the crash and dies with it.
+	for i := 0; i < 3; i++ {
+		if err := c.Node(0).Send(1, 1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if v, err := c.Node(1).Recv(1, 0); err != nil || v != i {
+			t.Fatalf("pre-crash message %d: %v, %v", i, v, err)
+		}
+	}
+	if _, err := c.Node(1).RecvTimeout(1, 0, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("post-crash message arrived (err=%v)", err)
+	}
+	// Inbound traffic dies too.
+	c.Node(1).Send(0, 2, "x")
+	if _, err := c.Node(0).RecvTimeout(2, 1, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("message reached crashed node (err=%v)", err)
+	}
+	if c.Stats().Stalled == 0 {
+		t.Fatal("crash window not counted")
+	}
+}
+
+// TestStallWindowDelaysTraffic: a non-crash stall defers the node's
+// sends for its duration instead of dropping them.
+func TestStallWindowDelaysTraffic(t *testing.T) {
+	const stall = 50 * time.Millisecond
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{
+		Stalls: []StallWindow{{Node: 0, AfterSends: 1, Duration: stall}},
+	}})
+	defer c.Close()
+	start := time.Now()
+	c.Node(0).Send(1, 1, "slow")
+	if _, err := c.Node(1).Recv(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < stall-5*time.Millisecond {
+		t.Fatalf("stalled message arrived after %v, want ≈%v", d, stall)
+	}
+}
+
+// TestRecvAnyPicksOldestFirst is the regression test for the map-order
+// nondeterminism bug: with several senders pending, RecvAny must drain
+// in arrival order, not Go's random map order.
+func TestRecvAnyPicksOldestFirst(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		c := New(Config{Nodes: 5})
+		// Sequential sends on a zero-latency transport arrive in send
+		// order; RecvAny must replay exactly that order.
+		order := []NodeID{3, 1, 4, 2, 1, 3}
+		for _, from := range order {
+			c.Node(from).Send(0, 6, int(from))
+		}
+		for i, want := range order {
+			from, _, err := c.Node(0).RecvAny(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if from != want {
+				t.Fatalf("trial %d message %d: from %d, want %d", trial, i, from, want)
+			}
+		}
+		c.Close()
+	}
+}
+
+// TestRecvTimeout: a deadline receive must return ErrTimeout when
+// nothing arrives, and the payload when something does.
+func TestRecvTimeout(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Node(1).RecvTimeout(1, 0, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("timed out too early: %v", d)
+	}
+	c.Node(0).Send(1, 1, "late")
+	if v, err := c.Node(1).RecvTimeout(1, 0, time.Second); err != nil || v != "late" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+// TestInterruptUnblocksReceivers: Interrupt must fail every blocked
+// receive with the given error — the runtime's abort broadcast.
+func TestInterruptUnblocksReceivers(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	defer c.Close()
+	cause := fmt.Errorf("shard 1 aborted")
+	errs := make(chan error, 2)
+	go func() {
+		_, err := c.Node(0).Recv(1, 1)
+		errs <- err
+	}()
+	go func() {
+		_, _, err := c.Node(2).RecvAny(2)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Interrupt(cause)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, cause) {
+				t.Fatalf("err = %v, want %v", err, cause)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Interrupt did not unblock receiver")
+		}
+	}
+	// Subsequent sends and receives fail fast.
+	if err := c.Node(0).Send(1, 1, "x"); !errors.Is(err, cause) {
+		t.Fatalf("Send after interrupt = %v", err)
+	}
+}
+
+// TestOldestWait: the watchdog accessor must report a blocked receive
+// with its tag and sender.
+func TestOldestWait(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	if _, _, _, ok := c.Node(1).OldestWait(); ok {
+		t.Fatal("idle node reports a blocked wait")
+	}
+	go c.Node(1).Recv(0xCE00000100000007, 0)
+	deadline := time.Now().Add(time.Second)
+	for {
+		tag, from, _, ok := c.Node(1).OldestWait()
+		if ok {
+			if tag != 0xCE00000100000007 || from != 0 {
+				t.Fatalf("OldestWait = tag %#x from %d", tag, from)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked wait never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Node(0).Send(1, 0xCE00000100000007, nil)
+	deadline = time.Now().Add(time.Second)
+	for {
+		if _, _, _, ok := c.Node(1).OldestWait(); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wait not deregistered after delivery")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBadPayloadReturnsError: wire-encode failures must surface as
+// ErrBadPayload instead of panicking a transport goroutine.
+func TestBadPayloadReturnsError(t *testing.T) {
+	c := New(Config{Nodes: 2, WireEncode: true})
+	defer c.Close()
+	err := c.Node(0).Send(1, 1, make(chan int)) // channels cannot gob-encode
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+}

@@ -20,6 +20,48 @@ import (
 // Op folds two values; it must be associative and commutative.
 type Op func(a, b any) any
 
+// PayloadError marks a collective whose fold failed on some rank (type
+// mismatch, length mismatch, panicking op). It travels through the
+// communication tree as a regular value — so every rank completes the
+// same number of sends/receives and stays in lockstep — and is turned
+// back into an error at the public API boundary on all ranks.
+type PayloadError struct {
+	Msg string
+}
+
+func (e PayloadError) Error() string { return "collective: " + e.Msg }
+
+func init() { cluster.RegisterWireType(PayloadError{}) }
+
+// applyOp folds a and b, short-circuiting poisoned values and
+// converting op panics into PayloadError so a bad payload on one rank
+// cannot crash a transport goroutine (it aborts the run instead).
+func applyOp(op Op, a, b any) (out any) {
+	if pe, ok := a.(PayloadError); ok {
+		return pe
+	}
+	if pe, ok := b.(PayloadError); ok {
+		return pe
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out = PayloadError{Msg: fmt.Sprintf("fold failed: %v", r)}
+		}
+	}()
+	return op(a, b)
+}
+
+// unpoison converts a PayloadError value back into a Go error.
+func unpoison(v any, err error) (any, error) {
+	if err != nil {
+		return nil, err
+	}
+	if pe, ok := v.(PayloadError); ok {
+		return nil, pe
+	}
+	return v, nil
+}
+
 // Comm is one rank's endpoint of a collective communicator. A Comm is
 // bound to one cluster node; rank == node id. The space argument
 // isolates independent communicators sharing a transport.
@@ -52,7 +94,7 @@ func (c *Comm) nextTag() uint64 {
 
 // Broadcast distributes root's value to all ranks and returns it.
 func (c *Comm) Broadcast(root int, v any) (any, error) {
-	return c.broadcastTag(c.nextTag(), root, v)
+	return unpoison(c.broadcastTag(c.nextTag(), root, v))
 }
 
 func (c *Comm) broadcastTag(tag uint64, root int, v any) (any, error) {
@@ -77,7 +119,9 @@ func (c *Comm) broadcastTag(tag uint64, root int, v any) (any, error) {
 	}
 	for k := 1; k < limit; k <<= 1 {
 		if child := rel | k; child < c.size {
-			c.node.Send(cluster.NodeID((child+root)%c.size), tag, v)
+			if err := c.node.Send(cluster.NodeID((child+root)%c.size), tag, v); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return v, nil
@@ -86,7 +130,7 @@ func (c *Comm) broadcastTag(tag uint64, root int, v any) (any, error) {
 // Reduce folds every rank's value with op; the result is returned at
 // root (other ranks get nil).
 func (c *Comm) Reduce(root int, v any, op Op) (any, error) {
-	return c.reduceTag(c.nextTag(), root, v, op)
+	return unpoison(c.reduceTag(c.nextTag(), root, v, op))
 }
 
 func (c *Comm) reduceTag(tag uint64, root int, v any, op Op) (any, error) {
@@ -99,7 +143,9 @@ func (c *Comm) reduceTag(tag uint64, root int, v any, op Op) (any, error) {
 		if rel&k != 0 {
 			// Send partial to the peer below and exit the tree.
 			parent := rel &^ k
-			c.node.Send(cluster.NodeID((parent+root)%c.size), tag, acc)
+			if err := c.node.Send(cluster.NodeID((parent+root)%c.size), tag, acc); err != nil {
+				return nil, err
+			}
 			return nil, nil
 		}
 		peer := rel | k
@@ -108,7 +154,7 @@ func (c *Comm) reduceTag(tag uint64, root int, v any, op Op) (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			acc = op(acc, payload)
+			acc = applyOp(op, acc, payload)
 		}
 	}
 	return acc, nil
@@ -122,7 +168,9 @@ func (c *Comm) AllReduce(v any, op Op) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.broadcastTag(btag, 0, acc)
+	// A poisoned accumulator rides the broadcast as a value so every
+	// rank learns of the failure; unpoison converts it afterwards.
+	return unpoison(c.broadcastTag(btag, 0, acc))
 }
 
 // Pending is an in-flight asynchronous collective.
@@ -167,7 +215,7 @@ func (c *Comm) AllReduceAsync(v any, op Op) *Pending {
 			p.ch <- result{nil, err}
 			return
 		}
-		out, err := c.broadcastTag(btag, 0, acc)
+		out, err := unpoison(c.broadcastTag(btag, 0, acc))
 		p.ch <- result{out, err}
 	}()
 	return p
@@ -186,7 +234,10 @@ func (c *Comm) AllGather(v any) ([]any, error) {
 	if err != nil {
 		return nil, err
 	}
-	items := out.([]gatherItem)
+	items, ok := out.([]gatherItem)
+	if !ok {
+		return nil, PayloadError{Msg: fmt.Sprintf("allgather: unexpected payload %T", out)}
+	}
 	res := make([]any, c.size)
 	for _, it := range items {
 		res[it.Rank] = it.V
@@ -220,7 +271,11 @@ func (c *Comm) AllReduceFloat64(v float64, fold func(a, b float64) float64) (flo
 	if err != nil {
 		return 0, err
 	}
-	return out.(float64), nil
+	f, ok := out.(float64)
+	if !ok {
+		return 0, PayloadError{Msg: fmt.Sprintf("allreduce: expected float64, got %T", out)}
+	}
+	return f, nil
 }
 
 // AllReduceInt64 all-reduces an int64 with the given fold.
@@ -229,15 +284,25 @@ func (c *Comm) AllReduceInt64(v int64, fold func(a, b int64) int64) (int64, erro
 	if err != nil {
 		return 0, err
 	}
-	return out.(int64), nil
+	i, ok := out.(int64)
+	if !ok {
+		return 0, PayloadError{Msg: fmt.Sprintf("allreduce: expected int64, got %T", out)}
+	}
+	return i, nil
 }
 
 // SumFloat64s element-wise all-reduces a vector (model-gradient style).
+// A length mismatch between ranks is reported as an error on every
+// rank rather than crashing a transport goroutine.
 func (c *Comm) SumFloat64s(v []float64) ([]float64, error) {
 	out, err := c.AllReduce(v, func(a, b any) any {
-		x, y := a.([]float64), b.([]float64)
+		x, okx := a.([]float64)
+		y, oky := b.([]float64)
+		if !okx || !oky {
+			return PayloadError{Msg: fmt.Sprintf("sum: expected []float64, got %T and %T", a, b)}
+		}
 		if len(x) != len(y) {
-			panic(fmt.Sprintf("collective: vector length mismatch %d vs %d", len(x), len(y)))
+			return PayloadError{Msg: fmt.Sprintf("sum: vector length mismatch %d vs %d", len(x), len(y))}
 		}
 		s := make([]float64, len(x))
 		for i := range x {
@@ -248,7 +313,11 @@ func (c *Comm) SumFloat64s(v []float64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return out.([]float64), nil
+	vec, ok := out.([]float64)
+	if !ok {
+		return nil, PayloadError{Msg: fmt.Sprintf("sum: unexpected payload %T", out)}
+	}
+	return vec, nil
 }
 
 func lowestBit(x int) int {

@@ -1,0 +1,128 @@
+package collective
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+)
+
+// runAllFaulty is runAll over a cluster with a fault plan.
+func runAllFaulty(t *testing.T, n int, plan *cluster.FaultPlan, fn func(c *Comm) any) []any {
+	t.Helper()
+	cl := cluster.New(cluster.Config{Nodes: n, Faults: plan})
+	defer cl.Close()
+	out := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			out[rank] = fn(New(cl.Node(cluster.NodeID(rank)), 1))
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("collective deadlocked under faults")
+	}
+	return out
+}
+
+// TestAllReduceUnderFaults: a lossy, reordering, jittery transport must
+// not change any collective's result.
+func TestAllReduceUnderFaults(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		plan := &cluster.FaultPlan{
+			Seed: seed, Drop: 0.1, Duplicate: 0.1, Reorder: 0.2,
+			JitterMax: 500 * time.Microsecond,
+		}
+		got := runAllFaulty(t, 8, plan, func(c *Comm) any {
+			sum := int64(0)
+			for round := 0; round < 10; round++ {
+				v, err := c.AllReduceInt64(int64(c.Rank()+round), func(a, b int64) int64 { return a + b })
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+				sum += v
+			}
+			return sum
+		})
+		// Per round: sum over ranks of (rank + round) = 28 + 8*round.
+		want := int64(0)
+		for round := 0; round < 10; round++ {
+			want += 28 + 8*int64(round)
+		}
+		for rank, v := range got {
+			if v != want {
+				t.Fatalf("seed %d rank %d: got %v, want %d", seed, rank, v, want)
+			}
+		}
+	}
+}
+
+// TestSumFloat64sLengthMismatch: a vector length mismatch must surface
+// as an error on every rank — not a panic in a transport goroutine.
+func TestSumFloat64sLengthMismatch(t *testing.T) {
+	got := runAll(t, 4, func(c *Comm) any {
+		n := 3
+		if c.Rank() == 2 {
+			n = 5 // divergent shard
+		}
+		_, err := c.SumFloat64s(make([]float64, n))
+		return err
+	})
+	for rank, v := range got {
+		err, _ := v.(error)
+		if err == nil {
+			t.Fatalf("rank %d: mismatch not reported", rank)
+		}
+		var pe PayloadError
+		if !errors.As(err, &pe) {
+			t.Fatalf("rank %d: err = %v, want PayloadError", rank, err)
+		}
+	}
+}
+
+// TestSumFloat64sMatchedStillWorks: the error path must not disturb the
+// healthy path.
+func TestSumFloat64sMatchedStillWorks(t *testing.T) {
+	got := runAll(t, 4, func(c *Comm) any {
+		v := []float64{float64(c.Rank()), 1}
+		out, err := c.SumFloat64s(v)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return out
+	})
+	for rank, v := range got {
+		out := v.([]float64)
+		if len(out) != 2 || out[0] != 6 || out[1] != 4 {
+			t.Fatalf("rank %d: got %v", rank, out)
+		}
+	}
+}
+
+// TestFoldPanicBecomesError: a panicking fold poisons the collective
+// with an error on all ranks instead of crashing the process.
+func TestFoldPanicBecomesError(t *testing.T) {
+	got := runAll(t, 4, func(c *Comm) any {
+		_, err := c.AllReduce(c.Rank(), func(a, b any) any {
+			panic("bad op")
+		})
+		return err
+	})
+	for rank, v := range got {
+		err, _ := v.(error)
+		var pe PayloadError
+		if err == nil || !errors.As(err, &pe) {
+			t.Fatalf("rank %d: err = %v, want PayloadError", rank, err)
+		}
+	}
+}

@@ -62,12 +62,16 @@ func (ctx *Context) runWorker() {
 			ctx.rt.abort(err)
 		}
 		ctx.rt.stats.points.Add(1)
-		ctx.node.Send(0, ctrlResultTag, &remoteResult{Seq: rt.Seq, Point: rt.Point, Val: val})
+		_ = ctx.node.Send(0, ctrlResultTag, &remoteResult{Seq: rt.Seq, Point: rt.Point, Val: val})
 	})
 	ctx.node.Handle(ctrlStopTag, func(cluster.Message) { close(stop) })
-	<-stop
+	select {
+	case <-stop:
+	case <-ctx.rt.abortCh:
+		// The controller may never send stop after an abort.
+	}
 	ex.quiesce()
-	ctx.node.Send(0, ctrlStopAckTag, ctx.shard)
+	_ = ctx.node.Send(0, ctrlStopAckTag, ctx.shard)
 }
 
 // centralizedState is the controller-side dispatch bookkeeping.
@@ -121,29 +125,51 @@ func (fs *fineStage) dispatchRemote(o *op, ls *launchState, owner int, p geom.Po
 	go func() {
 		futArgs := make([]float64, 0, len(ls.spec.Futures))
 		for _, fut := range ls.spec.Futures {
-			fut.ready.Wait()
+			// On abort the future may never resolve and the dispatch
+			// is moot; balance the WaitGroup (the task was never sent,
+			// so no result will arrive for it).
+			if !fs.ctx.rt.waitOrAbort(fut.ready.Event) {
+				fs.central.remoteWG.Done()
+				return
+			}
 			fut.mu.Lock()
 			futArgs = append(futArgs, fut.val)
 			fut.mu.Unlock()
 		}
-		fs.ctx.node.Send(cluster.NodeID(owner), ctrlTaskTag, &remoteTask{
+		if err := fs.ctx.node.Send(cluster.NodeID(owner), ctrlTaskTag, &remoteTask{
 			Seq: o.seq, Task: ls.taskName, Point: p,
 			Args: ls.spec.Args, FutureArgs: futArgs, Plans: plans,
-		})
+		}); err != nil {
+			fs.central.remoteWG.Done()
+		}
 	}()
+}
+
+// waitRemote blocks on the remote-dispatch WaitGroup, abort-aware: a
+// dead worker's results may never arrive.
+func (fs *fineStage) waitRemote() {
+	done := make(chan struct{})
+	go func() {
+		fs.central.remoteWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-fs.ctx.rt.abortCh:
+	}
 }
 
 // quiesceCentral waits for local tasks and all dispatched remote tasks.
 func (fs *fineStage) quiesceCentral() {
 	fs.exec.quiesce()
-	fs.central.remoteWG.Wait()
+	fs.waitRemote()
 }
 
 // stopWorkers tells workers to drain and waits for their acks.
 func (fs *fineStage) stopWorkers() {
 	n := fs.ctx.nShards
 	for s := 1; s < n; s++ {
-		fs.ctx.node.Send(cluster.NodeID(s), ctrlStopTag, nil)
+		_ = fs.ctx.node.Send(cluster.NodeID(s), ctrlStopTag, nil)
 	}
 	for s := 1; s < n; s++ {
 		if _, err := fs.ctx.node.Recv(ctrlStopAckTag, cluster.NodeID(s)); err != nil {

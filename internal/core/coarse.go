@@ -96,6 +96,7 @@ func newCoarseStage(ctx *Context, out chan<- *op) *coarseStage {
 func (cs *coarseStage) run(in <-chan *op) {
 	defer close(cs.out)
 	for o := range in {
+		cs.ctx.prog.coarse.Store(o.seq)
 		cs.analyze(o)
 		cs.ctx.rt.recordAnalysis(cs.ctx.shard, o)
 		cs.out <- o

@@ -28,6 +28,7 @@ type Context struct {
 	digest  *dethash.Digest
 	det     *detChecker
 	random  *rng.Source
+	prog    *shardProgress
 
 	seq      uint64
 	coarseCh chan *op
@@ -48,6 +49,7 @@ func newContext(rt *Runtime, shard int) *Context {
 		tree:    region.NewTree(),
 		digest:  dethash.New(),
 		random:  rng.New(rt.cfg.Seed ^ 0x9E3779B9),
+		prog:    rt.progress[shard],
 	}
 }
 
@@ -104,6 +106,7 @@ func (ctx *Context) invokeProgram(program Program) (err error) {
 
 func (ctx *Context) nextSeq() uint64 {
 	ctx.seq++
+	ctx.prog.api.Store(ctx.seq)
 	return ctx.seq
 }
 

@@ -70,7 +70,8 @@ func (ctx *Context) applyDeferred() error {
 	counts := make(map[int64]int)
 	for _, lst := range all {
 		seen := make(map[int64]bool)
-		for _, id := range lst.([]int64) {
+		ids, _ := lst.([]int64) // nil for shards with nothing deferred
+		for _, id := range ids {
 			if !seen[id] {
 				seen[id] = true
 				counts[id]++

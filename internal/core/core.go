@@ -34,6 +34,7 @@ import (
 
 	"godcr/internal/cluster"
 	"godcr/internal/collective"
+	"godcr/internal/event"
 	"godcr/internal/mapper"
 )
 
@@ -77,6 +78,15 @@ type Config struct {
 	// always win over mapper choices, and Config.Centralized wins
 	// over Mapper.ReplicateControl.
 	Mapper Mapper
+	// Faults injects transport faults (drop, duplication, reordering,
+	// jitter, node stall/crash) for chaos testing; nil keeps the
+	// perfect-network fast path. Requires replicated control.
+	Faults *cluster.FaultPlan
+	// OpDeadline arms the deadlock watchdog: if no shard makes any
+	// progress for this long while at least one is blocked in a
+	// receive, Execute fails with a *StallError carrying a per-shard
+	// diagnostic snapshot instead of hanging. 0 disables the watchdog.
+	OpDeadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +157,9 @@ type Runtime struct {
 	errOnce sync.Once
 	err     atomic.Value // error
 	aborted atomic.Bool
+	abortCh chan struct{} // closed by abort: the cross-shard abort broadcast
+
+	progress []*shardProgress // per-shard counters sampled by the watchdog
 
 	flog fenceLog
 
@@ -159,11 +172,21 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Centralized && cfg.WireEncode {
 		panic("core: Centralized mode does not support WireEncode")
 	}
+	if cfg.Centralized && cfg.Faults != nil {
+		panic("core: fault injection requires replicated control (Centralized unsupported)")
+	}
 	rt := &Runtime{
-		cfg:   cfg,
-		clust: cluster.New(cluster.Config{Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode}),
-		tasks: make(map[string]TaskFn),
-		memo:  mapper.NewMemo(),
+		cfg: cfg,
+		clust: cluster.New(cluster.Config{
+			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode, Faults: cfg.Faults,
+		}),
+		tasks:    make(map[string]TaskFn),
+		memo:     mapper.NewMemo(),
+		abortCh:  make(chan struct{}),
+		progress: make([]*shardProgress, cfg.Shards),
+	}
+	for i := range rt.progress {
+		rt.progress[i] = &shardProgress{}
 	}
 	return rt
 }
@@ -201,12 +224,41 @@ func (rt *Runtime) Stats() Stats {
 	}
 }
 
-// abort records the first fatal error; the runtime unwinds after it.
+// abort records the first fatal error and broadcasts it: abortCh wakes
+// every abort-aware wait in this runtime, and the transport interrupt
+// fails every blocked receive on every node, so all shards unwind and
+// Execute returns one coherent error instead of deadlocking.
 func (rt *Runtime) abort(err error) {
 	rt.errOnce.Do(func() {
 		rt.err.Store(err)
 		rt.aborted.Store(true)
+		close(rt.abortCh)
+		rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
 	})
+}
+
+// waitOrAbort blocks until ev triggers or the runtime aborts,
+// reporting which happened (true = the event fired). A triggered event
+// always wins, even if the runtime has also aborted.
+func (rt *Runtime) waitOrAbort(ev event.Event) bool {
+	if ev.HasTriggered() {
+		return true
+	}
+	select {
+	case <-ev.Done():
+		return true
+	case <-rt.abortCh:
+		return false
+	}
+}
+
+// abortErr returns the recorded abort error (for waits released by the
+// abort broadcast).
+func (rt *Runtime) abortErr() error {
+	if err := rt.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("core: aborted")
 }
 
 // Err returns the first fatal error, if any.
@@ -235,6 +287,11 @@ func (rt *Runtime) Execute(program Program) error {
 	}
 	defer rt.executing.Store(false)
 
+	var watchStop chan struct{}
+	if rt.cfg.OpDeadline > 0 {
+		watchStop = rt.startWatchdog()
+	}
+
 	n := rt.cfg.Shards
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
@@ -246,8 +303,15 @@ func (rt *Runtime) Execute(program Program) error {
 		}(s)
 	}
 	wg.Wait()
+	if watchStop != nil {
+		close(watchStop)
+	}
 	return rt.Err()
 }
+
+// TransportStats returns the transport counters, including the
+// fault-injection classes (see cluster.Stats).
+func (rt *Runtime) TransportStats() cluster.Stats { return rt.clust.Stats() }
 
 // comm builds a collective endpoint for the given shard in the given
 // tag space.

@@ -107,7 +107,10 @@ func (d *detChecker) reap(block bool) {
 		d.pending = d.pending[1:]
 		d.ctx.rt.stats.detChecks.Add(1)
 		if err != nil {
-			return
+			// Keep draining: the remaining protocols' goroutines have
+			// already run (or failed); abandoning them here would leak
+			// unconsumed async checks on unwind.
+			continue
 		}
 		if cv := v.(checkVal); cv.Mismatch {
 			d.ctx.rt.abort(fmt.Errorf(

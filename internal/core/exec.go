@@ -108,9 +108,11 @@ func (e *executor) deliverResult(t *pointTask, val float64) {
 			return
 		}
 		// Push the value to every other shard, then resolve locally.
+		// A failed push means the transport is interrupted; the peer's
+		// receive goroutine resolves its future from the same error.
 		for s := 0; s < e.ctx.nShards; s++ {
 			if s != e.ctx.shard {
-				e.ctx.node.Send(cluster.NodeID(s), futureTagBit|t.o.seq, val)
+				_ = e.ctx.node.Send(cluster.NodeID(s), futureTagBit|t.o.seq, val)
 			}
 		}
 		t.ls.fut.set(val)
@@ -120,10 +122,15 @@ func (e *executor) deliverResult(t *pointTask, val float64) {
 }
 
 func (e *executor) execute(t *pointTask) (float64, error) {
-	// Wait for future arguments (they resolve on every shard).
+	// Wait for future arguments (they resolve on every shard). On
+	// abort they may never resolve; substitute zeros and fall through
+	// — assembly and compute are skipped once aborted.
 	futArgs := make([]float64, 0, len(t.ls.spec.Futures))
 	for _, f := range t.ls.spec.Futures {
-		f.ready.Wait()
+		if !e.ctx.rt.waitOrAbort(f.ready.Event) {
+			futArgs = append(futArgs, 0)
+			continue
+		}
 		f.mu.Lock()
 		futArgs = append(futArgs, f.val)
 		f.mu.Unlock()

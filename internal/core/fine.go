@@ -91,10 +91,13 @@ func (fs *fineStage) field(root region.RegionID, f region.FieldID) *fineField {
 
 func (fs *fineStage) run(in <-chan *op) {
 	for o := range in {
+		fs.ctx.prog.fine.Store(o.seq)
 		// Cross-shard fences first: they order this shard's fine
 		// analysis against its peers'.
 		if len(o.fences) > 0 && !fs.ctx.rt.cfg.DisableFences && fs.central == nil {
-			_ = fs.comm.Barrier()
+			if err := fs.comm.Barrier(); err != nil {
+				fs.ctx.rt.abort(err)
+			}
 		}
 		switch o.kind {
 		case opFill:
@@ -107,7 +110,9 @@ func (fs *fineStage) run(in <-chan *op) {
 				fs.quiesceCentral()
 			} else {
 				fs.exec.quiesce()
-				_ = fs.comm.Barrier()
+				if err := fs.comm.Barrier(); err != nil {
+					fs.ctx.rt.abort(err)
+				}
 			}
 			fs.gcStore()
 			o.done.Trigger()
@@ -125,6 +130,8 @@ func (fs *fineStage) run(in <-chan *op) {
 				fs.stopWorkers()
 			} else {
 				fs.exec.quiesce()
+				// Shutdown barrier failures (an aborting peer) are not
+				// re-reported: the first cause is already recorded.
 				_ = fs.comm.Barrier()
 			}
 			o.done.Trigger()
@@ -186,7 +193,11 @@ func (fs *fineStage) handleLaunch(o *op) {
 					fut.set(0)
 					return
 				}
-				fut.set(payload.(float64))
+				v, ok := payload.(float64)
+				if !ok {
+					fs.ctx.rt.abort(fmt.Errorf("core: future push carried %T, want float64", payload))
+				}
+				fut.set(v)
 			}()
 		}
 	} else {

@@ -37,11 +37,12 @@ func (f *Future) set(v float64) {
 }
 
 // Get blocks until the task completes and returns its value. The value
-// is identical on every shard.
+// is identical on every shard. After a runtime abort Get unblocks and
+// returns the zero value (the run's error surfaces from Execute).
 func (f *Future) Get() float64 {
 	f.ctx.hashOp(hFutureGet)
 	f.ctx.digest.Uint64(f.seq)
-	f.ready.Wait()
+	f.ctx.rt.waitOrAbort(f.ready.Event)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.val
@@ -133,7 +134,10 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 		comm = fm.ctx.rt.comm(fm.ctx.shard, space)
 	}
 	go func() {
-		fm.localDone.Wait()
+		if !fm.ctx.rt.waitOrAbort(fm.localDone.Event) {
+			fut.set(0)
+			return
+		}
 		fm.mu.Lock()
 		acc := op.Identity()
 		// Fold in deterministic (row-major) point order.

@@ -130,11 +130,19 @@ func newFetcher(ctx *Context, st *store) *fetcher {
 	// Serve incoming pulls: wait for the version, extract, reply.
 	// Handlers run on their own goroutines, so blocking is fine.
 	ctx.node.Handle(pullReqTag, func(m cluster.Message) {
-		req := m.Payload.(pullReq)
+		req, ok := m.Payload.(pullReq)
+		if !ok {
+			ctx.rt.abort(fmt.Errorf("core: pull request carried %T", m.Payload))
+			return
+		}
 		sv := st.entry(req.Key)
-		sv.ready.Wait()
+		if !ctx.rt.waitOrAbort(sv.ready.Event) {
+			// Aborting: the requester's Recv has been interrupted, so
+			// dropping the reply cannot wedge it.
+			return
+		}
 		vals := sv.inst.Extract(req.Rect)
-		ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
+		_ = ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
 	})
 	return f
 }
@@ -147,7 +155,9 @@ func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error
 	}
 	if owner == f.ctx.shard {
 		sv := f.store.entry(key)
-		sv.ready.Wait()
+		if !f.ctx.rt.waitOrAbort(sv.ready.Event) {
+			return nil, f.ctx.rt.abortErr()
+		}
 		f.ctx.rt.stats.localRes.Add(1)
 		if sv.inst == nil {
 			return nil, fmt.Errorf("core: version %+v published without data", key)
@@ -156,12 +166,18 @@ func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error
 	}
 	f.ctx.rt.stats.remotePulls.Add(1)
 	tag := pullReplyTag | f.replySeq.Add(1)
-	f.ctx.node.Send(cluster.NodeID(owner), pullReqTag, pullReq{
+	if err := f.ctx.node.Send(cluster.NodeID(owner), pullReqTag, pullReq{
 		Key: key, Rect: rect, ReplyTag: tag, From: f.ctx.shard,
-	})
+	}); err != nil {
+		return nil, err
+	}
 	payload, err := f.ctx.node.Recv(tag, cluster.NodeID(owner))
 	if err != nil {
 		return nil, err
 	}
-	return payload.(pullResp).Vals, nil
+	resp, ok := payload.(pullResp)
+	if !ok {
+		return nil, fmt.Errorf("core: pull reply carried %T", payload)
+	}
+	return resp.Vals, nil
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench
+.PHONY: all build vet test race chaos bench bench-json fuzz
 
 all: vet build test
 
@@ -25,3 +25,16 @@ chaos:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark record: regenerates the committed
+# BENCH_core.json (stencil + circuit at 1/4/8 shards, plus the
+# journal-on/off stencil comparison).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# Fuzz smoke: the wire codec and the journal/checkpoint codec each get
+# a short randomized hammering (longer runs: raise -fuzztime).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME) ./internal/core

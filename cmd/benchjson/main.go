@@ -1,0 +1,188 @@
+// Command benchjson runs the core stencil and circuit workloads under
+// testing.Benchmark and writes a machine-readable benchmark record —
+// the committed BENCH_core.json — so perf regressions show up in
+// review as a diff rather than a vibe. Regenerate with `make bench-json`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"godcr"
+)
+
+type result struct {
+	// Name is workload/shards (plus "/journal" for journal-on runs).
+	Name string `json:"name"`
+	// NsPerOp is one full workload execution (setup + run + teardown).
+	NsPerOp int64 `json:"ns_per_op"`
+	// Runs is the iteration count testing.Benchmark settled on.
+	Runs int `json:"runs"`
+}
+
+type record struct {
+	GoVersion string `json:"go_version"`
+	GoOS      string `json:"goos"`
+	GoArch    string `json:"goarch"`
+	// JournalOverheadPct is the stencil@4 slowdown of Config.Journal,
+	// in percent (negative = noise in the journal's favor). The journal
+	// must be cheap: one append per op on one shard.
+	JournalOverheadPct float64  `json:"journal_overhead_pct"`
+	Results            []result `json:"results"`
+}
+
+func registerStencilTasks(rt *godcr.Runtime) {
+	rt.RegisterTask("bump", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		x.Rect().Each(func(p godcr.Point) bool { x.Set(p, x.At(p)+1); return true })
+		return 0, nil
+	})
+	rt.RegisterTask("smooth", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		g := tc.Region(1).Field("x")
+		x.Rect().Each(func(p godcr.Point) bool {
+			x.Set(p, 0.5*x.At(p)+0.25*(g.At(godcr.Pt1(p[0]-1))+g.At(godcr.Pt1(p[0]+1))))
+			return true
+		})
+		return 0, nil
+	})
+}
+
+func runStencil(cfg godcr.Config, tiles, steps int) error {
+	rt := godcr.NewRuntime(cfg)
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	return rt.Execute(func(ctx *godcr.Context) error {
+		r := ctx.CreateRegion(godcr.R1(0, int64(tiles*16)-1), "x")
+		owned := ctx.PartitionEqual(r, tiles)
+		ghost := ctx.PartitionHalo(owned, 1)
+		interior := ctx.PartitionInterior(owned, 1)
+		ctx.Fill(r, "x", 1)
+		dom := godcr.R1(0, int64(tiles)-1)
+		for s := 0; s < steps; s++ {
+			ctx.IndexLaunch(godcr.Launch{Task: "bump", Domain: dom,
+				Reqs: []godcr.RegionReq{{Part: owned, Priv: godcr.ReadWrite, Fields: []string{"x"}}}})
+			ctx.IndexLaunch(godcr.Launch{Task: "smooth", Domain: dom,
+				Reqs: []godcr.RegionReq{
+					{Part: interior, Priv: godcr.ReadWrite, Fields: []string{"x"}},
+					{Part: ghost, Priv: godcr.ReadOnly, Fields: []string{"x"}}}})
+		}
+		ctx.ExecutionFence()
+		return nil
+	})
+}
+
+func registerCircuitTasks(rt *godcr.Runtime) {
+	rt.RegisterTask("charge_up", func(tc *godcr.TaskContext) (float64, error) {
+		acc := tc.Region(0).Field("charge")
+		total := 0.0
+		acc.Rect().Each(func(p godcr.Point) bool {
+			acc.Fold(p, float64(tc.Point[0]+1)*0.25)
+			total += float64(p[0])
+			return true
+		})
+		return total, nil
+	})
+	rt.RegisterTask("update_v", func(tc *godcr.TaskContext) (float64, error) {
+		v := tc.Region(0).Field("voltage")
+		q := tc.Region(1).Field("charge")
+		v.Rect().Each(func(p godcr.Point) bool {
+			v.Set(p, v.At(p)+q.At(p))
+			return true
+		})
+		return 0, nil
+	})
+}
+
+func runCircuit(cfg godcr.Config, nnodes, ntiles, nsteps int) error {
+	rt := godcr.NewRuntime(cfg)
+	defer rt.Shutdown()
+	registerCircuitTasks(rt)
+	return rt.Execute(func(ctx *godcr.Context) error {
+		grid := godcr.R1(0, int64(nnodes)-1)
+		tiles := godcr.R1(0, int64(ntiles)-1)
+		nodes := ctx.CreateRegion(grid, "voltage", "charge")
+		owned := ctx.PartitionEqual(nodes, ntiles)
+		rects := make([]godcr.Rect, ntiles)
+		for i := range rects {
+			rects[i] = grid
+		}
+		all := ctx.PartitionCustom(nodes, tiles, rects)
+		ctx.Fill(nodes, "voltage", 1.0)
+		for step := 0; step < nsteps; step++ {
+			ctx.Fill(nodes, "charge", 0)
+			fm := ctx.IndexLaunch(godcr.Launch{
+				Task: "charge_up", Domain: tiles,
+				Reqs: []godcr.RegionReq{{Part: all, Priv: godcr.Reduce, RedOp: godcr.ReduceAdd, Fields: []string{"charge"}}},
+			})
+			ctx.IndexLaunch(godcr.Launch{
+				Task: "update_v", Domain: tiles,
+				Reqs: []godcr.RegionReq{
+					{Part: owned, Priv: godcr.ReadWrite, Fields: []string{"voltage"}},
+					{Part: owned, Priv: godcr.ReadOnly, Fields: []string{"charge"}},
+				},
+			})
+			fm.Reduce(godcr.ReduceAdd).Get()
+		}
+		ctx.ExecutionFence()
+		return nil
+	})
+}
+
+func bench(name string, fn func() error) result {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return result{Name: name, NsPerOp: r.NsPerOp(), Runs: r.N}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	const steps = 20
+	rec := record{GoVersion: runtime.Version(), GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		rec.Results = append(rec.Results, bench(
+			fmt.Sprintf("stencil/shards=%d", shards),
+			func() error { return runStencil(godcr.Config{Shards: shards}, 8, steps) }))
+	}
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		rec.Results = append(rec.Results, bench(
+			fmt.Sprintf("circuit/shards=%d", shards),
+			func() error { return runCircuit(godcr.Config{Shards: shards}, 64, 8, steps) }))
+	}
+	off := bench("stencil/shards=4/journal=off",
+		func() error { return runStencil(godcr.Config{Shards: 4}, 8, steps) })
+	on := bench("stencil/shards=4/journal=on",
+		func() error { return runStencil(godcr.Config{Shards: 4, Journal: true}, 8, steps) })
+	rec.Results = append(rec.Results, off, on)
+	rec.JournalOverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results, journal overhead %+.1f%%)\n",
+		*out, len(rec.Results), rec.JournalOverheadPct)
+}

@@ -171,6 +171,8 @@ type (
 	// StallWindow freezes or crashes one node's transport after a
 	// trigger count of sends.
 	StallWindow = cluster.StallWindow
+	// NodeID names a cluster node (== shard id).
+	NodeID = cluster.NodeID
 	// TransportStats counts messages, bytes, and injected faults.
 	TransportStats = cluster.Stats
 	// StallError is the deadlock watchdog's verdict: no cross-shard
@@ -178,6 +180,22 @@ type (
 	StallError = core.StallError
 	// ShardProgress is one shard's entry in a StallError snapshot.
 	ShardProgress = core.ShardProgress
+	// Checkpoint is the replayable control state the watchdog snapshots
+	// when Config.Journal is on: pass StallError.Checkpoint (or its
+	// decoded wire image) to Runtime.Resume to restart a stalled run.
+	Checkpoint = core.Checkpoint
+	// RegionVersion is one entry of a checkpoint's version vector.
+	RegionVersion = core.RegionVersion
+	// Journal is the replayable control journal carried by a Checkpoint.
+	Journal = core.Journal
+)
+
+// Checkpoint codec: DecodeCheckpoint parses Checkpoint.Encode output
+// (the persistable recovery image), DecodeJournal parses Journal.Encode
+// output. Both reject arbitrary input without panicking.
+var (
+	DecodeCheckpoint = core.DecodeCheckpoint
+	DecodeJournal    = core.DecodeJournal
 )
 
 // RNG is the replicable counter-based random stream (Philox4x32-10).

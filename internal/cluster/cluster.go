@@ -89,12 +89,23 @@ type Cluster struct {
 	acks         atomic.Uint64
 	dupDelivered atomic.Uint64
 
-	closed   atomic.Bool
-	intr     atomic.Value // error: set by Interrupt
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	closed atomic.Bool
+	intr   atomic.Pointer[intrBox]
+	// epoch is the transport generation. Revive bumps it; deliveries
+	// scheduled in an earlier epoch are dropped when their timers fire,
+	// so a healed transport cannot observe pre-crash traffic.
+	epoch atomic.Uint64
+
+	stopMu     sync.Mutex
+	stop       chan struct{} // per-epoch: closed by Interrupt/Close, replaced by Revive
+	stopClosed bool
+
+	wg sync.WaitGroup
 }
+
+// intrBox wraps the interrupt error so it can be stored (and cleared)
+// through an atomic pointer regardless of the error's concrete type.
+type intrBox struct{ err error }
 
 // Node is one endpoint of the cluster.
 type Node struct {
@@ -180,7 +191,7 @@ func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
 	}
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.closeStop()
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		n.closed = true
@@ -188,6 +199,26 @@ func (c *Cluster) Close() {
 		n.mu.Unlock()
 	}
 	c.wg.Wait()
+}
+
+// closeStop closes the current epoch's stop channel exactly once.
+func (c *Cluster) closeStop() {
+	c.stopMu.Lock()
+	if !c.stopClosed {
+		c.stopClosed = true
+		close(c.stop)
+	}
+	c.stopMu.Unlock()
+}
+
+// stopChan returns the current epoch's stop channel. Long-running
+// transport goroutines (retransmit loops) capture it once; after a
+// Revive the captured channel is the closed one of the dead epoch, so
+// stale loops exit instead of re-sending into the new epoch.
+func (c *Cluster) stopChan() chan struct{} {
+	c.stopMu.Lock()
+	defer c.stopMu.Unlock()
+	return c.stop
 }
 
 // Interrupt poisons the transport with err: every blocked and future
@@ -200,10 +231,10 @@ func (c *Cluster) Interrupt(err error) {
 	if err == nil {
 		err = ErrInterrupted
 	}
-	if !c.intr.CompareAndSwap(nil, err) {
+	if !c.intr.CompareAndSwap(nil, &intrBox{err: err}) {
 		return
 	}
-	c.stopOnce.Do(func() { close(c.stop) })
+	c.closeStop()
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		n.cond.Broadcast()
@@ -213,10 +244,59 @@ func (c *Cluster) Interrupt(err error) {
 
 // Err returns the interrupt error, or nil if the transport is healthy.
 func (c *Cluster) Err() error {
-	if v := c.intr.Load(); v != nil {
-		return v.(error)
+	if b := c.intr.Load(); b != nil {
+		return b.err
 	}
 	return nil
+}
+
+// Epoch returns the current transport epoch (0 until the first Revive).
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// Revive re-admits every endpoint into a fresh transport epoch after an
+// Interrupt: it clears the interrupt, discards all queued traffic, and
+// resets the fault engine's crash/stall verdicts so a node whose "NIC
+// died" can re-register and exchange messages again. Deliveries still
+// in flight from the dead epoch (latency timers, retransmissions) are
+// dropped when they fire — the epoch check in deliverAfter — so the
+// healed transport starts from a clean slate. Returns the new epoch.
+//
+// Revive does not resurrect a Closed cluster, and the caller must
+// ensure no goroutine is still using the transport for live work (the
+// runtime above guarantees this: Revive runs between Execute attempts,
+// after every shard has unwound).
+func (c *Cluster) Revive() (uint64, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	if c.Err() == nil {
+		return 0, fmt.Errorf("cluster: revive requires an interrupted transport")
+	}
+	// Join stale retransmit loops while the interrupt still poisons
+	// delivery: a loop that fired its timer must not transmit after the
+	// interrupt clears, or dead-epoch traffic would leak into the new
+	// epoch.
+	if c.faults != nil {
+		c.faults.loops.Wait()
+	}
+	c.stopMu.Lock()
+	if c.stopClosed {
+		c.stop = make(chan struct{})
+		c.stopClosed = false
+	}
+	c.stopMu.Unlock()
+	epoch := c.epoch.Add(1)
+	c.intr.Store(nil)
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.pending = make(map[matchKey][]queuedMsg)
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+	if c.faults != nil {
+		c.faults.revive()
+	}
+	return epoch, nil
 }
 
 // Errors returned by the transport.
@@ -273,18 +353,16 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 	// nil payloads (barriers) are trivially copy-safe and cannot be
 	// gob-encoded inside an interface; skip the wire round-trip.
 	if n.c.cfg.WireEncode && payload != nil {
-		var buf bytes.Buffer
-		enc := gob.NewEncoder(&buf)
-		wrapped := wireEnvelope{Payload: payload}
-		if err := enc.Encode(&wrapped); err != nil {
-			return fmt.Errorf("%w: %T not wire-encodable: %v", ErrBadPayload, payload, err)
+		wire, err := EncodeWire(payload)
+		if err != nil {
+			return err
 		}
-		n.c.bytes.Add(uint64(buf.Len()))
-		var out wireEnvelope
-		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		n.c.bytes.Add(uint64(len(wire)))
+		out, err := DecodeWire(wire)
+		if err != nil {
 			return fmt.Errorf("%w: %T not wire-decodable: %v", ErrBadPayload, payload, err)
 		}
-		msg.Payload = out.Payload
+		msg.Payload = out
 	}
 	n.c.msgs.Add(1)
 	if n.c.faults != nil {
@@ -295,23 +373,49 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 }
 
 // deliverAfter schedules delivery of msg after delay d (immediately
-// when d <= 0).
+// when d <= 0). Delayed deliveries are tagged with the epoch they were
+// scheduled in and dropped if the transport has since been revived into
+// a newer epoch: a message sent before a crash must not materialize in
+// the healed run.
 func (c *Cluster) deliverAfter(msg Message, d time.Duration) {
 	dst := c.nodes[msg.To]
 	if d <= 0 {
 		dst.deliver(msg)
 		return
 	}
+	epoch := c.epoch.Load()
 	c.wg.Add(1)
 	time.AfterFunc(d, func() {
 		defer c.wg.Done()
-		if !c.closed.Load() && c.Err() == nil {
+		if !c.closed.Load() && c.Err() == nil && c.epoch.Load() == epoch {
 			dst.deliver(msg)
 		}
 	})
 }
 
 type wireEnvelope struct{ Payload any }
+
+// EncodeWire gob-encodes a payload exactly as WireEncode mode does on
+// every Send. Exposed so tools (and the wire-codec fuzz target) can
+// exercise the real marshalling path.
+func EncodeWire(payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	wrapped := wireEnvelope{Payload: payload}
+	if err := gob.NewEncoder(&buf).Encode(&wrapped); err != nil {
+		return nil, fmt.Errorf("%w: %T not wire-encodable: %v", ErrBadPayload, payload, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWire decodes bytes produced by EncodeWire back into a payload.
+// Arbitrary inputs return an error; they must never panic or hang.
+func DecodeWire(b []byte) (any, error) {
+	var out wireEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	return out.Payload, nil
+}
 
 func (n *Node) deliver(msg Message) {
 	if f := n.c.faults; f != nil && f.reliable {

@@ -162,6 +162,10 @@ type faultState struct {
 	// wires counts physical transmissions per (from, to) link; it
 	// indexes the fault PRNG so decisions reproduce from the seed.
 	wires [][]*atomic.Uint64
+	// loops tracks live retransmit loops so revive can join them: a
+	// stale loop must not retransmit dead-epoch traffic into a healed
+	// transport.
+	loops sync.WaitGroup
 }
 
 func newFaultState(c *Cluster, plan *FaultPlan) *faultState {
@@ -255,6 +259,32 @@ func (f *faultState) senderGate(from NodeID) (extra time.Duration, dead bool) {
 	return extra, false
 }
 
+// revive re-admits crashed/stalled endpoints into a new transport
+// epoch: crash and stall verdicts are cleared (the node's "NIC" is
+// plugged back in) and the reliable sublayer's per-link sequencing is
+// reset, since the links start from scratch — pre-revive sequence state
+// would otherwise make the receivers discard the new epoch's traffic
+// as duplicates. Untriggered stall windows and the per-link wire
+// counters (which key the fault PRNG) are preserved, so the fault
+// schedule stays reproducible across the revival.
+func (f *faultState) revive() {
+	for _, ns := range f.nodes {
+		ns.mu.Lock()
+		ns.crashed = false
+		ns.stallUntil = time.Time{}
+		ns.mu.Unlock()
+	}
+	n := len(f.c.nodes)
+	if f.reliable {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				f.links[i][j] = &relLink{unacked: make(map[uint64]*relPending)}
+				f.recvs[i][j] = &relRecv{}
+			}
+		}
+	}
+}
+
 // crashedNode reports whether a node's network is permanently dead.
 func (f *faultState) crashedNode(id NodeID) bool {
 	ns := f.nodes[id]
@@ -287,6 +317,7 @@ func (f *faultState) send(msg Message) error {
 	l.mu.Unlock()
 	f.transmit(wire, extra)
 	f.c.wg.Add(1)
+	f.loops.Add(1)
 	go f.retransmitLoop(l, p)
 	return nil
 }
@@ -323,16 +354,28 @@ func (f *faultState) transmit(msg Message, extra time.Duration) {
 // backoff until it is acked, the cluster stops, or the node crashes.
 func (f *faultState) retransmitLoop(l *relLink, p *relPending) {
 	defer f.c.wg.Done()
+	defer f.loops.Done()
 	backoff := f.plan.RetransmitBase
 	timer := time.NewTimer(backoff)
 	defer timer.Stop()
+	// Capture this epoch's stop channel: after a Revive the channel is
+	// the closed one of the epoch this loop belongs to, so the loop
+	// exits instead of retransmitting stale traffic into the new epoch.
+	stop := f.c.stopChan()
 	for {
 		select {
 		case <-p.ack:
 			return
-		case <-f.c.stop:
+		case <-stop:
 			return
 		case <-timer.C:
+			// select picks randomly among ready cases; re-check stop so
+			// a stopped loop never wins the race and retransmits.
+			select {
+			case <-stop:
+				return
+			default:
+			}
 			if f.crashedNode(p.msg.To) || f.crashedNode(p.msg.From) {
 				return
 			}

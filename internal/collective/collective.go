@@ -80,6 +80,19 @@ func New(node *cluster.Node, space uint64) *Comm {
 	return &Comm{node: node, rank: int(node.ID()), size: node.ClusterSize(), space: space}
 }
 
+// NewGen is New with a generation salt: call sequence numbers start at
+// gen<<24, so two communicators in the same space but different
+// generations can never match each other's wire tags. The runtime keys
+// generations by Execute attempt, which keeps collective traffic from
+// an aborted attempt (stragglers finishing after a Resume) from
+// aliasing the new attempt's collectives. Allows ~16M calls per
+// generation and 256 generations before wrapping.
+func NewGen(node *cluster.Node, space uint64, gen uint64) *Comm {
+	c := New(node, space)
+	c.seq = (gen & 0xFF) << 24
+	return c
+}
+
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -261,6 +274,22 @@ func init() {
 func (c *Comm) Barrier() error {
 	_, err := c.AllReduce(nil, func(a, b any) any { return nil })
 	return err
+}
+
+// epochSpaceBase is the tag space family of the re-admission barrier;
+// each transport epoch gets its own space so a barrier from a dead
+// epoch can never alias a live one.
+const epochSpaceBase = uint64(0xEB000000)
+
+// JoinEpoch is the re-admission barrier run when a transport is revived
+// into a new epoch after a shard crash: every shard (re-started and
+// survivor alike) calls it with the same epoch before touching any
+// other protocol, so live shards quiesce until the re-registered
+// endpoint has joined and no shard can race ahead of the re-join. The
+// barrier's tag space is derived from the epoch, making it immune to
+// stragglers from previous epochs.
+func JoinEpoch(node *cluster.Node, epoch uint64) error {
+	return New(node, epochSpaceBase|(epoch&0xFFFFFF)).Barrier()
 }
 
 // --- Typed conveniences -------------------------------------------------

@@ -157,7 +157,7 @@ func (fs *fineStage) handleAttach(o *op) {
 				vals, err := ReadRegionFile(pc.path, pc.rect)
 				inst := instance.New(pc.rect)
 				if err != nil {
-					fs.ctx.rt.abort(fmt.Errorf("attach %q: %w", pc.path, err))
+					fs.ctx.abort(fmt.Errorf("attach %q: %w", pc.path, err))
 				} else {
 					inst.Apply(pc.rect, vals)
 				}
@@ -178,11 +178,11 @@ func (fs *fineStage) handleAttach(o *op) {
 			defer fs.exec.inflight.Done()
 			inst := instance.New(pc.rect)
 			if err := fs.exec.assemble(inst, srcs); err != nil {
-				fs.ctx.rt.abort(fmt.Errorf("detach %q: %w", pc.path, err))
+				fs.ctx.abort(fmt.Errorf("detach %q: %w", pc.path, err))
 				return
 			}
 			if err := WriteRegionFile(pc.path, pc.rect, inst.Data); err != nil {
-				fs.ctx.rt.abort(fmt.Errorf("detach %q: %w", pc.path, err))
+				fs.ctx.abort(fmt.Errorf("detach %q: %w", pc.path, err))
 			}
 		}()
 	}

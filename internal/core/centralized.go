@@ -59,7 +59,7 @@ func (ctx *Context) runWorker() {
 		defer ex.inflight.Done()
 		val, err := ex.runRemote(rt)
 		if err != nil {
-			ctx.rt.abort(err)
+			ctx.abort(err)
 		}
 		ctx.rt.stats.points.Add(1)
 		_ = ctx.node.Send(0, ctrlResultTag, &remoteResult{Seq: rt.Seq, Point: rt.Point, Val: val})
@@ -67,7 +67,7 @@ func (ctx *Context) runWorker() {
 	ctx.node.Handle(ctrlStopTag, func(cluster.Message) { close(stop) })
 	select {
 	case <-stop:
-	case <-ctx.rt.abortCh:
+	case <-ctx.rs.abortCh:
 		// The controller may never send stop after an abort.
 	}
 	ex.quiesce()
@@ -93,7 +93,7 @@ func (fs *fineStage) installResultHandler() {
 		ls := fs.central.launches[res.Seq]
 		fs.central.mu.Unlock()
 		if ls == nil {
-			fs.ctx.rt.abort(errUnknownResult(res.Seq))
+			fs.ctx.abort(errUnknownResult(res.Seq))
 			return
 		}
 		if ls.single {
@@ -128,7 +128,7 @@ func (fs *fineStage) dispatchRemote(o *op, ls *launchState, owner int, p geom.Po
 			// On abort the future may never resolve and the dispatch
 			// is moot; balance the WaitGroup (the task was never sent,
 			// so no result will arrive for it).
-			if !fs.ctx.rt.waitOrAbort(fut.ready.Event) {
+			if !fs.ctx.waitOrAbort(fut.ready.Event) {
 				fs.central.remoteWG.Done()
 				return
 			}
@@ -155,7 +155,7 @@ func (fs *fineStage) waitRemote() {
 	}()
 	select {
 	case <-done:
-	case <-fs.ctx.rt.abortCh:
+	case <-fs.ctx.rs.abortCh:
 	}
 }
 
@@ -239,7 +239,7 @@ func (e *executor) runRemote(rt *remoteTask) (float64, error) {
 		return 0, err
 	}
 	var val float64
-	if !e.ctx.rt.aborted.Load() {
+	if !e.ctx.rs.aborted.Load() {
 		e.sem <- struct{}{}
 		val, err = e.invoke(fn, tc)
 		<-e.sem

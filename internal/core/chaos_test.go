@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"godcr/internal/cluster"
 	"godcr/internal/geom"
 	"godcr/internal/instance"
+	"godcr/internal/testutil"
 )
 
 // chaosPlan is the standard soak plan: every fault class at once.
@@ -206,7 +206,8 @@ func TestChaosCircuitSoak(t *testing.T) {
 // structured StallError with a per-shard progress snapshot — and that
 // the abort leaves no goroutines behind.
 func TestWatchdogStallError(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	// No goroutine leaks: everything the runtime spawned must unwind.
+	testutil.CheckGoroutines(t)
 
 	rt := NewRuntime(Config{
 		Shards:     4,
@@ -244,19 +245,4 @@ func TestWatchdogStallError(t *testing.T) {
 		t.Fatalf("no shard reported blocked in %+v", stall.Shards)
 	}
 	rt.Shutdown()
-
-	// No goroutine leaks: everything the runtime spawned must unwind.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= baseline+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak: %d now vs %d at start\n%s",
-				runtime.NumGoroutine(), baseline, buf[:n])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
 }

@@ -97,10 +97,45 @@ func (cs *coarseStage) run(in <-chan *op) {
 	defer close(cs.out)
 	for o := range in {
 		cs.ctx.prog.coarse.Store(o.seq)
-		cs.analyze(o)
+		if cs.ctx.replayTo > 0 && o.seq <= cs.ctx.replayTo && cs.ctx.rt.journal != nil {
+			cs.replay(o)
+		} else {
+			cs.analyze(o)
+			cs.ctx.rt.journalAppend(cs.ctx.shard, o)
+		}
 		cs.ctx.rt.recordAnalysis(cs.ctx.shard, o)
 		cs.out <- o
 	}
+}
+
+// replay fast-forwards one op through the checkpointed journal prefix
+// (Runtime.Resume): instead of re-deriving dependences and fence
+// decisions, it verifies the op is bit-identical to the journaled one
+// (Theorem 1 guarantees it must be, so a mismatch means the replayed
+// program diverged) and installs the journaled decisions. The access
+// recording pass still runs so the coarse directory is correct for ops
+// past the replay frontier.
+func (cs *coarseStage) replay(o *op) {
+	rec := cs.ctx.rt.journal.rec(o.seq)
+	if rec == nil {
+		cs.ctx.abort(fmt.Errorf("core: journal replay: op %d beyond journal", o.seq))
+		return
+	}
+	if rec.Kind != o.kind || rec.Ctl != o.ctl {
+		cs.ctx.abort(fmt.Errorf(
+			"core: journal divergence at op %d: journaled %v ctl=%016x%016x, replayed %v ctl=%016x%016x",
+			o.seq, rec.Kind, rec.Ctl[0], rec.Ctl[1], o.kind, o.ctl[0], o.ctl[1]))
+		return
+	}
+	if len(rec.Fences) > 0 {
+		o.fences = append([]FenceInfo(nil), rec.Fences...)
+		cs.ctx.rt.stats.fencesIn.Add(uint64(len(rec.Fences)))
+	}
+	if len(rec.GroupDeps) > 0 {
+		o.groupDeps = append([]uint64(nil), rec.GroupDeps...)
+	}
+	cs.recordAccesses(o, cs.accessesOf(o))
+	cs.ctx.rt.stats.journalReplays.Add(1)
 }
 
 func (cs *coarseStage) field(root region.RegionID, f region.FieldID) *coarseField {
@@ -124,11 +159,21 @@ type coarseAccess struct {
 }
 
 func (cs *coarseStage) analyze(o *op) {
+	accesses := cs.accessesOf(o)
+	deps := cs.findDeps(o, accesses)
+	cs.recordAccesses(o, accesses)
+	cs.fenceDecisions(o, accesses, deps)
+}
+
+// accessesOf flattens an operation into its (field, rect, privilege)
+// touches; ops that are ordered by construction (fences, markers,
+// shutdown) have none.
+func (cs *coarseStage) accessesOf(o *op) []coarseAccess {
 	var accesses []coarseAccess
 	switch o.kind {
 	case opShutdown, opExecFence, opDeletion, opTraceBegin, opTraceEnd:
 		// Ordered by construction; no data analysis.
-		return
+		return nil
 	case opFill:
 		f := o.fill
 		accesses = append(accesses, coarseAccess{
@@ -189,18 +234,21 @@ func (cs *coarseStage) analyze(o *op) {
 			}
 		}
 	}
+	return accesses
+}
 
-	type depInfo struct {
-		seq    uint64
-		sig    coarseSig
-		root   region.RegionID
-		field  region.FieldID
-		reason string
-	}
+type depInfo struct {
+	seq    uint64
+	sig    coarseSig
+	root   region.RegionID
+	field  region.FieldID
+	reason string
+}
+
+// findDeps discovers group-level dependences against the coarse
+// directory (without enumerating point tasks) — pass 1.
+func (cs *coarseStage) findDeps(o *op, accesses []coarseAccess) []depInfo {
 	var deps []depInfo
-
-	// Pass 1: discover group-level dependences against the coarse
-	// directory (without enumerating point tasks).
 	for _, a := range accesses {
 		cf := cs.field(a.root, a.field)
 		switch a.priv {
@@ -245,8 +293,14 @@ func (cs *coarseStage) analyze(o *op) {
 			}
 		}
 	}
+	return deps
+}
 
-	// Pass 2: record this operation's accesses.
+// recordAccesses records this operation's accesses in the coarse
+// directory — pass 2. Replay runs this pass too (the directory must be
+// correct for ops past the replay frontier) while skipping passes 1
+// and 3, whose outcomes the journal caches.
+func (cs *coarseStage) recordAccesses(o *op, accesses []coarseAccess) {
 	for _, a := range accesses {
 		cf := cs.field(a.root, a.field)
 		switch a.priv {
@@ -275,8 +329,11 @@ func (cs *coarseStage) analyze(o *op) {
 			cf.reds = append(cf.reds, coarseRed{o.seq, a.sig, a.rect, a.redOp})
 		}
 	}
+}
 
-	// Pass 3: fence decisions, deduplicated per (pred, field).
+// fenceDecisions promotes cross-shard dependences to fences,
+// deduplicated per (pred, field) — pass 3.
+func (cs *coarseStage) fenceDecisions(o *op, accesses []coarseAccess, deps []depInfo) {
 	seen := make(map[string]bool)
 	for _, d := range deps {
 		o.groupDeps = append(o.groupDeps, d.seq)

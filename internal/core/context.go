@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"godcr/internal/cluster"
+	"godcr/internal/collective"
 	"godcr/internal/dethash"
 	"godcr/internal/event"
 	"godcr/internal/geom"
@@ -30,6 +31,19 @@ type Context struct {
 	random  *rng.Source
 	prog    *shardProgress
 
+	// rs is the attempt's abort state, captured at context creation so
+	// every goroutine this context spawns aborts/waits against its own
+	// attempt even after Resume has started a new one.
+	rs *runState
+	// attempt salts per-attempt wire tags (future pushes, pull replies,
+	// collective generations); identical on all shards of one attempt.
+	attempt uint64
+	// replayTo is the journal frontier to fast-forward through on
+	// Resume (0 = fresh run); epoch, when nonzero, is the transport
+	// epoch whose re-admission barrier must run before the pipeline.
+	replayTo uint64
+	epoch    uint64
+
 	seq      uint64
 	coarseCh chan *op
 	fine     *fineStage
@@ -50,7 +64,28 @@ func newContext(rt *Runtime, shard int) *Context {
 		digest:  dethash.New(),
 		random:  rng.New(rt.cfg.Seed ^ 0x9E3779B9),
 		prog:    rt.progress[shard],
+		rs:      rt.run.Load(),
+		attempt: rt.attempt.Load(),
 	}
+}
+
+// abort, waitOrAbort, abortErr: the context-bound abort machinery. All
+// pipeline code reached from a Context must use these (not the Runtime
+// equivalents) so stragglers stay pinned to their own attempt.
+func (ctx *Context) abort(err error)                 { ctx.rt.abortOn(ctx.rs, err) }
+func (ctx *Context) waitOrAbort(ev event.Event) bool { return ctx.rs.waitOrAbort(ev) }
+func (ctx *Context) abortErr() error                 { return ctx.rs.abortErr() }
+
+// futureTag is the wire tag of a single-launch future push for op seq;
+// attempt-salted so a stale push from an aborted attempt can never
+// satisfy the current attempt's receive.
+func (ctx *Context) futureTag(seq uint64) uint64 {
+	return futureTagBit | (ctx.attempt&0xFF)<<48 | seq
+}
+
+// pullTag is the attempt-salted wire tag of pull reply n.
+func (ctx *Context) pullTag(n uint64) uint64 {
+	return pullReplyTag | (ctx.attempt&0xFF)<<48 | n
 }
 
 // run wires the pipeline, executes the program, and drains.
@@ -58,6 +93,15 @@ func (ctx *Context) run(program Program) {
 	if ctx.rt.cfg.Centralized && ctx.shard != 0 {
 		ctx.runWorker()
 		return
+	}
+	if ctx.epoch > 0 {
+		// Resumed attempt: quiesce on the re-admission barrier so every
+		// endpoint (restarted and survivor alike) has re-registered in
+		// the new transport epoch before any protocol traffic flows.
+		if err := collective.JoinEpoch(ctx.node, ctx.epoch); err != nil {
+			ctx.abort(fmt.Errorf("shard %d: epoch %d re-admission: %w", ctx.shard, ctx.epoch, err))
+			return
+		}
 	}
 	ctx.coarseCh = make(chan *op, 1024)
 	fineCh := make(chan *op, 1024)
@@ -78,10 +122,13 @@ func (ctx *Context) run(program Program) {
 	}()
 
 	if err := ctx.invokeProgram(program); err != nil {
-		ctx.rt.abort(fmt.Errorf("shard %d: program error: %w", ctx.shard, err))
+		ctx.abort(fmt.Errorf("shard %d: program error: %w", ctx.shard, err))
 	}
 	// Shutdown: flows through both stages, quiescing execution.
 	shutdown := &op{seq: ctx.nextSeq(), kind: opShutdown, done: event.NewUserEvent()}
+	if ctx.rt.journal != nil {
+		shutdown.ctl = ctx.digest.Sum()
+	}
 	ctx.coarseCh <- shutdown
 	close(ctx.coarseCh)
 	shutdown.done.Wait()
@@ -89,6 +136,9 @@ func (ctx *Context) run(program Program) {
 	<-fineDone
 	if ctx.det != nil {
 		ctx.det.finish()
+	}
+	if ctx.shard == 0 {
+		ctx.rt.finalCtl.Store(ctx.digest.Sum())
 	}
 }
 
@@ -112,6 +162,11 @@ func (ctx *Context) nextSeq() uint64 {
 
 // submit hashes and enqueues an operation.
 func (ctx *Context) submit(o *op) {
+	if ctx.rt.journal != nil {
+		// Snapshot the control digest after this op's API call was
+		// hashed: the journal's per-op fingerprint, verified on replay.
+		o.ctl = ctx.digest.Sum()
+	}
 	ctx.rt.stats.ops.Add(1)
 	if ctx.det != nil {
 		ctx.det.maybeCheck()
@@ -355,7 +410,7 @@ func (ctx *Context) ExecutionFence() {
 	ctx.submit(o)
 	o.done.Wait()
 	if err := ctx.applyDeferred(); err != nil {
-		ctx.rt.abort(err)
+		ctx.abort(err)
 	}
 }
 

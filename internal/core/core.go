@@ -87,6 +87,13 @@ type Config struct {
 	// receive, Execute fails with a *StallError carrying a per-shard
 	// diagnostic snapshot instead of hanging. 0 disables the watchdog.
 	OpDeadline time.Duration
+	// Journal enables the replayable control journal: the runtime
+	// records the deterministic op sequence (with per-op control
+	// digests, fence decisions, and written regions) as it executes,
+	// and a watchdog StallError carries a Checkpoint that Resume can
+	// restart the run from. Cheap (one append per op on one shard);
+	// off by default.
+	Journal bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +134,10 @@ type Stats struct {
 	TraceReplays uint64
 	// DeterminismChecks counts completed hash comparisons.
 	DeterminismChecks uint64
+	// JournalReplays counts operations whose coarse analysis was
+	// fast-forwarded from the journal during Resume (summed over
+	// shards).
+	JournalReplays uint64
 	// VersionsDropped counts store versions reclaimed by fence-point
 	// garbage collection (summed over shards).
 	VersionsDropped uint64
@@ -143,21 +154,36 @@ type Runtime struct {
 	memo  *mapper.Memo
 
 	stats struct {
-		ops         atomic.Uint64
-		fencesIn    atomic.Uint64
-		fencesOut   atomic.Uint64
-		points      atomic.Uint64
-		remotePulls atomic.Uint64
-		localRes    atomic.Uint64
-		replays     atomic.Uint64
-		detChecks   atomic.Uint64
-		gcDropped   atomic.Uint64
+		ops            atomic.Uint64
+		fencesIn       atomic.Uint64
+		fencesOut      atomic.Uint64
+		points         atomic.Uint64
+		remotePulls    atomic.Uint64
+		localRes       atomic.Uint64
+		replays        atomic.Uint64
+		detChecks      atomic.Uint64
+		gcDropped      atomic.Uint64
+		journalReplays atomic.Uint64
 	}
 
-	errOnce sync.Once
-	err     atomic.Value // error
-	aborted atomic.Bool
-	abortCh chan struct{} // closed by abort: the cross-shard abort broadcast
+	// run is the current attempt's abort state. It is replaced wholesale
+	// by Resume: stragglers from a failed attempt keep their (closed)
+	// abort channel while the new attempt starts from a clean one.
+	run atomic.Pointer[runState]
+
+	// attempt counts Execute/Resume attempts; it salts per-attempt wire
+	// tags (future pushes, pull replies, collective spaces) so traffic
+	// from an aborted attempt can never be mistaken for the current
+	// one's after the transport is revived.
+	attempt atomic.Uint64
+
+	// journal is the current attempt's control journal (nil unless
+	// cfg.Journal); set before shards start, read-only afterwards.
+	journal *Journal
+
+	// finalCtl is shard 0's control digest at the end of the last
+	// completed run (see ControlHash).
+	finalCtl atomic.Value // [2]uint64
 
 	progress []*shardProgress // per-shard counters sampled by the watchdog
 
@@ -165,6 +191,16 @@ type Runtime struct {
 
 	executing atomic.Bool
 }
+
+// runState is one attempt's abort machinery.
+type runState struct {
+	errOnce sync.Once
+	err     atomic.Value // error
+	aborted atomic.Bool
+	abortCh chan struct{} // closed by abort: the cross-shard abort broadcast
+}
+
+func newRunState() *runState { return &runState{abortCh: make(chan struct{})} }
 
 // NewRuntime creates a runtime on a fresh simulated cluster.
 func NewRuntime(cfg Config) *Runtime {
@@ -182,9 +218,9 @@ func NewRuntime(cfg Config) *Runtime {
 		}),
 		tasks:    make(map[string]TaskFn),
 		memo:     mapper.NewMemo(),
-		abortCh:  make(chan struct{}),
 		progress: make([]*shardProgress, cfg.Shards),
 	}
+	rt.run.Store(newRunState())
 	for i := range rt.progress {
 		rt.progress[i] = &shardProgress{}
 	}
@@ -218,6 +254,7 @@ func (rt *Runtime) Stats() Stats {
 		LocalResolves:     rt.stats.localRes.Load(),
 		TraceReplays:      rt.stats.replays.Load(),
 		DeterminismChecks: rt.stats.detChecks.Load(),
+		JournalReplays:    rt.stats.journalReplays.Load(),
 		VersionsDropped:   rt.stats.gcDropped.Load(),
 		Messages:          cs.Messages,
 		Bytes:             cs.Bytes,
@@ -228,42 +265,59 @@ func (rt *Runtime) Stats() Stats {
 // every abort-aware wait in this runtime, and the transport interrupt
 // fails every blocked receive on every node, so all shards unwind and
 // Execute returns one coherent error instead of deadlocking.
-func (rt *Runtime) abort(err error) {
-	rt.errOnce.Do(func() {
-		rt.err.Store(err)
-		rt.aborted.Store(true)
-		close(rt.abortCh)
-		rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
+func (rt *Runtime) abort(err error) { rt.abortOn(rt.run.Load(), err) }
+
+// abortOn is abort pinned to one attempt's runState. Goroutines spawned
+// by an attempt abort through the state they were born under: a
+// straggler from a failed attempt that errors out after Resume has
+// installed a fresh runState must not poison the new attempt (its own
+// state is already aborted, so the call is a no-op), and it must not
+// re-interrupt the revived transport.
+func (rt *Runtime) abortOn(rs *runState, err error) {
+	rs.errOnce.Do(func() {
+		rs.err.Store(err)
+		rs.aborted.Store(true)
+		close(rs.abortCh)
+		if rt.run.Load() == rs {
+			rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
+		}
 	})
 }
 
-// waitOrAbort blocks until ev triggers or the runtime aborts,
-// reporting which happened (true = the event fired). A triggered event
-// always wins, even if the runtime has also aborted.
-func (rt *Runtime) waitOrAbort(ev event.Event) bool {
+// waitOrAbort blocks until ev triggers or the attempt aborts, reporting
+// which happened (true = the event fired). A triggered event always
+// wins, even if the runtime has also aborted.
+func (rs *runState) waitOrAbort(ev event.Event) bool {
 	if ev.HasTriggered() {
 		return true
 	}
 	select {
 	case <-ev.Done():
 		return true
-	case <-rt.abortCh:
+	case <-rs.abortCh:
 		return false
 	}
 }
 
-// abortErr returns the recorded abort error (for waits released by the
-// abort broadcast).
-func (rt *Runtime) abortErr() error {
-	if err := rt.Err(); err != nil {
-		return err
+// waitOrAbort waits against the current attempt (non-context callers).
+func (rt *Runtime) waitOrAbort(ev event.Event) bool {
+	return rt.run.Load().waitOrAbort(ev)
+}
+
+// abortErr returns the attempt's recorded abort error (for waits
+// released by the abort broadcast).
+func (rs *runState) abortErr() error {
+	if v := rs.err.Load(); v != nil {
+		return v.(error)
 	}
 	return fmt.Errorf("core: aborted")
 }
 
-// Err returns the first fatal error, if any.
+func (rt *Runtime) abortErr() error { return rt.run.Load().abortErr() }
+
+// Err returns the first fatal error of the current attempt, if any.
 func (rt *Runtime) Err() error {
-	if v := rt.err.Load(); v != nil {
+	if v := rt.run.Load().err.Load(); v != nil {
 		return v.(error)
 	}
 	return nil
@@ -282,14 +336,77 @@ type Program func(ctx *Context) error
 // perform the dependence analysis. Execute returns after all shards
 // finish and all launched tasks complete.
 func (rt *Runtime) Execute(program Program) error {
+	return rt.execute(program, nil)
+}
+
+// Resume restarts a stalled run from a watchdog checkpoint: the
+// transport is revived into a new epoch (re-admitting crashed
+// endpoints), every shard re-registers and runs the epoch re-admission
+// barrier, and the same program is re-executed with the journal prefix
+// up to the checkpoint's frontier fast-forwarded — each replayed op's
+// control digest is verified against the journal and its fence
+// decisions installed without re-deriving them (recovery by
+// deterministic replay; Theorem 1 guarantees the resumed control state
+// is bit-identical). The program must be the same control-deterministic
+// program the checkpoint was taken from; divergence aborts the resumed
+// run with a diagnostic.
+func (rt *Runtime) Resume(cp *Checkpoint, program Program) error {
+	if cp == nil {
+		return fmt.Errorf("core: Resume requires a checkpoint (enable Config.Journal)")
+	}
+	if !rt.cfg.Journal {
+		return fmt.Errorf("core: Resume requires Config.Journal")
+	}
+	if rt.cfg.Centralized {
+		return fmt.Errorf("core: Resume requires replicated control")
+	}
+	if cp.Shards != rt.cfg.Shards {
+		return fmt.Errorf("core: checkpoint taken at %d shards, runtime has %d", cp.Shards, rt.cfg.Shards)
+	}
+	if cp.Journal == nil || uint64(cp.Journal.Len()) < cp.Frontier {
+		return fmt.Errorf("core: checkpoint journal shorter than frontier %d", cp.Frontier)
+	}
+	return rt.execute(program, cp)
+}
+
+// execute runs one attempt; cp non-nil makes it a resumed attempt.
+func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	if rt.executing.Swap(true) {
 		panic("core: concurrent Execute")
 	}
 	defer rt.executing.Store(false)
 
+	rt.attempt.Add(1)
+	var epoch uint64
+	var frontier uint64
+	switch {
+	case cp != nil:
+		// Heal the transport first: re-admit crashed endpoints into a
+		// new epoch and discard dead-epoch traffic.
+		var err error
+		if epoch, err = rt.clust.Revive(); err != nil {
+			return fmt.Errorf("core: resume: %w", err)
+		}
+		// Fresh abort state and progress counters for the new attempt;
+		// stragglers of the failed attempt stay pinned to the old ones.
+		rt.run.Store(newRunState())
+		for _, p := range rt.progress {
+			p.reset()
+		}
+		// Replay from a private copy of the checkpoint's journal prefix:
+		// ops past the frontier are re-analyzed and re-appended.
+		frontier = cp.Frontier
+		rt.journal = &Journal{recs: cp.Journal.snapshotUpTo(frontier)}
+	case rt.cfg.Journal:
+		rt.journal = newJournal()
+	default:
+		rt.journal = nil
+	}
+
+	rs := rt.run.Load()
 	var watchStop chan struct{}
 	if rt.cfg.OpDeadline > 0 {
-		watchStop = rt.startWatchdog()
+		watchStop = rt.startWatchdog(rs)
 	}
 
 	n := rt.cfg.Shards
@@ -299,6 +416,8 @@ func (rt *Runtime) Execute(program Program) error {
 		go func(shard int) {
 			defer wg.Done()
 			ctx := newContext(rt, shard)
+			ctx.replayTo = frontier
+			ctx.epoch = epoch
 			ctx.run(program)
 		}(s)
 	}
@@ -309,12 +428,26 @@ func (rt *Runtime) Execute(program Program) error {
 	return rt.Err()
 }
 
+// ControlHash returns the control-determinism digest at the end of the
+// last completed Execute/Resume: a 128-bit fingerprint of the entire
+// API-call sequence the program issued (shard 0's digest; with
+// SafetyChecks on, verified identical on every shard). Two runs of a
+// well-formed program produce the same hash regardless of shard count,
+// which the determinism test matrix asserts.
+func (rt *Runtime) ControlHash() [2]uint64 {
+	if v := rt.finalCtl.Load(); v != nil {
+		return v.([2]uint64)
+	}
+	return [2]uint64{}
+}
+
 // TransportStats returns the transport counters, including the
 // fault-injection classes (see cluster.Stats).
 func (rt *Runtime) TransportStats() cluster.Stats { return rt.clust.Stats() }
 
 // comm builds a collective endpoint for the given shard in the given
-// tag space.
+// tag space, salted with the current attempt's generation so that a
+// resumed run's collectives can never alias an aborted attempt's.
 func (rt *Runtime) comm(shard int, space uint64) *collective.Comm {
-	return collective.New(rt.clust.Node(cluster.NodeID(shard)), space)
+	return collective.NewGen(rt.clust.Node(cluster.NodeID(shard)), space, rt.attempt.Load())
 }

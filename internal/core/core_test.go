@@ -9,12 +9,14 @@ import (
 	"godcr/internal/instance"
 	"godcr/internal/mapper"
 	"godcr/internal/region"
+	"godcr/internal/testutil"
 )
 
 // runProgram executes a program on a fresh runtime and fails the test
 // on error.
 func runProgram(t *testing.T, cfg Config, register func(rt *Runtime), program Program) *Runtime {
 	t.Helper()
+	testutil.CheckGoroutines(t)
 	rt := NewRuntime(cfg)
 	if register != nil {
 		register(rt)

@@ -113,7 +113,7 @@ func (d *detChecker) reap(block bool) {
 			continue
 		}
 		if cv := v.(checkVal); cv.Mismatch {
-			d.ctx.rt.abort(fmt.Errorf(
+			d.ctx.abort(fmt.Errorf(
 				"control determinism violation: shards diverged by runtime API call %d (check %d); "+
 					"a replicated task issued different operations on different shards", cv.At, head.idx))
 			return
@@ -143,7 +143,7 @@ func (d *detChecker) finish() {
 	v, err := finalComm.AllReduce(checkVal{A: sum[0], B: sum[1], Calls: d.ctx.digest.Calls()}, foldCheck)
 	if err == nil {
 		if cv := v.(checkVal); cv.Mismatch {
-			d.ctx.rt.abort(fmt.Errorf(
+			d.ctx.abort(fmt.Errorf(
 				"control determinism violation: shards diverged by runtime API call %d (final check)", cv.At))
 		}
 	}

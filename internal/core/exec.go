@@ -91,7 +91,7 @@ func (e *executor) quiesce() { e.inflight.Wait() }
 func (e *executor) runTask(t *pointTask) {
 	val, err := e.execute(t)
 	if err != nil {
-		e.ctx.rt.abort(fmt.Errorf("task %q point %v: %w", t.ls.taskName, t.point, err))
+		e.ctx.abort(fmt.Errorf("task %q point %v: %w", t.ls.taskName, t.point, err))
 	}
 	// Publish outputs (even after errors, so consumers never hang).
 	// Inputs were assembled in execute; outInsts holds the physical
@@ -112,7 +112,7 @@ func (e *executor) deliverResult(t *pointTask, val float64) {
 		// receive goroutine resolves its future from the same error.
 		for s := 0; s < e.ctx.nShards; s++ {
 			if s != e.ctx.shard {
-				_ = e.ctx.node.Send(cluster.NodeID(s), futureTagBit|t.o.seq, val)
+				_ = e.ctx.node.Send(cluster.NodeID(s), e.ctx.futureTag(t.o.seq), val)
 			}
 		}
 		t.ls.fut.set(val)
@@ -127,7 +127,7 @@ func (e *executor) execute(t *pointTask) (float64, error) {
 	// — assembly and compute are skipped once aborted.
 	futArgs := make([]float64, 0, len(t.ls.spec.Futures))
 	for _, f := range t.ls.spec.Futures {
-		if !e.ctx.rt.waitOrAbort(f.ready.Event) {
+		if !e.ctx.waitOrAbort(f.ready.Event) {
 			futArgs = append(futArgs, 0)
 			continue
 		}
@@ -143,7 +143,7 @@ func (e *executor) execute(t *pointTask) (float64, error) {
 
 	// Compute, gated by the processor semaphore.
 	var val float64
-	if !e.ctx.rt.aborted.Load() {
+	if !e.ctx.rs.aborted.Load() {
 		fn := e.ctx.rt.tasks[t.ls.taskName]
 		e.sem <- struct{}{}
 		val, err = e.invoke(fn, tc)
@@ -170,7 +170,7 @@ func (e *executor) invoke(fn TaskFn, tc *TaskContext) (val float64, err error) {
 // to the plans. Shared by local execution and the centralized-mode
 // worker path.
 func (e *executor) assembleTask(taskName string, point geom.Point, args, futArgs []float64, plans []fieldPlan) (*TaskContext, error) {
-	aborted := e.ctx.rt.aborted.Load()
+	aborted := e.ctx.rs.aborted.Load()
 	nreq := 0
 	for _, pl := range plans {
 		if pl.reqIdx+1 > nreq {

@@ -96,7 +96,7 @@ func (fs *fineStage) run(in <-chan *op) {
 		// analysis against its peers'.
 		if len(o.fences) > 0 && !fs.ctx.rt.cfg.DisableFences && fs.central == nil {
 			if err := fs.comm.Barrier(); err != nil {
-				fs.ctx.rt.abort(err)
+				fs.ctx.abort(err)
 			}
 		}
 		switch o.kind {
@@ -111,7 +111,7 @@ func (fs *fineStage) run(in <-chan *op) {
 			} else {
 				fs.exec.quiesce()
 				if err := fs.comm.Barrier(); err != nil {
-					fs.ctx.rt.abort(err)
+					fs.ctx.abort(err)
 				}
 			}
 			fs.gcStore()
@@ -188,14 +188,14 @@ func (fs *fineStage) handleLaunch(o *op) {
 			owner := ls.owner
 			fut := ls.fut
 			go func() {
-				payload, err := fs.ctx.node.Recv(futureTagBit|o.seq, cluster.NodeID(owner))
+				payload, err := fs.ctx.node.Recv(fs.ctx.futureTag(o.seq), cluster.NodeID(owner))
 				if err != nil {
 					fut.set(0)
 					return
 				}
 				v, ok := payload.(float64)
 				if !ok {
-					fs.ctx.rt.abort(fmt.Errorf("core: future push carried %T, want float64", payload))
+					fs.ctx.abort(fmt.Errorf("core: future push carried %T, want float64", payload))
 				}
 				fut.set(v)
 			}()
@@ -282,7 +282,7 @@ func (fs *fineStage) checkGroupIndependence(ls *launchState, ri int, wm []rectPo
 	var cover geom.RectMap[geom.Point]
 	for _, wp := range wm {
 		if hits := cover.Query(wp.rect); len(hits) > 0 {
-			fs.ctx.rt.abort(fmt.Errorf(
+			fs.ctx.abort(fmt.Errorf(
 				"task group %q: points %v and %v write overlapping data %v of requirement %d "+
 					"(tasks in a group must be pairwise independent)",
 				ls.taskName, hits[0].Value, wp.point, hits[0].Rect, ri))
@@ -400,7 +400,7 @@ func (fs *fineStage) handleInline(o *op) {
 		defer fs.exec.inflight.Done()
 		inst := instance.New(bounds)
 		if err := fs.exec.assemble(inst, srcs); err != nil {
-			fs.ctx.rt.abort(err)
+			fs.ctx.abort(err)
 		}
 		res.vals = inst.Data
 		res.done.Trigger()

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"godcr/internal/cluster"
 	"godcr/internal/collective"
 	"godcr/internal/event"
 	"godcr/internal/geom"
@@ -42,7 +43,7 @@ func (f *Future) set(v float64) {
 func (f *Future) Get() float64 {
 	f.ctx.hashOp(hFutureGet)
 	f.ctx.digest.Uint64(f.seq)
-	f.ctx.rt.waitOrAbort(f.ready.Event)
+	f.ctx.waitOrAbort(f.ready.Event)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.val
@@ -116,10 +117,24 @@ func (fm *FutureMap) deliver(p geom.Point, v float64) {
 // have all completed.
 func (fm *FutureMap) LocalDone() event.Event { return fm.localDone.Event }
 
+// pointVal is one point task's result, exchanged by FutureMap.Reduce.
+type pointVal struct {
+	P geom.Point
+	V float64
+}
+
+func init() {
+	cluster.RegisterWireType(pointVal{})
+	cluster.RegisterWireType([]pointVal(nil))
+}
+
 // Reduce folds every point task's result with the operator and returns
-// a Future of the global value, identical on all shards (an
-// asynchronous all-reduce under the hood — this is how the Pennant
-// time-step collective in §5.1 is expressed).
+// a Future of the global value, identical on all shards (this is how
+// the Pennant time-step collective in §5.1 is expressed). The fold
+// order is canonical — row-major over the launch domain, regardless of
+// which shard executed which point — so for non-associative operators
+// (floating-point addition) the result is bit-identical across shard
+// counts, which the determinism test matrix asserts.
 func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 	fm.ctx.hashOp(hFutureGet)
 	fm.ctx.digest.Uint64(fm.seq)
@@ -134,31 +149,58 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 		comm = fm.ctx.rt.comm(fm.ctx.shard, space)
 	}
 	go func() {
-		if !fm.ctx.rt.waitOrAbort(fm.localDone.Event) {
+		if !fm.ctx.waitOrAbort(fm.localDone.Event) {
 			fut.set(0)
 			return
 		}
 		fm.mu.Lock()
-		acc := op.Identity()
-		// Fold in deterministic (row-major) point order.
+		local := make([]pointVal, 0, len(fm.results))
 		fm.ls.spec.Domain.Each(func(p geom.Point) bool {
 			if v, ok := fm.results[p]; ok {
-				acc = op.Fold(acc, v)
+				local = append(local, pointVal{P: p, V: v})
 			}
 			return true
 		})
 		fm.mu.Unlock()
+		foldRowMajor := func(all map[geom.Point]float64) float64 {
+			acc := op.Identity()
+			fm.ls.spec.Domain.Each(func(p geom.Point) bool {
+				if v, ok := all[p]; ok {
+					acc = op.Fold(acc, v)
+				}
+				return true
+			})
+			return acc
+		}
 		if centralized {
 			// The controller holds every point's result already.
-			fut.set(acc)
+			all := make(map[geom.Point]float64, len(local))
+			for _, pv := range local {
+				all[pv.P] = pv.V
+			}
+			fut.set(foldRowMajor(all))
 			return
 		}
-		out, err := comm.AllReduceFloat64(acc, op.Fold)
+		// Gather every shard's point results, then fold them in global
+		// row-major order on every rank (instead of an all-reduce of
+		// per-shard partials, whose association would depend on the
+		// shard count).
+		gathered, err := comm.AllGather(local)
 		if err != nil {
 			fut.set(0)
 			return
 		}
-		fut.set(out)
+		all := make(map[geom.Point]float64)
+		for _, g := range gathered {
+			pairs, ok := g.([]pointVal)
+			if !ok {
+				continue // rank with no local points (nil payload)
+			}
+			for _, pv := range pairs {
+				all[pv.P] = pv.V
+			}
+		}
+		fut.set(foldRowMajor(all))
 	}()
 	return fut
 }

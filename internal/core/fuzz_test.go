@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// journalSeeds runs a real journaled program and returns the encoded
+// journal and checkpoint — the genuine wire images a recovery would
+// persist, used as the fuzz seed corpus.
+func journalSeeds(f *testing.F) (journal, checkpoint []byte) {
+	f.Helper()
+	rt := NewRuntime(Config{Shards: 2, SafetyChecks: true, Journal: true})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	if err := rt.Execute(stencil1DProgram(32, 4, 2, 1.0,
+		func(state, flux []float64) error { return nil })); err != nil {
+		f.Fatalf("seed run: %v", err)
+	}
+	cp := rt.buildCheckpoint()
+	if cp == nil || cp.Frontier == 0 {
+		f.Fatal("seed run produced no checkpoint")
+	}
+	return rt.journal.Encode(), cp.Encode()
+}
+
+// FuzzJournalDecode hammers the journal and checkpoint codecs with
+// arbitrary bytes, seeded from a real run's encodings. Decoding is the
+// recovery path's input boundary — a checkpoint may be persisted and
+// re-read across processes — so it must never panic, hang, or allocate
+// unboundedly, and anything it accepts must survive a re-encode
+// round-trip.
+func FuzzJournalDecode(f *testing.F) {
+	jb, cb := journalSeeds(f)
+	f.Add(jb)
+	f.Add(cb)
+	f.Add([]byte("DCRJ"))
+	f.Add([]byte("DCRC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if j, err := DecodeJournal(b); err == nil {
+			j2, err := DecodeJournal(j.Encode())
+			if err != nil {
+				t.Fatalf("accepted journal does not round-trip: %v", err)
+			}
+			if j2.Len() != j.Len() {
+				t.Fatalf("round-trip changed journal length: %d vs %d", j2.Len(), j.Len())
+			}
+		}
+		if cp, err := DecodeCheckpoint(b); err == nil {
+			cp2, err := DecodeCheckpoint(cp.Encode())
+			if err != nil {
+				t.Fatalf("accepted checkpoint does not round-trip: %v", err)
+			}
+			if cp2.Frontier != cp.Frontier || cp2.Ctl != cp.Ctl || cp2.Shards != cp.Shards {
+				t.Fatalf("round-trip changed checkpoint: %+v vs %+v", cp2, cp)
+			}
+		}
+	})
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"godcr/internal/region"
+)
+
+// The replayable control journal (Config.Journal). Theorem 1 (paper §2,
+// Appendix A) makes every shard's analysis a deterministic function of
+// the op stream, so the control state of a run is replayable for free:
+// recording the op stream once is enough to reconstruct it. The journal
+// records, per operation, the control-determinism digest at submission
+// (a 128-bit fingerprint of every API call so far), the coarse stage's
+// fence decisions, the group-level dependences, and the region roots
+// the operation writes — a per-region version vector falls out of the
+// last entry. Recording happens on shard 0's coarse stage only (all
+// shards compute identical decisions), mirroring the analysis log, so
+// the cost is one append per operation on one shard.
+//
+// On a watchdog stall the runtime snapshots the journal into a
+// Checkpoint (see checkpoint construction in watchdog.go) and
+// Runtime.Resume replays it: re-running the program on the healed
+// transport, verifying each re-submitted op's digest against the
+// journaled one, and installing the journaled fence decisions instead
+// of re-deriving them — the same "cache the control-plane decisions"
+// insight as Execution Templates, used for recovery instead of speed.
+
+// journalRec is one journaled operation.
+type journalRec struct {
+	Seq  uint64
+	Kind opKind
+	// Ctl is the control-determinism digest immediately after the op's
+	// API call was hashed; replay verifies it bit-for-bit.
+	Ctl [2]uint64
+	// Fences and GroupDeps are the coarse stage's decisions for the op.
+	Fences    []FenceInfo
+	GroupDeps []uint64
+	// Writes lists the region roots the op writes (fills, write/reduce
+	// privileges, attaches); the checkpoint's version vector is the
+	// last journaled writer per root.
+	Writes []region.RegionID
+}
+
+// Journal is the replayable control journal of one Execute attempt. It
+// is exposed (inside a Checkpoint) as an opaque value: encode it with
+// Encode, reconstruct it with DecodeJournal.
+type Journal struct {
+	mu   sync.Mutex
+	recs []journalRec
+}
+
+func newJournal() *Journal { return &Journal{} }
+
+// append records one analyzed op. Ops are journaled in seq order (the
+// coarse stage is in-order), so recs[i].Seq == i+1.
+func (j *Journal) append(rec journalRec) {
+	j.mu.Lock()
+	j.recs = append(j.recs, rec)
+	j.mu.Unlock()
+}
+
+// rec returns the journaled record for seq, or nil if seq is beyond the
+// journal.
+func (j *Journal) rec(seq uint64) *journalRec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq == 0 || seq > uint64(len(j.recs)) {
+		return nil
+	}
+	r := &j.recs[seq-1]
+	if r.Seq != seq {
+		return nil
+	}
+	return r
+}
+
+// Len returns the number of journaled operations.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// snapshotUpTo copies the journal prefix with Seq <= frontier.
+func (j *Journal) snapshotUpTo(frontier uint64) []journalRec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.recs)
+	if frontier < uint64(n) {
+		n = int(frontier)
+	}
+	return append([]journalRec(nil), j.recs[:n]...)
+}
+
+// journalAppend records o's analysis outcome; called by shard 0's
+// coarse stage after analyze (all shards make identical decisions).
+func (rt *Runtime) journalAppend(shard int, o *op) {
+	j := rt.journal
+	if j == nil || shard != 0 {
+		return
+	}
+	j.append(journalRec{
+		Seq:       o.seq,
+		Kind:      o.kind,
+		Ctl:       o.ctl,
+		Fences:    append([]FenceInfo(nil), o.fences...),
+		GroupDeps: append([]uint64(nil), o.groupDeps...),
+		Writes:    opWrites(o),
+	})
+}
+
+// opWrites lists the region roots o writes, deduplicated.
+func opWrites(o *op) []region.RegionID {
+	switch o.kind {
+	case opFill:
+		return []region.RegionID{o.fill.root}
+	case opAttach:
+		return []region.RegionID{o.attach.root}
+	case opLaunch, opSingle:
+		var roots []region.RegionID
+		for _, rr := range o.launch.reqs {
+			if rr.req.Priv != Reduce && !rr.req.Priv.writes() {
+				continue
+			}
+			dup := false
+			for _, r := range roots {
+				if r == rr.root {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				roots = append(roots, rr.root)
+			}
+		}
+		return roots
+	}
+	return nil
+}
+
+// --- Checkpoint ----------------------------------------------------------
+
+// RegionVersion is one entry of a checkpoint's version vector: the last
+// journaled operation (at or below the frontier) that wrote the root.
+type RegionVersion struct {
+	Root region.RegionID
+	Seq  uint64
+}
+
+// Checkpoint snapshots the replayable control state of a stalled run.
+// The watchdog attaches one to its StallError when the journal is
+// enabled; pass it to Runtime.Resume to restart the run on a healed
+// transport. A checkpoint is self-contained: it carries the journal
+// prefix up to the frontier and round-trips through Encode /
+// DecodeCheckpoint, so it can be persisted across processes.
+type Checkpoint struct {
+	// Shards is the shard count of the checkpointed run; Resume
+	// requires an identical count.
+	Shards int
+	// Frontier is the last op sequence number whose analysis every
+	// shard's fine stage had admitted at the stall — the prefix of the
+	// op stream that is replayed from the journal rather than
+	// re-analyzed.
+	Frontier uint64
+	// Ctl is the control-determinism digest at the frontier.
+	Ctl [2]uint64
+	// Versions is the per-region version vector at the frontier,
+	// sorted by root.
+	Versions []RegionVersion
+	// Journal is the journal prefix up to the frontier.
+	Journal *Journal
+}
+
+// buildCheckpoint snapshots the current journal position and region
+// versions; nil when the journal is disabled. The frontier is the
+// minimum fine-stage position over all shards: every shard has
+// performed (identical) analysis for ops at or below it, so the prefix
+// is safe to fast-forward through on replay. Execution state is not
+// captured — recovery is by deterministic re-execution (Theorem 1), so
+// replayed ops recompute their data while skipping re-analysis.
+func (rt *Runtime) buildCheckpoint() *Checkpoint {
+	j := rt.journal
+	if j == nil {
+		return nil
+	}
+	frontier := ^uint64(0)
+	for _, p := range rt.progress {
+		if f := p.fine.Load(); f < frontier {
+			frontier = f
+		}
+	}
+	recs := j.snapshotUpTo(frontier)
+	frontier = uint64(len(recs)) // cap at what was actually journaled
+	cp := &Checkpoint{
+		Shards:   rt.cfg.Shards,
+		Frontier: frontier,
+		Journal:  &Journal{recs: recs},
+	}
+	if frontier > 0 {
+		cp.Ctl = recs[frontier-1].Ctl
+	}
+	vers := make(map[region.RegionID]uint64)
+	for _, r := range recs {
+		for _, root := range r.Writes {
+			vers[root] = r.Seq
+		}
+	}
+	for root, seq := range vers {
+		cp.Versions = append(cp.Versions, RegionVersion{Root: root, Seq: seq})
+	}
+	sort.Slice(cp.Versions, func(a, b int) bool { return cp.Versions[a].Root < cp.Versions[b].Root })
+	return cp
+}
+
+// --- Binary codec --------------------------------------------------------
+
+// The journal codec is a hand-rolled length-prefixed binary format
+// (magic, uvarint-counted records) rather than gob: it is the format a
+// checkpoint persists through, so decoding must be total — bounded
+// allocations, no panics on arbitrary bytes (FuzzJournalDecode).
+
+var journalMagic = [4]byte{'D', 'C', 'R', 'J'}
+var checkpointMagic = [4]byte{'D', 'C', 'R', 'C'}
+
+const journalVersion = 1
+
+type byteWriter struct{ b []byte }
+
+func (w *byteWriter) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *byteWriter) u64(v uint64)     { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *byteWriter) raw(p []byte)     { w.b = append(w.b, p...) }
+func (w *byteWriter) str(s string)     { w.uvarint(uint64(len(s))); w.b = append(w.b, s...) }
+
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: journal decode: %s at offset %d", msg, r.off)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("truncated string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// count validates a declared element count against the bytes remaining
+// (each element consumes at least one byte), bounding allocations.
+func (r *byteReader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("count exceeds input")
+		return 0
+	}
+	return int(n)
+}
+
+func encodeRec(w *byteWriter, rec *journalRec) {
+	w.uvarint(rec.Seq)
+	w.raw([]byte{byte(rec.Kind)})
+	w.u64(rec.Ctl[0])
+	w.u64(rec.Ctl[1])
+	w.uvarint(uint64(len(rec.Fences)))
+	for _, f := range rec.Fences {
+		w.uvarint(uint64(f.Root))
+		w.uvarint(uint64(f.Field))
+		w.uvarint(f.PredSeq)
+		w.str(f.Reason)
+	}
+	w.uvarint(uint64(len(rec.GroupDeps)))
+	for _, d := range rec.GroupDeps {
+		w.uvarint(d)
+	}
+	w.uvarint(uint64(len(rec.Writes)))
+	for _, root := range rec.Writes {
+		w.uvarint(uint64(root))
+	}
+}
+
+func decodeRec(r *byteReader) journalRec {
+	var rec journalRec
+	rec.Seq = r.uvarint()
+	if r.err == nil {
+		if r.off >= len(r.b) {
+			r.fail("truncated kind")
+		} else {
+			rec.Kind = opKind(r.b[r.off])
+			r.off++
+		}
+	}
+	rec.Ctl[0] = r.u64()
+	rec.Ctl[1] = r.u64()
+	if n := r.count(); n > 0 {
+		rec.Fences = make([]FenceInfo, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			f := FenceInfo{
+				Root:    region.RegionID(r.uvarint()),
+				Field:   region.FieldID(r.uvarint()),
+				PredSeq: r.uvarint(),
+			}
+			f.Reason = r.str()
+			rec.Fences = append(rec.Fences, f)
+		}
+	}
+	if n := r.count(); n > 0 {
+		rec.GroupDeps = make([]uint64, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			rec.GroupDeps = append(rec.GroupDeps, r.uvarint())
+		}
+	}
+	if n := r.count(); n > 0 {
+		rec.Writes = make([]region.RegionID, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			rec.Writes = append(rec.Writes, region.RegionID(r.uvarint()))
+		}
+	}
+	return rec
+}
+
+// Encode serializes the journal.
+func (j *Journal) Encode() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	w := &byteWriter{}
+	w.raw(journalMagic[:])
+	w.uvarint(journalVersion)
+	w.uvarint(uint64(len(j.recs)))
+	for i := range j.recs {
+		encodeRec(w, &j.recs[i])
+	}
+	return w.b
+}
+
+// DecodeJournal parses bytes produced by Journal.Encode. Arbitrary
+// inputs return an error; decoding never panics and allocations are
+// bounded by the input length.
+func DecodeJournal(b []byte) (*Journal, error) {
+	if len(b) < len(journalMagic) || string(b[:4]) != string(journalMagic[:]) {
+		return nil, fmt.Errorf("core: journal decode: bad magic")
+	}
+	r := &byteReader{b: b, off: 4}
+	if v := r.uvarint(); r.err == nil && v != journalVersion {
+		return nil, fmt.Errorf("core: journal decode: unsupported version %d", v)
+	}
+	n := r.count()
+	j := &Journal{}
+	if n > 0 {
+		j.recs = make([]journalRec, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		rec := decodeRec(r)
+		if r.err == nil && rec.Seq != uint64(i+1) {
+			r.fail(fmt.Sprintf("non-contiguous seq %d at record %d", rec.Seq, i))
+		}
+		j.recs = append(j.recs, rec)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("core: journal decode: %d trailing bytes", len(b)-r.off)
+	}
+	return j, nil
+}
+
+// Encode serializes the checkpoint (including its journal prefix).
+func (cp *Checkpoint) Encode() []byte {
+	w := &byteWriter{}
+	w.raw(checkpointMagic[:])
+	w.uvarint(journalVersion)
+	w.uvarint(uint64(cp.Shards))
+	w.uvarint(cp.Frontier)
+	w.u64(cp.Ctl[0])
+	w.u64(cp.Ctl[1])
+	w.uvarint(uint64(len(cp.Versions)))
+	for _, v := range cp.Versions {
+		w.uvarint(uint64(v.Root))
+		w.uvarint(v.Seq)
+	}
+	j := cp.Journal
+	if j == nil {
+		j = newJournal()
+	}
+	w.raw(j.Encode())
+	return w.b
+}
+
+// DecodeCheckpoint parses bytes produced by Checkpoint.Encode.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) < len(checkpointMagic) || string(b[:4]) != string(checkpointMagic[:]) {
+		return nil, fmt.Errorf("core: checkpoint decode: bad magic")
+	}
+	r := &byteReader{b: b, off: 4}
+	if v := r.uvarint(); r.err == nil && v != journalVersion {
+		return nil, fmt.Errorf("core: checkpoint decode: unsupported version %d", v)
+	}
+	cp := &Checkpoint{}
+	cp.Shards = int(r.uvarint())
+	cp.Frontier = r.uvarint()
+	cp.Ctl[0] = r.u64()
+	cp.Ctl[1] = r.u64()
+	if n := r.count(); n > 0 {
+		cp.Versions = make([]RegionVersion, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			cp.Versions = append(cp.Versions, RegionVersion{
+				Root: region.RegionID(r.uvarint()),
+				Seq:  r.uvarint(),
+			})
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	j, err := DecodeJournal(b[r.off:])
+	if err != nil {
+		return nil, err
+	}
+	cp.Journal = j
+	if cp.Frontier != uint64(len(j.recs)) {
+		return nil, fmt.Errorf("core: checkpoint decode: frontier %d does not match journal length %d",
+			cp.Frontier, len(j.recs))
+	}
+	return cp, nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+)
+
+// The determinism test matrix: three workloads with different
+// communication patterns (halo exchange, scatter/reduce + future-map
+// reduction, future-fed iterative updates), each run at shard counts
+// {1, 2, 3, 4, 8} with the journal and safety checks on. Control
+// determinism (paper §3, Theorem 1) promises more than "same answer":
+// the control hash — a 128-bit fingerprint of the entire API-call
+// sequence — and every output value must be bit-identical regardless of
+// how many shards the analysis is replicated across.
+
+// vecCell records the output vector of a program run (any shard's copy;
+// replication makes them identical, which SafetyChecks enforces).
+type vecCell struct {
+	mu   sync.Mutex
+	vals []float64
+}
+
+func (c *vecCell) record(v []float64) error {
+	c.mu.Lock()
+	c.vals = append([]float64(nil), v...)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *vecCell) get() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.vals...)
+}
+
+// registerLogregTasks is a miniature of examples/logreg: logistic
+// regression by gradient descent where the scalar weight flows between
+// iterations as a future argument — the workload whose control flow
+// depends on values computed by earlier tasks.
+func registerLogregTasks(rt *Runtime) {
+	rt.RegisterTask("lr_init", func(tc *TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		y := tc.Region(0).Field("y")
+		x.Rect().Each(func(p geom.Point) bool {
+			xv := float64((p[0]*37)%17)/8.0 - 1.0
+			x.Set(p, xv)
+			if p[0]%3 == 0 {
+				y.Set(p, 1)
+			} else {
+				y.Set(p, -1)
+			}
+			return true
+		})
+		return 0, nil
+	})
+	rt.RegisterTask("lr_grad", func(tc *TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		y := tc.Region(0).Field("y")
+		w := tc.Args[0]
+		g := 0.0
+		x.Rect().Each(func(p geom.Point) bool {
+			xv, yv := x.At(p), y.At(p)
+			g += -yv * xv / (1 + math.Exp(yv*w*xv))
+			return true
+		})
+		return g, nil
+	})
+}
+
+// logregProgram descends nsteps gradient steps and records the weight
+// trajectory; every step's weight comes from a future-map reduction of
+// per-tile gradients, so the next launch's arguments — and thus the
+// control stream itself — depend on values computed by earlier tasks.
+func logregProgram(nsamples, ntiles, nsteps int, out *vecCell) Program {
+	return func(ctx *Context) error {
+		grid := geom.R1(0, int64(nsamples)-1)
+		tiles := geom.R1(0, int64(ntiles)-1)
+		data := ctx.CreateRegion(grid, "x", "y")
+		owned := ctx.PartitionEqual(data, ntiles)
+		ctx.IndexLaunch(Launch{
+			Task: "lr_init", Domain: tiles,
+			Reqs: []RegionReq{{Part: owned, Priv: WriteDiscard, Fields: []string{"x", "y"}}},
+		})
+		w := 0.0
+		traj := make([]float64, 0, nsteps)
+		for step := 0; step < nsteps; step++ {
+			fm := ctx.IndexLaunch(Launch{
+				Task: "lr_grad", Domain: tiles,
+				Reqs: []RegionReq{{Part: owned, Priv: ReadOnly, Fields: []string{"x", "y"}}},
+				Args: []float64{w},
+			})
+			g := fm.Reduce(instance.ReduceAdd).Get()
+			w -= 0.5 * g / float64(nsamples)
+			traj = append(traj, w)
+		}
+		return out.record(traj)
+	}
+}
+
+func TestDeterminismMatrix(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 4, 8}
+
+	type workload struct {
+		name     string
+		register func(rt *Runtime)
+		// build returns a fresh program recording its outputs into out.
+		build func(out *vecCell) Program
+	}
+	workloads := []workload{
+		{
+			name:     "stencil",
+			register: registerStencilTasks,
+			build: func(out *vecCell) Program {
+				return stencil1DProgram(64, 8, 5, 1.0, func(state, flux []float64) error {
+					return out.record(append(append([]float64(nil), state...), flux...))
+				})
+			},
+		},
+		{
+			name:     "circuit",
+			register: registerCircuitTasks,
+			build: func(out *vecCell) Program {
+				var sums sumCell
+				return circuitProgram(32, 8, 4, &sums, func(voltage []float64) error {
+					sum, err := sums.agreed()
+					if err != nil {
+						return err
+					}
+					return out.record(append(append([]float64(nil), voltage...), sum))
+				})
+			},
+		},
+		{
+			name:     "logreg",
+			register: registerLogregTasks,
+			build: func(out *vecCell) Program {
+				return logregProgram(48, 8, 6, out)
+			},
+		},
+	}
+
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			var wantOut []float64
+			var wantHash [2]uint64
+			for _, shards := range shardCounts {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					var out vecCell
+					rt := runProgram(t, Config{
+						Shards:       shards,
+						SafetyChecks: true,
+						Journal:      true,
+					}, wl.register, wl.build(&out))
+					got := out.get()
+					hash := rt.ControlHash()
+					if hash == ([2]uint64{}) {
+						t.Fatal("zero control hash")
+					}
+					if shards == shardCounts[0] {
+						wantOut, wantHash = got, hash
+						return
+					}
+					if hash != wantHash {
+						t.Fatalf("control hash %x, want %x (baseline shards=%d)",
+							hash, wantHash, shardCounts[0])
+					}
+					if len(got) != len(wantOut) {
+						t.Fatalf("output has %d values, baseline %d", len(got), len(wantOut))
+					}
+					for i := range wantOut {
+						// Bit-identical, not approximately equal.
+						if got[i] != wantOut[i] {
+							t.Fatalf("output[%d] = %v, baseline %v", i, got[i], wantOut[i])
+						}
+					}
+				})
+			}
+		})
+	}
+}

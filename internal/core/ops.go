@@ -232,6 +232,11 @@ type op struct {
 	// traceID tags trace begin/end markers.
 	traceID uint64
 
+	// ctl is the control-determinism digest at submission, captured
+	// when the journal is enabled (Config.Journal); replay verifies it
+	// against the journaled value.
+	ctl [2]uint64
+
 	// Coarse-stage outputs.
 	fences    []FenceInfo
 	groupDeps []uint64 // predecessor op seqs at group granularity

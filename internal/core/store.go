@@ -132,11 +132,11 @@ func newFetcher(ctx *Context, st *store) *fetcher {
 	ctx.node.Handle(pullReqTag, func(m cluster.Message) {
 		req, ok := m.Payload.(pullReq)
 		if !ok {
-			ctx.rt.abort(fmt.Errorf("core: pull request carried %T", m.Payload))
+			ctx.abort(fmt.Errorf("core: pull request carried %T", m.Payload))
 			return
 		}
 		sv := st.entry(req.Key)
-		if !ctx.rt.waitOrAbort(sv.ready.Event) {
+		if !ctx.waitOrAbort(sv.ready.Event) {
 			// Aborting: the requester's Recv has been interrupted, so
 			// dropping the reply cannot wedge it.
 			return
@@ -155,8 +155,8 @@ func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error
 	}
 	if owner == f.ctx.shard {
 		sv := f.store.entry(key)
-		if !f.ctx.rt.waitOrAbort(sv.ready.Event) {
-			return nil, f.ctx.rt.abortErr()
+		if !f.ctx.waitOrAbort(sv.ready.Event) {
+			return nil, f.ctx.abortErr()
 		}
 		f.ctx.rt.stats.localRes.Add(1)
 		if sv.inst == nil {
@@ -165,7 +165,7 @@ func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error
 		return sv.inst.Extract(rect), nil
 	}
 	f.ctx.rt.stats.remotePulls.Add(1)
-	tag := pullReplyTag | f.replySeq.Add(1)
+	tag := f.ctx.pullTag(f.replySeq.Add(1))
 	if err := f.ctx.node.Send(cluster.NodeID(owner), pullReqTag, pullReq{
 		Key: key, Rect: rect, ReplyTag: tag, From: f.ctx.shard,
 	}); err != nil {

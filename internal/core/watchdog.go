@@ -44,11 +44,19 @@ type StallError struct {
 	Deadline time.Duration
 	// Shards holds one progress snapshot per shard.
 	Shards []ShardProgress
+	// Checkpoint, when Config.Journal is enabled, snapshots the
+	// replayable control state at the stall: pass it to Runtime.Resume
+	// to restart the run on a healed transport. Nil when the journal is
+	// disabled.
+	Checkpoint *Checkpoint
 }
 
 func (e *StallError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "core: no cross-shard progress for %v (deadlock watchdog)", e.Deadline)
+	if e.Checkpoint != nil {
+		fmt.Fprintf(&b, "; checkpoint at op %d available for Resume", e.Checkpoint.Frontier)
+	}
 	for _, s := range e.Shards {
 		fmt.Fprintf(&b, "; shard %d: api=%d coarse=%d fine=%d", s.Shard, s.APICalls, s.CoarseSeq, s.FineSeq)
 		if s.Blocked {
@@ -65,6 +73,13 @@ type shardProgress struct {
 	fine   atomic.Uint64
 }
 
+// reset zeroes the counters between Execute attempts (Resume).
+func (p *shardProgress) reset() {
+	p.api.Store(0)
+	p.coarse.Store(0)
+	p.fine.Store(0)
+}
+
 // describeTag names the protocol a wire tag belongs to, for StallError
 // diagnostics. Tag layouts: point-to-point protocols claim the top
 // byte; collectives encode space<<32|call.
@@ -75,7 +90,8 @@ func describeTag(tag uint64) string {
 	case 0xF1:
 		return fmt.Sprintf("data pull reply (tag %#x)", tag)
 	case 0xFA:
-		return fmt.Sprintf("single-launch future push (seq %d)", tag&^(uint64(0xFA)<<56))
+		// Bits 48–55 carry the attempt salt; the low bits the op seq.
+		return fmt.Sprintf("single-launch future push (seq %d)", tag&((uint64(1)<<48)-1))
 	case 0xFD, 0xFE:
 		return fmt.Sprintf("reliable-delivery sublayer (tag %#x)", tag)
 	case 0xC7, 0xC8, 0xC9, 0xCA:
@@ -95,13 +111,15 @@ func describeTag(tag uint64) string {
 		return fmt.Sprintf("deferred-deletion consensus at fence %d (call %d)", space&0xFFFFFF, call)
 	case space>>24 == 0xB0:
 		return fmt.Sprintf("future-map reduce (collective space %#x, call %d)", space, call)
+	case space>>24 == 0xEB:
+		return fmt.Sprintf("epoch re-admission barrier (epoch %d, call %d)", space&0xFFFFFF, call)
 	}
 	return fmt.Sprintf("collective space %#x (call %d)", space, call)
 }
 
-// startWatchdog launches the watchdog goroutine; closing the returned
-// channel stops it.
-func (rt *Runtime) startWatchdog() chan struct{} {
+// startWatchdog launches the watchdog goroutine for one attempt;
+// closing the returned channel stops it.
+func (rt *Runtime) startWatchdog(rs *runState) chan struct{} {
 	stop := make(chan struct{})
 	deadline := rt.cfg.OpDeadline
 	tick := deadline / 4
@@ -117,7 +135,7 @@ func (rt *Runtime) startWatchdog() chan struct{} {
 			select {
 			case <-stop:
 				return
-			case <-rt.abortCh:
+			case <-rs.abortCh:
 				return
 			case <-ticker.C:
 			}
@@ -136,7 +154,14 @@ func (rt *Runtime) startWatchdog() chan struct{} {
 				lastChange = time.Now()
 				continue
 			}
-			rt.abort(&StallError{Deadline: deadline, Shards: snap})
+			// Snapshot the replayable control state (journal position +
+			// region versions) before aborting: "detect and abort"
+			// becomes "detect, checkpoint, resume".
+			rt.abortOn(rs, &StallError{
+				Deadline:   deadline,
+				Shards:     snap,
+				Checkpoint: rt.buildCheckpoint(),
+			})
 			return
 		}
 	}()

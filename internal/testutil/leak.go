@@ -1,0 +1,36 @@
+// Package testutil holds helpers shared by the runtime's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to that
+// baseline (plus a small slack for runtime-internal goroutines) within
+// five seconds of the test ending. Call it first thing in any test that
+// drives the Execute path: everything a runtime spawns — pipeline
+// stages, executors, retransmit loops, watchdogs — must unwind, even
+// when the run aborts.
+func CheckGoroutines(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= baseline+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d now vs %d at test start\n%s",
+					runtime.NumGoroutine(), baseline, buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

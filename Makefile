@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised bench bench-json fuzz
 
 all: vet build test
 
@@ -22,6 +22,14 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'Fault|Chaos|Watchdog|Reliable|Dedup|Crash|Stall|Interrupt' \
 		./internal/cluster ./internal/collective ./internal/core .
+
+# Self-healing soak: heartbeat failure detection, cumulative acks,
+# supervised crash recovery (seeded random shard crashes converging
+# bit-identically), and divergence localization — under the race
+# detector.
+chaos-supervised:
+	$(GO) test -race -count=1 -run 'Supervisor|Divergence|Heartbeat|CumulativeAcks|Resume|PeriodicCheckpoints' \
+		./internal/cluster ./internal/core
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

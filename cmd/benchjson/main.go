@@ -31,8 +31,13 @@ type record struct {
 	// JournalOverheadPct is the stencil@4 slowdown of Config.Journal,
 	// in percent (negative = noise in the journal's favor). The journal
 	// must be cheap: one append per op on one shard.
-	JournalOverheadPct float64  `json:"journal_overhead_pct"`
-	Results            []result `json:"results"`
+	JournalOverheadPct float64 `json:"journal_overhead_pct"`
+	// CheckpointOverheadPct is the stencil@4 slowdown of periodic
+	// checkpoints (CheckpointEvery=16) over journal-only, in percent.
+	// A cut snapshots the journal prefix and version vector on shard 0;
+	// it must stay in the same noise band as the journal itself.
+	CheckpointOverheadPct float64  `json:"checkpoint_overhead_pct"`
+	Results               []result `json:"results"`
 }
 
 func registerStencilTasks(rt *godcr.Runtime) {
@@ -166,8 +171,11 @@ func main() {
 		func() error { return runStencil(godcr.Config{Shards: 4}, 8, steps) })
 	on := bench("stencil/shards=4/journal=on",
 		func() error { return runStencil(godcr.Config{Shards: 4, Journal: true}, 8, steps) })
-	rec.Results = append(rec.Results, off, on)
+	ckpt := bench("stencil/shards=4/checkpoint=16",
+		func() error { return runStencil(godcr.Config{Shards: 4, CheckpointEvery: 16}, 8, steps) })
+	rec.Results = append(rec.Results, off, on, ckpt)
 	rec.JournalOverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
+	rec.CheckpointOverheadPct = 100 * (float64(ckpt.NsPerOp) - float64(on.NsPerOp)) / float64(on.NsPerOp)
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -1,13 +1,13 @@
-// Command recover demonstrates checkpoint-on-stall and shard restart.
-// It runs the Figure 7 stencil with the control journal enabled and a
-// fault plan that crashes one shard's transport mid-run. The deadlock
-// watchdog converts the resulting hang into a *StallError carrying a
-// Checkpoint; the demo round-trips that checkpoint through its binary
-// wire format (as a real recovery would, persisting it across
-// processes), revives the transport — re-admitting the crashed shard
-// into a new epoch — and Resumes. The resumed run fast-forwards the
-// journaled prefix of the op stream and completes bit-identical to a
-// fault-free run.
+// Command recover demonstrates the self-healing runtime. It runs the
+// Figure 7 stencil with periodic checkpoints and heartbeat failure
+// detection enabled, under a fault plan that crashes one shard's
+// transport mid-run. RunSupervised closes the recovery loop
+// automatically: the heartbeat detector declares the shard down in
+// O(heartbeat interval) (the deadlock watchdog is armed as a backstop),
+// the supervisor picks the freshest checkpoint, revives the transport
+// into a new epoch, and resumes — replaying the journaled prefix of the
+// op stream. The healed run completes bit-identical to a fault-free
+// run: same outputs, same 128-bit control hash.
 //
 // Usage:
 //
@@ -15,7 +15,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,13 +44,15 @@ func main() {
 	wantHash := ref.ControlHash()
 	ref.Shutdown()
 
-	// The doomed run: journal on, watchdog armed, one shard's transport
-	// crashing mid-run.
+	// The doomed run: periodic checkpoints every 8 ops, heartbeat
+	// failure detection every 2ms, the deadlock watchdog as backstop,
+	// and one shard's transport crashing mid-run.
 	rt := newStencilRuntime(godcr.Config{
-		Shards:       *shards,
-		SafetyChecks: true,
-		Journal:      true,
-		OpDeadline:   300 * time.Millisecond,
+		Shards:          *shards,
+		SafetyChecks:    true,
+		CheckpointEvery: 8,
+		HeartbeatEvery:  2 * time.Millisecond,
+		OpDeadline:      2 * time.Second,
 		Faults: &godcr.FaultPlan{
 			Stalls: []godcr.StallWindow{{
 				Node: godcr.NodeID(*crashNode), AfterSends: uint64(*crashAfter), Crash: true,
@@ -68,30 +69,23 @@ func main() {
 		mu.Unlock()
 	})
 
-	err := rt.Execute(program)
-	var stall *godcr.StallError
-	if !errors.As(err, &stall) || stall.Checkpoint == nil {
-		log.Fatalf("expected a checkpointed StallError, got: %v", err)
-	}
-	fmt.Printf("watchdog: %v\n\n", stall)
-
-	// Persist and reload the checkpoint, as a recovery across processes
-	// would. Encode/DecodeCheckpoint is the stable wire format.
-	image := stall.Checkpoint.Encode()
-	cp, err := godcr.DecodeCheckpoint(image)
+	// RunSupervised = Execute → detect → checkpoint → Revive → Resume,
+	// with bounded restarts and exponential backoff. OnEvent narrates
+	// each healing step.
+	err := rt.RunSupervised(program, godcr.SupervisorPolicy{
+		MaxRestarts: 3,
+		Backoff:     5 * time.Millisecond,
+		OnEvent: func(e godcr.SupervisorEvent) {
+			fmt.Printf("supervisor: attempt %d failed: %v\n", e.Attempt, e.Err)
+			fmt.Printf("supervisor: restarting from checkpoint frontier %d after %v\n\n",
+				e.Frontier, e.Backoff)
+		},
+	})
 	if err != nil {
-		log.Fatalf("checkpoint round-trip: %v", err)
-	}
-	fmt.Printf("checkpoint: %d bytes, frontier op %d, %d region versions\n",
-		len(image), cp.Frontier, len(cp.Versions))
-
-	// Resume: revive the transport into a new epoch (every shard joins
-	// the re-admission barrier) and replay the journaled prefix.
-	if err := rt.Resume(cp, program); err != nil {
-		log.Fatalf("resume: %v", err)
+		log.Fatalf("supervised run did not heal: %v", err)
 	}
 	st := rt.Stats()
-	fmt.Printf("resumed: %d ops fast-forwarded from the journal\n", st.JournalReplays)
+	fmt.Printf("healed: %d ops fast-forwarded from the journal\n", st.JournalReplays)
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -101,7 +95,7 @@ func main() {
 		}
 	}
 	if rt.ControlHash() != wantHash {
-		log.Fatalf("control hash diverged after resume")
+		log.Fatalf("control hash diverged after recovery")
 	}
 	fmt.Printf("verified: %d cells and control hash %x bit-identical to the fault-free run\n",
 		len(want), rt.ControlHash())

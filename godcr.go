@@ -188,6 +188,23 @@ type (
 	RegionVersion = core.RegionVersion
 	// Journal is the replayable control journal carried by a Checkpoint.
 	Journal = core.Journal
+	// ShardDownError is the heartbeat failure detector's verdict: a
+	// majority of a shard's peers accrued suspicion past the phi
+	// threshold (enable with Config.HeartbeatEvery).
+	ShardDownError = cluster.ShardDownError
+	// DivergenceError localizes a control-determinism violation: the
+	// all-gather vote's culprit shard, the first divergent op index,
+	// and the majority/minority digests at that op.
+	DivergenceError = core.DivergenceError
+	// SupervisorPolicy tunes Runtime.RunSupervised's restart loop.
+	SupervisorPolicy = core.SupervisorPolicy
+	// SupervisorEvent observes one supervised restart (OnEvent).
+	SupervisorEvent = core.SupervisorEvent
+	// SupervisorError is RunSupervised's permanent-failure verdict,
+	// carrying every failed attempt.
+	SupervisorError = core.SupervisorError
+	// AttemptFailure is one failed attempt in a SupervisorError.
+	AttemptFailure = core.AttemptFailure
 )
 
 // Checkpoint codec: DecodeCheckpoint parses Checkpoint.Encode output

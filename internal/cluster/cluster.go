@@ -67,8 +67,10 @@ type Stats struct {
 	Jittered      uint64 // transmissions given random extra latency
 	Stalled       uint64 // stall/crash windows triggered
 	Retransmits   uint64 // reliable-sublayer retransmissions
-	Acks          uint64 // reliable-sublayer acks consumed
+	Acks          uint64 // reliable-sublayer ack envelopes that retired messages
+	AckRetired    uint64 // messages retired by cumulative acks (≥ Acks)
 	DupDeliveries uint64 // duplicates suppressed by receiver dedup
+	Heartbeats    uint64 // failure-detector beats delivered
 }
 
 // Cluster is a set of nodes plus the transport connecting them.
@@ -87,7 +89,13 @@ type Cluster struct {
 	stalled      atomic.Uint64
 	retransmits  atomic.Uint64
 	acks         atomic.Uint64
+	ackRetired   atomic.Uint64
 	dupDelivered atomic.Uint64
+	heartbeats   atomic.Uint64
+
+	// hb is the live heartbeat failure detector, if one is running
+	// (StartHeartbeats installs it, its stop function clears it).
+	hb atomic.Pointer[hbState]
 
 	closed atomic.Bool
 	intr   atomic.Pointer[intrBox]
@@ -182,7 +190,9 @@ func (c *Cluster) Stats() Stats {
 		Stalled:       c.stalled.Load(),
 		Retransmits:   c.retransmits.Load(),
 		Acks:          c.acks.Load(),
+		AckRetired:    c.ackRetired.Load(),
 		DupDeliveries: c.dupDelivered.Load(),
+		Heartbeats:    c.heartbeats.Load(),
 	}
 }
 
@@ -418,6 +428,14 @@ func DecodeWire(b []byte) (any, error) {
 }
 
 func (n *Node) deliver(msg Message) {
+	if msg.Tag == hbTag {
+		// Heartbeats never reach the queues or handlers; they only feed
+		// the failure detector's arrival history.
+		if hb := n.c.hb.Load(); hb != nil {
+			hb.observe(msg.From, n.id)
+		}
+		return
+	}
 	if f := n.c.faults; f != nil && f.reliable {
 		f.intercept(msg, n.enqueue)
 		return

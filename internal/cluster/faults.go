@@ -10,12 +10,14 @@ package cluster
 //
 // When a plan can lose messages (Drop or Duplicate > 0) the transport
 // automatically interposes a reliable-delivery sublayer: every logical
-// message gets a per-link sequence number, the receiver acks each
-// receipt, dedups by sequence, and holds out-of-order arrivals back so
-// the stream it releases is exactly-once and per-link FIFO; the sender
-// retransmits with capped exponential backoff until acked. The
-// sublayer is entirely absent on zero-fault clusters — the fast path
-// is the one the benchmarks measure.
+// message gets a per-link sequence number, the receiver acks with the
+// highest contiguously-received sequence (a cumulative ack, so one
+// envelope can retire a whole window of in-flight messages), dedups by
+// sequence, and holds out-of-order arrivals back so the stream it
+// releases is exactly-once and per-link FIFO; the sender retransmits
+// with capped exponential backoff until acked. The sublayer is
+// entirely absent on zero-fault clusters — the fast path is the one
+// the benchmarks measure.
 
 import (
 	"sync"
@@ -115,29 +117,32 @@ type relRecv struct {
 }
 
 // release records seq's logical message and emits, in sequence order,
-// every message that has become contiguously deliverable; it reports
-// whether seq was a duplicate. emit runs under the link lock so
-// concurrent arrivals cannot interleave their release batches.
-func (r *relRecv) release(seq uint64, msg Message, emit func(Message)) (dup bool) {
+// every message that has become contiguously deliverable. It returns
+// the post-release contiguous high-water mark (the cumulative ack
+// value), whether the mark advanced, and whether seq was a duplicate.
+// emit runs under the link lock so concurrent arrivals cannot
+// interleave their release batches.
+func (r *relRecv) release(seq uint64, msg Message, emit func(Message)) (contig uint64, advanced, dup bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if seq <= r.contig {
-		return true
+		return r.contig, false, true
 	}
 	if r.held == nil {
 		r.held = make(map[uint64]*Message)
 	}
 	if _, have := r.held[seq]; have {
-		return true
+		return r.contig, false, true
 	}
 	r.held[seq] = &msg
 	for {
 		m, ok := r.held[r.contig+1]
 		if !ok {
-			return false
+			return r.contig, advanced, false
 		}
 		delete(r.held, r.contig+1)
 		r.contig++
+		advanced = true
 		emit(*m)
 	}
 }
@@ -396,27 +401,42 @@ func (f *faultState) retransmitLoop(l *relLink, p *relPending) {
 func (f *faultState) intercept(msg Message, release func(Message)) {
 	switch msg.Tag {
 	case relAckTag:
-		// Ack for a message this node sent earlier: From is the
-		// original receiver, To the original sender.
+		// Cumulative ack for messages this node sent earlier: From is
+		// the original receiver, To the original sender, the payload the
+		// highest contiguous sequence the receiver has released. Retire
+		// the whole acked window at once.
 		l := f.links[msg.To][msg.From]
-		seq := msg.Payload.(uint64)
+		high := msg.Payload.(uint64)
 		l.mu.Lock()
-		p := l.unacked[seq]
-		if p != nil {
-			delete(l.unacked, seq)
+		var retired []*relPending
+		for seq, p := range l.unacked {
+			if seq <= high {
+				delete(l.unacked, seq)
+				retired = append(retired, p)
+			}
 		}
 		l.mu.Unlock()
-		if p != nil {
+		if len(retired) > 0 {
 			f.c.acks.Add(1)
-			close(p.ack)
+			f.c.ackRetired.Add(uint64(len(retired)))
+			for _, p := range retired {
+				close(p.ack)
+			}
 		}
 	case relDataTag:
 		d := msg.Payload.(relData)
-		// Ack every receipt — acks themselves may be lost.
-		f.transmit(Message{From: msg.To, To: msg.From, Tag: relAckTag, Payload: d.Seq}, 0)
 		logical := Message{From: msg.From, To: msg.To, Tag: d.Tag, Payload: d.Payload}
-		if f.recvs[msg.To][msg.From].release(d.Seq, logical, release) {
+		contig, advanced, dup := f.recvs[msg.To][msg.From].release(d.Seq, logical, release)
+		if dup {
 			f.c.dupDelivered.Add(1)
+		}
+		// Ack when the contiguous mark advanced (possibly covering a
+		// batch of held messages) and on duplicates, since the ack that
+		// retired the original may itself have been lost. A first-time
+		// out-of-order arrival stays silent: the ack it needs is the one
+		// the gap-filling retransmission will trigger.
+		if advanced || dup {
+			f.transmit(Message{From: msg.To, To: msg.From, Tag: relAckTag, Payload: contig}, 0)
 		}
 	default:
 		release(msg)

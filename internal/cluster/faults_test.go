@@ -294,3 +294,43 @@ func TestBadPayloadReturnsError(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBadPayload", err)
 	}
 }
+
+// TestCumulativeAcks: under loss the receiver acks its highest
+// contiguous sequence, so one productive ack envelope retires every
+// in-window message below it — strictly fewer envelopes than messages.
+func TestCumulativeAcks(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{Seed: 5, Drop: 0.3}})
+	defer c.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 4, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Node(1).Recv(4, 0)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("message %d: got %v (order broken)", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("plan with Drop=0.3 dropped nothing")
+	}
+	if st.Acks == 0 {
+		t.Fatal("reliable delivery recovered without ack envelopes")
+	}
+	if st.AckRetired < st.Acks {
+		t.Fatalf("ack accounting inverted: %d envelopes retired %d messages",
+			st.Acks, st.AckRetired)
+	}
+	// The cumulative property itself: gap-filling retransmissions must
+	// have produced at least one ack that retired a batch.
+	if st.AckRetired == st.Acks {
+		t.Fatalf("no batched retirement under loss: %d envelopes, %d retired",
+			st.Acks, st.AckRetired)
+	}
+}

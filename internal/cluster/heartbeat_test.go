@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHeartbeatDetectsCrash: once a node's network crashes, a majority
+// of its peers must accrue suspicion and the detector must declare
+// exactly that node down, in O(heartbeat interval) rather than a
+// watchdog deadline.
+func TestHeartbeatDetectsCrash(t *testing.T) {
+	c := New(Config{Nodes: 4, Faults: &FaultPlan{
+		Stalls: []StallWindow{{Node: 2, AfterSends: 1, Crash: true}},
+	}})
+	defer c.Close()
+
+	down := make(chan *ShardDownError, 4)
+	stop := c.StartHeartbeats(HeartbeatOptions{
+		Every:        2 * time.Millisecond,
+		PhiThreshold: 6,
+		MinSamples:   2,
+	}, func(e *ShardDownError) { down <- e })
+	defer stop()
+
+	// Let every observer build inter-arrival history, then trigger the
+	// crash with node 2's first workload send.
+	time.Sleep(20 * time.Millisecond)
+	c.Node(2).Send(0, 1, "last words")
+
+	select {
+	case e := <-down:
+		if e.Shard != 2 {
+			t.Fatalf("detector convicted shard %d, want 2 (%v)", e.Shard, e)
+		}
+		if e.Phi <= 6 {
+			t.Fatalf("conviction below threshold: phi %v", e.Phi)
+		}
+		if e.LastSeen.IsZero() {
+			t.Fatal("conviction carries no LastSeen")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("crashed shard never declared down")
+	}
+	// Exactly once, and nobody else.
+	select {
+	case e := <-down:
+		t.Fatalf("spurious second conviction: %v", e)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if c.Stats().Heartbeats == 0 {
+		t.Fatal("Stats.Heartbeats == 0 with a running detector")
+	}
+}
+
+// TestHeartbeatHealthyClusterStaysQuiet: with all nodes alive, no
+// suspicion may ever fire, and LastSeen must track arrivals.
+func TestHeartbeatHealthyClusterStaysQuiet(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	defer c.Close()
+
+	down := make(chan *ShardDownError, 3)
+	stop := c.StartHeartbeats(HeartbeatOptions{
+		Every: 2 * time.Millisecond,
+		// Generous threshold: a loaded CI scheduler must not convict a
+		// live node.
+		PhiThreshold: 50,
+	}, func(e *ShardDownError) { down <- e })
+
+	time.Sleep(60 * time.Millisecond)
+	for id := NodeID(0); id < 3; id++ {
+		if _, ok := c.LastSeen(id); !ok {
+			t.Fatalf("no heartbeat heard from live node %d", id)
+		}
+	}
+	stop()
+	stop() // idempotent
+
+	select {
+	case e := <-down:
+		t.Fatalf("healthy cluster convicted a node: %v", e)
+	default:
+	}
+	if _, ok := c.LastSeen(0); ok {
+		t.Fatal("LastSeen reports a beat after the detector stopped")
+	}
+}
+
+// TestHeartbeatDoesNotPerturbWorkloadCounters: beats must not count as
+// messages, advance the fault PRNG, or trip send-count stall triggers —
+// the seeded fault schedule must be identical with detection on or off.
+func TestHeartbeatDoesNotPerturbWorkloadCounters(t *testing.T) {
+	run := func(detect bool) (dropped, messages uint64) {
+		c := New(Config{Nodes: 2, Faults: &FaultPlan{
+			Seed: 11, Drop: 0.2,
+			RetransmitBase: time.Hour, RetransmitCap: time.Hour,
+		}})
+		defer c.Close()
+		if detect {
+			stop := c.StartHeartbeats(HeartbeatOptions{Every: time.Millisecond, PhiThreshold: 100}, nil)
+			defer stop()
+			time.Sleep(10 * time.Millisecond) // let beats flow
+		}
+		for i := 0; i < 100; i++ {
+			c.Node(0).Send(1, 1, i)
+		}
+		st := c.Stats()
+		return st.Dropped, st.Messages
+	}
+	dOff, mOff := run(false)
+	dOn, mOn := run(true)
+	if dOff != dOn {
+		t.Fatalf("heartbeats changed the seeded drop schedule: %d vs %d", dOff, dOn)
+	}
+	if mOff != mOn {
+		t.Fatalf("heartbeats counted as workload messages: %d vs %d", mOff, mOn)
+	}
+}
+
+// TestHeartbeatSingleNodeNoop: a single-node cluster has no peers to
+// observe; the detector must be a no-op with an idempotent stop.
+func TestHeartbeatSingleNodeNoop(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	defer c.Close()
+	stop := c.StartHeartbeats(HeartbeatOptions{}, func(e *ShardDownError) {
+		t.Errorf("single-node detector fired: %v", e)
+	})
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	if c.Stats().Heartbeats != 0 {
+		t.Fatal("single-node detector emitted beats")
+	}
+}

@@ -162,6 +162,13 @@ func (ctx *Context) nextSeq() uint64 {
 
 // submit hashes and enqueues an operation.
 func (ctx *Context) submit(o *op) {
+	if ctx.rt.testPerturb != nil {
+		// Divergence-injection test hook: fold a foreign value into
+		// this shard's digest so later checks observe a mismatch.
+		if v := ctx.rt.testPerturb(ctx.shard, o.seq); v != 0 {
+			ctx.digest.Op(v)
+		}
+	}
 	if ctx.rt.journal != nil {
 		// Snapshot the control digest after this op's API call was
 		// hashed: the journal's per-op fingerprint, verified on replay.
@@ -169,6 +176,8 @@ func (ctx *Context) submit(o *op) {
 	}
 	ctx.rt.stats.ops.Add(1)
 	if ctx.det != nil {
+		// Log the per-op digest for divergence localization.
+		ctx.det.logCtl(ctx.digest.Sum())
 		ctx.det.maybeCheck()
 	}
 	ctx.coarseCh <- o

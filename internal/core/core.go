@@ -94,6 +94,22 @@ type Config struct {
 	// restart the run from. Cheap (one append per op on one shard);
 	// off by default.
 	Journal bool
+	// CheckpointEvery cuts a Checkpoint every that many journaled ops
+	// during healthy execution (not only on stall), so a recovery
+	// replays a bounded journal suffix. Implies Journal. 0 disables
+	// op-count checkpointing.
+	CheckpointEvery int
+	// CheckpointInterval additionally cuts checkpoints on a wall-clock
+	// timer. Implies Journal. 0 disables timed checkpointing.
+	CheckpointInterval time.Duration
+	// HeartbeatEvery arms the per-shard heartbeat failure detector:
+	// every node beats every peer at this interval and a phi-accrual
+	// suspicion vote declares a silent shard down in O(interval),
+	// surfacing a *cluster.ShardDownError long before the watchdog's
+	// global stall deadline. 0 disables the detector.
+	HeartbeatEvery time.Duration
+	// HeartbeatPhi is the detector's suspicion threshold (default 8).
+	HeartbeatPhi float64
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Mapper == nil {
 		c.Mapper = DefaultMapper{}
+	}
+	if c.CheckpointEvery > 0 || c.CheckpointInterval > 0 {
+		c.Journal = true
 	}
 	if !c.Centralized && !c.Mapper.ReplicateControl() {
 		c.Centralized = true
@@ -181,6 +200,24 @@ type Runtime struct {
 	// cfg.Journal); set before shards start, read-only afterwards.
 	journal *Journal
 
+	// lastCP is the freshest periodic checkpoint of the current attempt
+	// (nil before the first cut). Reset at every attempt boundary so a
+	// checkpoint cut from a failed attempt's journal cannot leak into
+	// the next one.
+	lastCP atomic.Pointer[Checkpoint]
+
+	// divVerdicts holds, per shard, the divergence-localization verdict
+	// of the current attempt's determinism checker (nil when no
+	// divergence was localized). Every surviving shard records the same
+	// verdict; tests assert it.
+	divVerdicts []atomic.Pointer[DivergenceError]
+
+	// testPerturb, when non-nil, corrupts the control digest of a shard
+	// at a chosen op (test hook for divergence injection): a nonzero
+	// return value is folded into the shard's digest before op seq's
+	// snapshot.
+	testPerturb func(shard int, seq uint64) uint64
+
 	// finalCtl is shard 0's control digest at the end of the last
 	// completed run (see ControlHash).
 	finalCtl atomic.Value // [2]uint64
@@ -198,6 +235,10 @@ type runState struct {
 	err     atomic.Value // error
 	aborted atomic.Bool
 	abortCh chan struct{} // closed by abort: the cross-shard abort broadcast
+	// votes tracks the determinism checker's watcher goroutines (which
+	// may end in a divergence-localization vote); execute joins them so
+	// a verdict landing after the shards unwind is not lost.
+	votes sync.WaitGroup
 }
 
 func newRunState() *runState { return &runState{abortCh: make(chan struct{})} }
@@ -216,9 +257,10 @@ func NewRuntime(cfg Config) *Runtime {
 		clust: cluster.New(cluster.Config{
 			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode, Faults: cfg.Faults,
 		}),
-		tasks:    make(map[string]TaskFn),
-		memo:     mapper.NewMemo(),
-		progress: make([]*shardProgress, cfg.Shards),
+		tasks:       make(map[string]TaskFn),
+		memo:        mapper.NewMemo(),
+		progress:    make([]*shardProgress, cfg.Shards),
+		divVerdicts: make([]atomic.Pointer[DivergenceError], cfg.Shards),
 	}
 	rt.run.Store(newRunState())
 	for i := range rt.progress {
@@ -377,6 +419,9 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	defer rt.executing.Store(false)
 
 	rt.attempt.Add(1)
+	for i := range rt.divVerdicts {
+		rt.divVerdicts[i].Store(nil)
+	}
 	var epoch uint64
 	var frontier uint64
 	switch {
@@ -402,11 +447,51 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	default:
 		rt.journal = nil
 	}
+	// The attempt's checkpoint baseline is what it resumed from (its
+	// journal already holds that prefix); a fresh attempt starts with
+	// none. A failed attempt's cuts must never survive this boundary.
+	rt.lastCP.Store(cp)
 
 	rs := rt.run.Load()
 	var watchStop chan struct{}
 	if rt.cfg.OpDeadline > 0 {
 		watchStop = rt.startWatchdog(rs)
+	}
+
+	// Heartbeat failure detection: a majority-suspected shard aborts the
+	// attempt with the detector's ShardDownError in O(HeartbeatEvery).
+	// A checkpoint is cut first so the supervisor resumes from the
+	// freshest frontier rather than the last periodic cut.
+	var hbStop func()
+	if rt.cfg.HeartbeatEvery > 0 && !rt.cfg.Centralized {
+		hbStop = rt.clust.StartHeartbeats(cluster.HeartbeatOptions{
+			Every:        rt.cfg.HeartbeatEvery,
+			PhiThreshold: rt.cfg.HeartbeatPhi,
+		}, func(e *cluster.ShardDownError) {
+			rt.cutCheckpoint()
+			rt.abortOn(rs, e)
+		})
+	}
+
+	// Wall-clock periodic checkpoints (op-count cuts live on shard 0's
+	// coarse stage, see coarse.run).
+	var cpStop chan struct{}
+	if rt.journal != nil && rt.cfg.CheckpointInterval > 0 {
+		cpStop = make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(rt.cfg.CheckpointInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-cpStop:
+					return
+				case <-rs.abortCh:
+					return
+				case <-ticker.C:
+					rt.cutCheckpoint()
+				}
+			}
+		}()
 	}
 
 	n := rt.cfg.Shards
@@ -422,11 +507,49 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		}(s)
 	}
 	wg.Wait()
+	// Join the determinism watchers before disarming the watchdog: a
+	// divergence vote may still be concluding, and its verdict must win
+	// the attempt's error slot before Execute returns. The watchdog
+	// stays armed as the backstop in case a vote peer never shows.
+	rs.votes.Wait()
+	if hbStop != nil {
+		hbStop()
+	}
+	if cpStop != nil {
+		close(cpStop)
+	}
 	if watchStop != nil {
 		close(watchStop)
 	}
 	return rt.Err()
 }
+
+// cutCheckpoint snapshots the current replayable control state and
+// publishes it as the attempt's latest checkpoint, keeping the frontier
+// monotone (a concurrent cut that got further wins). Returns the
+// published checkpoint (nil when the journal is disabled).
+func (rt *Runtime) cutCheckpoint() *Checkpoint {
+	cp := rt.buildCheckpoint()
+	if cp == nil {
+		return nil
+	}
+	for {
+		old := rt.lastCP.Load()
+		if old != nil && old.Frontier >= cp.Frontier {
+			return old
+		}
+		if rt.lastCP.CompareAndSwap(old, cp) {
+			return cp
+		}
+	}
+}
+
+// LatestCheckpoint returns the freshest periodic checkpoint of the
+// current (or last) attempt, or nil if none has been cut. With
+// Config.CheckpointEvery / CheckpointInterval set the runtime cuts
+// these during healthy execution, bounding the journal suffix a
+// recovery must replay.
+func (rt *Runtime) LatestCheckpoint() *Checkpoint { return rt.lastCP.Load() }
 
 // ControlHash returns the control-determinism digest at the end of the
 // last completed Execute/Resume: a 128-bit fingerprint of the entire

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"godcr/internal/cluster"
 )
@@ -16,12 +18,62 @@ import (
 // number, so shards whose call *counts* diverge still line their
 // comparison protocols up (and then fail the comparison) instead of
 // deadlocking on crossed collective tags.
+//
+// A mismatch is no longer an anonymous abort: each shard keeps a
+// per-op log of its control digest, and on the first mismatch verdict
+// every shard joins a divergence-localization vote — an all-gather of
+// the per-shard digest logs, a majority vote on the digest at the last
+// comparable op, and a deterministic verdict naming the minority shard
+// and the first op where its digest split from the majority's
+// (*DivergenceError). The vote runs on the check watcher goroutine,
+// not the program thread, so shards whose programs are wedged in a
+// fence still participate; the verdict is recorded on every surviving
+// shard before the first abort poisons the transport.
 
 const (
 	detSpaceBase  = uint64(0xD0000000)
 	detSpaceCount = uint64(0xDF000000)
 	detSpaceFinal = uint64(0xDFF00000)
+	// Divergence localization: one vote and one verdict barrier per
+	// attempt, in fixed spaces so shards whose first-observed mismatch
+	// is a different check index still pair up.
+	divSpaceVote    = uint64(0xDE000000)
+	divSpaceBarrier = uint64(0xDE800000)
 )
+
+// DivergenceError is the localized verdict of a control-determinism
+// violation: the shard the majority voted out, the first op where its
+// digest split from the majority's, and both 128-bit digests at that
+// op. Every surviving shard computes the identical verdict from the
+// gathered vote, so any shard's error names the same culprit.
+type DivergenceError struct {
+	// Shard is the minority (culprit) shard.
+	Shard int
+	// OpIndex is the 1-based op sequence number of the first divergent
+	// control digest (the journaled op index when Config.Journal is on).
+	OpIndex uint64
+	// MajorityHash / MinorityHash are the control digests at OpIndex on
+	// the majority shards and the culprit respectively.
+	MajorityHash [2]uint64
+	MinorityHash [2]uint64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf(
+		"core: control divergence localized to shard %d at op %d (majority digest %016x%016x, shard's %016x%016x)",
+		e.Shard, e.OpIndex, e.MajorityHash[0], e.MajorityHash[1], e.MinorityHash[0], e.MinorityHash[1])
+}
+
+// divergeVote is one shard's contribution to the localization vote.
+type divergeVote struct {
+	Shard int
+	// Ctl is the shard's per-op control-digest log at vote time.
+	Ctl [][2]uint64
+}
+
+func init() {
+	cluster.RegisterWireType(divergeVote{})
+}
 
 // checkVal is the determinism all-reduce payload.
 type checkVal struct {
@@ -54,6 +106,28 @@ func foldCheck(a, b any) any {
 	return x
 }
 
+// asyncCheck re-exposes a Pending's single-shot result to both the
+// reaping program thread and the watcher goroutine that consumed it.
+type asyncCheck struct {
+	done chan struct{}
+	v    any
+	err  error
+}
+
+func (a *asyncCheck) Ready() bool {
+	select {
+	case <-a.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *asyncCheck) Wait() (any, error) {
+	<-a.done
+	return a.v, a.err
+}
+
 type pendingCheck struct {
 	idx     uint64
 	pending interface {
@@ -68,10 +142,32 @@ type detChecker struct {
 	last     uint64
 	nchecks  uint64
 	pending  []pendingCheck
+
+	// ctlLog is the per-op control-digest history (appended by the
+	// program thread on every submit, snapshotted by the localization
+	// vote on the watcher goroutine).
+	ctlMu  sync.Mutex
+	ctlLog [][2]uint64
+	// voteOnce makes this shard join the localization vote exactly once
+	// even when several checks report the (persistent) mismatch.
+	voteOnce sync.Once
 }
 
 func newDetChecker(ctx *Context) *detChecker {
 	return &detChecker{ctx: ctx, interval: uint64(ctx.rt.cfg.CheckInterval)}
+}
+
+// logCtl appends one op's control digest to the localization log.
+func (d *detChecker) logCtl(sum [2]uint64) {
+	d.ctlMu.Lock()
+	d.ctlLog = append(d.ctlLog, sum)
+	d.ctlMu.Unlock()
+}
+
+func (d *detChecker) snapshotCtlLog() [][2]uint64 {
+	d.ctlMu.Lock()
+	defer d.ctlMu.Unlock()
+	return append([][2]uint64(nil), d.ctlLog...)
 }
 
 // maybeCheck starts a new asynchronous comparison if enough calls have
@@ -93,7 +189,24 @@ func (d *detChecker) start() {
 	sum := d.ctx.digest.Sum()
 	payload := checkVal{A: sum[0], B: sum[1], Calls: d.ctx.digest.Calls()}
 	p := comm.AllReduceAsync(payload, foldCheck)
-	d.pending = append(d.pending, pendingCheck{idx: idx, pending: p})
+	// The watcher goroutine owns the Pending's single-shot Wait and
+	// re-publishes the result through the asyncCheck; on a mismatch
+	// verdict it joins the localization vote directly, so a shard whose
+	// program thread is wedged in a fence still votes.
+	a := &asyncCheck{done: make(chan struct{})}
+	rs := d.ctx.rs
+	rs.votes.Add(1)
+	go func() {
+		defer rs.votes.Done()
+		a.v, a.err = p.Wait()
+		close(a.done)
+		if a.err == nil {
+			if cv := a.v.(checkVal); cv.Mismatch {
+				d.divergenceVote(idx, cv.At)
+			}
+		}
+	}()
+	d.pending = append(d.pending, pendingCheck{idx: idx, pending: a})
 }
 
 // reap consumes completed checks (all of them if block is true).
@@ -112,12 +225,118 @@ func (d *detChecker) reap(block bool) {
 			// unconsumed async checks on unwind.
 			continue
 		}
-		if cv := v.(checkVal); cv.Mismatch {
-			d.ctx.abort(fmt.Errorf(
+		// A mismatch verdict is handled by the check's watcher goroutine
+		// (divergence localization + abort); reaping only drains.
+		_ = v
+	}
+}
+
+// divergenceVote is each shard's entry into the localization protocol:
+// gather every shard's digest log, majority-vote the culprit, record
+// the verdict, and abort the attempt with it. Guarded by voteOnce (one
+// vote per shard per attempt) and run in a fixed collective space, so
+// shards whose first observed mismatch is a different check index still
+// rendezvous. idx/at only flavor the fallback error when no majority
+// verdict is reachable.
+func (d *detChecker) divergenceVote(idx, at uint64) {
+	d.voteOnce.Do(func() {
+		ctx := d.ctx
+		verdict := d.localize()
+		if verdict == nil {
+			ctx.abort(fmt.Errorf(
 				"control determinism violation: shards diverged by runtime API call %d (check %d); "+
-					"a replicated task issued different operations on different shards", cv.At, head.idx))
+					"a replicated task issued different operations on different shards", at, idx))
 			return
 		}
+		ctx.rt.divVerdicts[ctx.shard].Store(verdict)
+		// Quiesce before the first abort poisons the transport: a peer
+		// still inside the vote's all-gather must not lose its verdict
+		// to the interrupt. The barrier's own error is irrelevant — by
+		// the time it returns (or fails) the verdict is recorded.
+		_ = ctx.rt.comm(ctx.shard, divSpaceBarrier).Barrier()
+		ctx.abort(verdict)
+	})
+}
+
+// localize runs the vote all-gather and computes the verdict; nil when
+// no majority verdict is reachable (fewer than 3 shards, gather failed,
+// or no shard is in the minority at the comparable prefix).
+func (d *detChecker) localize() *DivergenceError {
+	ctx := d.ctx
+	if ctx.nShards < 3 {
+		return nil // two shards cannot outvote each other
+	}
+	vote := divergeVote{Shard: ctx.shard, Ctl: d.snapshotCtlLog()}
+	items, err := ctx.rt.comm(ctx.shard, divSpaceVote).AllGather(vote)
+	if err != nil {
+		return nil
+	}
+	votes := make([]divergeVote, 0, len(items))
+	for _, it := range items {
+		v, ok := it.(divergeVote)
+		if !ok {
+			return nil
+		}
+		votes = append(votes, v)
+	}
+	return judgeDivergence(votes)
+}
+
+// judgeDivergence is the deterministic verdict function: shards vote
+// with their digest at the last op every shard has logged; the value
+// held by more than half wins, the lowest-numbered dissenting shard is
+// the culprit, and the op index is the first position where its log
+// splits from a majority shard's. Pure in the gathered votes, so every
+// shard that completes the gather computes the identical verdict.
+func judgeDivergence(votes []divergeVote) *DivergenceError {
+	sort.Slice(votes, func(a, b int) bool { return votes[a].Shard < votes[b].Shard })
+	n := len(votes)
+	cmp := -1 // last op index every shard has logged
+	for _, v := range votes {
+		if cmp < 0 || len(v.Ctl) < cmp {
+			cmp = len(v.Ctl)
+		}
+	}
+	if cmp <= 0 {
+		return nil
+	}
+	counts := make(map[[2]uint64]int, 2)
+	for _, v := range votes {
+		counts[v.Ctl[cmp-1]]++
+	}
+	var majSum [2]uint64
+	maj := 0
+	for s, c := range counts {
+		if c*2 > n {
+			majSum, maj = s, c
+		}
+	}
+	if maj == 0 || maj == n {
+		return nil
+	}
+	var culprit, majority *divergeVote
+	for i := range votes {
+		v := &votes[i]
+		if v.Ctl[cmp-1] != majSum {
+			if culprit == nil {
+				culprit = v
+			}
+		} else if majority == nil {
+			majority = v
+		}
+	}
+	opIdx := uint64(cmp) // if the common prefix agrees, divergence is past it
+	for i := 0; i < cmp; i++ {
+		if culprit.Ctl[i] != majority.Ctl[i] {
+			opIdx = uint64(i) + 1
+			break
+		}
+	}
+	return &DivergenceError{
+		Shard:        culprit.Shard,
+		OpIndex:      opIdx,
+		MajorityHash: majority.Ctl[opIdx-1],
+		MinorityHash: culprit.Ctl[opIdx-1],
 	}
 }
 
@@ -143,8 +362,9 @@ func (d *detChecker) finish() {
 	v, err := finalComm.AllReduce(checkVal{A: sum[0], B: sum[1], Calls: d.ctx.digest.Calls()}, foldCheck)
 	if err == nil {
 		if cv := v.(checkVal); cv.Mismatch {
-			d.ctx.abort(fmt.Errorf(
-				"control determinism violation: shards diverged by runtime API call %d (final check)", cv.At))
+			// Completing the final all-reduce proves every shard is in
+			// finish, so voting synchronously here cannot wedge.
+			d.divergenceVote(d.nchecks, cv.At)
 		}
 	}
 	d.reap(true)

@@ -92,6 +92,15 @@ func (fs *fineStage) field(root region.RegionID, f region.FieldID) *fineField {
 func (fs *fineStage) run(in <-chan *op) {
 	for o := range in {
 		fs.ctx.prog.fine.Store(o.seq)
+		// Periodic op-count checkpoint. The cut lives here, not in the
+		// coarse stage: a checkpoint's frontier is capped by the
+		// slowest shard's fine progress, and the fine stages advance in
+		// near-lockstep (fence collectives couple them) while coarse
+		// can run arbitrarily far ahead — a coarse-side cut would
+		// snapshot a near-empty frontier. Shard 0 owns the cuts.
+		if every := fs.ctx.rt.cfg.CheckpointEvery; every > 0 && fs.ctx.shard == 0 && o.seq%uint64(every) == 0 {
+			fs.ctx.rt.cutCheckpoint()
+		}
 		// Cross-shard fences first: they order this shard's fine
 		// analysis against its peers'.
 		if len(o.fences) > 0 && !fs.ctx.rt.cfg.DisableFences && fs.central == nil {

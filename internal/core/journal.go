@@ -203,17 +203,48 @@ func (rt *Runtime) buildCheckpoint() *Checkpoint {
 	if frontier > 0 {
 		cp.Ctl = recs[frontier-1].Ctl
 	}
+	cp.Versions = versionVector(recs)
+	return cp
+}
+
+// versionVector derives the per-region version vector (last journaled
+// writer per root, sorted by root) from a journal prefix.
+func versionVector(recs []journalRec) []RegionVersion {
 	vers := make(map[region.RegionID]uint64)
 	for _, r := range recs {
 		for _, root := range r.Writes {
 			vers[root] = r.Seq
 		}
 	}
+	out := make([]RegionVersion, 0, len(vers))
 	for root, seq := range vers {
-		cp.Versions = append(cp.Versions, RegionVersion{Root: root, Seq: seq})
+		out = append(out, RegionVersion{Root: root, Seq: seq})
 	}
-	sort.Slice(cp.Versions, func(a, b int) bool { return cp.Versions[a].Root < cp.Versions[b].Root })
-	return cp
+	sort.Slice(out, func(a, b int) bool { return out[a].Root < out[b].Root })
+	return out
+}
+
+// truncate returns a checkpoint cut back to at most frontier ops, with
+// digest and version vector rebuilt from the shortened journal prefix.
+// The supervisor uses it after a localized divergence: a journal entry
+// at or past the divergence point may record the culprit's (possibly
+// polluted, when the culprit is the journaling shard) control state, so
+// a recovery must never fast-forward through it.
+func (cp *Checkpoint) truncate(frontier uint64) *Checkpoint {
+	if cp.Journal == nil || frontier >= cp.Frontier {
+		return cp
+	}
+	recs := cp.Journal.snapshotUpTo(frontier)
+	out := &Checkpoint{
+		Shards:   cp.Shards,
+		Frontier: uint64(len(recs)),
+		Journal:  &Journal{recs: recs},
+	}
+	if out.Frontier > 0 {
+		out.Ctl = recs[out.Frontier-1].Ctl
+	}
+	out.Versions = versionVector(recs)
+	return out
 }
 
 // --- Binary codec --------------------------------------------------------

@@ -104,7 +104,16 @@ func logregProgram(nsamples, ntiles, nsteps int, out *vecCell) Program {
 }
 
 func TestDeterminismMatrix(t *testing.T) {
-	shardCounts := []int{1, 2, 3, 4, 8}
+	// The shard axis varies replication; the checkpoint axis varies how
+	// often the runtime snapshots mid-run (CheckpointEvery 0 = never,
+	// 1 = every op, 16 = sparse). Periodic cuts are pure observation —
+	// hash and outputs must not move along either axis.
+	cases := []struct {
+		shards, ckptEvery int
+	}{
+		{1, 0}, {2, 0}, {3, 0}, {4, 0}, {8, 0},
+		{4, 1}, {4, 16}, {3, 1}, {3, 16},
+	}
 
 	type workload struct {
 		name     string
@@ -149,26 +158,32 @@ func TestDeterminismMatrix(t *testing.T) {
 		t.Run(wl.name, func(t *testing.T) {
 			var wantOut []float64
 			var wantHash [2]uint64
-			for _, shards := range shardCounts {
-				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for i, c := range cases {
+				t.Run(fmt.Sprintf("shards=%d/ckpt=%d", c.shards, c.ckptEvery), func(t *testing.T) {
 					var out vecCell
 					rt := runProgram(t, Config{
-						Shards:       shards,
-						SafetyChecks: true,
-						Journal:      true,
+						Shards:          c.shards,
+						SafetyChecks:    true,
+						Journal:         true,
+						CheckpointEvery: c.ckptEvery,
 					}, wl.register, wl.build(&out))
 					got := out.get()
 					hash := rt.ControlHash()
 					if hash == ([2]uint64{}) {
 						t.Fatal("zero control hash")
 					}
-					if shards == shardCounts[0] {
+					// Programs shorter than the interval legitimately cut
+					// nothing; every=1 must always cut.
+					if c.ckptEvery == 1 && rt.LatestCheckpoint() == nil {
+						t.Fatal("CheckpointEvery=1 cut no checkpoint")
+					}
+					if i == 0 {
 						wantOut, wantHash = got, hash
 						return
 					}
 					if hash != wantHash {
-						t.Fatalf("control hash %x, want %x (baseline shards=%d)",
-							hash, wantHash, shardCounts[0])
+						t.Fatalf("control hash %x, want %x (baseline %+v)",
+							hash, wantHash, cases[0])
 					}
 					if len(got) != len(wantOut) {
 						t.Fatalf("output has %d values, baseline %d", len(got), len(wantOut))

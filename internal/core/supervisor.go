@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"godcr/internal/cluster"
+)
+
+// The supervisor closes the self-healing loop. PR-era recovery was
+// manual: the user caught a *StallError, decoded its checkpoint, and
+// called Revive+Resume by hand. RunSupervised runs that state machine
+// automatically:
+//
+//	Execute ──ok──▶ done
+//	   │ err
+//	   ▼
+//	classify ──unrecoverable──▶ fail (raw error, or SupervisorError
+//	   │                         with history if restarts happened)
+//	   │ recoverable (StallError / ShardDownError / DivergenceError)
+//	   ▼
+//	pick checkpoint ─▶ backoff+jitter ─▶ Resume ──ok──▶ done
+//	   ▲                                     │ err
+//	   └──────── restarts < MaxRestarts ─────┘
+//
+// Checkpoint selection per failure class: a StallError carries its own
+// checkpoint (cut by the watchdog at the stall); a ShardDownError
+// (heartbeat detector) recovers from the latest periodic checkpoint; a
+// DivergenceError recovers from the latest periodic checkpoint
+// truncated below the divergence op, so the resumed run never replays
+// a journal entry the culprit may have polluted. With no periodic
+// checkpoint yet, recovery restarts from an empty one — Resume then
+// replays nothing but still heals the transport into a new epoch.
+
+// SupervisorPolicy tunes RunSupervised's retry loop.
+type SupervisorPolicy struct {
+	// MaxRestarts bounds how many times a failed attempt is resumed
+	// before the supervisor gives up (default 3).
+	MaxRestarts int
+	// Backoff is the delay before the first restart; it doubles per
+	// restart up to BackoffCap (defaults 10ms, capped at 1s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// JitterSeed keys the deterministic jitter added to each backoff
+	// (up to half the delay), decorrelating restart storms without
+	// sacrificing reproducibility.
+	JitterSeed uint64
+	// OnEvent, when set, observes each restart decision.
+	OnEvent func(SupervisorEvent)
+}
+
+func (p SupervisorPolicy) withDefaults() SupervisorPolicy {
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 10 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = time.Second
+	}
+	return p
+}
+
+// SupervisorEvent describes one restart the supervisor is about to
+// perform.
+type SupervisorEvent struct {
+	// Attempt is the attempt number that just failed (1-based).
+	Attempt int
+	// Err is the failure being recovered from.
+	Err error
+	// Frontier is the checkpoint frontier the next attempt resumes at.
+	Frontier uint64
+	// Backoff is the delay before the restart.
+	Backoff time.Duration
+}
+
+// AttemptFailure is one failed attempt in a SupervisorError's history.
+type AttemptFailure struct {
+	// Attempt is the attempt number (1-based).
+	Attempt int
+	// Err is the attempt's failure.
+	Err error
+	// Frontier is the checkpoint frontier recovery restarted from (or
+	// would have, for the final failure).
+	Frontier uint64
+}
+
+// SupervisorError is RunSupervised's permanent-failure verdict: the
+// run could not be healed within the policy's restart budget (or hit
+// an unrecoverable error after restarts). History carries every failed
+// attempt in order; Unwrap exposes the last failure for errors.As.
+type SupervisorError struct {
+	// Attempts is the number of failed attempts.
+	Attempts int
+	// History holds each attempt's failure, oldest first.
+	History []AttemptFailure
+}
+
+func (e *SupervisorError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: supervisor gave up after %d failed attempt(s)", e.Attempts)
+	for _, f := range e.History {
+		fmt.Fprintf(&b, "; attempt %d (frontier %d): %v", f.Attempt, f.Frontier, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the final failure.
+func (e *SupervisorError) Unwrap() error {
+	if len(e.History) == 0 {
+		return nil
+	}
+	return e.History[len(e.History)-1].Err
+}
+
+// RunSupervised executes the program under automatic recovery:
+// Execute → detect (heartbeat, watchdog, or divergence vote) → Revive →
+// Resume, with bounded restarts and exponential backoff, until the run
+// completes or the policy is exhausted. On success it returns nil and
+// the run's outputs (and ControlHash) are bit-identical to a fault-free
+// Execute — recovery is deterministic replay, not approximation.
+// Requires the journal (Config.Journal, or implied by CheckpointEvery /
+// CheckpointInterval) and replicated control.
+func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
+	if !rt.cfg.Journal {
+		return fmt.Errorf("core: RunSupervised requires Config.Journal (or CheckpointEvery/CheckpointInterval)")
+	}
+	if rt.cfg.Centralized {
+		return fmt.Errorf("core: RunSupervised requires replicated control")
+	}
+	pol = pol.withDefaults()
+	var history []AttemptFailure
+	err := rt.Execute(program)
+	for attempt := 1; err != nil; attempt++ {
+		cp, recoverable := rt.recoveryPoint(err)
+		failure := AttemptFailure{Attempt: attempt, Err: err}
+		if cp != nil {
+			failure.Frontier = cp.Frontier
+		}
+		history = append(history, failure)
+		if !recoverable {
+			if attempt == 1 {
+				return err // never restarted: surface the raw failure
+			}
+			return &SupervisorError{Attempts: attempt, History: history}
+		}
+		if attempt > pol.MaxRestarts {
+			return &SupervisorError{Attempts: attempt, History: history}
+		}
+		delay := backoffDelay(pol, attempt)
+		if pol.OnEvent != nil {
+			pol.OnEvent(SupervisorEvent{Attempt: attempt, Err: err, Frontier: failure.Frontier, Backoff: delay})
+		}
+		time.Sleep(delay)
+		err = rt.Resume(cp, program)
+	}
+	return nil
+}
+
+// recoveryPoint classifies a failure and picks the checkpoint the next
+// attempt resumes from; recoverable is false for failure classes the
+// supervisor must not retry (program errors, API misuse).
+func (rt *Runtime) recoveryPoint(err error) (cp *Checkpoint, recoverable bool) {
+	var stall *StallError
+	var down *cluster.ShardDownError
+	var div *DivergenceError
+	switch {
+	case errors.As(err, &stall):
+		if stall.Checkpoint != nil {
+			return stall.Checkpoint, true
+		}
+		return rt.fallbackCheckpoint(), true
+	case errors.As(err, &down):
+		return rt.fallbackCheckpoint(), true
+	case errors.As(err, &div):
+		cp := rt.fallbackCheckpoint()
+		if div.OpIndex > 0 {
+			cp = cp.truncate(div.OpIndex - 1)
+		}
+		return cp, true
+	}
+	return nil, false
+}
+
+// fallbackCheckpoint is the freshest periodic checkpoint, or an empty
+// one (frontier 0: full deterministic re-execution on the healed
+// transport) when none has been cut.
+func (rt *Runtime) fallbackCheckpoint() *Checkpoint {
+	if cp := rt.LatestCheckpoint(); cp != nil {
+		return cp
+	}
+	return &Checkpoint{Shards: rt.cfg.Shards, Journal: newJournal()}
+}
+
+// backoffDelay is the exponential backoff plus deterministic jitter for
+// the given restart number.
+func backoffDelay(pol SupervisorPolicy, attempt int) time.Duration {
+	d := pol.Backoff
+	for i := 1; i < attempt && d < pol.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > pol.BackoffCap {
+		d = pol.BackoffCap
+	}
+	// SplitMix64 finalizer over (seed, attempt): jitter in [0, d/2).
+	x := pol.JitterSeed ^ (uint64(attempt) * 0x9E3779B97F4A7C15)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	if half := uint64(d / 2); half > 0 {
+		d += time.Duration(x % half)
+	}
+	return d
+}

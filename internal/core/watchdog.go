@@ -36,6 +36,11 @@ type ShardProgress struct {
 	Blocked    bool
 	BlockedOn  string
 	BlockedFor time.Duration
+	// HeartbeatAge is how long ago any peer last heard a heartbeat from
+	// this shard (0 when the failure detector is not running). It
+	// separates "slow" (recent beats, wedged pipeline) from "dead" (no
+	// beats at all) in stall reports.
+	HeartbeatAge time.Duration
 }
 
 // StallError is the structured diagnosis the watchdog aborts with.
@@ -61,6 +66,9 @@ func (e *StallError) Error() string {
 		fmt.Fprintf(&b, "; shard %d: api=%d coarse=%d fine=%d", s.Shard, s.APICalls, s.CoarseSeq, s.FineSeq)
 		if s.Blocked {
 			fmt.Fprintf(&b, ", blocked %v in %s", s.BlockedFor.Round(time.Millisecond), s.BlockedOn)
+		}
+		if s.HeartbeatAge > 0 {
+			fmt.Fprintf(&b, ", last heartbeat %v ago", s.HeartbeatAge.Round(time.Millisecond))
 		}
 	}
 	return b.String()
@@ -105,6 +113,10 @@ func describeTag(tag uint64) string {
 		return fmt.Sprintf("determinism check-count alignment (call %d)", call)
 	case space == detSpaceFinal:
 		return fmt.Sprintf("final determinism check (call %d)", call)
+	case space == divSpaceVote:
+		return fmt.Sprintf("divergence localization vote (call %d)", call)
+	case space == divSpaceBarrier:
+		return fmt.Sprintf("divergence verdict barrier (call %d)", call)
 	case space >= detSpaceBase && space < detSpaceCount:
 		return fmt.Sprintf("determinism check %d (call %d)", space-detSpaceBase, call)
 	case space>>24 == 0xDD:
@@ -204,6 +216,9 @@ func (rt *Runtime) stallSnapshot(deadline time.Duration) ([]ShardProgress, bool)
 			if sp.BlockedFor >= deadline {
 				stalled = true
 			}
+		}
+		if t, ok := rt.clust.LastSeen(cluster.NodeID(s)); ok {
+			sp.HeartbeatAge = now.Sub(t)
 		}
 		snap[s] = sp
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc bench bench-json fuzz
 
 all: vet build test
 
@@ -31,6 +31,14 @@ chaos-supervised:
 	$(GO) test -race -count=1 -run 'Supervisor|Divergence|Heartbeat|CumulativeAcks|Resume|PeriodicCheckpoints' \
 		./internal/cluster ./internal/core
 
+# Multi-process acceptance: run the stencil and circuit workloads as 4
+# real OS processes over TCP loopback and demand outputs and ControlHash
+# bit-identical to the in-process backend.
+multiproc:
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -launch -n 4 -workload stencil
+	./bin/godcr-node -launch -n 4 -workload circuit
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -45,4 +53,5 @@ bench-json:
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME) ./internal/core

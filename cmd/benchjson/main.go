@@ -8,8 +8,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"godcr"
@@ -36,8 +38,13 @@ type record struct {
 	// checkpoints (CheckpointEvery=16) over journal-only, in percent.
 	// A cut snapshots the journal prefix and version vector on shard 0;
 	// it must stay in the same noise band as the journal itself.
-	CheckpointOverheadPct float64  `json:"checkpoint_overhead_pct"`
-	Results               []result `json:"results"`
+	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
+	// TCPLoopbackOverheadPct is the stencil@4 slowdown of running each
+	// shard behind its own TCP-loopback endpoint (gob payload encode +
+	// framing + socket hop per message) versus the in-process backend's
+	// synchronous handoff, in percent of a full workload execution.
+	TCPLoopbackOverheadPct float64  `json:"tcp_loopback_overhead_pct"`
+	Results                []result `json:"results"`
 }
 
 func registerStencilTasks(rt *godcr.Runtime) {
@@ -57,11 +64,8 @@ func registerStencilTasks(rt *godcr.Runtime) {
 	})
 }
 
-func runStencil(cfg godcr.Config, tiles, steps int) error {
-	rt := godcr.NewRuntime(cfg)
-	defer rt.Shutdown()
-	registerStencilTasks(rt)
-	return rt.Execute(func(ctx *godcr.Context) error {
+func stencilProgram(tiles, steps int) godcr.Program {
+	return func(ctx *godcr.Context) error {
 		r := ctx.CreateRegion(godcr.R1(0, int64(tiles*16)-1), "x")
 		owned := ctx.PartitionEqual(r, tiles)
 		ghost := ctx.PartitionHalo(owned, 1)
@@ -78,7 +82,61 @@ func runStencil(cfg godcr.Config, tiles, steps int) error {
 		}
 		ctx.ExecutionFence()
 		return nil
-	})
+	}
+}
+
+func runStencil(cfg godcr.Config, tiles, steps int) error {
+	rt := godcr.NewRuntime(cfg)
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	return rt.Execute(stencilProgram(tiles, steps))
+}
+
+// runStencilTCP runs the stencil with every shard behind its own
+// TCP-loopback endpoint — one runtime per shard, frames crossing real
+// sockets. Still one OS process: the row measures the wire cost (gob
+// payload encode + framing + socket hop per message), not exec.
+func runStencilTCP(shards, tiles, steps int) error {
+	lns := make([]net.Listener, shards)
+	addrs := make([]string, shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	rts := make([]*godcr.Runtime, shards)
+	for i := range rts {
+		tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
+			Self: godcr.NodeID(i), Addrs: addrs, Listener: lns[i],
+		})
+		if err != nil {
+			return err
+		}
+		rts[i] = godcr.NewRuntime(godcr.Config{Shards: shards, Transport: tr})
+		registerStencilTasks(rts[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := range rts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = rts[i].Execute(stencilProgram(tiles, steps))
+		}(i)
+	}
+	wg.Wait()
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func registerCircuitTasks(rt *godcr.Runtime) {
@@ -173,9 +231,12 @@ func main() {
 		func() error { return runStencil(godcr.Config{Shards: 4, Journal: true}, 8, steps) })
 	ckpt := bench("stencil/shards=4/checkpoint=16",
 		func() error { return runStencil(godcr.Config{Shards: 4, CheckpointEvery: 16}, 8, steps) })
-	rec.Results = append(rec.Results, off, on, ckpt)
+	tcp := bench("stencil/shards=4/transport=tcp-loopback",
+		func() error { return runStencilTCP(4, 8, steps) })
+	rec.Results = append(rec.Results, off, on, ckpt, tcp)
 	rec.JournalOverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
 	rec.CheckpointOverheadPct = 100 * (float64(ckpt.NsPerOp) - float64(on.NsPerOp)) / float64(on.NsPerOp)
+	rec.TCPLoopbackOverheadPct = 100 * (float64(tcp.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

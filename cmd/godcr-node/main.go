@@ -1,0 +1,404 @@
+// Command godcr-node runs one shard of a DCR cluster as its own OS
+// process, with the shards wired together by the TCP transport — the
+// multi-process deployment the pluggable Transport seam exists for.
+//
+// Worker mode (one process per shard):
+//
+//	godcr-node -shard 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 -workload stencil
+//
+// runs shard 0 of a 2-shard cluster (the cluster size is len(addrs))
+// and prints a JSON record of the run's outputs and control hash.
+//
+// Launcher mode (acceptance harness):
+//
+//	godcr-node -launch -n 4 -workload stencil
+//
+// reserves n loopback ports, spawns itself n times in worker mode, runs
+// the same workload on the in-process backend, and demands every
+// worker's outputs and ControlHash be bit-identical to it. Exit status
+// 0 means the multi-process run is provably equivalent.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"godcr"
+)
+
+// report is a worker's machine-readable verdict on stdout.
+type report struct {
+	Shard    int    `json:"shard"`
+	Shards   int    `json:"shards"`
+	Workload string `json:"workload"`
+	// Hash is the run's ControlHash as two hex words (strings: JSON
+	// numbers cannot carry uint64 exactly).
+	Hash    [2]string `json:"hash"`
+	Outputs []float64 `json:"outputs"`
+	// Bytes is the transport's outbound byte count — nonzero on any
+	// real multi-shard run.
+	Bytes uint64 `json:"bytes"`
+}
+
+func hashWords(h [2]uint64) [2]string {
+	return [2]string{fmt.Sprintf("%016x", h[0]), fmt.Sprintf("%016x", h[1])}
+}
+
+// agreeCell collects one output vector per shard replica and verifies
+// the replicas agree bit-for-bit (control replication demands it).
+type agreeCell struct {
+	mu   sync.Mutex
+	vals []float64
+	set  bool
+}
+
+func (c *agreeCell) record(v []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.set {
+		c.vals = append([]float64(nil), v...)
+		c.set = true
+		return nil
+	}
+	if len(c.vals) != len(v) {
+		return fmt.Errorf("replica output length %d, want %d", len(v), len(c.vals))
+	}
+	for i := range v {
+		if v[i] != c.vals[i] {
+			return fmt.Errorf("replica output[%d] = %v, want %v", i, v[i], c.vals[i])
+		}
+	}
+	return nil
+}
+
+func (c *agreeCell) get() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals
+}
+
+// workload builds a program producing a per-step output vector; every
+// backend and shard count must reproduce it bit-identically.
+type workload struct {
+	register func(rt *godcr.Runtime)
+	program  func(out *agreeCell) godcr.Program
+}
+
+func workloads() map[string]workload {
+	return map[string]workload{
+		"stencil": {register: registerStencilTasks, program: stencilProgram},
+		"circuit": {register: registerCircuitTasks, program: circuitProgram},
+	}
+}
+
+func registerStencilTasks(rt *godcr.Runtime) {
+	rt.RegisterTask("bump", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		sum := 0.0
+		x.Rect().Each(func(p godcr.Point) bool {
+			x.Set(p, x.At(p)+1)
+			sum += x.At(p)
+			return true
+		})
+		return sum, nil
+	})
+	rt.RegisterTask("smooth", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		g := tc.Region(1).Field("x")
+		x.Rect().Each(func(p godcr.Point) bool {
+			x.Set(p, 0.5*x.At(p)+0.25*(g.At(godcr.Pt1(p[0]-1))+g.At(godcr.Pt1(p[0]+1))))
+			return true
+		})
+		return 0, nil
+	})
+}
+
+// stencilProgram: 8 tiles × 16 cells, 5 halo-exchange steps; the
+// output vector is each step's reduced tile sum plus the final field.
+func stencilProgram(out *agreeCell) godcr.Program {
+	const tiles, steps = 8, 5
+	return func(ctx *godcr.Context) error {
+		var outs []float64 // per-shard-replica: declared inside the body
+		r := ctx.CreateRegion(godcr.R1(0, tiles*16-1), "x")
+		owned := ctx.PartitionEqual(r, tiles)
+		ghost := ctx.PartitionHalo(owned, 1)
+		interior := ctx.PartitionInterior(owned, 1)
+		ctx.Fill(r, "x", 1)
+		dom := godcr.R1(0, tiles-1)
+		for s := 0; s < steps; s++ {
+			fm := ctx.IndexLaunch(godcr.Launch{Task: "bump", Domain: dom,
+				Reqs: []godcr.RegionReq{{Part: owned, Priv: godcr.ReadWrite, Fields: []string{"x"}}}})
+			ctx.IndexLaunch(godcr.Launch{Task: "smooth", Domain: dom,
+				Reqs: []godcr.RegionReq{
+					{Part: interior, Priv: godcr.ReadWrite, Fields: []string{"x"}},
+					{Part: ghost, Priv: godcr.ReadOnly, Fields: []string{"x"}}}})
+			outs = append(outs, fm.Reduce(godcr.ReduceAdd).Get())
+		}
+		outs = append(outs, ctx.InlineRead(r, "x")...)
+		return out.record(outs)
+	}
+}
+
+func registerCircuitTasks(rt *godcr.Runtime) {
+	rt.RegisterTask("charge_up", func(tc *godcr.TaskContext) (float64, error) {
+		acc := tc.Region(0).Field("charge")
+		total := 0.0
+		acc.Rect().Each(func(p godcr.Point) bool {
+			acc.Fold(p, float64(tc.Point[0]+1)*0.25)
+			total += float64(p[0])
+			return true
+		})
+		return total, nil
+	})
+	rt.RegisterTask("update_v", func(tc *godcr.TaskContext) (float64, error) {
+		v := tc.Region(0).Field("voltage")
+		q := tc.Region(1).Field("charge")
+		v.Rect().Each(func(p godcr.Point) bool {
+			v.Set(p, v.At(p)+q.At(p))
+			return true
+		})
+		return 0, nil
+	})
+}
+
+// circuitProgram: aliased reduction partitions (every tile folds into
+// the whole grid) + a future-map reduction per step; the output vector
+// is each step's reduced total plus the final voltages.
+func circuitProgram(out *agreeCell) godcr.Program {
+	const nnodes, ntiles, nsteps = 32, 8, 4
+	return func(ctx *godcr.Context) error {
+		var outs []float64
+		grid := godcr.R1(0, nnodes-1)
+		tiles := godcr.R1(0, ntiles-1)
+		nodes := ctx.CreateRegion(grid, "voltage", "charge")
+		owned := ctx.PartitionEqual(nodes, ntiles)
+		rects := make([]godcr.Rect, ntiles)
+		for i := range rects {
+			rects[i] = grid
+		}
+		all := ctx.PartitionCustom(nodes, tiles, rects)
+		ctx.Fill(nodes, "voltage", 1.0)
+		for step := 0; step < nsteps; step++ {
+			ctx.Fill(nodes, "charge", 0)
+			fm := ctx.IndexLaunch(godcr.Launch{
+				Task: "charge_up", Domain: tiles,
+				Reqs: []godcr.RegionReq{{Part: all, Priv: godcr.Reduce, RedOp: godcr.ReduceAdd, Fields: []string{"charge"}}},
+			})
+			ctx.IndexLaunch(godcr.Launch{
+				Task: "update_v", Domain: tiles,
+				Reqs: []godcr.RegionReq{
+					{Part: owned, Priv: godcr.ReadWrite, Fields: []string{"voltage"}},
+					{Part: owned, Priv: godcr.ReadOnly, Fields: []string{"charge"}},
+				},
+			})
+			outs = append(outs, fm.Reduce(godcr.ReduceAdd).Get())
+		}
+		outs = append(outs, ctx.InlineRead(nodes, "voltage")...)
+		return out.record(outs)
+	}
+}
+
+// runWorker executes one shard over TCP and returns its report.
+func runWorker(shard int, addrs []string, name string) (*report, error) {
+	wl, ok := workloads()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
+		Self:  godcr.NodeID(shard),
+		Addrs: addrs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	rt := godcr.NewRuntime(godcr.Config{
+		Shards:       len(addrs),
+		SafetyChecks: true,
+		Transport:    tr,
+	})
+	defer rt.Shutdown()
+	wl.register(rt)
+	var out agreeCell
+	if err := rt.Execute(wl.program(&out)); err != nil {
+		return nil, fmt.Errorf("shard %d: %w", shard, err)
+	}
+	return &report{
+		Shard:    shard,
+		Shards:   len(addrs),
+		Workload: name,
+		Hash:     hashWords(rt.ControlHash()),
+		Outputs:  out.get(),
+		Bytes:    rt.Stats().Bytes,
+	}, nil
+}
+
+// runInProcess executes the same workload on the in-process backend —
+// the baseline every worker must match bit-for-bit.
+func runInProcess(n int, name string) (*report, error) {
+	wl, ok := workloads()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	rt := godcr.NewRuntime(godcr.Config{Shards: n, SafetyChecks: true})
+	defer rt.Shutdown()
+	wl.register(rt)
+	var out agreeCell
+	if err := rt.Execute(wl.program(&out)); err != nil {
+		return nil, err
+	}
+	return &report{
+		Shards:   n,
+		Workload: name,
+		Hash:     hashWords(rt.ControlHash()),
+		Outputs:  out.get(),
+		Bytes:    rt.Stats().Bytes,
+	}, nil
+}
+
+// reservePorts grabs n distinct loopback ports by binding and releasing
+// them. The tiny close-to-rebind window is tolerable for a launcher on
+// loopback; a stolen port fails the child's bind, which fails the run
+// loudly rather than wrongly.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// launch spawns n worker copies of this binary over reserved loopback
+// ports and verifies them against the in-process baseline.
+func launch(n int, name string, timeout time.Duration) error {
+	baseline, err := runInProcess(n, name)
+	if err != nil {
+		return fmt.Errorf("in-process baseline: %w", err)
+	}
+	addrs, err := reservePorts(n)
+	if err != nil {
+		return fmt.Errorf("reserve ports: %w", err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate self: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	outs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.CommandContext(ctx, self,
+				"-shard", fmt.Sprint(i),
+				"-addrs", strings.Join(addrs, ","),
+				"-workload", name)
+			cmd.Stderr = os.Stderr
+			outs[i], errs[i] = cmd.Output()
+		}(i)
+	}
+	wg.Wait()
+
+	var failures []string
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			failures = append(failures, fmt.Sprintf("worker %d: %v", i, errs[i]))
+			continue
+		}
+		var rep report
+		if err := json.Unmarshal(outs[i], &rep); err != nil {
+			failures = append(failures, fmt.Sprintf("worker %d: bad report: %v", i, err))
+			continue
+		}
+		if rep.Shard != i {
+			failures = append(failures, fmt.Sprintf("worker %d reported shard %d", i, rep.Shard))
+		}
+		if rep.Hash != baseline.Hash {
+			failures = append(failures, fmt.Sprintf(
+				"worker %d control hash %v, in-process %v", i, rep.Hash, baseline.Hash))
+		}
+		if len(rep.Outputs) != len(baseline.Outputs) {
+			failures = append(failures, fmt.Sprintf(
+				"worker %d has %d outputs, in-process %d", i, len(rep.Outputs), len(baseline.Outputs)))
+			continue
+		}
+		for j := range rep.Outputs {
+			// Bit-identical, not approximately equal.
+			if rep.Outputs[j] != baseline.Outputs[j] {
+				failures = append(failures, fmt.Sprintf(
+					"worker %d output[%d] = %v, in-process %v", i, j, rep.Outputs[j], baseline.Outputs[j]))
+				break
+			}
+		}
+		if rep.Bytes == 0 {
+			failures = append(failures, fmt.Sprintf("worker %d moved zero transport bytes", i))
+		}
+	}
+	if len(failures) > 0 {
+		return errors.New(strings.Join(failures, "\n"))
+	}
+	fmt.Printf("ok: %d processes over TCP loopback, %s bit-identical to in-process (hash %s%s, %d outputs)\n",
+		n, name, baseline.Hash[0], baseline.Hash[1], len(baseline.Outputs))
+	return nil
+}
+
+func main() {
+	var (
+		doLaunch = flag.Bool("launch", false, "spawn -n worker processes and verify against in-process")
+		n        = flag.Int("n", 4, "cluster size (launcher mode)")
+		shard    = flag.Int("shard", -1, "this process's shard id (worker mode)")
+		addrs    = flag.String("addrs", "", "comma-separated node addresses, index = shard id (worker mode)")
+		name     = flag.String("workload", "stencil", "workload: stencil or circuit")
+		timeout  = flag.Duration("timeout", 60*time.Second, "launcher kill deadline")
+	)
+	flag.Parse()
+
+	switch {
+	case *doLaunch:
+		if err := launch(*n, *name, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node:", err)
+			os.Exit(1)
+		}
+	case *shard >= 0:
+		list := strings.Split(*addrs, ",")
+		if *addrs == "" || *shard >= len(list) {
+			fmt.Fprintf(os.Stderr, "godcr-node: -shard %d needs -addrs with at least %d entries\n", *shard, *shard+1)
+			os.Exit(2)
+		}
+		rep, err := runWorker(*shard, list, *name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node:", err)
+			os.Exit(1)
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(buf, '\n'))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -215,6 +215,45 @@ var (
 	DecodeJournal    = core.DecodeJournal
 )
 
+// Checkpoint spill (Config.CheckpointDir): WriteCheckpointFile
+// atomically persists a checkpoint image, LoadCheckpoint reads it back
+// ((nil, nil) when none exists). RunSupervised resumes from the spilled
+// cut automatically in a fresh process.
+var (
+	WriteCheckpointFile = core.WriteCheckpointFile
+	LoadCheckpoint      = core.LoadCheckpoint
+)
+
+// Transport layer (see DESIGN.md §Transport). A Transport moves opaque
+// frames between cluster nodes; everything above the seam — tag
+// matching, reliable delivery, fault injection, heartbeats, collectives
+// — is backend-agnostic. Set Config.Transport to place shards in
+// separate OS processes; leave it nil for the in-process backend.
+type (
+	// Transport is the pluggable delivery backend.
+	Transport = cluster.Transport
+	// Frame is the unit a Transport moves (tagged, epoch-stamped).
+	Frame = cluster.Frame
+	// WireStats counts frames, bytes, and reconnects on a backend.
+	WireStats = cluster.WireStats
+	// MemTransport is the in-process loopback backend.
+	MemTransport = cluster.MemTransport
+	// TCPTransport connects peer processes over length-prefixed TCP.
+	TCPTransport = cluster.TCPTransport
+	// TCPOptions configures a TCPTransport endpoint.
+	TCPOptions = cluster.TCPOptions
+)
+
+// Transport constructors.
+var (
+	// NewMemTransport builds the in-process backend (what Config
+	// defaults to when Transport is nil).
+	NewMemTransport = cluster.NewMemTransport
+	// NewTCPTransport builds one endpoint of a multi-process cluster;
+	// Addrs[i] is node i's listen address, Self this process's id.
+	NewTCPTransport = cluster.NewTCPTransport
+)
+
 // RNG is the replicable counter-based random stream (Philox4x32-10).
 type RNG = rng.Source
 

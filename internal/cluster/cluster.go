@@ -14,6 +14,14 @@
 // GASNet transport: the runtime above sees the same interface — fire
 // and forget sends, tag-matched receives, registered active-message
 // handlers — and the same cost structure when latency injection is on.
+//
+// Physical delivery is pluggable (see transport.go): the Cluster is a
+// facade that layers matching, reliability, faults, and heartbeats
+// over a Transport backend. NewWithTransport selects the backend;
+// New keeps the historical all-in-process behavior (MemTransport).
+// With a TCPTransport the same facade spans OS processes: each
+// process hosts the backend's Local() nodes and frames cross real
+// sockets.
 package cluster
 
 import (
@@ -33,6 +41,11 @@ type Message struct {
 	From, To NodeID
 	Tag      uint64
 	Payload  any
+
+	// wireLen is the payload's exact encoded size when the Send path
+	// already serialized it (WireEncode mode); 0 means "estimate at
+	// transmission time".
+	wireLen int
 }
 
 // Handler is an active-message callback. Handlers are invoked on their
@@ -58,7 +71,11 @@ type Config struct {
 // Stats aggregates transport counters.
 type Stats struct {
 	Messages uint64
-	Bytes    uint64 // only counted when WireEncode is on
+	// Bytes is the frame bytes transmitted by the backend (header +
+	// payload). Counted uniformly on every backend: exact on the TCP
+	// backend and in WireEncode mode, header + size hint on the
+	// in-process fast path.
+	Bytes uint64
 
 	// Fault-injection counters (zero on unperturbed clusters).
 	Dropped       uint64 // transmissions swallowed by drop/crash faults
@@ -76,11 +93,15 @@ type Stats struct {
 // Cluster is a set of nodes plus the transport connecting them.
 type Cluster struct {
 	cfg    Config
+	tr     Transport
 	nodes  []*Node
+	local  []bool   // local[id]: does this process host the node?
+	locals []NodeID // ascending local node ids
+
 	faults *faultState
 
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	msgs     atomic.Uint64
+	frameSeq atomic.Uint64
 
 	dropped      atomic.Uint64
 	duplicated   atomic.Uint64
@@ -149,12 +170,39 @@ type waitRecord struct {
 	since time.Time
 }
 
-// New creates a cluster with cfg.Nodes nodes.
+// New creates an all-in-process cluster with cfg.Nodes nodes.
 func New(cfg Config) *Cluster {
 	if cfg.Nodes <= 0 {
 		panic("cluster: need at least one node")
 	}
-	c := &Cluster{cfg: cfg, stop: make(chan struct{})}
+	return NewWithTransport(cfg, NewMemTransport(cfg.Nodes))
+}
+
+// NewWithTransport creates a cluster on the given backend. The cluster
+// owns the transport from here on: Close closes it. cfg.Nodes may be
+// zero (it is taken from the transport) but must otherwise agree with
+// the transport's size. Node objects exist for every id, but only the
+// transport's Local() nodes receive traffic in this process — remote
+// ids are send-to-only stubs.
+func NewWithTransport(cfg Config, tr Transport) *Cluster {
+	if tr == nil {
+		panic("cluster: nil transport")
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = tr.Size()
+	}
+	if cfg.Nodes != tr.Size() {
+		panic(fmt.Sprintf("cluster: config has %d nodes, transport %d", cfg.Nodes, tr.Size()))
+	}
+	c := &Cluster{cfg: cfg, tr: tr, stop: make(chan struct{})}
+	c.local = make([]bool, cfg.Nodes)
+	for _, id := range tr.Local() {
+		if int(id) < 0 || int(id) >= cfg.Nodes {
+			panic(fmt.Sprintf("cluster: transport local node %d out of range", id))
+		}
+		c.local[id] = true
+		c.locals = append(c.locals, id)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
 			id:       NodeID(i),
@@ -169,6 +217,7 @@ func New(cfg Config) *Cluster {
 	if cfg.Faults != nil {
 		c.faults = newFaultState(c, cfg.Faults)
 	}
+	tr.Bind(c)
 	return c
 }
 
@@ -178,11 +227,23 @@ func (c *Cluster) Size() int { return len(c.nodes) }
 // Node returns the node with the given id.
 func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
 
+// LocalIDs returns the node ids hosted by this process, ascending. On
+// an in-process cluster that is every id.
+func (c *Cluster) LocalIDs() []NodeID { return append([]NodeID(nil), c.locals...) }
+
+// IsLocal reports whether this process hosts the node.
+func (c *Cluster) IsLocal(id NodeID) bool {
+	return int(id) >= 0 && int(id) < len(c.local) && c.local[id]
+}
+
+// Transport returns the backend the cluster runs on.
+func (c *Cluster) Transport() Transport { return c.tr }
+
 // Stats returns a snapshot of the transport counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
 		Messages:      c.msgs.Load(),
-		Bytes:         c.bytes.Load(),
+		Bytes:         c.tr.Stats().BytesOut,
 		Dropped:       c.dropped.Load(),
 		Duplicated:    c.duplicated.Load(),
 		Reordered:     c.reordered.Load(),
@@ -209,6 +270,7 @@ func (c *Cluster) Close() {
 		n.mu.Unlock()
 	}
 	c.wg.Wait()
+	c.tr.Close()
 }
 
 // closeStop closes the current epoch's stop channel exactly once.
@@ -237,7 +299,12 @@ func (c *Cluster) stopChan() chan struct{} {
 // unwedges every peer blocked in a collective on the dead shard so the
 // whole machine can unwind instead of deadlocking. Unlike Close it
 // does not wait for in-flight timers; a later Close still joins them.
-func (c *Cluster) Interrupt(err error) {
+func (c *Cluster) Interrupt(err error) { c.interrupt(err, true) }
+
+// interrupt poisons the local endpoints; propagate additionally
+// broadcasts the interrupt to remote processes through the backend
+// (false on the receive side, so a relayed interrupt cannot loop).
+func (c *Cluster) interrupt(err error, propagate bool) {
 	if err == nil {
 		err = ErrInterrupted
 	}
@@ -245,6 +312,9 @@ func (c *Cluster) Interrupt(err error) {
 		return
 	}
 	c.closeStop()
+	if propagate {
+		c.tr.Interrupt(err.Error())
+	}
 	for _, n := range c.nodes {
 		n.mu.Lock()
 		n.cond.Broadcast()
@@ -306,7 +376,75 @@ func (c *Cluster) Revive() (uint64, error) {
 	if c.faults != nil {
 		c.faults.revive()
 	}
+	c.tr.Revive(epoch)
 	return epoch, nil
+}
+
+// --- Transport sink ------------------------------------------------------
+
+// Deliver implements Sink: the backend hands arriving data frames to
+// the endpoint layer here. Dead-epoch frames and frames for nodes this
+// process does not host are dropped; remotely-encoded payloads are
+// decoded through the same wire codec WireEncode mode uses.
+func (c *Cluster) Deliver(f *Frame) {
+	if c.closed.Load() || f.Epoch != c.epoch.Load() {
+		return
+	}
+	if int(f.To) < 0 || int(f.To) >= len(c.nodes) || !c.local[f.To] {
+		return
+	}
+	payload := f.Payload
+	if payload == nil && len(f.Wire) > 0 {
+		p, err := DecodeWire(f.Wire)
+		if err != nil {
+			return // undecodable remote payload: drop, like line noise
+		}
+		payload = p
+	}
+	c.nodes[f.To].deliver(Message{From: f.From, To: f.To, Tag: f.Tag, Payload: payload})
+}
+
+// Interrupted implements Sink: a remote process interrupted the
+// transport; poison the local endpoints without re-broadcasting.
+func (c *Cluster) Interrupted(reason string) {
+	c.interrupt(fmt.Errorf("%w: remote: %s", ErrInterrupted, reason), false)
+}
+
+// Revived implements Sink: a remote process revived the transport into
+// a new epoch. Adopt it — clear the interrupt, discard queued traffic,
+// and reset fault verdicts — mirroring the local half of Revive. (The
+// multi-process revive protocol is best-effort: supervised recovery is
+// exercised on the in-process backend, and a remote revival that races
+// in-flight traffic relies on the epoch gate in Deliver.)
+func (c *Cluster) Revived(epoch uint64) {
+	if c.closed.Load() {
+		return
+	}
+	for {
+		cur := c.epoch.Load()
+		if epoch <= cur {
+			return
+		}
+		if c.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	c.stopMu.Lock()
+	if c.stopClosed {
+		c.stop = make(chan struct{})
+		c.stopClosed = false
+	}
+	c.stopMu.Unlock()
+	c.intr.Store(nil)
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.pending = make(map[matchKey][]queuedMsg)
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+	if c.faults != nil {
+		c.faults.revive()
+	}
 }
 
 // Errors returned by the transport.
@@ -367,12 +505,12 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 		if err != nil {
 			return err
 		}
-		n.c.bytes.Add(uint64(len(wire)))
 		out, err := DecodeWire(wire)
 		if err != nil {
 			return fmt.Errorf("%w: %T not wire-decodable: %v", ErrBadPayload, payload, err)
 		}
 		msg.Payload = out
+		msg.wireLen = len(wire)
 	}
 	n.c.msgs.Add(1)
 	if n.c.faults != nil {
@@ -388,9 +526,8 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 // a newer epoch: a message sent before a crash must not materialize in
 // the healed run.
 func (c *Cluster) deliverAfter(msg Message, d time.Duration) {
-	dst := c.nodes[msg.To]
 	if d <= 0 {
-		dst.deliver(msg)
+		c.transmit(msg)
 		return
 	}
 	epoch := c.epoch.Load()
@@ -398,9 +535,29 @@ func (c *Cluster) deliverAfter(msg Message, d time.Duration) {
 	time.AfterFunc(d, func() {
 		defer c.wg.Done()
 		if !c.closed.Load() && c.Err() == nil && c.epoch.Load() == epoch {
-			dst.deliver(msg)
+			c.transmit(msg)
 		}
 	})
+}
+
+// transmit hands one message to the backend as a data frame stamped
+// with the current epoch. Fire-and-forget: a backend refusal (closing
+// transport, unreachable peer) is indistinguishable from wire loss.
+func (c *Cluster) transmit(msg Message) {
+	f := &Frame{
+		Kind:    frameData,
+		Epoch:   c.epoch.Load(),
+		Tag:     msg.Tag,
+		Seq:     c.frameSeq.Add(1),
+		From:    msg.From,
+		To:      msg.To,
+		Payload: msg.Payload,
+		Hint:    msg.wireLen,
+	}
+	if f.Hint == 0 && msg.Payload != nil {
+		f.Hint = payloadSizeHint(msg.Payload)
+	}
+	_ = c.tr.Send(f)
 }
 
 type wireEnvelope struct{ Payload any }

@@ -20,10 +20,19 @@ package cluster
 // the benchmarks measure.
 
 import (
+	"encoding/gob"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+func init() {
+	// The reliable sublayer's envelopes stay in-process on MemTransport
+	// but cross the gob boundary on remote backends: relData wraps the
+	// logical payload, and cumulative acks carry a bare uint64.
+	gob.Register(relData{})
+	gob.Register(uint64(0))
+}
 
 // FaultPlan configures deterministic, seeded fault injection on a
 // cluster's transport. The zero value injects nothing; a nil plan on
@@ -84,9 +93,10 @@ const (
 	relAckTag  = uint64(0xFD) << 56
 )
 
-// relData wraps one logical message with its link sequence number. It
-// never crosses the gob boundary (the inner payload is already
-// wire-encoded by the time it is wrapped), so it needs no registration.
+// relData wraps one logical message with its link sequence number. On
+// the in-process backend it never crosses the gob boundary (the inner
+// payload is already wire-encoded by the time it is wrapped); remote
+// backends serialize it whole, hence the registration in init above.
 type relData struct {
 	Seq     uint64
 	Tag     uint64

@@ -188,20 +188,21 @@ func (hb *hbState) run() {
 	}
 }
 
-// beat emits one beat per ordered node pair, skipping endpoints whose
-// network is crashed or inside a stall window — their silence is the
-// signal. Beats ride deliverAfter directly (see package comment for why
-// they must bypass Send and the fault PRNG).
+// beat emits one beat from every *local* node to every peer, skipping
+// endpoints whose network is crashed or inside a stall window — their
+// silence is the signal. Remote nodes' beats are emitted by their own
+// process's detector and arrive through the transport. Beats ride
+// deliverAfter directly (see package comment for why they must bypass
+// Send and the fault PRNG).
 func (hb *hbState) beat() {
 	c := hb.c
-	for i := range c.nodes {
-		from := NodeID(i)
+	for _, from := range c.locals {
 		if c.faults != nil && !c.faults.hbLive(from) {
 			continue
 		}
 		for j := range c.nodes {
 			to := NodeID(j)
-			if i == j {
+			if from == to {
 				continue
 			}
 			if c.faults != nil && !c.faults.hbLive(to) {
@@ -257,8 +258,11 @@ func (hb *hbState) phi(ob *hbObserver, now time.Time) float64 {
 	return age / (mean * math.Ln10)
 }
 
-// evaluate takes the majority vote for every not-yet-suspected peer and
-// fires onSuspect for each newly convicted one.
+// evaluate takes the majority vote for every not-yet-suspected peer
+// and fires onSuspect for each newly convicted one. Only this
+// process's local nodes observe (each process convicts from its own
+// vantage; on an in-process cluster that is every node, preserving the
+// original all-observer vote).
 func (hb *hbState) evaluate() {
 	now := time.Now()
 	var down []*ShardDownError
@@ -268,12 +272,14 @@ func (hb *hbState) evaluate() {
 		if hb.suspected[p] {
 			continue
 		}
-		votes, maxPhi := 0, 0.0
+		votes, observers, maxPhi := 0, 0, 0.0
 		var lastSeen time.Time
-		for o := 0; o < n; o++ {
+		for _, oid := range hb.c.locals {
+			o := int(oid)
 			if o == p {
 				continue
 			}
+			observers++
 			ob := hb.obs[o][p]
 			if ob.last.After(lastSeen) {
 				lastSeen = ob.last
@@ -287,7 +293,7 @@ func (hb *hbState) evaluate() {
 			}
 		}
 		// Conviction takes a majority of the peer's observers.
-		if votes*2 > n-1 {
+		if observers > 0 && votes*2 > observers {
 			hb.suspected[p] = true
 			if lastSeen.IsZero() {
 				lastSeen = hb.started

@@ -1,0 +1,496 @@
+package cluster
+
+// TCPTransport: the multi-process backend. Each OS process hosts one
+// (or more) of the cluster's nodes; frames cross real sockets as
+// length-prefixed binary frames (see the codec in transport.go) with
+// payloads serialized through the same gob wire codec WireEncode mode
+// uses, so every payload type the runtime registers works unchanged.
+//
+// Connection management is per peer and lazy: the first frame queued
+// for a peer dials it, a broken connection is re-dialed with capped
+// exponential backoff and the unwritten frame is retried on the fresh
+// connection, and peers that start later than their clients are
+// absorbed by the same retry loop (the launcher can start processes in
+// any order). Each established connection opens with a hello frame
+// carrying the sender id and cluster size; mismatches close the
+// connection rather than corrupting the stream.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPOptions configures a TCPTransport endpoint.
+type TCPOptions struct {
+	// Self is the node id this process hosts.
+	Self NodeID
+	// Addrs lists every node's listen address, indexed by node id
+	// (Addrs[Self] is this process's own).
+	Addrs []string
+	// Listener optionally supplies a pre-bound listener for Self's
+	// address (tests bind 127.0.0.1:0 first and pass the result here
+	// to avoid port races). When nil the transport listens on
+	// Addrs[Self].
+	Listener net.Listener
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RetryBase/RetryCap bound the reconnect backoff (defaults
+	// 5ms / 500ms). Retries continue until the transport closes: a
+	// peer that is still starting up looks like a slow network.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+// TCPTransport implements Transport over TCP sockets, one process per
+// hosted node.
+type TCPTransport struct {
+	self  NodeID
+	addrs []string
+	opts  TCPOptions
+	ln    net.Listener
+	peers []*tcpPeer // indexed by node id; nil for self
+
+	sink  Sink
+	bound chan struct{} // closed by Bind; delivery waits on it
+	stop  chan struct{}
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // accepted inbound connections
+
+	framesOut  atomic.Uint64
+	bytesOut   atomic.Uint64
+	framesIn   atomic.Uint64
+	bytesIn    atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+// tcpPeer is the outbound half of one (self, peer) link: an unbounded
+// frame queue drained by a single writer goroutine, which owns the
+// connection (dial, handshake, reconnect). One writer per link keeps
+// the wire per-link FIFO, matching MemTransport's delivery order.
+type tcpPeer struct {
+	t    *TCPTransport
+	id   NodeID
+	addr string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	draining bool
+	closed   bool
+
+	done chan struct{} // closed when the writer goroutine exits
+}
+
+// NewTCPTransport creates a TCP endpoint for node o.Self and starts
+// listening; peers are dialed lazily on first send. The transport is
+// not usable until Bind (NewWithTransport calls it).
+func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
+	if len(o.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: tcp transport needs peer addresses")
+	}
+	if int(o.Self) < 0 || int(o.Self) >= len(o.Addrs) {
+		return nil, fmt.Errorf("cluster: tcp self %d out of range [0,%d)", o.Self, len(o.Addrs))
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 500 * time.Millisecond
+	}
+	ln := o.Listener
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", o.Addrs[o.Self]); err != nil {
+			return nil, fmt.Errorf("cluster: tcp listen %s: %w", o.Addrs[o.Self], err)
+		}
+	}
+	t := &TCPTransport{
+		self:  o.Self,
+		addrs: append([]string(nil), o.Addrs...),
+		opts:  o,
+		ln:    ln,
+		bound: make(chan struct{}),
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	t.peers = make([]*tcpPeer, len(o.Addrs))
+	for i, addr := range o.Addrs {
+		if NodeID(i) == o.Self {
+			continue
+		}
+		p := &tcpPeer{t: t, id: NodeID(i), addr: addr, done: make(chan struct{})}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[i] = p
+		t.wg.Add(1)
+		go p.run()
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Size implements Transport.
+func (t *TCPTransport) Size() int { return len(t.addrs) }
+
+// Local implements Transport: this process hosts exactly Self.
+func (t *TCPTransport) Local() []NodeID { return []NodeID{t.self} }
+
+// Addr returns the transport's actual listen address (useful when the
+// configured address was ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// Bind implements Transport.
+func (t *TCPTransport) Bind(s Sink) {
+	t.sink = s
+	close(t.bound)
+}
+
+// Send implements Transport. Self-sends short-circuit to the sink;
+// remote frames are encoded and queued on the peer's link (never
+// blocking the sender — queue growth is bounded by the workload, the
+// same guarantee the in-process backend's goroutine handoff gives).
+func (t *TCPTransport) Send(f *Frame) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if int(f.To) < 0 || int(f.To) >= len(t.addrs) {
+		return fmt.Errorf("cluster: send to node %d of %d", f.To, len(t.addrs))
+	}
+	if f.To == t.self {
+		t.framesOut.Add(1)
+		t.bytesOut.Add(wireSize(f))
+		t.framesIn.Add(1)
+		t.bytesIn.Add(wireSize(f))
+		t.sink.Deliver(f)
+		return nil
+	}
+	wire := f.Wire
+	if wire == nil && f.Payload != nil {
+		var err error
+		if wire, err = EncodeWire(f.Payload); err != nil {
+			return err
+		}
+	}
+	t.peers[f.To].enqueue(appendFrame(nil, f, wire))
+	return nil
+}
+
+// Interrupt implements Transport: broadcast an interrupt control frame
+// to every peer.
+func (t *TCPTransport) Interrupt(reason string) {
+	t.broadcast(&Frame{Kind: frameInterrupt, From: t.self}, []byte(reason))
+}
+
+// Revive implements Transport: broadcast the new epoch to every peer.
+func (t *TCPTransport) Revive(epoch uint64) {
+	t.broadcast(&Frame{Kind: frameRevive, Epoch: epoch, From: t.self}, nil)
+}
+
+func (t *TCPTransport) broadcast(f *Frame, payload []byte) {
+	if t.closed.Load() {
+		return
+	}
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		g := *f
+		g.To = p.id
+		p.enqueue(appendFrame(nil, &g, payload))
+	}
+}
+
+// Stats implements Transport.
+func (t *TCPTransport) Stats() WireStats {
+	return WireStats{
+		FramesOut:  t.framesOut.Load(),
+		BytesOut:   t.bytesOut.Load(),
+		FramesIn:   t.framesIn.Load(),
+		BytesIn:    t.bytesIn.Load(),
+		Reconnects: t.reconnects.Load(),
+	}
+}
+
+// tcpDrainTimeout bounds how long Close waits for the writer goroutines
+// to flush their outbound queues before forcing teardown.
+const tcpDrainTimeout = 2 * time.Second
+
+// Close implements Transport: flush outbound queues, stop accepting,
+// close every connection, and join the backend goroutines. The drain
+// matters: a shard can complete the final shutdown barrier and Close
+// while frames its *peers* still need sit unwritten in a writer queue
+// (the in-process backend delivers synchronously inside Send, so it
+// never had this window). Unreachable peers cap the drain at
+// tcpDrainTimeout rather than wedging Close.
+func (t *TCPTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.beginDrain()
+		}
+	}
+	deadline := time.After(tcpDrainTimeout)
+drain:
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.done:
+		case <-deadline:
+			break drain
+		}
+	}
+	close(t.stop)
+	t.ln.Close()
+	for _, p := range t.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	t.connMu.Lock()
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.connMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// deliver routes one decoded inbound frame, waiting for Bind if the
+// frame raced transport construction.
+func (t *TCPTransport) deliver(f *Frame) bool {
+	select {
+	case <-t.bound:
+	case <-t.stop:
+		return false
+	}
+	switch f.Kind {
+	case frameData:
+		t.sink.Deliver(f)
+	case frameInterrupt:
+		t.sink.Interrupted(string(f.Wire))
+	case frameRevive:
+		t.sink.Revived(f.Epoch)
+	case frameHello:
+		// Validated in readLoop; nothing to deliver.
+	}
+	return true
+}
+
+// acceptLoop admits inbound connections until the listener closes.
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.connMu.Lock()
+		if t.closed.Load() {
+			t.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.connMu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection until it breaks
+// or the stream is invalid.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.connMu.Lock()
+		delete(t.conns, conn)
+		t.connMu.Unlock()
+	}()
+	var prefix [framePrefixLen]byte
+	for {
+		if _, err := io.ReadFull(conn, prefix[:]); err != nil {
+			return
+		}
+		l := int(binary.LittleEndian.Uint32(prefix[:]))
+		if l < frameHeaderLen || l > frameHeaderLen+maxFramePayload {
+			return // corrupt stream: drop the connection, sender re-dials
+		}
+		buf := make([]byte, framePrefixLen+l)
+		copy(buf, prefix[:])
+		if _, err := io.ReadFull(conn, buf[framePrefixLen:]); err != nil {
+			return
+		}
+		f, _, err := decodeFrame(buf)
+		if err != nil {
+			return
+		}
+		t.framesIn.Add(1)
+		t.bytesIn.Add(uint64(len(buf)))
+		if f.Kind == frameHello {
+			if f.To != t.self || int(f.From) < 0 || int(f.From) >= len(t.addrs) ||
+				len(f.Wire) != 8 || binary.LittleEndian.Uint64(f.Wire) != uint64(len(t.addrs)) {
+				return // wrong cluster or wrong endpoint: refuse the stream
+			}
+			continue
+		}
+		if !t.deliver(&f) {
+			return
+		}
+	}
+}
+
+// enqueue appends one encoded frame to the peer's outbound queue.
+func (p *tcpPeer) enqueue(buf []byte) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, buf)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// next blocks for the next outbound frame; ok is false when the peer
+// link is closing (immediately on close, once the queue empties during
+// a drain).
+func (p *tcpPeer) next() (buf []byte, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.closed && !p.draining {
+		p.cond.Wait()
+	}
+	if p.closed || len(p.queue) == 0 {
+		return nil, false
+	}
+	buf = p.queue[0]
+	p.queue = p.queue[1:]
+	return buf, true
+}
+
+// beginDrain asks the writer to flush the queue and exit; p.done closes
+// when it has.
+func (p *tcpPeer) beginDrain() {
+	p.mu.Lock()
+	p.draining = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *tcpPeer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// run is the peer link's writer goroutine: it drains the queue onto a
+// connection it dials (and re-dials) itself. A frame whose write fails
+// is retried on the next connection, so transient peer restarts lose
+// at most what was already buffered in the dead socket.
+func (p *tcpPeer) run() {
+	t := p.t
+	defer t.wg.Done()
+	defer close(p.done)
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	established := false
+	for {
+		buf, ok := p.next()
+		if !ok {
+			return
+		}
+		for {
+			if conn == nil {
+				if conn = p.dial(); conn == nil {
+					return // transport closed while dialing
+				}
+				if established {
+					t.reconnects.Add(1)
+				}
+				established = true
+			}
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+				conn = nil
+				continue
+			}
+			t.framesOut.Add(1)
+			t.bytesOut.Add(uint64(len(buf)))
+			break
+		}
+	}
+}
+
+// dial connects to the peer with capped-backoff retries, sends the
+// hello frame, and returns the connection (nil when the transport
+// closed first).
+func (p *tcpPeer) dial() net.Conn {
+	t := p.t
+	backoff := t.opts.RetryBase
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], uint64(len(t.addrs)))
+	for {
+		select {
+		case <-t.stop:
+			return nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, t.opts.DialTimeout)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			buf := appendFrame(nil, &Frame{Kind: frameHello, From: t.self, To: p.id}, hello[:])
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close()
+			} else {
+				t.framesOut.Add(1)
+				t.bytesOut.Add(uint64(len(buf)))
+				return conn
+			}
+		}
+		select {
+		case <-t.stop:
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > t.opts.RetryCap {
+			backoff = t.opts.RetryCap
+		}
+	}
+}
+
+// dropConns severs every live connection (test hook for exercising the
+// reconnect path); outbound links re-dial on their next write.
+func (t *TCPTransport) dropConns() {
+	t.connMu.Lock()
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.connMu.Unlock()
+	// Outbound connections are owned by writer goroutines; poison them
+	// by closing from here is impossible without a race, so the hook
+	// only severs inbound halves — which is exactly the side a peer's
+	// writer notices on its next write.
+}

@@ -1,0 +1,296 @@
+package cluster
+
+// The transport seam. Everything the runtime builds on — tag-matched
+// receives, active-message dispatch, the reliable ack/retransmit
+// sublayer, fault injection, heartbeats, collectives — lives in the
+// Cluster facade *above* this interface; a Transport only moves frames
+// between endpoints and propagates the epoch interrupt/revive control
+// signals. Two backends implement it: MemTransport (every node in one
+// process, synchronous handoff — the original in-process machine) and
+// TCPTransport (one process per group of nodes, length-prefixed binary
+// frames over TCP with per-peer reconnect). Because the upper layers
+// are backend-agnostic, chaos plans, phi-accrual detection, and the
+// O(log N) collectives behave identically over both.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Frame is one transport-level datagram: the versioned wire unit every
+// backend moves. Exactly one of Payload (in-process fast path) or Wire
+// (encoded bytes, produced by EncodeWire) carries the body; control
+// frames (interrupt/revive/hello) use Wire for their raw metadata.
+type Frame struct {
+	// Kind discriminates data frames from transport control frames.
+	Kind byte
+	// Epoch is the transport generation the frame was sent in;
+	// receivers drop frames from dead epochs.
+	Epoch uint64
+	// Tag is the logical message tag (see the reserved tag spaces in
+	// faults.go / heartbeat.go / internal/core).
+	Tag uint64
+	// Seq is a per-sender frame counter, for diagnostics.
+	Seq uint64
+	// From and To are the endpoints.
+	From, To NodeID
+	// Payload is the in-process body; never crosses a process boundary.
+	Payload any
+	// Wire is the encoded body (EncodeWire output for data frames, raw
+	// bytes for control frames). Set by remote backends.
+	Wire []byte
+	// Hint estimates the encoded payload size when Wire is nil, so
+	// byte accounting stays meaningful on the in-process fast path.
+	Hint int
+}
+
+// Frame kinds.
+const (
+	frameData      = byte(1) // a logical message
+	frameInterrupt = byte(2) // remote Interrupt broadcast (Wire = reason)
+	frameRevive    = byte(3) // remote Revive broadcast (Epoch = new epoch)
+	frameHello     = byte(4) // connection handshake (Wire = cluster size)
+)
+
+// Sink is the upcall half of the seam: a bound Cluster receives
+// delivered frames (feeding its tag-match queues and active-message
+// handlers) and remote control signals through it.
+type Sink interface {
+	// Deliver hands an arriving data frame to the endpoint layer.
+	Deliver(f *Frame)
+	// Interrupted reports that a remote peer interrupted the transport.
+	Interrupted(reason string)
+	// Revived reports that a remote peer revived the transport into a
+	// new epoch.
+	Revived(epoch uint64)
+}
+
+// WireStats counts a backend's physical activity. Unlike the logical
+// counters in Stats these are frame-level: every transmission counts,
+// on every backend, whether or not WireEncode is on.
+type WireStats struct {
+	// FramesOut/BytesOut count transmitted frames and their wire size
+	// (header + payload; estimated via Frame.Hint when the payload
+	// never leaves the process).
+	FramesOut uint64
+	BytesOut  uint64
+	// FramesIn/BytesIn count received frames.
+	FramesIn uint64
+	BytesIn  uint64
+	// Reconnects counts established connections that broke and were
+	// re-dialed (always 0 on MemTransport).
+	Reconnects uint64
+}
+
+// Transport moves frames between cluster endpoints. Implementations
+// must be safe for concurrent Sends and must deliver frames for a
+// given (From, To) pair in Send order (per-link FIFO); everything
+// else — matching, reliability, fault injection — is layered above.
+type Transport interface {
+	// Size is the total number of nodes the transport connects.
+	Size() int
+	// Local lists the node ids this process hosts, ascending. On an
+	// all-local backend it is [0, Size).
+	Local() []NodeID
+	// Bind installs the delivery upcall. Must be called exactly once,
+	// before the first Send.
+	Bind(s Sink)
+	// Send transmits one data frame (fire-and-forget; a nil error does
+	// not guarantee delivery, mirroring a real NIC).
+	Send(f *Frame) error
+	// Interrupt broadcasts an interrupt to remote processes (no-op on
+	// all-local backends).
+	Interrupt(reason string)
+	// Revive broadcasts a new epoch to remote processes (no-op on
+	// all-local backends).
+	Revive(epoch uint64)
+	// Stats snapshots the frame counters.
+	Stats() WireStats
+	// Close releases connections and joins backend goroutines.
+	Close() error
+}
+
+// --- Frame codec ---------------------------------------------------------
+
+// The wire format is a length-prefixed versioned binary frame:
+//
+//	u32  length L of everything after this prefix (header + payload)
+//	u8   version (currently 1)
+//	u8   kind (data / interrupt / revive / hello)
+//	u64  epoch
+//	u64  tag
+//	u64  seq
+//	u32  from
+//	u32  to
+//	[L-34]byte payload (EncodeWire bytes for data frames)
+//
+// All integers little-endian. The decoder is total: truncated frames,
+// oversized lengths, and unknown versions or kinds return an error —
+// never a panic and never an allocation larger than the input
+// (FuzzFrameDecode).
+
+const (
+	frameVersion   = 1
+	framePrefixLen = 4
+	frameHeaderLen = 1 + 1 + 8 + 8 + 8 + 4 + 4
+	// maxFramePayload bounds a single frame's payload; a length prefix
+	// past this is rejected before any allocation happens.
+	maxFramePayload = 64 << 20
+)
+
+// errBadFrame wraps every frame-decoding failure.
+var errBadFrame = fmt.Errorf("cluster: bad frame")
+
+// appendFrame appends the encoded frame (prefix, header, payload) to
+// dst and returns the extended slice. payload is the encoded body
+// (may be nil).
+func appendFrame(dst []byte, f *Frame, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameHeaderLen+len(payload)))
+	dst = append(dst, frameVersion, f.Kind)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Tag)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+	return append(dst, payload...)
+}
+
+// decodeFrame parses one length-prefixed frame from the front of b,
+// returning the frame and the number of bytes consumed. The returned
+// frame's Wire aliases b.
+func decodeFrame(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < framePrefixLen {
+		return f, 0, fmt.Errorf("%w: short prefix (%d bytes)", errBadFrame, len(b))
+	}
+	l := int(binary.LittleEndian.Uint32(b))
+	if l < frameHeaderLen {
+		return f, 0, fmt.Errorf("%w: length %d below header size", errBadFrame, l)
+	}
+	if l > frameHeaderLen+maxFramePayload {
+		return f, 0, fmt.Errorf("%w: length %d exceeds payload cap", errBadFrame, l)
+	}
+	if len(b) < framePrefixLen+l {
+		return f, 0, fmt.Errorf("%w: truncated (%d of %d bytes)", errBadFrame, len(b)-framePrefixLen, l)
+	}
+	h := b[framePrefixLen:]
+	if h[0] != frameVersion {
+		return f, 0, fmt.Errorf("%w: unknown version %d", errBadFrame, h[0])
+	}
+	f.Kind = h[1]
+	if f.Kind < frameData || f.Kind > frameHello {
+		return f, 0, fmt.Errorf("%w: unknown kind %d", errBadFrame, f.Kind)
+	}
+	f.Epoch = binary.LittleEndian.Uint64(h[2:])
+	f.Tag = binary.LittleEndian.Uint64(h[10:])
+	f.Seq = binary.LittleEndian.Uint64(h[18:])
+	f.From = NodeID(int32(binary.LittleEndian.Uint32(h[26:])))
+	f.To = NodeID(int32(binary.LittleEndian.Uint32(h[30:])))
+	if payload := h[frameHeaderLen:l]; len(payload) > 0 {
+		f.Wire = payload
+	}
+	return f, framePrefixLen + l, nil
+}
+
+// wireSize is the frame's on-the-wire byte count: exact when the
+// payload is encoded, header + Hint otherwise.
+func wireSize(f *Frame) uint64 {
+	n := framePrefixLen + frameHeaderLen
+	if f.Wire != nil {
+		n += len(f.Wire)
+	} else {
+		n += f.Hint
+	}
+	return uint64(n)
+}
+
+// payloadSizeHint estimates the encoded size of an in-process payload
+// for byte accounting on backends that never serialize it. Exact-ish
+// for the common runtime payload types, a flat default otherwise —
+// accounting on the fast path is a cost model, not a byte-perfect
+// meter (WireEncode mode and the TCP backend count real bytes).
+func payloadSizeHint(v any) int {
+	const defaultHint = 48
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int, int64, uint64, float64:
+		return 8
+	case string:
+		return 8 + len(x)
+	case []byte:
+		return 8 + len(x)
+	case []float64:
+		return 8 + 8*len(x)
+	case []int64:
+		return 8 + 8*len(x)
+	case relData:
+		return 16 + payloadSizeHint(x.Payload)
+	default:
+		return defaultHint
+	}
+}
+
+// MemTransport is the in-process backend: every node is local and a
+// Send is a synchronous handoff to the bound sink (the goroutine
+// calling Send runs the delivery, exactly like the pre-seam cluster).
+// Interrupt/Revive are no-ops — there is no remote process to signal.
+type MemTransport struct {
+	n      int
+	sink   Sink
+	frames atomic.Uint64
+	bytes  atomic.Uint64
+}
+
+// NewMemTransport creates an in-process backend connecting n nodes.
+func NewMemTransport(n int) *MemTransport {
+	if n <= 0 {
+		panic("cluster: MemTransport needs at least one node")
+	}
+	return &MemTransport{n: n}
+}
+
+// Size implements Transport.
+func (t *MemTransport) Size() int { return t.n }
+
+// Local implements Transport: every node is in this process.
+func (t *MemTransport) Local() []NodeID {
+	ids := make([]NodeID, t.n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	return ids
+}
+
+// Bind implements Transport.
+func (t *MemTransport) Bind(s Sink) { t.sink = s }
+
+// Send implements Transport: synchronous delivery to the sink.
+func (t *MemTransport) Send(f *Frame) error {
+	if int(f.To) < 0 || int(f.To) >= t.n {
+		return fmt.Errorf("cluster: send to node %d of %d", f.To, t.n)
+	}
+	t.frames.Add(1)
+	t.bytes.Add(wireSize(f))
+	t.sink.Deliver(f)
+	return nil
+}
+
+// Interrupt implements Transport (no remote peers: no-op).
+func (t *MemTransport) Interrupt(reason string) {}
+
+// Revive implements Transport (no remote peers: no-op).
+func (t *MemTransport) Revive(epoch uint64) {}
+
+// Stats implements Transport. Delivery is synchronous, so the in
+// counters mirror the out counters.
+func (t *MemTransport) Stats() WireStats {
+	frames, bytes := t.frames.Load(), t.bytes.Load()
+	return WireStats{FramesOut: frames, BytesOut: bytes, FramesIn: frames, BytesIn: bytes}
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error { return nil }

@@ -137,7 +137,10 @@ func (ctx *Context) run(program Program) {
 	if ctx.det != nil {
 		ctx.det.finish()
 	}
-	if ctx.shard == 0 {
+	// The lowest local shard publishes the process's control hash
+	// (shard 0 on the in-process backend; with SafetyChecks the digest
+	// is verified identical on every shard, so any representative do).
+	if ctx.shard == ctx.rt.localShards[0] {
 		ctx.rt.finalCtl.Store(ctx.digest.Sum())
 	}
 }

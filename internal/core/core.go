@@ -110,9 +110,26 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	// HeartbeatPhi is the detector's suspicion threshold (default 8).
 	HeartbeatPhi float64
+	// Transport selects the cluster backend the runtime runs on; nil
+	// selects the in-process backend (every shard local, the historical
+	// behavior). With a remote backend (cluster.TCPTransport) this
+	// process runs only the transport's local shards; the remaining
+	// shards must be driven by peer processes over the same address
+	// list (see cmd/godcr-node). The runtime owns the transport:
+	// Shutdown closes it.
+	Transport cluster.Transport
+	// CheckpointDir, when set, spills every periodic checkpoint cut to
+	// <dir>/checkpoint.dcrc (atomically: temp file + rename, using the
+	// process-portable Checkpoint codec). LoadCheckpoint reads it back,
+	// and RunSupervised starts by resuming from it when one exists —
+	// so whole-process crashes recover, not just transport ones.
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 && c.Transport != nil {
+		c.Shards = c.Transport.Size()
+	}
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
@@ -224,6 +241,15 @@ type Runtime struct {
 
 	progress []*shardProgress // per-shard counters sampled by the watchdog
 
+	// localShards lists the shard ids this process drives, ascending;
+	// every id on the in-process backend, a subset on a remote one.
+	localShards []int
+
+	// spillErr records the most recent checkpoint-spill failure
+	// (Config.CheckpointDir); spilling is best-effort and must never
+	// fail the run.
+	spillErr atomic.Pointer[spillErrBox]
+
 	flog fenceLog
 
 	executing atomic.Bool
@@ -252,15 +278,28 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.Centralized && cfg.Faults != nil {
 		panic("core: fault injection requires replicated control (Centralized unsupported)")
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = cluster.NewMemTransport(cfg.Shards)
+	}
+	if tr.Size() != cfg.Shards {
+		panic(fmt.Sprintf("core: Config.Shards = %d but transport connects %d nodes", cfg.Shards, tr.Size()))
+	}
+	if cfg.Centralized && len(tr.Local()) != tr.Size() {
+		panic("core: Centralized mode requires an all-local transport")
+	}
 	rt := &Runtime{
 		cfg: cfg,
-		clust: cluster.New(cluster.Config{
+		clust: cluster.NewWithTransport(cluster.Config{
 			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode, Faults: cfg.Faults,
-		}),
+		}, tr),
 		tasks:       make(map[string]TaskFn),
 		memo:        mapper.NewMemo(),
 		progress:    make([]*shardProgress, cfg.Shards),
 		divVerdicts: make([]atomic.Pointer[DivergenceError], cfg.Shards),
+	}
+	for _, id := range rt.clust.LocalIDs() {
+		rt.localShards = append(rt.localShards, int(id))
 	}
 	rt.run.Store(newRunState())
 	for i := range rt.progress {
@@ -427,10 +466,14 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	switch {
 	case cp != nil:
 		// Heal the transport first: re-admit crashed endpoints into a
-		// new epoch and discard dead-epoch traffic.
-		var err error
-		if epoch, err = rt.clust.Revive(); err != nil {
-			return fmt.Errorf("core: resume: %w", err)
+		// new epoch and discard dead-epoch traffic. A healthy transport
+		// needs no healing — a checkpoint loaded from disk into a fresh
+		// process (Config.CheckpointDir) resumes in the current epoch.
+		if rt.clust.Err() != nil {
+			var err error
+			if epoch, err = rt.clust.Revive(); err != nil {
+				return fmt.Errorf("core: resume: %w", err)
+			}
 		}
 		// Fresh abort state and progress counters for the new attempt;
 		// stragglers of the failed attempt stay pinned to the old ones.
@@ -494,9 +537,11 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		}()
 	}
 
-	n := rt.cfg.Shards
+	// One replica goroutine per *local* shard: on the in-process backend
+	// that is all of them; with a remote transport the peer processes
+	// drive theirs, and the collective fabric spans the wire.
 	var wg sync.WaitGroup
-	for s := 0; s < n; s++ {
+	for _, s := range rt.localShards {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
@@ -539,6 +584,7 @@ func (rt *Runtime) cutCheckpoint() *Checkpoint {
 			return old
 		}
 		if rt.lastCP.CompareAndSwap(old, cp) {
+			rt.spillCheckpoint(cp)
 			return cp
 		}
 	}

@@ -187,9 +187,12 @@ func (rt *Runtime) buildCheckpoint() *Checkpoint {
 	if j == nil {
 		return nil
 	}
+	// Only this process's shards are observable; on a remote transport
+	// the peers checkpoint their own progress (the journaling shard's
+	// process is the one whose cuts matter).
 	frontier := ^uint64(0)
-	for _, p := range rt.progress {
-		if f := p.fine.Load(); f < frontier {
+	for _, s := range rt.localShards {
+		if f := rt.progress[s].fine.Load(); f < frontier {
 			frontier = f
 		}
 	}

@@ -156,8 +156,9 @@ func TestResumeValidation(t *testing.T) {
 	if err := jrt.Resume(&Checkpoint{Shards: 4, Journal: newJournal()}, nil); err == nil {
 		t.Fatal("Resume with mismatched shard count succeeded")
 	}
-	// A healthy (never interrupted) transport must refuse to revive.
+	// A nil program cannot be resumed (the transport stays healthy, so
+	// this exercises the no-Revive resume path too).
 	if err := jrt.Resume(&Checkpoint{Shards: 2, Journal: newJournal()}, nil); err == nil {
-		t.Fatal("Resume on a healthy transport succeeded")
+		t.Fatal("Resume with a nil program succeeded")
 	}
 }

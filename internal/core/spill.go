@@ -1,0 +1,108 @@
+package core
+
+// Checkpoint spill (Config.CheckpointDir). Periodic checkpoints live
+// in memory (LatestCheckpoint); spilling each cut to disk through the
+// process-portable Checkpoint codec makes *whole-process* crashes
+// recoverable: a fresh process loads the file and Resume replays the
+// journal prefix on a fresh (never-interrupted) transport. Writes are
+// atomic — encode to a temp file in the same directory, fsync, rename
+// — so a crash mid-spill leaves the previous image intact, and a
+// reader never observes a torn file.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// checkpointFileName is the spill file inside Config.CheckpointDir.
+const checkpointFileName = "checkpoint.dcrc"
+
+// spillErrBox wraps a spill failure for atomic storage.
+type spillErrBox struct{ err error }
+
+// spillCheckpoint persists a freshly published cut when CheckpointDir
+// is configured. Best-effort by design: the run must not fail because
+// the disk did — failures are recorded and reported by SpillError.
+func (rt *Runtime) spillCheckpoint(cp *Checkpoint) {
+	dir := rt.cfg.CheckpointDir
+	if dir == "" || cp == nil {
+		return
+	}
+	if err := WriteCheckpointFile(dir, cp); err != nil {
+		rt.spillErr.Store(&spillErrBox{err: err})
+	}
+}
+
+// SpillError returns the most recent checkpoint-spill failure, or nil.
+// Spilling is best-effort; a run with a full or missing disk completes
+// normally and reports the problem here.
+func (rt *Runtime) SpillError() error {
+	if b := rt.spillErr.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+// WriteCheckpointFile atomically writes cp's encoded image to
+// dir/checkpoint.dcrc, creating dir if needed.
+func WriteCheckpointFile(dir string, cp *Checkpoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(cp.Encode()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointFileName)); err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads the spilled checkpoint from dir, or (nil, nil)
+// when none has been written. A corrupt file is an error — the codec
+// rejects arbitrary bytes rather than resuming from garbage.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	b, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint load: %w", err)
+	}
+	cp, err := DecodeCheckpoint(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint load: %w", err)
+	}
+	return cp, nil
+}
+
+// loadSpilledCheckpoint is RunSupervised's restart hook: the freshest
+// on-disk cut, if one exists, is usable, and matches this runtime's
+// shape. Unusable files are ignored (cold start), not fatal — the
+// supervisor's job is to make progress.
+func (rt *Runtime) loadSpilledCheckpoint() *Checkpoint {
+	if rt.cfg.CheckpointDir == "" {
+		return nil
+	}
+	cp, err := LoadCheckpoint(rt.cfg.CheckpointDir)
+	if err != nil || cp == nil || cp.Shards != rt.cfg.Shards || cp.Frontier == 0 {
+		return nil
+	}
+	return cp
+}

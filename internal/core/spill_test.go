@@ -1,0 +1,183 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+	"godcr/internal/testutil"
+)
+
+// Checkpoint spill (Config.CheckpointDir): every periodic cut lands on
+// disk atomically, a fresh process can load it and Resume to the exact
+// fault-free outputs, and RunSupervised picks it up automatically on
+// restart — whole-process crash recovery, not just in-process healing.
+
+// spillReference runs the stencil fault-free on a journaled 4-shard
+// runtime and returns the outputs and control hash every spilled
+// recovery below must reproduce bit-identically.
+func spillReference(t *testing.T) ([]float64, []float64, [2]uint64) {
+	t.Helper()
+	const ncells, ntiles, nsteps = 64, 8, 6
+	wantState, wantFlux := referenceStencil1D(ncells, 1.0, nsteps)
+	var out outputCell
+	rt := runProgram(t, Config{Shards: 4, SafetyChecks: true, Journal: true},
+		registerStencilTasks, stencil1DProgram(ncells, ntiles, nsteps, 1.0, out.record))
+	if err := out.compare(wantState, wantFlux); err != nil {
+		t.Fatalf("fault-free run diverged from sequential reference: %v", err)
+	}
+	hash := rt.ControlHash()
+	if hash == ([2]uint64{}) {
+		t.Fatal("fault-free run produced a zero control hash")
+	}
+	return wantState, wantFlux, hash
+}
+
+// TestCheckpointSpillAndLoad: a run with CheckpointDir leaves a
+// loadable checkpoint on disk whose image matches the in-memory cut,
+// and a *fresh* runtime (as a crashed-and-restarted process would
+// build) resumes from the file to bit-identical outputs and hash.
+func TestCheckpointSpillAndLoad(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	const ncells, ntiles, nsteps = 64, 8, 6
+	wantState, wantFlux, wantHash := spillReference(t)
+	dir := t.TempDir()
+
+	rt := runProgram(t,
+		Config{Shards: 4, SafetyChecks: true, CheckpointEvery: 8, CheckpointDir: dir},
+		registerStencilTasks,
+		stencil1DProgram(ncells, ntiles, nsteps, 1.0, func(_, _ []float64) error { return nil }))
+	if err := rt.SpillError(); err != nil {
+		t.Fatalf("spill failed: %v", err)
+	}
+	mem := rt.LatestCheckpoint()
+	if mem == nil {
+		t.Fatal("no periodic checkpoint was cut")
+	}
+
+	cp, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint file spilled")
+	}
+	if cp.Frontier != mem.Frontier || cp.Ctl != mem.Ctl || cp.Shards != mem.Shards {
+		t.Fatalf("spilled checkpoint %+v does not match in-memory cut %+v", cp, mem)
+	}
+	// No temp litter: the atomic write renamed or removed everything.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != checkpointFileName {
+		t.Fatalf("checkpoint dir holds %v, want exactly %q", entries, checkpointFileName)
+	}
+
+	// Fresh process: load the file and resume on a healthy transport.
+	var out outputCell
+	rt2 := NewRuntime(Config{Shards: 4, SafetyChecks: true, Journal: true})
+	defer rt2.Shutdown()
+	registerStencilTasks(rt2)
+	if err := rt2.Resume(cp, stencil1DProgram(ncells, ntiles, nsteps, 1.0, out.record)); err != nil {
+		t.Fatalf("Resume from spilled checkpoint: %v", err)
+	}
+	if err := out.compare(wantState, wantFlux); err != nil {
+		t.Fatalf("resumed run diverged from fault-free outputs: %v", err)
+	}
+	if got := rt2.ControlHash(); got != wantHash {
+		t.Fatalf("resumed control hash %x, want %x", got, wantHash)
+	}
+	if rt2.Stats().JournalReplays == 0 {
+		t.Fatal("resume re-analyzed everything: Stats.JournalReplays == 0")
+	}
+}
+
+// TestRunSupervisedFromSpill: a supervised restart in a fresh process
+// starts from the spilled cut instead of cold, and still converges
+// bit-identically when the restarted attempt is itself faulted.
+func TestRunSupervisedFromSpill(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	const ncells, ntiles, nsteps = 64, 8, 6
+	wantState, wantFlux, wantHash := spillReference(t)
+	dir := t.TempDir()
+
+	// Process 1: run far enough to spill a checkpoint, then "crash"
+	// (we just stop using the runtime).
+	rt1 := runProgram(t,
+		Config{Shards: 4, SafetyChecks: true, CheckpointEvery: 8, CheckpointDir: dir},
+		registerStencilTasks,
+		stencil1DProgram(ncells, ntiles, nsteps, 1.0, func(_, _ []float64) error { return nil }))
+	if rt1.LatestCheckpoint() == nil {
+		t.Fatal("no periodic checkpoint was cut")
+	}
+
+	// Process 2: a fresh runtime pointed at the same CheckpointDir.
+	// RunSupervised must resume from the spilled cut — and heal a
+	// mid-replay crash on top of it.
+	var out outputCell
+	rt2 := NewRuntime(Config{
+		Shards:          4,
+		SafetyChecks:    true,
+		CheckpointEvery: 8,
+		CheckpointDir:   dir,
+		OpDeadline:      2 * time.Second,
+		HeartbeatEvery:  3 * time.Millisecond,
+		HeartbeatPhi:    12,
+		Faults: &cluster.FaultPlan{
+			Stalls: []cluster.StallWindow{{Node: 1, AfterSends: 40, Crash: true}},
+		},
+	})
+	defer rt2.Shutdown()
+	registerStencilTasks(rt2)
+	err := rt2.RunSupervised(
+		stencil1DProgram(ncells, ntiles, nsteps, 1.0, out.record),
+		SupervisorPolicy{MaxRestarts: 6, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("RunSupervised from spilled checkpoint: %v", err)
+	}
+	if err := out.compare(wantState, wantFlux); err != nil {
+		t.Fatalf("supervised run diverged from fault-free outputs: %v", err)
+	}
+	if got := rt2.ControlHash(); got != wantHash {
+		t.Fatalf("supervised control hash %x, want %x", got, wantHash)
+	}
+}
+
+// TestSpillErrorReported: an unwritable CheckpointDir does not fail the
+// run; the failure is surfaced through SpillError.
+func TestSpillErrorReported(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "blocked")
+	// A regular file where the directory should be makes MkdirAll fail.
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rt := runProgram(t,
+		Config{Shards: 4, SafetyChecks: true, CheckpointEvery: 8, CheckpointDir: dir},
+		registerStencilTasks,
+		stencil1DProgram(64, 8, 6, 1.0, func(_, _ []float64) error { return nil }))
+	if rt.LatestCheckpoint() == nil {
+		t.Fatal("no periodic checkpoint was cut")
+	}
+	if rt.SpillError() == nil {
+		t.Fatal("unwritable CheckpointDir produced no SpillError")
+	}
+}
+
+// TestLoadCheckpointMissingAndCorrupt covers LoadCheckpoint's edges:
+// absent file → (nil, nil); corrupt file → error, never a checkpoint.
+func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := LoadCheckpoint(dir)
+	if err != nil || cp != nil {
+		t.Fatalf("LoadCheckpoint(empty dir) = %v, %v; want nil, nil", cp, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointFileName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(dir); err == nil {
+		t.Fatal("LoadCheckpoint accepted a corrupt file")
+	}
+}

@@ -133,7 +133,15 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 	}
 	pol = pol.withDefaults()
 	var history []AttemptFailure
-	err := rt.Execute(program)
+	var err error
+	if cp := rt.loadSpilledCheckpoint(); cp != nil {
+		// A previous process of this run spilled a checkpoint
+		// (Config.CheckpointDir): resume from it instead of starting
+		// cold — whole-process crash recovery.
+		err = rt.Resume(cp, program)
+	} else {
+		err = rt.Execute(program)
+	}
 	for attempt := 1; err != nil; attempt++ {
 		cp, recoverable := rt.recoveryPoint(err)
 		failure := AttemptFailure{Attempt: attempt, Err: err}

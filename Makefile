@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised multiproc bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc bench bench-json fuzz
 
 all: vet build test
 
@@ -38,6 +38,24 @@ multiproc:
 	$(GO) build -o bin/godcr-node ./cmd/godcr-node
 	./bin/godcr-node -launch -n 4 -workload stencil
 	./bin/godcr-node -launch -n 4 -workload circuit
+
+# Remote supervised recovery soak: run each workload as real OS
+# processes under the process supervisor, SIGKILL a seeded random
+# worker mid-run, respawn it as reborn on the same address and
+# checkpoint directory, and demand outputs and ControlHash bit-identical
+# to the undisturbed supervised run AND the in-process backend (both
+# compare against the same in-process baseline). The unit-level slice
+# (revive barrier, epoch rendezvous, in-test rebirth) runs under the
+# race detector.
+chaos-multiproc:
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -launch -supervise -n 3 -workload stencil -steps 30
+	./bin/godcr-node -launch -supervise -n 3 -workload circuit -steps 24
+	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 7 -workload stencil -steps 30
+	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 11 -workload circuit -steps 24
+	./bin/godcr-node -launch -supervise -n 4 -kill 2 -seed 3 -workload stencil -steps 30
+	$(GO) test -race -count=1 -run 'RemoteSupervisedRecovery|TCPReviveBarrier|TCPEpochSync|TCPCloseDuringDialBackoff|HeartbeatStaleEpoch' \
+		./internal/cluster ./internal/core
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -7,7 +7,11 @@
 //	godcr-node -shard 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 -workload stencil
 //
 // runs shard 0 of a 2-shard cluster (the cluster size is len(addrs))
-// and prints a JSON record of the run's outputs and control hash.
+// and prints a JSON record of the run's outputs and control hash. With
+// -supervise the worker runs under the self-healing supervisor
+// (heartbeats, watchdog, periodic checkpoints spilled to -ckpt) and
+// survives peer-process deaths; -reborn marks a respawned worker so it
+// announces its rebirth and the cluster restarts from checkpoints.
 //
 // Launcher mode (acceptance harness):
 //
@@ -17,17 +21,29 @@
 // the same workload on the in-process backend, and demands every
 // worker's outputs and ControlHash be bit-identical to it. Exit status
 // 0 means the multi-process run is provably equivalent.
+//
+// Chaos launcher (remote supervised recovery):
+//
+//	godcr-node -launch -supervise -n 3 -kill 1 -seed 7 -workload stencil -steps 30
+//
+// additionally acts as a process supervisor: it SIGKILLs -kill randomly
+// chosen workers mid-run (seeded, reproducible), respawns each victim
+// with -reborn on the same address and checkpoint directory, and still
+// demands bit-identical convergence against the in-process baseline.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -53,18 +69,25 @@ func hashWords(h [2]uint64) [2]string {
 	return [2]string{fmt.Sprintf("%016x", h[0]), fmt.Sprintf("%016x", h[1])}
 }
 
-// agreeCell collects one output vector per shard replica and verifies
-// the replicas agree bit-for-bit (control replication demands it).
+// agreeCell collects one output vector per shard replica. With verify
+// set it checks the replicas agree bit-for-bit (control replication
+// demands it) — the in-process baseline, where every replica records
+// into one cell within a single fault-free run. Worker processes leave
+// verify off and take last-write-wins instead: a supervised worker re-
+// runs the program body per recovery attempt, and a failed attempt's
+// body can complete with garbage (futures resolve zero on abort), so
+// only the final successful attempt's record may stand.
 type agreeCell struct {
-	mu   sync.Mutex
-	vals []float64
-	set  bool
+	mu     sync.Mutex
+	vals   []float64
+	set    bool
+	verify bool
 }
 
 func (c *agreeCell) record(v []float64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.set {
+	if !c.set || !c.verify {
 		c.vals = append([]float64(nil), v...)
 		c.set = true
 		return nil
@@ -87,16 +110,19 @@ func (c *agreeCell) get() []float64 {
 }
 
 // workload builds a program producing a per-step output vector; every
-// backend and shard count must reproduce it bit-identically.
+// backend and shard count must reproduce it bit-identically. steps <= 0
+// selects the workload's default step count; the chaos harness raises
+// it so a SIGKILL has a wide mid-run window to land in.
 type workload struct {
-	register func(rt *godcr.Runtime)
-	program  func(out *agreeCell) godcr.Program
+	register     func(rt *godcr.Runtime)
+	program      func(out *agreeCell, steps int) godcr.Program
+	defaultSteps int
 }
 
 func workloads() map[string]workload {
 	return map[string]workload{
-		"stencil": {register: registerStencilTasks, program: stencilProgram},
-		"circuit": {register: registerCircuitTasks, program: circuitProgram},
+		"stencil": {register: registerStencilTasks, program: stencilProgram, defaultSteps: 5},
+		"circuit": {register: registerCircuitTasks, program: circuitProgram, defaultSteps: 4},
 	}
 }
 
@@ -122,10 +148,10 @@ func registerStencilTasks(rt *godcr.Runtime) {
 	})
 }
 
-// stencilProgram: 8 tiles × 16 cells, 5 halo-exchange steps; the
+// stencilProgram: 8 tiles × 16 cells, `steps` halo-exchange steps; the
 // output vector is each step's reduced tile sum plus the final field.
-func stencilProgram(out *agreeCell) godcr.Program {
-	const tiles, steps = 8, 5
+func stencilProgram(out *agreeCell, steps int) godcr.Program {
+	const tiles = 8
 	return func(ctx *godcr.Context) error {
 		var outs []float64 // per-shard-replica: declared inside the body
 		r := ctx.CreateRegion(godcr.R1(0, tiles*16-1), "x")
@@ -173,8 +199,8 @@ func registerCircuitTasks(rt *godcr.Runtime) {
 // circuitProgram: aliased reduction partitions (every tile folds into
 // the whole grid) + a future-map reduction per step; the output vector
 // is each step's reduced total plus the final voltages.
-func circuitProgram(out *agreeCell) godcr.Program {
-	const nnodes, ntiles, nsteps = 32, 8, 4
+func circuitProgram(out *agreeCell, steps int) godcr.Program {
+	const nnodes, ntiles = 32, 8
 	return func(ctx *godcr.Context) error {
 		var outs []float64
 		grid := godcr.R1(0, nnodes-1)
@@ -187,7 +213,7 @@ func circuitProgram(out *agreeCell) godcr.Program {
 		}
 		all := ctx.PartitionCustom(nodes, tiles, rects)
 		ctx.Fill(nodes, "voltage", 1.0)
-		for step := 0; step < nsteps; step++ {
+		for step := 0; step < steps; step++ {
 			ctx.Fill(nodes, "charge", 0)
 			fm := ctx.IndexLaunch(godcr.Launch{
 				Task: "charge_up", Domain: tiles,
@@ -207,34 +233,81 @@ func circuitProgram(out *agreeCell) godcr.Program {
 	}
 }
 
+// workerOpts configures one worker process's run.
+type workerOpts struct {
+	shard    int
+	addrs    []string
+	workload string
+	steps    int
+	// supervise runs the shard under RunSupervised with heartbeats, the
+	// watchdog, and checkpoints spilled to ckptDir.
+	supervise bool
+	ckptDir   string
+	// reborn marks a respawned worker: it announces its rebirth so the
+	// survivors abandon their in-flight attempt and the whole cluster
+	// resumes from checkpoints in a fresh epoch.
+	reborn bool
+}
+
 // runWorker executes one shard over TCP and returns its report.
-func runWorker(shard int, addrs []string, name string) (*report, error) {
-	wl, ok := workloads()[name]
+func runWorker(o workerOpts) (*report, error) {
+	wl, ok := workloads()[o.workload]
 	if !ok {
-		return nil, fmt.Errorf("unknown workload %q", name)
+		return nil, fmt.Errorf("unknown workload %q", o.workload)
+	}
+	steps := o.steps
+	if steps <= 0 {
+		steps = wl.defaultSteps
 	}
 	tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
-		Self:  godcr.NodeID(shard),
-		Addrs: addrs,
+		Self:  godcr.NodeID(o.shard),
+		Addrs: o.addrs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	rt := godcr.NewRuntime(godcr.Config{
-		Shards:       len(addrs),
+	cfg := godcr.Config{
+		Shards:       len(o.addrs),
 		SafetyChecks: true,
 		Transport:    tr,
-	})
+	}
+	if o.supervise {
+		cfg.CheckpointEvery = 4
+		cfg.CheckpointDir = o.ckptDir
+		cfg.HeartbeatEvery = 5 * time.Millisecond
+		cfg.OpDeadline = 10 * time.Second
+	}
+	rt := godcr.NewRuntime(cfg)
 	defer rt.Shutdown()
 	wl.register(rt)
 	var out agreeCell
-	if err := rt.Execute(wl.program(&out)); err != nil {
-		return nil, fmt.Errorf("shard %d: %w", shard, err)
+	program := wl.program(&out, steps)
+	if o.supervise {
+		if o.reborn {
+			// The spilled-checkpoint path announces rebirth on its own;
+			// the explicit call covers respawned workers whose shard never
+			// spilled (only the journal recorder's process writes cuts).
+			rt.AnnounceRebirth()
+		}
+		// Every worker shares the jitter seed so backoff schedules stay
+		// aligned across processes: a worker sleeping out a longer backoff
+		// than its peers looks dead to their phi detectors.
+		err = rt.RunSupervised(program, godcr.SupervisorPolicy{
+			MaxRestarts: 10,
+			Backoff:     10 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+			JitterSeed:  1,
+		})
+	} else {
+		err = rt.Execute(program)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", o.shard, err)
 	}
 	return &report{
-		Shard:    shard,
-		Shards:   len(addrs),
-		Workload: name,
+		Shard:    o.shard,
+		Shards:   len(o.addrs),
+		Workload: o.workload,
 		Hash:     hashWords(rt.ControlHash()),
 		Outputs:  out.get(),
 		Bytes:    rt.Stats().Bytes,
@@ -243,16 +316,19 @@ func runWorker(shard int, addrs []string, name string) (*report, error) {
 
 // runInProcess executes the same workload on the in-process backend —
 // the baseline every worker must match bit-for-bit.
-func runInProcess(n int, name string) (*report, error) {
+func runInProcess(n int, name string, steps int) (*report, error) {
 	wl, ok := workloads()[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", name)
 	}
+	if steps <= 0 {
+		steps = wl.defaultSteps
+	}
 	rt := godcr.NewRuntime(godcr.Config{Shards: n, SafetyChecks: true})
 	defer rt.Shutdown()
 	wl.register(rt)
-	var out agreeCell
-	if err := rt.Execute(wl.program(&out)); err != nil {
+	out := agreeCell{verify: true}
+	if err := rt.Execute(wl.program(&out, steps)); err != nil {
 		return nil, err
 	}
 	return &report{
@@ -285,43 +361,143 @@ func reservePorts(n int) ([]string, error) {
 	return addrs, nil
 }
 
-// launch spawns n worker copies of this binary over reserved loopback
-// ports and verifies them against the in-process baseline.
-func launch(n int, name string, timeout time.Duration) error {
-	baseline, err := runInProcess(n, name)
-	if err != nil {
-		return fmt.Errorf("in-process baseline: %w", err)
-	}
-	addrs, err := reservePorts(n)
-	if err != nil {
-		return fmt.Errorf("reserve ports: %w", err)
-	}
-	self, err := os.Executable()
-	if err != nil {
-		return fmt.Errorf("locate self: %w", err)
-	}
+// procRegistry tracks the live worker processes so the chaos killer can
+// pick victims and the respawn loops can unregister the dead.
+type procRegistry struct {
+	mu    sync.Mutex
+	procs map[int]*os.Process
+}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	outs := make([][]byte, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cmd := exec.CommandContext(ctx, self,
-				"-shard", fmt.Sprint(i),
-				"-addrs", strings.Join(addrs, ","),
-				"-workload", name)
-			cmd.Stderr = os.Stderr
-			outs[i], errs[i] = cmd.Output()
-		}(i)
-	}
-	wg.Wait()
+func newProcRegistry() *procRegistry {
+	return &procRegistry{procs: make(map[int]*os.Process)}
+}
 
+func (r *procRegistry) set(shard int, p *os.Process) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs[shard] = p
+}
+
+func (r *procRegistry) clear(shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.procs, shard)
+}
+
+// pick returns a live victim chosen by idx over the registry's shards
+// in ascending order, or nil if no worker is live.
+func (r *procRegistry) pick(idx int) (int, *os.Process) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.procs) == 0 {
+		return -1, nil
+	}
+	shards := make([]int, 0, len(r.procs))
+	for s := range r.procs {
+		shards = append(shards, s)
+	}
+	for i := 1; i < len(shards); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && shards[j] < shards[j-1]; j-- {
+			shards[j], shards[j-1] = shards[j-1], shards[j]
+		}
+	}
+	s := shards[idx%len(shards)]
+	return s, r.procs[s]
+}
+
+// launchOpts configures the launcher harness.
+type launchOpts struct {
+	n        int
+	workload string
+	steps    int
+	timeout  time.Duration
+	// supervise launches workers under RunSupervised with per-worker
+	// checkpoint directories and respawns workers that die by signal.
+	supervise bool
+	// kills is the number of seeded SIGKILLs to deliver mid-run
+	// (supervise mode only).
+	kills int
+	seed  int64
+}
+
+// maxRespawns bounds how many times the launcher revives one worker.
+const maxRespawns = 5
+
+// superviseWorker runs one worker process, respawning it (with -reborn)
+// when it dies by signal, and returns the surviving process's stdout.
+func superviseWorker(ctx context.Context, self string, o launchOpts, shard int, addrs []string, ckptDir string, reg *procRegistry) ([]byte, error) {
+	reborn := false
+	for spawn := 0; ; spawn++ {
+		args := []string{
+			"-shard", fmt.Sprint(shard),
+			"-addrs", strings.Join(addrs, ","),
+			"-workload", o.workload,
+			"-steps", fmt.Sprint(o.steps),
+			"-supervise",
+			"-ckpt", ckptDir,
+		}
+		if reborn {
+			args = append(args, "-reborn")
+		}
+		cmd := exec.CommandContext(ctx, self, args...)
+		cmd.Stderr = os.Stderr
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("worker %d: start: %w", shard, err)
+		}
+		reg.set(shard, cmd.Process)
+		err := cmd.Wait()
+		reg.clear(shard)
+		if err == nil {
+			return out.Bytes(), nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("worker %d: %w", shard, ctx.Err())
+		}
+		// Respawn only signal deaths (the chaos killer's SIGKILL); a
+		// worker that exited on its own reported a real failure.
+		if cmd.ProcessState == nil || cmd.ProcessState.ExitCode() != -1 {
+			return nil, fmt.Errorf("worker %d: %w", shard, err)
+		}
+		if spawn >= maxRespawns {
+			return nil, fmt.Errorf("worker %d: respawn budget exhausted (%d), last: %w", shard, maxRespawns, err)
+		}
+		fmt.Fprintf(os.Stderr, "godcr-node: worker %d died by signal, respawning as reborn\n", shard)
+		reborn = true
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// chaosKill delivers o.kills seeded SIGKILLs to randomly chosen live
+// workers, spread over the early part of the run.
+func chaosKill(o launchOpts, reg *procRegistry, done <-chan struct{}) {
+	rng := rand.New(rand.NewSource(o.seed))
+	for k := 0; k < o.kills; k++ {
+		delay := 30*time.Millisecond + time.Duration(rng.Intn(120))*time.Millisecond
+		select {
+		case <-done:
+			return
+		case <-time.After(delay):
+		}
+		shard, proc := reg.pick(rng.Intn(1 << 30))
+		if proc == nil {
+			fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: no live worker (run already finished)\n", k)
+			continue
+		}
+		if err := proc.Kill(); err != nil {
+			fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: shard %d: %v\n", k, shard, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: SIGKILL shard %d\n", k, shard)
+	}
+}
+
+// verifyReports checks every worker's JSON report against the
+// in-process baseline, bit-for-bit.
+func verifyReports(baseline *report, outs [][]byte, errs []error) []string {
 	var failures []string
-	for i := 0; i < n; i++ {
+	for i := range outs {
 		if errs[i] != nil {
 			failures = append(failures, fmt.Sprintf("worker %d: %v", i, errs[i]))
 			continue
@@ -355,28 +531,101 @@ func launch(n int, name string, timeout time.Duration) error {
 			failures = append(failures, fmt.Sprintf("worker %d moved zero transport bytes", i))
 		}
 	}
-	if len(failures) > 0 {
+	return failures
+}
+
+// launch spawns o.n worker copies of this binary over reserved loopback
+// ports and verifies them against the in-process baseline. In supervise
+// mode it also plays process supervisor: chaos kills, respawns, and
+// still demands bit-identical convergence.
+func launch(o launchOpts) error {
+	baseline, err := runInProcess(o.n, o.workload, o.steps)
+	if err != nil {
+		return fmt.Errorf("in-process baseline: %w", err)
+	}
+	addrs, err := reservePorts(o.n)
+	if err != nil {
+		return fmt.Errorf("reserve ports: %w", err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate self: %w", err)
+	}
+	var ckptRoot string
+	if o.supervise {
+		if ckptRoot, err = os.MkdirTemp("", "godcr-chaos-*"); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
+		defer os.RemoveAll(ckptRoot)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	reg := newProcRegistry()
+	outs := make([][]byte, o.n)
+	errs := make([]error, o.n)
+	var wg sync.WaitGroup
+	for i := 0; i < o.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if o.supervise {
+				ckptDir := filepath.Join(ckptRoot, fmt.Sprintf("worker-%d", i))
+				outs[i], errs[i] = superviseWorker(ctx, self, o, i, addrs, ckptDir, reg)
+				return
+			}
+			cmd := exec.CommandContext(ctx, self,
+				"-shard", fmt.Sprint(i),
+				"-addrs", strings.Join(addrs, ","),
+				"-workload", o.workload,
+				"-steps", fmt.Sprint(o.steps))
+			cmd.Stderr = os.Stderr
+			outs[i], errs[i] = cmd.Output()
+		}(i)
+	}
+	done := make(chan struct{})
+	if o.supervise && o.kills > 0 {
+		go chaosKill(o, reg, done)
+	}
+	wg.Wait()
+	close(done)
+
+	if failures := verifyReports(baseline, outs, errs); len(failures) > 0 {
 		return errors.New(strings.Join(failures, "\n"))
 	}
-	fmt.Printf("ok: %d processes over TCP loopback, %s bit-identical to in-process (hash %s%s, %d outputs)\n",
-		n, name, baseline.Hash[0], baseline.Hash[1], len(baseline.Outputs))
+	mode := "processes over TCP loopback"
+	if o.supervise {
+		mode = fmt.Sprintf("supervised processes over TCP loopback (%d chaos kill(s), seed %d)", o.kills, o.seed)
+	}
+	fmt.Printf("ok: %d %s, %s bit-identical to in-process (hash %s%s, %d outputs)\n",
+		o.n, mode, o.workload, baseline.Hash[0], baseline.Hash[1], len(baseline.Outputs))
 	return nil
 }
 
 func main() {
 	var (
-		doLaunch = flag.Bool("launch", false, "spawn -n worker processes and verify against in-process")
-		n        = flag.Int("n", 4, "cluster size (launcher mode)")
-		shard    = flag.Int("shard", -1, "this process's shard id (worker mode)")
-		addrs    = flag.String("addrs", "", "comma-separated node addresses, index = shard id (worker mode)")
-		name     = flag.String("workload", "stencil", "workload: stencil or circuit")
-		timeout  = flag.Duration("timeout", 60*time.Second, "launcher kill deadline")
+		doLaunch  = flag.Bool("launch", false, "spawn -n worker processes and verify against in-process")
+		n         = flag.Int("n", 4, "cluster size (launcher mode)")
+		shard     = flag.Int("shard", -1, "this process's shard id (worker mode)")
+		addrs     = flag.String("addrs", "", "comma-separated node addresses, index = shard id (worker mode)")
+		name      = flag.String("workload", "stencil", "workload: stencil or circuit")
+		steps     = flag.Int("steps", 0, "workload steps (0 = workload default)")
+		timeout   = flag.Duration("timeout", 60*time.Second, "launcher kill deadline")
+		supervise = flag.Bool("supervise", false, "run under the self-healing supervisor (worker: RunSupervised; launcher: respawn dead workers)")
+		ckpt      = flag.String("ckpt", "", "checkpoint spill directory (worker mode, with -supervise)")
+		reborn    = flag.Bool("reborn", false, "this worker is a respawn: announce rebirth so the cluster restarts from checkpoints")
+		kills     = flag.Int("kill", 0, "SIGKILL this many randomly chosen workers mid-run (launcher mode, with -supervise)")
+		seed      = flag.Int64("seed", 1, "chaos kill RNG seed (launcher mode)")
 	)
 	flag.Parse()
 
 	switch {
 	case *doLaunch:
-		if err := launch(*n, *name, *timeout); err != nil {
+		err := launch(launchOpts{
+			n: *n, workload: *name, steps: *steps, timeout: *timeout,
+			supervise: *supervise, kills: *kills, seed: *seed,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)
 			os.Exit(1)
 		}
@@ -386,7 +635,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "godcr-node: -shard %d needs -addrs with at least %d entries\n", *shard, *shard+1)
 			os.Exit(2)
 		}
-		rep, err := runWorker(*shard, list, *name)
+		rep, err := runWorker(workerOpts{
+			shard: *shard, addrs: list, workload: *name, steps: *steps,
+			supervise: *supervise, ckptDir: *ckpt, reborn: *reborn,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)
 			os.Exit(1)

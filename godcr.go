@@ -252,6 +252,12 @@ var (
 	// NewTCPTransport builds one endpoint of a multi-process cluster;
 	// Addrs[i] is node i's listen address, Self this process's id.
 	NewTCPTransport = cluster.NewTCPTransport
+	// ErrReviveTimeout reports that a recovery's revive barrier expired
+	// before every peer process acknowledged the new epoch
+	// (TCPOptions.ReviveTimeout). RunSupervised retries it — by the next
+	// attempt the process supervisor has usually respawned the dead
+	// worker and the barrier completes.
+	ErrReviveTimeout = cluster.ErrReviveTimeout
 )
 
 // RNG is the replicable counter-based random stream (Philox4x32-10).

@@ -46,6 +46,14 @@ type Message struct {
 	// already serialized it (WireEncode mode); 0 means "estimate at
 	// transmission time".
 	wireLen int
+
+	// epoch, when epochPin is set, fixes the transport epoch the
+	// message is stamped with (and checked against) instead of the
+	// current one: heartbeats pin their detector's epoch so a beat from
+	// a dead epoch cannot keep a crashed shard looking alive across a
+	// Revive. Inbound frames carry their wire epoch here.
+	epoch    uint64
+	epochPin bool
 }
 
 // Handler is an active-message callback. Handlers are invoked on their
@@ -365,7 +373,14 @@ func (c *Cluster) Revive() (uint64, error) {
 		c.stopClosed = false
 	}
 	c.stopMu.Unlock()
-	epoch := c.epoch.Add(1)
+	cur := c.epoch.Load()
+	if !c.epoch.CompareAndSwap(cur, cur+1) {
+		// A remote peer's revive raced this call: Revived already
+		// adopted a newer epoch and performed the reset below. Join the
+		// winner rather than minting a competing epoch.
+		return c.epoch.Load(), nil
+	}
+	epoch := cur + 1
 	c.intr.Store(nil)
 	for _, n := range c.nodes {
 		n.mu.Lock()
@@ -376,8 +391,25 @@ func (c *Cluster) Revive() (uint64, error) {
 	if c.faults != nil {
 		c.faults.revive()
 	}
-	c.tr.Revive(epoch)
+	// The transport-level revive barrier: on remote backends this blocks
+	// until every peer has adopted the epoch and acked, so traffic sent
+	// after Revive returns cannot be destroyed by a peer's late wipe.
+	if err := c.tr.Revive(epoch); err != nil {
+		return epoch, fmt.Errorf("cluster: revive: %w", err)
+	}
 	return epoch, nil
+}
+
+// SyncEpoch rendezvouses with remote peer processes on the newest
+// transport epoch before an attempt starts, adopting whatever the
+// cluster agreed on while this process was down or backing off, and
+// returns the epoch in force. On all-local backends it returns the
+// current epoch immediately. timeout <= 0 uses the backend default.
+func (c *Cluster) SyncEpoch(timeout time.Duration) uint64 {
+	if !c.closed.Load() {
+		c.tr.SyncEpoch(timeout)
+	}
+	return c.epoch.Load()
 }
 
 // --- Transport sink ------------------------------------------------------
@@ -401,7 +433,7 @@ func (c *Cluster) Deliver(f *Frame) {
 		}
 		payload = p
 	}
-	c.nodes[f.To].deliver(Message{From: f.From, To: f.To, Tag: f.Tag, Payload: payload})
+	c.nodes[f.To].deliver(Message{From: f.From, To: f.To, Tag: f.Tag, Payload: payload, epoch: f.Epoch, epochPin: true})
 }
 
 // Interrupted implements Sink: a remote process interrupted the
@@ -412,10 +444,11 @@ func (c *Cluster) Interrupted(reason string) {
 
 // Revived implements Sink: a remote process revived the transport into
 // a new epoch. Adopt it — clear the interrupt, discard queued traffic,
-// and reset fault verdicts — mirroring the local half of Revive. (The
-// multi-process revive protocol is best-effort: supervised recovery is
-// exercised on the in-process backend, and a remote revival that races
-// in-flight traffic relies on the epoch gate in Deliver.)
+// and reset fault verdicts — mirroring the local half of Revive. On the
+// TCP backend this adoption runs on the inbound read loop *before* the
+// revive ack returns to the reviver, so when the reviver's barrier
+// releases, every peer's dead-epoch queues are already wiped and late
+// frames from the dead epoch stay dropped by the epoch gate in Deliver.
 func (c *Cluster) Revived(epoch uint64) {
 	if c.closed.Load() {
 		return
@@ -457,6 +490,10 @@ var (
 	ErrTimeout = fmt.Errorf("cluster: receive timed out")
 	// ErrBadPayload wraps payloads that fail wire encoding.
 	ErrBadPayload = fmt.Errorf("cluster: bad payload")
+	// ErrReviveTimeout is returned (wrapped) by Revive when a remote
+	// peer never acknowledged the new epoch within the barrier window —
+	// typically a dead worker process that has not been respawned yet.
+	ErrReviveTimeout = fmt.Errorf("cluster: revive barrier timed out")
 )
 
 var wireTypesMu sync.Mutex
@@ -541,12 +578,18 @@ func (c *Cluster) deliverAfter(msg Message, d time.Duration) {
 }
 
 // transmit hands one message to the backend as a data frame stamped
-// with the current epoch. Fire-and-forget: a backend refusal (closing
+// with the current epoch (or the message's pinned epoch — heartbeats
+// pin their detector's so a stale detector cannot mint fresh-looking
+// beats after a revive). Fire-and-forget: a backend refusal (closing
 // transport, unreachable peer) is indistinguishable from wire loss.
 func (c *Cluster) transmit(msg Message) {
+	ep := c.epoch.Load()
+	if msg.epochPin {
+		ep = msg.epoch
+	}
 	f := &Frame{
 		Kind:    frameData,
-		Epoch:   c.epoch.Load(),
+		Epoch:   ep,
 		Tag:     msg.Tag,
 		Seq:     c.frameSeq.Add(1),
 		From:    msg.From,
@@ -587,8 +630,11 @@ func DecodeWire(b []byte) (any, error) {
 func (n *Node) deliver(msg Message) {
 	if msg.Tag == hbTag {
 		// Heartbeats never reach the queues or handlers; they only feed
-		// the failure detector's arrival history.
-		if hb := n.c.hb.Load(); hb != nil {
+		// the failure detector's arrival history — and only the detector
+		// of the epoch they were beaten in: a beat from a dead epoch
+		// must not keep a crashed shard looking alive across a Revive,
+		// and a fresh beat must not refresh a stale detector.
+		if hb := n.c.hb.Load(); hb != nil && msg.epoch == hb.epoch {
 			hb.observe(msg.From, n.id)
 		}
 		return

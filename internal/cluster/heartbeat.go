@@ -89,6 +89,13 @@ type hbState struct {
 	opts      HeartbeatOptions
 	onSuspect func(*ShardDownError)
 	started   time.Time
+	// epoch is the transport epoch this detector was started in; every
+	// beat it emits is pinned to it, and Node.deliver only feeds it
+	// beats from the same epoch. A detector that outlives a Revive
+	// (stopped a beat later by the unwinding attempt) can therefore
+	// neither mint fresh-looking beats into the new epoch nor consume
+	// the new epoch's beats into stale arrival histories.
+	epoch uint64
 
 	mu        sync.Mutex
 	obs       [][]*hbObserver // [observer][peer]
@@ -113,6 +120,7 @@ func (c *Cluster) StartHeartbeats(opts HeartbeatOptions, onSuspect func(*ShardDo
 		opts:      opts,
 		onSuspect: onSuspect,
 		started:   time.Now(),
+		epoch:     c.epoch.Load(),
 		suspected: make([]bool, len(c.nodes)),
 		stopCh:    make(chan struct{}),
 		done:      make(chan struct{}),
@@ -208,7 +216,7 @@ func (hb *hbState) beat() {
 			if c.faults != nil && !c.faults.hbLive(to) {
 				continue
 			}
-			c.deliverAfter(Message{From: from, To: to, Tag: hbTag}, c.cfg.Latency)
+			c.deliverAfter(Message{From: from, To: to, Tag: hbTag, epoch: hb.epoch, epochPin: true}, c.cfg.Latency)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -129,5 +130,51 @@ func TestHeartbeatSingleNodeNoop(t *testing.T) {
 	stop()
 	if c.Stats().Heartbeats != 0 {
 		t.Fatal("single-node detector emitted beats")
+	}
+}
+
+// TestHeartbeatStaleEpochDropped is the regression for epoch-unaware
+// beats: a revive under in-flight heartbeats must not let the dead
+// epoch's detector keep refreshing liveness. Two holes are closed —
+// the sender pins each beat to its detector's epoch (so a detector
+// that outlives the revive cannot mint fresh-looking beats into the
+// new epoch), and the receiver only feeds a beat to the detector of
+// the epoch it was beaten in.
+func TestHeartbeatStaleEpochDropped(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	stop := c.StartHeartbeats(HeartbeatOptions{Every: time.Millisecond}, nil)
+	defer stop()
+
+	// Let beats flow in epoch 0.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := c.LastSeen(0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no heartbeat ever observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Revive into epoch 1 while the epoch-0 detector keeps beating.
+	c.Interrupt(errors.New("shard down"))
+	if _, err := c.Revive(); err != nil {
+		t.Fatalf("Revive: %v", err)
+	}
+	t1, _ := c.LastSeen(0)
+	time.Sleep(20 * time.Millisecond) // ~20 beat intervals in the dead epoch
+	t2, _ := c.LastSeen(0)
+	if t2.After(t1) {
+		t.Fatalf("dead-epoch beats still refresh liveness after the revive (last seen advanced %v)", t2.Sub(t1))
+	}
+
+	// Receive-side check: a current-epoch heartbeat frame must not feed
+	// a stale detector's arrival history either.
+	c.Deliver(&Frame{Kind: frameData, Epoch: c.Epoch(), Tag: hbTag, From: 0, To: 1})
+	t3, _ := c.LastSeen(0)
+	if t3.After(t2) {
+		t.Fatal("stale detector observed a beat from the new epoch")
 	}
 }

@@ -12,8 +12,14 @@ package cluster
 // connection, and peers that start later than their clients are
 // absorbed by the same retry loop (the launcher can start processes in
 // any order). Each established connection opens with a hello frame
-// carrying the sender id and cluster size; mismatches close the
-// connection rather than corrupting the stream.
+// carrying the sender id, cluster size, and current epoch; mismatches
+// close the connection rather than corrupting the stream.
+//
+// The transport also carries the cluster's revive protocol: Revive is
+// an acked, epoch-numbered barrier (every peer adopts the new epoch —
+// wiping its dead-epoch queues — before acking), and SyncEpoch is the
+// rendezvous a (re)spawned process runs before an attempt so it joins
+// the cluster's current epoch instead of starting in a dead one.
 
 import (
 	"encoding/binary"
@@ -44,6 +50,12 @@ type TCPOptions struct {
 	// peer that is still starting up looks like a slow network.
 	RetryBase time.Duration
 	RetryCap  time.Duration
+	// ReviveTimeout bounds the revive barrier — how long Revive waits
+	// for every peer to acknowledge the new epoch — and is the default
+	// SyncEpoch rendezvous wait. It is the window a dead worker process
+	// has to be respawned before survivors give up on the attempt and
+	// retry from the checkpoint (default 15s).
+	ReviveTimeout time.Duration
 }
 
 // TCPTransport implements Transport over TCP sockets, one process per
@@ -64,6 +76,21 @@ type TCPTransport struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // accepted inbound connections
+
+	// epoch is the newest transport epoch this endpoint has seen —
+	// locally minted by Revive or learned from the wire (revive frames,
+	// hellos, rendezvous replies). Strictly-newer wire epochs surface to
+	// the sink as Revived upcalls (the adoption half of the protocol).
+	epoch atomic.Uint64
+
+	// Control-plane rendezvous state: per-peer revive acks and the
+	// current SyncEpoch round, guarded by ctlMu; ctlCond wakes the
+	// barrier waiters in Revive and SyncEpoch.
+	ctlMu       sync.Mutex
+	ctlCond     *sync.Cond
+	reviveAcked []uint64        // indexed by node id: highest epoch the peer acked
+	syncNonce   uint64          // current rendezvous round (stale replies ignored)
+	syncGot     map[NodeID]bool // peers heard from in the current round
 
 	framesOut  atomic.Uint64
 	bytesOut   atomic.Uint64
@@ -87,7 +114,8 @@ type tcpPeer struct {
 	draining bool
 	closed   bool
 
-	done chan struct{} // closed when the writer goroutine exits
+	done    chan struct{} // closed when the writer goroutine exits
+	drainCh chan struct{} // closed by beginDrain; aborts dial backoff waits
 }
 
 // NewTCPTransport creates a TCP endpoint for node o.Self and starts
@@ -109,6 +137,9 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 	if o.RetryCap <= 0 {
 		o.RetryCap = 500 * time.Millisecond
 	}
+	if o.ReviveTimeout <= 0 {
+		o.ReviveTimeout = 15 * time.Second
+	}
 	ln := o.Listener
 	if ln == nil {
 		var err error
@@ -125,12 +156,15 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 		stop:  make(chan struct{}),
 		conns: make(map[net.Conn]struct{}),
 	}
+	t.ctlCond = sync.NewCond(&t.ctlMu)
+	t.reviveAcked = make([]uint64, len(o.Addrs))
 	t.peers = make([]*tcpPeer, len(o.Addrs))
 	for i, addr := range o.Addrs {
 		if NodeID(i) == o.Self {
 			continue
 		}
-		p := &tcpPeer{t: t, id: NodeID(i), addr: addr, done: make(chan struct{})}
+		p := &tcpPeer{t: t, id: NodeID(i), addr: addr,
+			done: make(chan struct{}), drainCh: make(chan struct{})}
 		p.cond = sync.NewCond(&p.mu)
 		t.peers[i] = p
 		t.wg.Add(1)
@@ -193,9 +227,207 @@ func (t *TCPTransport) Interrupt(reason string) {
 	t.broadcast(&Frame{Kind: frameInterrupt, From: t.self}, []byte(reason))
 }
 
-// Revive implements Transport: broadcast the new epoch to every peer.
-func (t *TCPTransport) Revive(epoch uint64) {
+// tcpCtlRetry paces control-plane rebroadcasts: a revive or rendezvous
+// frame can die with the connection that carried it, so the barrier
+// waiters re-send to unresponsive peers at this cadence.
+const tcpCtlRetry = 250 * time.Millisecond
+
+// Revive implements Transport: broadcast the new epoch to every peer
+// and block until each has acknowledged it. A peer's readLoop adopts
+// the epoch (wiping its dead-epoch queues via the Revived upcall)
+// *before* returning the ack, so when this barrier releases, no peer
+// can destroy post-revive traffic with a late wipe. Frames are
+// re-broadcast every tcpCtlRetry — a peer mid-respawn is absorbed by
+// the retry loop once its listener is back — and the whole wait is
+// bounded by ReviveTimeout.
+func (t *TCPTransport) Revive(epoch uint64) error {
+	t.noteEpoch(epoch)
+	if t.closed.Load() {
+		return ErrClosed
+	}
 	t.broadcast(&Frame{Kind: frameRevive, Epoch: epoch, From: t.self}, nil)
+	deadline := time.Now().Add(t.opts.ReviveTimeout)
+	retry := time.Now().Add(tcpCtlRetry)
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	for {
+		var pending []NodeID
+		for i, acked := range t.reviveAcked {
+			if NodeID(i) != t.self && acked < epoch {
+				pending = append(pending, NodeID(i))
+			}
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		if t.closed.Load() {
+			return ErrClosed
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return fmt.Errorf("%w: epoch %d unacknowledged by nodes %v after %v",
+				ErrReviveTimeout, epoch, pending, t.opts.ReviveTimeout)
+		}
+		if !now.Before(retry) {
+			retry = now.Add(tcpCtlRetry)
+			t.ctlMu.Unlock()
+			for _, id := range pending {
+				t.sendControl(id, &Frame{Kind: frameRevive, Epoch: epoch})
+			}
+			t.ctlMu.Lock()
+			continue
+		}
+		wait := retry.Sub(now)
+		if d := deadline.Sub(now); d < wait {
+			wait = d
+		}
+		t.ctlWaitLocked(wait)
+	}
+}
+
+// SyncEpoch implements Transport: the epoch rendezvous. Every peer is
+// queried for the newest epoch (adopting ours if theirs is older, via
+// the same wire-adoption path revive frames take); replies adopt into
+// our endpoint. The call returns once all peers answered or the
+// timeout passed — so a respawned process cannot start an attempt in a
+// dead epoch, and its peers' rendezvous stalls until it is back up:
+// exactly the attempt-boundary alignment a rebirth needs.
+func (t *TCPTransport) SyncEpoch(timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = t.opts.ReviveTimeout
+	}
+	if t.closed.Load() || len(t.addrs) == 1 {
+		return
+	}
+	t.ctlMu.Lock()
+	t.syncNonce++
+	nonce := t.syncNonce
+	t.syncGot = make(map[NodeID]bool)
+	t.ctlMu.Unlock()
+	req := func(to NodeID) {
+		t.sendControl(to, &Frame{Kind: frameEpochReq, Epoch: t.epoch.Load(), Seq: nonce})
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			req(p.id)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	retry := time.Now().Add(tcpCtlRetry)
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	for {
+		if nonce != t.syncNonce { // a newer rendezvous superseded this one
+			return
+		}
+		if len(t.syncGot) >= len(t.addrs)-1 || t.closed.Load() {
+			return
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if !now.Before(retry) {
+			retry = now.Add(tcpCtlRetry)
+			var missing []NodeID
+			for _, p := range t.peers {
+				if p != nil && !t.syncGot[p.id] {
+					missing = append(missing, p.id)
+				}
+			}
+			t.ctlMu.Unlock()
+			for _, id := range missing {
+				req(id)
+			}
+			t.ctlMu.Lock()
+			continue
+		}
+		wait := retry.Sub(now)
+		if d := deadline.Sub(now); d < wait {
+			wait = d
+		}
+		t.ctlWaitLocked(wait)
+	}
+}
+
+// ctlWaitLocked waits on ctlCond (ctlMu held) for at most d.
+func (t *TCPTransport) ctlWaitLocked(d time.Duration) {
+	timer := time.AfterFunc(d, func() {
+		t.ctlMu.Lock()
+		t.ctlCond.Broadcast()
+		t.ctlMu.Unlock()
+	})
+	t.ctlCond.Wait()
+	timer.Stop()
+}
+
+// noteEpoch records a locally-minted epoch (no sink upcall — the local
+// Cluster already performed its own reset).
+func (t *TCPTransport) noteEpoch(epoch uint64) {
+	for {
+		cur := t.epoch.Load()
+		if epoch <= cur || t.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// adoptEpoch records an epoch learned from the wire; a strictly-newer
+// epoch is surfaced to the sink as a Revived upcall so the endpoint
+// layer performs the revive reset (clear interrupt, wipe dead-epoch
+// queues). Reports false when the transport stopped before the sink
+// was bound.
+func (t *TCPTransport) adoptEpoch(epoch uint64) bool {
+	for {
+		cur := t.epoch.Load()
+		if epoch <= cur {
+			return true
+		}
+		if t.epoch.CompareAndSwap(cur, epoch) {
+			return t.deliver(&Frame{Kind: frameRevive, Epoch: epoch})
+		}
+	}
+}
+
+// Epoch returns the newest transport epoch this endpoint has seen.
+func (t *TCPTransport) Epoch() uint64 { return t.epoch.Load() }
+
+// sendControl queues one control frame for a single peer (acks,
+// rendezvous queries and replies; broadcast handles the fan-out cases).
+func (t *TCPTransport) sendControl(to NodeID, f *Frame) {
+	if t.closed.Load() || int(to) < 0 || int(to) >= len(t.peers) {
+		return
+	}
+	p := t.peers[to]
+	if p == nil {
+		return
+	}
+	f.From = t.self
+	f.To = to
+	p.enqueue(appendFrame(nil, f, nil))
+}
+
+// noteReviveAck records a peer's barrier ack and wakes Revive waiters.
+func (t *TCPTransport) noteReviveAck(from NodeID, epoch uint64) {
+	if int(from) < 0 || int(from) >= len(t.reviveAcked) {
+		return
+	}
+	t.ctlMu.Lock()
+	if epoch > t.reviveAcked[from] {
+		t.reviveAcked[from] = epoch
+	}
+	t.ctlCond.Broadcast()
+	t.ctlMu.Unlock()
+}
+
+// noteEpochAck records a peer's rendezvous reply for the current round.
+func (t *TCPTransport) noteEpochAck(from NodeID, nonce uint64) {
+	t.ctlMu.Lock()
+	if nonce == t.syncNonce && t.syncGot != nil {
+		t.syncGot[from] = true
+	}
+	t.ctlCond.Broadcast()
+	t.ctlMu.Unlock()
 }
 
 func (t *TCPTransport) broadcast(f *Frame, payload []byte) {
@@ -238,6 +470,9 @@ func (t *TCPTransport) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	t.ctlMu.Lock()
+	t.ctlCond.Broadcast() // release Revive/SyncEpoch barrier waiters
+	t.ctlMu.Unlock()
 	for _, p := range t.peers {
 		if p != nil {
 			p.beginDrain()
@@ -343,15 +578,43 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		}
 		t.framesIn.Add(1)
 		t.bytesIn.Add(uint64(len(buf)))
-		if f.Kind == frameHello {
+		switch f.Kind {
+		case frameHello:
 			if f.To != t.self || int(f.From) < 0 || int(f.From) >= len(t.addrs) ||
-				len(f.Wire) != 8 || binary.LittleEndian.Uint64(f.Wire) != uint64(len(t.addrs)) {
+				len(f.Wire) != 16 || binary.LittleEndian.Uint64(f.Wire) != uint64(len(t.addrs)) {
 				return // wrong cluster or wrong endpoint: refuse the stream
 			}
-			continue
-		}
-		if !t.deliver(&f) {
-			return
+			// The hello carries the dialer's epoch: a survivor redialing
+			// a reborn process seeds it with the current epoch even
+			// before any revive frame arrives.
+			if !t.adoptEpoch(binary.LittleEndian.Uint64(f.Wire[8:])) {
+				return
+			}
+		case frameRevive:
+			// Adopt first, ack second — the ordering the barrier rests
+			// on: when the ack releases the remote Revive, this
+			// endpoint's dead-epoch queues are already wiped, so
+			// post-barrier traffic cannot be destroyed by a late wipe.
+			if !t.adoptEpoch(f.Epoch) {
+				return
+			}
+			t.sendControl(f.From, &Frame{Kind: frameReviveAck, Epoch: f.Epoch})
+		case frameReviveAck:
+			t.noteReviveAck(f.From, f.Epoch)
+		case frameEpochReq:
+			if !t.adoptEpoch(f.Epoch) {
+				return
+			}
+			t.sendControl(f.From, &Frame{Kind: frameEpochAck, Epoch: t.epoch.Load(), Seq: f.Seq})
+		case frameEpochAck:
+			if !t.adoptEpoch(f.Epoch) {
+				return
+			}
+			t.noteEpochAck(f.From, f.Seq)
+		default:
+			if !t.deliver(&f) {
+				return
+			}
 		}
 	}
 }
@@ -384,10 +647,14 @@ func (p *tcpPeer) next() (buf []byte, ok bool) {
 }
 
 // beginDrain asks the writer to flush the queue and exit; p.done closes
-// when it has.
+// when it has. Closing drainCh kicks a writer parked in dial backoff —
+// a down peer must not hold the drain hostage.
 func (p *tcpPeer) beginDrain() {
 	p.mu.Lock()
-	p.draining = true
+	if !p.draining {
+		p.draining = true
+		close(p.drainCh)
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -448,8 +715,6 @@ func (p *tcpPeer) run() {
 func (p *tcpPeer) dial() net.Conn {
 	t := p.t
 	backoff := t.opts.RetryBase
-	var hello [8]byte
-	binary.LittleEndian.PutUint64(hello[:], uint64(len(t.addrs)))
 	for {
 		select {
 		case <-t.stop:
@@ -461,6 +726,12 @@ func (p *tcpPeer) dial() net.Conn {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
 			}
+			// The hello is rebuilt per attempt: a redial after a revive
+			// must carry the current epoch, not the one from process
+			// start, so a reborn listener is seeded correctly.
+			var hello [16]byte
+			binary.LittleEndian.PutUint64(hello[:8], uint64(len(t.addrs)))
+			binary.LittleEndian.PutUint64(hello[8:], t.epoch.Load())
 			buf := appendFrame(nil, &Frame{Kind: frameHello, From: t.self, To: p.id}, hello[:])
 			if _, err := conn.Write(buf); err != nil {
 				conn.Close()
@@ -472,6 +743,11 @@ func (p *tcpPeer) dial() net.Conn {
 		}
 		select {
 		case <-t.stop:
+			return nil
+		case <-p.drainCh:
+			// The transport is draining: this link already got its dial
+			// attempt above. Sitting out the backoff against a down peer
+			// would wedge Close for the whole drain deadline.
 			return nil
 		case <-time.After(backoff):
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -226,5 +227,192 @@ func TestStatsBytesWithoutWireEncode(t *testing.T) {
 	// the vector body.
 	if want := uint64(framePrefixLen + frameHeaderLen + 8 + 8*4); st.Bytes < want {
 		t.Fatalf("Stats.Bytes = %d, want >= %d", st.Bytes, want)
+	}
+}
+
+// waitInterrupted polls until every cluster has observed the interrupt
+// (the broadcast crosses real sockets, so propagation is asynchronous).
+func waitInterrupted(t *testing.T, cs []*Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, c := range cs {
+			if c.Err() == nil {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interrupt never propagated to every process")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPReviveBarrier: Revive over TCP is an acked barrier, not a
+// best-effort broadcast. When it returns, every peer process has
+// already adopted the new epoch (clearing its interrupt and wiping its
+// dead-epoch queues), so traffic sent immediately afterwards flows.
+func TestTCPReviveBarrier(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	cs := tcpClusters(t, 3, Config{})
+	cs[0].Interrupt(fmt.Errorf("shard down"))
+	waitInterrupted(t, cs)
+
+	epoch, err := cs[0].Revive()
+	if err != nil {
+		t.Fatalf("Revive: %v", err)
+	}
+	if epoch != 1 {
+		t.Fatalf("Revive epoch = %d, want 1", epoch)
+	}
+	// The barrier guarantee: no polling, no settling sleep — by the time
+	// Revive returned, every peer is in the new epoch with a clean slate.
+	for i, c := range cs {
+		if got := c.Epoch(); got != 1 {
+			t.Fatalf("cluster %d epoch = %d immediately after the barrier, want 1", i, got)
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("cluster %d still interrupted after the barrier: %v", i, err)
+		}
+	}
+	// And post-barrier traffic cannot be destroyed by a late wipe.
+	if err := cs[1].Node(1).Send(2, 7, "fresh epoch"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := cs[2].Node(2).Recv(7, 1)
+	if err != nil || got != "fresh epoch" {
+		t.Fatalf("Recv = %v, %v", got, err)
+	}
+}
+
+// TestTCPReviveBarrierTimeout: a peer that never comes back (its
+// process is dead and nothing respawned it) bounds the barrier at
+// ReviveTimeout with an ErrReviveTimeout the supervisor can classify.
+func TestTCPReviveBarrierTimeout(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	lns[1].Close() // peer 1 is dead and stays dead
+	tr, err := NewTCPTransport(TCPOptions{
+		Self: 0, Addrs: addrs, Listener: lns[0],
+		RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond,
+		ReviveTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	c := NewWithTransport(Config{Nodes: 2}, tr)
+	defer c.Close()
+	c.Interrupt(fmt.Errorf("shard down"))
+
+	start := time.Now()
+	_, err = c.Revive()
+	if !errors.Is(err, ErrReviveTimeout) {
+		t.Fatalf("Revive = %v, want ErrReviveTimeout", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("barrier took %v, want ~ReviveTimeout", d)
+	}
+}
+
+// TestTCPEpochSyncRejoin: a fresh process replacing a dead worker
+// learns the cluster's current epoch from the SyncEpoch rendezvous
+// before running anything — it must not start an attempt in a dead
+// epoch just because it was born at epoch 0.
+func TestTCPEpochSyncRejoin(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	mk := func(i int, ln net.Listener) *Cluster {
+		tr, err := NewTCPTransport(TCPOptions{Self: NodeID(i), Addrs: addrs, Listener: ln,
+			RetryBase: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		return NewWithTransport(Config{Nodes: 2}, tr)
+	}
+	c0, c1 := mk(0, lns[0]), mk(1, lns[1])
+	defer c0.Close()
+
+	c0.Interrupt(fmt.Errorf("shard down"))
+	waitInterrupted(t, []*Cluster{c0, c1})
+	if _, err := c0.Revive(); err != nil {
+		t.Fatalf("Revive: %v", err)
+	}
+
+	// Process 1 dies and is replaced by a fresh one on the same address.
+	c1.Close()
+	var ln1 net.Listener
+	rebind := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		if ln1, err = net.Listen("tcp", addrs[1]); err == nil {
+			break
+		}
+		if time.Now().After(rebind) {
+			t.Skipf("port %s not rebindable: %v", addrs[1], err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c1b := mk(1, ln1)
+	defer c1b.Close()
+	if got := c1b.SyncEpoch(5 * time.Second); got != 1 {
+		t.Fatalf("rejoined process synced to epoch %d, want 1", got)
+	}
+}
+
+// TestTCPCloseDuringDialBackoff is the regression for the stranded
+// writer: Close while a writer goroutine sits in dial backoff against
+// a down peer must abort the wait promptly instead of holding the
+// drain hostage for the full deadline (or the whole backoff).
+func TestTCPCloseDuringDialBackoff(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	lns[1].Close() // peer 1 is down: every dial fails
+	tr, err := NewTCPTransport(TCPOptions{
+		Self: 0, Addrs: addrs, Listener: lns[0],
+		RetryBase: 30 * time.Second, RetryCap: 30 * time.Second, // park the writer
+	})
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	c := NewWithTransport(Config{Nodes: 2}, tr)
+	if err := c.Node(0).Send(1, 1, "never delivered"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the writer fail its dial and enter backoff
+	start := time.Now()
+	c.Close()
+	if d := time.Since(start); d > 1500*time.Millisecond {
+		t.Fatalf("Close took %v with a writer parked in dial backoff", d)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Frame is one transport-level datagram: the versioned wire unit every
@@ -50,7 +51,10 @@ const (
 	frameData      = byte(1) // a logical message
 	frameInterrupt = byte(2) // remote Interrupt broadcast (Wire = reason)
 	frameRevive    = byte(3) // remote Revive broadcast (Epoch = new epoch)
-	frameHello     = byte(4) // connection handshake (Wire = cluster size)
+	frameHello     = byte(4) // connection handshake (Wire = {cluster size, epoch})
+	frameReviveAck = byte(5) // revive barrier acknowledgement (Epoch = acked epoch)
+	frameEpochReq  = byte(6) // epoch rendezvous query (Seq = nonce, Epoch = sender's)
+	frameEpochAck  = byte(7) // epoch rendezvous reply (Seq = echoed nonce)
 )
 
 // Sink is the upcall half of the seam: a bound Cluster receives
@@ -102,9 +106,23 @@ type Transport interface {
 	// Interrupt broadcasts an interrupt to remote processes (no-op on
 	// all-local backends).
 	Interrupt(reason string)
-	// Revive broadcasts a new epoch to remote processes (no-op on
-	// all-local backends).
-	Revive(epoch uint64)
+	// Revive announces a new epoch to remote processes and blocks until
+	// every peer acknowledges it — the revive barrier. When it returns
+	// nil, every remote endpoint has adopted the epoch and wiped its
+	// dead-epoch queues, so traffic the caller sends next cannot land in
+	// a pre-revive queue and be destroyed by a late wipe. All-local
+	// backends return nil immediately; remote backends bound the wait
+	// and return ErrReviveTimeout when a peer never acks (e.g. its
+	// process has not been respawned yet).
+	Revive(epoch uint64) error
+	// SyncEpoch rendezvouses with the remote peers on the newest
+	// transport epoch: it queries every peer, adopts the highest epoch
+	// learned (surfacing it as a Revived upcall), and returns once all
+	// peers have answered or the timeout passed. A process (re)joining a
+	// cluster calls this before an attempt so it cannot start in a dead
+	// epoch. timeout <= 0 selects the backend default; all-local
+	// backends return immediately.
+	SyncEpoch(timeout time.Duration)
 	// Stats snapshots the frame counters.
 	Stats() WireStats
 	// Close releases connections and joins backend goroutines.
@@ -117,7 +135,7 @@ type Transport interface {
 //
 //	u32  length L of everything after this prefix (header + payload)
 //	u8   version (currently 1)
-//	u8   kind (data / interrupt / revive / hello)
+//	u8   kind (data / interrupt / revive / hello / revive-ack / epoch-req / epoch-ack)
 //	u64  epoch
 //	u64  tag
 //	u64  seq
@@ -179,7 +197,7 @@ func decodeFrame(b []byte) (Frame, int, error) {
 		return f, 0, fmt.Errorf("%w: unknown version %d", errBadFrame, h[0])
 	}
 	f.Kind = h[1]
-	if f.Kind < frameData || f.Kind > frameHello {
+	if f.Kind < frameData || f.Kind > frameEpochAck {
 		return f, 0, fmt.Errorf("%w: unknown kind %d", errBadFrame, f.Kind)
 	}
 	f.Epoch = binary.LittleEndian.Uint64(h[2:])
@@ -282,8 +300,12 @@ func (t *MemTransport) Send(f *Frame) error {
 // Interrupt implements Transport (no remote peers: no-op).
 func (t *MemTransport) Interrupt(reason string) {}
 
-// Revive implements Transport (no remote peers: no-op).
-func (t *MemTransport) Revive(epoch uint64) {}
+// Revive implements Transport: with no remote peers the barrier is
+// trivially satisfied.
+func (t *MemTransport) Revive(epoch uint64) error { return nil }
+
+// SyncEpoch implements Transport: no remote peers to rendezvous with.
+func (t *MemTransport) SyncEpoch(timeout time.Duration) {}
 
 // Stats implements Transport. Delivery is synchronous, so the in
 // counters mirror the out counters.

@@ -36,7 +36,10 @@ type Context struct {
 	// attempt even after Resume has started a new one.
 	rs *runState
 	// attempt salts per-attempt wire tags (future pushes, pull replies,
-	// collective generations); identical on all shards of one attempt.
+	// collective generations); identical on all shards of one attempt —
+	// across processes too: it is Runtime.salt, which remote backends
+	// derive from the rendezvoused transport epoch rather than the
+	// process-local attempt counter.
 	attempt uint64
 	// replayTo is the journal frontier to fast-forward through on
 	// Resume (0 = fresh run); epoch, when nonzero, is the transport
@@ -65,7 +68,7 @@ func newContext(rt *Runtime, shard int) *Context {
 		random:  rng.New(rt.cfg.Seed ^ 0x9E3779B9),
 		prog:    rt.progress[shard],
 		rs:      rt.run.Load(),
-		attempt: rt.attempt.Load(),
+		attempt: rt.salt.Load(),
 	}
 }
 

@@ -213,6 +213,16 @@ type Runtime struct {
 	// one's after the transport is revived.
 	attempt atomic.Uint64
 
+	// salt is the tag/collective salt in force for the current attempt.
+	// On an all-local backend it is the attempt counter. On a remote
+	// backend it is derived from the transport epoch agreed at the
+	// attempt boundary (SyncEpoch): local attempt counts diverge across
+	// processes — a respawned worker starts its counter at zero, and a
+	// survivor may burn extra attempts on revive-barrier timeouts — but
+	// the epoch is rendezvoused cluster-wide, so every process salts
+	// identically.
+	salt atomic.Uint64
+
 	// journal is the current attempt's control journal (nil unless
 	// cfg.Journal); set before shards start, read-only afterwards.
 	journal *Journal
@@ -322,6 +332,27 @@ func (rt *Runtime) RegisterTask(name string, fn TaskFn) {
 
 // Shutdown releases the runtime's cluster.
 func (rt *Runtime) Shutdown() { rt.clust.Close() }
+
+// remote reports whether this process drives only a subset of the
+// shards — i.e. the runtime sits on a multi-process transport and peer
+// processes drive the rest.
+func (rt *Runtime) remote() bool { return len(rt.localShards) != rt.cfg.Shards }
+
+// AnnounceRebirth interrupts the whole cluster so every process
+// abandons its in-flight attempt and rendezvouses in a fresh epoch. A
+// process supervisor calls it in a respawned worker before
+// RunSupervised: a live attempt cannot absorb a newcomer mid-flight —
+// collective call counters align only when every shard enters the
+// attempt together — so rebirth forces a cluster-wide restart, after
+// which every process resumes from its freshest checkpoint and the
+// replay converges bit-identically. Harmless when no attempt is live.
+func (rt *Runtime) AnnounceRebirth() {
+	// Wrapping ErrInterrupted matters: the announcing process's own
+	// first attempt fails with this very error (its cluster is poisoned
+	// too), and the supervisor must classify that as recoverable so the
+	// reborn joins the restart round it just demanded.
+	rt.clust.Interrupt(fmt.Errorf("%w: core: process reborn, restarting cluster from checkpoints", cluster.ErrInterrupted))
+}
 
 // Stats returns a snapshot of the runtime counters.
 func (rt *Runtime) Stats() Stats {
@@ -490,6 +521,20 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	default:
 		rt.journal = nil
 	}
+	remote := rt.remote()
+	if remote {
+		// Multi-process attempt boundary: rendezvous with the peer
+		// processes on the newest transport epoch before anything runs.
+		// A reborn process adopts the survivors' epoch here (so its
+		// JoinEpoch barrier and tag salts agree with theirs); a survivor
+		// whose own Revive lost the race picks up the winner's epoch.
+		epoch = rt.clust.SyncEpoch(0)
+	}
+	salt := rt.attempt.Load()
+	if remote {
+		salt = epoch + 1
+	}
+	rt.salt.Store(salt)
 	// The attempt's checkpoint baseline is what it resumed from (its
 	// journal already holds that prefix); a fresh attempt starts with
 	// none. A failed attempt's cuts must never survive this boundary.
@@ -618,5 +663,5 @@ func (rt *Runtime) TransportStats() cluster.Stats { return rt.clust.Stats() }
 // tag space, salted with the current attempt's generation so that a
 // resumed run's collectives can never alias an aborted attempt's.
 func (rt *Runtime) comm(shard int, space uint64) *collective.Comm {
-	return collective.NewGen(rt.clust.Node(cluster.NodeID(shard)), space, rt.attempt.Load())
+	return collective.NewGen(rt.clust.Node(cluster.NodeID(shard)), space, rt.salt.Load())
 }

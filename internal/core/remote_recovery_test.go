@@ -1,0 +1,185 @@
+package core
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+	"godcr/internal/testutil"
+)
+
+// Remote supervised recovery: the full multi-process story, exercised
+// in-process with real TCP transports — one runtime per shard, each
+// behind its own loopback socket, exactly the shape of n OS processes
+// (cmd/godcr-node -launch -supervise drives the literal-SIGKILL
+// version; `make chaos-multiproc` soaks it). A victim runtime is torn
+// down abruptly mid-run — its sockets die with it, which is all a
+// SIGKILL leaves behind — the survivors' phi detectors convict it,
+// their supervisors heal the transport through the acked revive
+// barrier, and a fresh runtime rebinds the victim's port, loads its
+// spilled checkpoint, rendezvouses on the cluster's epoch, and resumes
+// — converging to outputs and a ControlHash bit-identical to the
+// in-process baseline.
+
+// remoteRecoveryConfig is the per-process runtime config the multi-
+// process recovery tests use: periodic spilled checkpoints, fast
+// heartbeats, and a generous watchdog backstop.
+func remoteRecoveryConfig(shards int, tr cluster.Transport, ckptDir string) Config {
+	return Config{
+		Shards:          shards,
+		SafetyChecks:    true,
+		Transport:       tr,
+		CheckpointEvery: 4,
+		CheckpointDir:   ckptDir,
+		HeartbeatEvery:  5 * time.Millisecond,
+		OpDeadline:      10 * time.Second,
+	}
+}
+
+// remoteRecoveryPolicy keeps every process's backoff schedule identical
+// (same jitter seed) and shorter than the phi conviction window, so
+// processes between attempts are not mistaken for dead ones.
+func remoteRecoveryPolicy() SupervisorPolicy {
+	return SupervisorPolicy{
+		MaxRestarts: 8,
+		Backoff:     5 * time.Millisecond,
+		BackoffCap:  40 * time.Millisecond,
+		JitterSeed:  1,
+	}
+}
+
+func TestRemoteSupervisedRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-runtime recovery soak")
+	}
+	testutil.CheckGoroutines(t)
+	const shards = 3
+	const ncells, ntiles, nsteps = 64, 8, 12
+	build := func(out *vecCell) Program {
+		return stencil1DProgram(ncells, ntiles, nsteps, 1.0, func(state, flux []float64) error {
+			return out.record(append(append([]float64(nil), state...), flux...))
+		})
+	}
+
+	// Baseline: the undisturbed in-process backend.
+	var base vecCell
+	brt := runProgram(t, Config{Shards: shards, SafetyChecks: true}, registerStencilTasks, build(&base))
+	wantOut, wantHash := base.get(), brt.ControlHash()
+	if wantHash == ([2]uint64{}) {
+		t.Fatal("zero baseline control hash")
+	}
+
+	// One listener, transport, checkpoint dir, and runtime per shard.
+	lns := make([]net.Listener, shards)
+	addrs := make([]string, shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	dirs := make([]string, shards)
+	for i := range dirs {
+		dirs[i] = filepath.Join(t.TempDir(), "ckpt")
+	}
+	mkTransport := func(i int, ln net.Listener) *cluster.TCPTransport {
+		tr, err := cluster.NewTCPTransport(cluster.TCPOptions{
+			Self: cluster.NodeID(i), Addrs: addrs, Listener: ln,
+		})
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		return tr
+	}
+
+	const victim = 0 // shard 0: the journal recorder, the hardest rebirth
+	rts := make([]*Runtime, shards)
+	outs := make([]*vecCell, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := range rts {
+		rts[i] = NewRuntime(remoteRecoveryConfig(shards, mkTransport(i, lns[i]), dirs[i]))
+		registerStencilTasks(rts[i])
+		outs[i] = &vecCell{}
+	}
+	for i := 1; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = rts[i].RunSupervised(build(outs[i]), remoteRecoveryPolicy())
+		}(i)
+	}
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		rts[victim].RunSupervised(build(outs[victim]), remoteRecoveryPolicy())
+	}()
+
+	// Kill the victim as soon as it has spilled a checkpoint, so the
+	// death lands mid-run with recoverable state on disk.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if cp, err := LoadCheckpoint(dirs[victim]); err == nil && cp != nil && cp.Frontier > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never spilled a checkpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rts[victim].Shutdown() // the in-test SIGKILL: sockets die, no goodbye
+	<-victimDone           // the killed process's error is irrelevant
+
+	// Respawn: rebind the victim's port (the dying transport releases it
+	// asynchronously) and start a fresh runtime on the same address and
+	// checkpoint dir — what the process supervisor does for real.
+	var ln net.Listener
+	rebind := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if ln, err = net.Listen("tcp", addrs[victim]); err == nil {
+			break
+		}
+		if time.Now().After(rebind) {
+			t.Skipf("port %s not rebindable: %v", addrs[victim], err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rts[victim] = NewRuntime(remoteRecoveryConfig(shards, mkTransport(victim, ln), dirs[victim]))
+	registerStencilTasks(rts[victim])
+	outs[victim] = &vecCell{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[victim] = rts[victim].RunSupervised(build(outs[victim]), remoteRecoveryPolicy())
+	}()
+
+	wg.Wait()
+	for i := range rts {
+		if errs[i] != nil {
+			t.Fatalf("shard %d: %v", i, errs[i])
+		}
+	}
+	for i := range rts {
+		if got := rts[i].ControlHash(); got != wantHash {
+			t.Fatalf("shard %d control hash %x, want %x", i, got, wantHash)
+		}
+		vals := outs[i].get()
+		if len(vals) != len(wantOut) {
+			t.Fatalf("shard %d has %d outputs, want %d", i, len(vals), len(wantOut))
+		}
+		for j := range wantOut {
+			if vals[j] != wantOut[j] {
+				t.Fatalf("shard %d output[%d] = %v, want %v", i, j, vals[j], wantOut[j])
+			}
+		}
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+}

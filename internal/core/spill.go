@@ -71,7 +71,24 @@ func WriteCheckpointFile(dir string, cp *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointFileName)); err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
+	// The rename is atomic but not durable until the *directory* entry
+	// is synced: fsyncing only the data file leaves a window where power
+	// loss forgets the rename and the checkpoint vanishes.
+	if err := fsyncDir(dir); err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
 	return nil
+}
+
+// fsyncDir syncs a directory's entry table after a rename. A package
+// variable so the regression test can observe and fail the call.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadCheckpoint reads the spilled checkpoint from dir, or (nil, nil)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -179,5 +181,77 @@ func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
 	}
 	if _, err := LoadCheckpoint(dir); err == nil {
 		t.Fatal("LoadCheckpoint accepted a corrupt file")
+	}
+}
+
+// TestWriteCheckpointFileSyncsDir is the durability regression: the
+// atomic spill must fsync the *parent directory* after the rename —
+// fsyncing only the data file leaves a window where power loss forgets
+// the rename and the checkpoint vanishes.
+func TestWriteCheckpointFileSyncsDir(t *testing.T) {
+	dir := t.TempDir()
+	var synced []string
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	cp := &Checkpoint{Shards: 2, Journal: newJournal()}
+	if err := WriteCheckpointFile(dir, cp); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("directory fsyncs = %v, want exactly [%q] after the rename", synced, dir)
+	}
+	if got, err := LoadCheckpoint(dir); err != nil || got == nil {
+		t.Fatalf("LoadCheckpoint after synced spill = %v, %v", got, err)
+	}
+	// A failing directory fsync is a failed spill, not a silent success.
+	fsyncDir = func(string) error { return errors.New("dir sync failed") }
+	if err := WriteCheckpointFile(dir, cp); err == nil {
+		t.Fatal("WriteCheckpointFile swallowed the directory fsync failure")
+	}
+}
+
+// TestSupervisorSurfacesSpillError: when spilling fails, the failure
+// must ride the supervisor's attempt history (AttemptFailure.SpillErr)
+// instead of being visible only to SpillError() polling — an operator
+// reading the SupervisorError sees that recovery ran on a broken disk.
+func TestSupervisorSurfacesSpillError(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	dir := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(Config{
+		Shards:          4,
+		SafetyChecks:    true,
+		CheckpointEvery: 4,
+		CheckpointDir:   dir,
+		OpDeadline:      5 * time.Second,
+	})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	rt.testPerturb = func(shard int, seq uint64) uint64 {
+		if shard == 1 && seq == 14 {
+			return 0xBAD // permanently broken shard: the supervisor gives up
+		}
+		return 0
+	}
+	err := rt.RunSupervised(
+		stencil1DProgram(64, 4, 6, 1.0, func(_, _ []float64) error { return nil }),
+		SupervisorPolicy{MaxRestarts: 1, Backoff: time.Millisecond})
+	var se *SupervisorError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SupervisorError", err)
+	}
+	for i, f := range se.History {
+		if f.SpillErr == nil {
+			t.Fatalf("history[%d] carries no SpillErr although every spill failed", i)
+		}
+	}
+	if !strings.Contains(se.Error(), "spill failing") {
+		t.Fatalf("SupervisorError text omits the spill failure: %v", se)
 	}
 }

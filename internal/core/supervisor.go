@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 	"time"
 
@@ -86,6 +87,12 @@ type AttemptFailure struct {
 	// Frontier is the checkpoint frontier recovery restarted from (or
 	// would have, for the final failure).
 	Frontier uint64
+	// SpillErr is the checkpoint-spill failure in force when the attempt
+	// failed (Runtime.SpillError at classification time); nil when the
+	// spill path is healthy or disabled. A supervisor silently
+	// restarting from a stale cut because the disk is failing is worth
+	// surfacing alongside the failure itself.
+	SpillErr error
 }
 
 // SupervisorError is RunSupervised's permanent-failure verdict: the
@@ -104,6 +111,9 @@ func (e *SupervisorError) Error() string {
 	fmt.Fprintf(&b, "core: supervisor gave up after %d failed attempt(s)", e.Attempts)
 	for _, f := range e.History {
 		fmt.Fprintf(&b, "; attempt %d (frontier %d): %v", f.Attempt, f.Frontier, f.Err)
+		if f.SpillErr != nil {
+			fmt.Fprintf(&b, " [spill failing: %v]", f.SpillErr)
+		}
 	}
 	return b.String()
 }
@@ -138,15 +148,37 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 		// A previous process of this run spilled a checkpoint
 		// (Config.CheckpointDir): resume from it instead of starting
 		// cold — whole-process crash recovery.
+		if rt.remote() {
+			// On a multi-process backend the spill means this process was
+			// reborn into a possibly-live cluster. Announce the rebirth so
+			// the survivors abandon their attempt and everyone resumes
+			// together in a fresh epoch (see AnnounceRebirth).
+			rt.AnnounceRebirth()
+		}
 		err = rt.Resume(cp, program)
 	} else {
 		err = rt.Execute(program)
 	}
+	var spillLogged map[string]bool
 	for attempt := 1; err != nil; attempt++ {
 		cp, recoverable := rt.recoveryPoint(err)
 		failure := AttemptFailure{Attempt: attempt, Err: err}
 		if cp != nil {
 			failure.Frontier = cp.Frontier
+		}
+		if sp := rt.SpillError(); sp != nil {
+			// Spilling is best-effort, but a supervisor restarting while
+			// the spill path is broken must not be silent about it: the
+			// error rides the attempt history and is logged once per
+			// distinct failure.
+			failure.SpillErr = sp
+			if !spillLogged[sp.Error()] {
+				if spillLogged == nil {
+					spillLogged = make(map[string]bool)
+				}
+				spillLogged[sp.Error()] = true
+				log.Printf("core: supervisor: checkpoint spill failing (recovery may restart from a stale cut): %v", sp)
+			}
 		}
 		history = append(history, failure)
 		if !recoverable {
@@ -189,15 +221,38 @@ func (rt *Runtime) recoveryPoint(err error) (cp *Checkpoint, recoverable bool) {
 			cp = cp.truncate(div.OpIndex - 1)
 		}
 		return cp, true
+	case errors.Is(err, cluster.ErrInterrupted):
+		// A transport interrupt without a more specific local verdict:
+		// a peer process aborted its attempt (remote interrupts relay the
+		// reason as text — the peer's own supervisor owns the root-cause
+		// classification) or a reborn process demanded a cluster-wide
+		// restart. Rejoin the recovery round from the freshest
+		// checkpoint; a peer's truly unrecoverable failure burns this
+		// process's restart budget and gives up at MaxRestarts.
+		return rt.fallbackCheckpoint(), true
+	case errors.Is(err, cluster.ErrReviveTimeout):
+		// The resume's revive barrier timed out: a dead peer process had
+		// not been respawned within the window. Retry the same recovery —
+		// by the next attempt the process supervisor has usually brought
+		// the worker back and the barrier completes.
+		return rt.fallbackCheckpoint(), true
 	}
 	return nil, false
 }
 
-// fallbackCheckpoint is the freshest periodic checkpoint, or an empty
-// one (frontier 0: full deterministic re-execution on the healed
-// transport) when none has been cut.
+// fallbackCheckpoint is the freshest checkpoint available to this
+// attempt — the in-memory periodic cut or, when it is further along,
+// the spilled on-disk image (per-attempt checkpoint selection: an
+// attempt that failed before its first cut still has the previous
+// attempt's spill on disk, and a frontier-0 restart would throw that
+// progress away). With neither, an empty checkpoint: full
+// deterministic re-execution on the healed transport.
 func (rt *Runtime) fallbackCheckpoint() *Checkpoint {
-	if cp := rt.LatestCheckpoint(); cp != nil {
+	cp := rt.LatestCheckpoint()
+	if disk := rt.loadSpilledCheckpoint(); disk != nil && (cp == nil || disk.Frontier > cp.Frontier) {
+		cp = disk
+	}
+	if cp != nil {
 		return cp
 	}
 	return &Checkpoint{Shards: rt.cfg.Shards, Journal: newJournal()}

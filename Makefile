@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial bench bench-json fuzz
 
 all: vet build test
 
@@ -56,6 +56,19 @@ chaos-multiproc:
 	./bin/godcr-node -launch -supervise -n 4 -kill 2 -seed 3 -workload stencil -steps 30
 	$(GO) test -race -count=1 -run 'RemoteSupervisedRecovery|TCPReviveBarrier|TCPEpochSync|TCPCloseDuringDialBackoff|HeartbeatStaleEpoch' \
 		./internal/cluster ./internal/core
+
+# Partial-restart soak: seeded single-shard SIGKILL over real OS
+# processes with -partial (survivors park at their frontier and
+# re-serve; only the dead shard re-executes its gap), including a
+# multi-shard-per-process topology, plus the in-process partial matrix
+# (determinism, history scope, forced escalation, replay-buffer
+# overflow) under the race detector.
+chaos-partial:
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -launch -supervise -partial -n 4 -kill 1 -seed 7 -workload stencil -steps 30
+	./bin/godcr-node -launch -supervise -partial -n 4 -kill 2 -seed 11 -workload circuit -steps 24
+	./bin/godcr-node -launch -supervise -partial -n 4 -procs 2 -kill 1 -seed 5 -workload stencil -steps 30
+	$(GO) test -race -count=1 -run 'TestPartial' ./internal/core
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

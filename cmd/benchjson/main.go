@@ -11,8 +11,10 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"godcr"
 )
@@ -43,8 +45,21 @@ type record struct {
 	// shard behind its own TCP-loopback endpoint (gob payload encode +
 	// framing + socket hop per message) versus the in-process backend's
 	// synchronous handoff, in percent of a full workload execution.
-	TCPLoopbackOverheadPct float64  `json:"tcp_loopback_overhead_pct"`
-	Results                []result `json:"results"`
+	TCPLoopbackOverheadPct float64 `json:"tcp_loopback_overhead_pct"`
+	// RecoveryFullNs / RecoveryPartialNs are the median wall-clock from
+	// a mid-run shard death (stencil@4 over TCP loopback, one shard's
+	// cluster torn down after its first checkpoint spill, then respawned
+	// reborn on the same address) to every shard completing, under the
+	// classic full rollback vs Config.PartialRestart. Partial must come
+	// in under full: survivors skip their retained prefix instead of
+	// re-executing it, and the replay window's fence barriers are served
+	// from the park instead of re-crossing the wire.
+	RecoveryFullNs    int64 `json:"recovery_full_ns"`
+	RecoveryPartialNs int64 `json:"recovery_partial_ns"`
+	// RecoveryPartialSavingsPct is how much of the full-restart recovery
+	// latency the partial path saves, in percent.
+	RecoveryPartialSavingsPct float64  `json:"recovery_partial_savings_pct"`
+	Results                   []result `json:"results"`
 }
 
 func registerStencilTasks(rt *godcr.Runtime) {
@@ -196,6 +211,166 @@ func runCircuit(cfg godcr.Config, nnodes, ntiles, nsteps int) error {
 	})
 }
 
+// recoveryLatency measures one mid-run shard-death recovery: four
+// supervised single-shard runtimes over TCP loopback, shard `victim`'s
+// cluster torn down abruptly once its first periodic checkpoint has
+// spilled (no goodbye, like a SIGKILL), then respawned reborn on the
+// same address and checkpoint directory. Returns the wall-clock from
+// the kill to the last shard completing. With partial=true the
+// survivors must actually recover through the partial path (the row
+// would be mislabeled otherwise).
+func recoveryLatency(partial bool, steps int) (time.Duration, error) {
+	const shards = 4
+	const victim = 1
+	lns := make([]net.Listener, shards)
+	addrs := make([]string, shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	dirs := make([]string, shards)
+	for i := range dirs {
+		d, err := os.MkdirTemp("", "godcr-bench-ckpt-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(d)
+		dirs[i] = d
+	}
+	mkRuntime := func(i int, ln net.Listener) (*godcr.Runtime, error) {
+		tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
+			Self: godcr.NodeID(i), Addrs: addrs, Listener: ln,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt := godcr.NewRuntime(godcr.Config{
+			Shards:          shards,
+			Transport:       tr,
+			CheckpointEvery: 4,
+			CheckpointDir:   dirs[i],
+			HeartbeatEvery:  5 * time.Millisecond,
+			OpDeadline:      10 * time.Second,
+			PartialRestart:  partial,
+		})
+		registerStencilTasks(rt)
+		return rt, nil
+	}
+	pol := godcr.SupervisorPolicy{MaxRestarts: 8, Backoff: 10 * time.Millisecond, JitterSeed: 42}
+	rts := make([]*godcr.Runtime, shards)
+	for i := range rts {
+		rt, err := mkRuntime(i, lns[i])
+		if err != nil {
+			return 0, err
+		}
+		rts[i] = rt
+	}
+	prog := stencilProgram(8, steps)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		if i == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = rts[i].RunSupervised(prog, pol)
+		}(i)
+	}
+	victimDone := make(chan struct{})
+	go func() {
+		defer close(victimDone)
+		rts[victim].RunSupervised(prog, pol) // dies mid-run; error expected
+	}()
+	// Kill once the victim's own recorder has spilled a cut with
+	// progress — a mid-run death with a usable on-disk resume point.
+	spillBy := time.Now().Add(20 * time.Second)
+	for {
+		if cp, err := godcr.LoadCheckpoint(dirs[victim]); err == nil && cp != nil && cp.Frontier > 0 {
+			break
+		}
+		if time.Now().After(spillBy) {
+			return 0, fmt.Errorf("victim never spilled a checkpoint")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	killed := time.Now()
+	rts[victim].Shutdown()
+	<-victimDone
+	// Respawn reborn: same address, same checkpoint directory.
+	var ln net.Listener
+	rebindBy := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		if ln, err = net.Listen("tcp", addrs[victim]); err == nil {
+			break
+		}
+		if time.Now().After(rebindBy) {
+			return 0, fmt.Errorf("rebind %s: %v", addrs[victim], err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	reborn, err := mkRuntime(victim, ln)
+	if err != nil {
+		return 0, err
+	}
+	rts[victim] = reborn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[victim] = rts[victim].RunSupervised(prog, pol)
+	}()
+	wg.Wait()
+	lat := time.Since(killed)
+	for i, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	hash := rts[0].ControlHash()
+	for i := 1; i < shards; i++ {
+		if rts[i].ControlHash() != hash {
+			return 0, fmt.Errorf("control hash split after recovery")
+		}
+	}
+	if partial {
+		var partials uint64
+		for i, rt := range rts {
+			if i == victim {
+				continue
+			}
+			partials += rt.Stats().PartialRestarts
+		}
+		if partials == 0 {
+			return 0, fmt.Errorf("partial restart did not engage")
+		}
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	return lat, nil
+}
+
+// recoveryMedian repeats recoveryLatency and returns the median, which
+// shrugs off one unlucky detector/backoff alignment.
+func recoveryMedian(partial bool, steps, reps int) (time.Duration, error) {
+	lats := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		lat, err := recoveryLatency(partial, steps)
+		if err != nil {
+			return 0, err
+		}
+		lats = append(lats, lat)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)/2], nil
+}
+
 func bench(name string, fn func() error) result {
 	r := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -237,6 +412,28 @@ func main() {
 	rec.JournalOverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
 	rec.CheckpointOverheadPct = 100 * (float64(ckpt.NsPerOp) - float64(on.NsPerOp)) / float64(on.NsPerOp)
 	rec.TCPLoopbackOverheadPct = 100 * (float64(tcp.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
+
+	const recoveryReps = 5
+	full, err := recoveryMedian(false, 40, recoveryReps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: recovery/full:", err)
+		os.Exit(1)
+	}
+	part, err := recoveryMedian(true, 40, recoveryReps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: recovery/partial:", err)
+		os.Exit(1)
+	}
+	rec.RecoveryFullNs = full.Nanoseconds()
+	rec.RecoveryPartialNs = part.Nanoseconds()
+	rec.RecoveryPartialSavingsPct = 100 * (float64(full.Nanoseconds()) - float64(part.Nanoseconds())) / float64(full.Nanoseconds())
+	rec.Results = append(rec.Results,
+		result{Name: "recovery/stencil/shards=4/scope=full", NsPerOp: full.Nanoseconds(), Runs: recoveryReps},
+		result{Name: "recovery/stencil/shards=4/scope=partial", NsPerOp: part.Nanoseconds(), Runs: recoveryReps})
+	if part >= full {
+		fmt.Fprintf(os.Stderr, "benchjson: partial recovery (%v) not below full (%v)\n", part, full)
+		os.Exit(1)
+	}
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

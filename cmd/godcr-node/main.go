@@ -30,6 +30,18 @@
 // chosen workers mid-run (seeded, reproducible), respawns each victim
 // with -reborn on the same address and checkpoint directory, and still
 // demands bit-identical convergence against the in-process baseline.
+//
+// Multi-shard hosting and partial restart:
+//
+//	godcr-node -launch -n 4 -procs 2 -workload circuit
+//	godcr-node -launch -supervise -partial -n 4 -kill 1 -workload stencil -steps 30
+//
+// -procs splits the n shards contiguously across fewer processes (each
+// hosting several shards behind one listener — one failure domain); a
+// worker can be given its group directly with -shards 2,3. -partial
+// enables partial restart: a SIGKILL'd process re-executes only its
+// hosted shard(s) from checkpoint while the survivors park at their
+// frontier and re-serve, instead of the whole cluster rolling back.
 package main
 
 import (
@@ -53,7 +65,10 @@ import (
 
 // report is a worker's machine-readable verdict on stdout.
 type report struct {
-	Shard    int    `json:"shard"`
+	Shard int `json:"shard"`
+	// Hosted lists every shard id this process drove (multi-shard
+	// hosting); just [Shard] for a single-shard worker.
+	Hosted   []int  `json:"hosted"`
 	Shards   int    `json:"shards"`
 	Workload string `json:"workload"`
 	// Hash is the run's ControlHash as two hex words (strings: JSON
@@ -235,14 +250,22 @@ func circuitProgram(out *agreeCell, steps int) godcr.Program {
 
 // workerOpts configures one worker process's run.
 type workerOpts struct {
-	shard    int
+	shard int
+	// hosted lists every shard id this process drives (multi-shard
+	// hosting: one process, one failure domain); empty means just
+	// shard. Every hosted id must map to this process's address in
+	// addrs.
+	hosted   []int
 	addrs    []string
 	workload string
 	steps    int
 	// supervise runs the shard under RunSupervised with heartbeats, the
 	// watchdog, and checkpoints spilled to ckptDir.
 	supervise bool
-	ckptDir   string
+	// partial enables partial restart: a single-shard failure re-executes
+	// only on the failed shard while survivors park and re-serve.
+	partial bool
+	ckptDir string
 	// reborn marks a respawned worker: it announces its rebirth so the
 	// survivors abandon their in-flight attempt and the whole cluster
 	// resumes from checkpoints in a fresh epoch.
@@ -259,9 +282,18 @@ func runWorker(o workerOpts) (*report, error) {
 	if steps <= 0 {
 		steps = wl.defaultSteps
 	}
+	hosted := o.hosted
+	if len(hosted) == 0 {
+		hosted = []int{o.shard}
+	}
+	ids := make([]godcr.NodeID, len(hosted))
+	for i, s := range hosted {
+		ids[i] = godcr.NodeID(s)
+	}
 	tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
-		Self:  godcr.NodeID(o.shard),
-		Addrs: o.addrs,
+		Self:   godcr.NodeID(o.shard),
+		Shards: ids,
+		Addrs:  o.addrs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -276,6 +308,7 @@ func runWorker(o workerOpts) (*report, error) {
 		cfg.CheckpointDir = o.ckptDir
 		cfg.HeartbeatEvery = 5 * time.Millisecond
 		cfg.OpDeadline = 10 * time.Second
+		cfg.PartialRestart = o.partial
 	}
 	rt := godcr.NewRuntime(cfg)
 	defer rt.Shutdown()
@@ -306,6 +339,7 @@ func runWorker(o workerOpts) (*report, error) {
 	}
 	return &report{
 		Shard:    o.shard,
+		Hosted:   hosted,
 		Shards:   len(o.addrs),
 		Workload: o.workload,
 		Hash:     hashWords(rt.ControlHash()),
@@ -361,8 +395,9 @@ func reservePorts(n int) ([]string, error) {
 	return addrs, nil
 }
 
-// procRegistry tracks the live worker processes so the chaos killer can
-// pick victims and the respawn loops can unregister the dead.
+// procRegistry tracks the live worker processes (by process index) so
+// the chaos killer can pick victims and the respawn loops can
+// unregister the dead.
 type procRegistry struct {
 	mu    sync.Mutex
 	procs map[int]*os.Process
@@ -372,36 +407,36 @@ func newProcRegistry() *procRegistry {
 	return &procRegistry{procs: make(map[int]*os.Process)}
 }
 
-func (r *procRegistry) set(shard int, p *os.Process) {
+func (r *procRegistry) set(pi int, p *os.Process) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.procs[shard] = p
+	r.procs[pi] = p
 }
 
-func (r *procRegistry) clear(shard int) {
+func (r *procRegistry) clear(pi int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	delete(r.procs, shard)
+	delete(r.procs, pi)
 }
 
-// pick returns a live victim chosen by idx over the registry's shards
-// in ascending order, or nil if no worker is live.
+// pick returns a live victim chosen by idx over the registry's process
+// indices in ascending order, or nil if no worker is live.
 func (r *procRegistry) pick(idx int) (int, *os.Process) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.procs) == 0 {
 		return -1, nil
 	}
-	shards := make([]int, 0, len(r.procs))
+	pis := make([]int, 0, len(r.procs))
 	for s := range r.procs {
-		shards = append(shards, s)
+		pis = append(pis, s)
 	}
-	for i := 1; i < len(shards); i++ { // insertion sort: n is tiny
-		for j := i; j > 0 && shards[j] < shards[j-1]; j-- {
-			shards[j], shards[j-1] = shards[j-1], shards[j]
+	for i := 1; i < len(pis); i++ { // insertion sort: n is tiny
+		for j := i; j > 0 && pis[j] < pis[j-1]; j-- {
+			pis[j], pis[j-1] = pis[j-1], pis[j]
 		}
 	}
-	s := shards[idx%len(shards)]
+	s := pis[idx%len(pis)]
 	return s, r.procs[s]
 }
 
@@ -411,30 +446,85 @@ type launchOpts struct {
 	workload string
 	steps    int
 	timeout  time.Duration
+	// procs is the number of worker processes the n shards are split
+	// across (contiguously; 0 or >= n means one process per shard).
+	// With procs < n each process hosts several shards behind one
+	// listener — one failure domain per process.
+	procs int
 	// supervise launches workers under RunSupervised with per-worker
 	// checkpoint directories and respawns workers that die by signal.
 	supervise bool
+	// partial enables partial restart in the workers: a single-process
+	// SIGKILL re-executes only its hosted shard(s) from checkpoint while
+	// the surviving processes park at their frontier.
+	partial bool
 	// kills is the number of seeded SIGKILLs to deliver mid-run
 	// (supervise mode only).
 	kills int
 	seed  int64
 }
 
+// splitShards deals n shard ids into procs contiguous groups, earlier
+// groups taking the remainder: splitShards(4, 2) = [[0 1] [2 3]].
+func splitShards(n, procs int) [][]int {
+	if procs <= 0 || procs > n {
+		procs = n
+	}
+	groups := make([][]int, procs)
+	next := 0
+	for pi := range groups {
+		size := n / procs
+		if pi < n%procs {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			groups[pi] = append(groups[pi], next)
+			next++
+		}
+	}
+	return groups
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseShardList(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		var x int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &x); err != nil || x < 0 {
+			return nil, fmt.Errorf("bad shard id %q", p)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
 // maxRespawns bounds how many times the launcher revives one worker.
 const maxRespawns = 5
 
-// superviseWorker runs one worker process, respawning it (with -reborn)
-// when it dies by signal, and returns the surviving process's stdout.
-func superviseWorker(ctx context.Context, self string, o launchOpts, shard int, addrs []string, ckptDir string, reg *procRegistry) ([]byte, error) {
+// superviseWorker runs one worker process (hosting the given shard
+// group), respawning it (with -reborn) when it dies by signal, and
+// returns the surviving process's stdout. pi is the process index used
+// for the chaos-kill registry.
+func superviseWorker(ctx context.Context, self string, o launchOpts, pi int, group []int, addrs []string, ckptDir string, reg *procRegistry) ([]byte, error) {
 	reborn := false
 	for spawn := 0; ; spawn++ {
 		args := []string{
-			"-shard", fmt.Sprint(shard),
+			"-shards", joinInts(group),
 			"-addrs", strings.Join(addrs, ","),
 			"-workload", o.workload,
 			"-steps", fmt.Sprint(o.steps),
 			"-supervise",
 			"-ckpt", ckptDir,
+		}
+		if o.partial {
+			args = append(args, "-partial")
 		}
 		if reborn {
 			args = append(args, "-reborn")
@@ -444,26 +534,26 @@ func superviseWorker(ctx context.Context, self string, o launchOpts, shard int, 
 		var out bytes.Buffer
 		cmd.Stdout = &out
 		if err := cmd.Start(); err != nil {
-			return nil, fmt.Errorf("worker %d: start: %w", shard, err)
+			return nil, fmt.Errorf("worker %d: start: %w", pi, err)
 		}
-		reg.set(shard, cmd.Process)
+		reg.set(pi, cmd.Process)
 		err := cmd.Wait()
-		reg.clear(shard)
+		reg.clear(pi)
 		if err == nil {
 			return out.Bytes(), nil
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("worker %d: %w", shard, ctx.Err())
+			return nil, fmt.Errorf("worker %d: %w", pi, ctx.Err())
 		}
 		// Respawn only signal deaths (the chaos killer's SIGKILL); a
 		// worker that exited on its own reported a real failure.
 		if cmd.ProcessState == nil || cmd.ProcessState.ExitCode() != -1 {
-			return nil, fmt.Errorf("worker %d: %w", shard, err)
+			return nil, fmt.Errorf("worker %d: %w", pi, err)
 		}
 		if spawn >= maxRespawns {
-			return nil, fmt.Errorf("worker %d: respawn budget exhausted (%d), last: %w", shard, maxRespawns, err)
+			return nil, fmt.Errorf("worker %d: respawn budget exhausted (%d), last: %w", pi, maxRespawns, err)
 		}
-		fmt.Fprintf(os.Stderr, "godcr-node: worker %d died by signal, respawning as reborn\n", shard)
+		fmt.Fprintf(os.Stderr, "godcr-node: worker %d (shards %s) died by signal, respawning as reborn\n", pi, joinInts(group))
 		reborn = true
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -480,22 +570,23 @@ func chaosKill(o launchOpts, reg *procRegistry, done <-chan struct{}) {
 			return
 		case <-time.After(delay):
 		}
-		shard, proc := reg.pick(rng.Intn(1 << 30))
+		pi, proc := reg.pick(rng.Intn(1 << 30))
 		if proc == nil {
 			fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: no live worker (run already finished)\n", k)
 			continue
 		}
 		if err := proc.Kill(); err != nil {
-			fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: shard %d: %v\n", k, shard, err)
+			fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: worker %d: %v\n", k, pi, err)
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: SIGKILL shard %d\n", k, shard)
+		fmt.Fprintf(os.Stderr, "godcr-node: chaos kill %d: SIGKILL worker %d\n", k, pi)
 	}
 }
 
-// verifyReports checks every worker's JSON report against the
-// in-process baseline, bit-for-bit.
-func verifyReports(baseline *report, outs [][]byte, errs []error) []string {
+// verifyReports checks every worker process's JSON report against the
+// in-process baseline, bit-for-bit. groups[i] is the shard group worker
+// i was asked to host.
+func verifyReports(baseline *report, groups [][]int, outs [][]byte, errs []error) []string {
 	var failures []string
 	for i := range outs {
 		if errs[i] != nil {
@@ -507,8 +598,11 @@ func verifyReports(baseline *report, outs [][]byte, errs []error) []string {
 			failures = append(failures, fmt.Sprintf("worker %d: bad report: %v", i, err))
 			continue
 		}
-		if rep.Shard != i {
-			failures = append(failures, fmt.Sprintf("worker %d reported shard %d", i, rep.Shard))
+		if rep.Shard != groups[i][0] {
+			failures = append(failures, fmt.Sprintf("worker %d reported shard %d, want %d", i, rep.Shard, groups[i][0]))
+		}
+		if joinInts(rep.Hosted) != joinInts(groups[i]) {
+			failures = append(failures, fmt.Sprintf("worker %d hosted shards %v, want %v", i, rep.Hosted, groups[i]))
 		}
 		if rep.Hash != baseline.Hash {
 			failures = append(failures, fmt.Sprintf(
@@ -543,9 +637,17 @@ func launch(o launchOpts) error {
 	if err != nil {
 		return fmt.Errorf("in-process baseline: %w", err)
 	}
-	addrs, err := reservePorts(o.n)
+	groups := splitShards(o.n, o.procs)
+	paddrs, err := reservePorts(len(groups))
 	if err != nil {
 		return fmt.Errorf("reserve ports: %w", err)
+	}
+	// Every shard a process hosts maps to that process's one listener.
+	addrs := make([]string, o.n)
+	for pi, g := range groups {
+		for _, s := range g {
+			addrs[s] = paddrs[pi]
+		}
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -562,26 +664,26 @@ func launch(o launchOpts) error {
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
 	reg := newProcRegistry()
-	outs := make([][]byte, o.n)
-	errs := make([]error, o.n)
+	outs := make([][]byte, len(groups))
+	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
-	for i := 0; i < o.n; i++ {
+	for pi := range groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(pi int) {
 			defer wg.Done()
 			if o.supervise {
-				ckptDir := filepath.Join(ckptRoot, fmt.Sprintf("worker-%d", i))
-				outs[i], errs[i] = superviseWorker(ctx, self, o, i, addrs, ckptDir, reg)
+				ckptDir := filepath.Join(ckptRoot, fmt.Sprintf("worker-%d", pi))
+				outs[pi], errs[pi] = superviseWorker(ctx, self, o, pi, groups[pi], addrs, ckptDir, reg)
 				return
 			}
 			cmd := exec.CommandContext(ctx, self,
-				"-shard", fmt.Sprint(i),
+				"-shards", joinInts(groups[pi]),
 				"-addrs", strings.Join(addrs, ","),
 				"-workload", o.workload,
 				"-steps", fmt.Sprint(o.steps))
 			cmd.Stderr = os.Stderr
-			outs[i], errs[i] = cmd.Output()
-		}(i)
+			outs[pi], errs[pi] = cmd.Output()
+		}(pi)
 	}
 	done := make(chan struct{})
 	if o.supervise && o.kills > 0 {
@@ -590,28 +692,35 @@ func launch(o launchOpts) error {
 	wg.Wait()
 	close(done)
 
-	if failures := verifyReports(baseline, outs, errs); len(failures) > 0 {
+	if failures := verifyReports(baseline, groups, outs, errs); len(failures) > 0 {
 		return errors.New(strings.Join(failures, "\n"))
 	}
 	mode := "processes over TCP loopback"
 	if o.supervise {
-		mode = fmt.Sprintf("supervised processes over TCP loopback (%d chaos kill(s), seed %d)", o.kills, o.seed)
+		restart := "full restart"
+		if o.partial {
+			restart = "partial restart"
+		}
+		mode = fmt.Sprintf("supervised processes over TCP loopback (%s, %d chaos kill(s), seed %d)", restart, o.kills, o.seed)
 	}
-	fmt.Printf("ok: %d %s, %s bit-identical to in-process (hash %s%s, %d outputs)\n",
-		o.n, mode, o.workload, baseline.Hash[0], baseline.Hash[1], len(baseline.Outputs))
+	fmt.Printf("ok: %d shard(s) on %d %s, %s bit-identical to in-process (hash %s%s, %d outputs)\n",
+		o.n, len(groups), mode, o.workload, baseline.Hash[0], baseline.Hash[1], len(baseline.Outputs))
 	return nil
 }
 
 func main() {
 	var (
-		doLaunch  = flag.Bool("launch", false, "spawn -n worker processes and verify against in-process")
-		n         = flag.Int("n", 4, "cluster size (launcher mode)")
+		doLaunch  = flag.Bool("launch", false, "spawn worker processes and verify against in-process")
+		n         = flag.Int("n", 4, "cluster size in shards (launcher mode)")
+		procs     = flag.Int("procs", 0, "worker processes to split the shards across (launcher mode; 0 = one per shard)")
 		shard     = flag.Int("shard", -1, "this process's shard id (worker mode)")
+		shardsArg = flag.String("shards", "", "comma-separated shard ids this process hosts (worker mode; first is the lead shard)")
 		addrs     = flag.String("addrs", "", "comma-separated node addresses, index = shard id (worker mode)")
 		name      = flag.String("workload", "stencil", "workload: stencil or circuit")
 		steps     = flag.Int("steps", 0, "workload steps (0 = workload default)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "launcher kill deadline")
 		supervise = flag.Bool("supervise", false, "run under the self-healing supervisor (worker: RunSupervised; launcher: respawn dead workers)")
+		partial   = flag.Bool("partial", false, "with -supervise: recover single-shard failures by partial restart (survivors park at their frontier)")
 		ckpt      = flag.String("ckpt", "", "checkpoint spill directory (worker mode, with -supervise)")
 		reborn    = flag.Bool("reborn", false, "this worker is a respawn: announce rebirth so the cluster restarts from checkpoints")
 		kills     = flag.Int("kill", 0, "SIGKILL this many randomly chosen workers mid-run (launcher mode, with -supervise)")
@@ -619,11 +728,23 @@ func main() {
 	)
 	flag.Parse()
 
+	hosted := []int(nil)
+	if *shardsArg != "" {
+		var err error
+		if hosted, err = parseShardList(*shardsArg); err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node: -shards:", err)
+			os.Exit(2)
+		}
+		if *shard < 0 {
+			*shard = hosted[0]
+		}
+	}
+
 	switch {
 	case *doLaunch:
 		err := launch(launchOpts{
-			n: *n, workload: *name, steps: *steps, timeout: *timeout,
-			supervise: *supervise, kills: *kills, seed: *seed,
+			n: *n, workload: *name, steps: *steps, timeout: *timeout, procs: *procs,
+			supervise: *supervise, partial: *partial, kills: *kills, seed: *seed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)
@@ -636,8 +757,8 @@ func main() {
 			os.Exit(2)
 		}
 		rep, err := runWorker(workerOpts{
-			shard: *shard, addrs: list, workload: *name, steps: *steps,
-			supervise: *supervise, ckptDir: *ckpt, reborn: *reborn,
+			shard: *shard, hosted: hosted, addrs: list, workload: *name, steps: *steps,
+			supervise: *supervise, partial: *partial, ckptDir: *ckpt, reborn: *reborn,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)

@@ -28,6 +28,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -330,6 +331,14 @@ func (c *Cluster) interrupt(err error, propagate bool) {
 	}
 }
 
+// InterruptLocal poisons only this process's endpoints, without
+// broadcasting to remote peers. It is the unwedge for an attempt that
+// discovered it is stale — the cluster has already moved to a newer
+// epoch — where a propagated interrupt would needlessly kill the
+// peers' healthy attempts in that newer epoch and restart the very
+// storm the stale attempt is trying to leave.
+func (c *Cluster) InterruptLocal(err error) { c.interrupt(err, false) }
+
 // Err returns the interrupt error, or nil if the transport is healthy.
 func (c *Cluster) Err() error {
 	if b := c.intr.Load(); b != nil {
@@ -398,6 +407,55 @@ func (c *Cluster) Revive() (uint64, error) {
 		return epoch, fmt.Errorf("cluster: revive: %w", err)
 	}
 	return epoch, nil
+}
+
+// Rejoin heals an interrupted transport by adopting the epoch the
+// cluster has already agreed on, when that epoch is newer than `since`
+// (the epoch of this process's failed attempt). It performs the same
+// local reset as a remote-driven Revived — clear the interrupt, wipe
+// queued traffic, reset fault verdicts — but mints no new epoch and
+// runs no barrier: some peer's Revive already did both, and its
+// barrier included this process's transport-level ack. Returns false
+// (and does nothing) when the epoch has not moved past `since`, when
+// the transport is healthy, or when it is closed — the caller falls
+// back to a full Revive.
+//
+// This is what lets a cluster-wide failure wave converge instead of
+// storm: exactly one process mints the recovery epoch (the one whose
+// failed attempt ran in the current epoch), and every other process
+// rejoins it, rather than each resume minting its own epoch and
+// perpetually superseding the others' fresh attempts.
+func (c *Cluster) Rejoin(since uint64) (uint64, bool) {
+	if c.closed.Load() || c.Err() == nil {
+		return c.epoch.Load(), false
+	}
+	cur := c.epoch.Load()
+	if cur <= since {
+		return cur, false
+	}
+	// Join stale retransmit loops before clearing the interrupt, as
+	// Revive does: a fired timer must not transmit into the epoch we
+	// are adopting.
+	if c.faults != nil {
+		c.faults.loops.Wait()
+	}
+	c.stopMu.Lock()
+	if c.stopClosed {
+		c.stop = make(chan struct{})
+		c.stopClosed = false
+	}
+	c.stopMu.Unlock()
+	c.intr.Store(nil)
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		n.pending = make(map[matchKey][]queuedMsg)
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	}
+	if c.faults != nil {
+		c.faults.revive()
+	}
+	return c.epoch.Load(), true
 }
 
 // SyncEpoch rendezvouses with remote peer processes on the newest
@@ -513,12 +571,25 @@ func (n *Node) ClusterSize() int { return n.c.Size() }
 
 // Handle registers an active-message handler for tag. Messages with a
 // registered handler are dispatched to it (on a new goroutine) instead
-// of being queued for Recv. Must be called before messages with that
-// tag arrive.
+// of being queued for Recv. Messages that arrived before registration
+// are drained to the new handler in arrival order — a rejoining shard's
+// re-requests can land on a survivor before its fresh attempt has wired
+// up the serving handlers.
 func (n *Node) Handle(tag uint64, h Handler) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	var backlog []queuedMsg
+	for key, q := range n.pending {
+		if key.tag == tag {
+			backlog = append(backlog, q...)
+			delete(n.pending, key)
+		}
+	}
 	n.handlers[tag] = h
+	n.mu.Unlock()
+	sort.Slice(backlog, func(i, j int) bool { return backlog[i].arrival < backlog[j].arrival })
+	for _, qm := range backlog {
+		go h(qm.msg)
+	}
 }
 
 // Send delivers a message to node `to` with the configured latency. If

@@ -89,6 +89,8 @@ type hbState struct {
 	opts      HeartbeatOptions
 	onSuspect func(*ShardDownError)
 	started   time.Time
+	// grace delays suspicion of never-heard peers: see phi.
+	grace time.Duration
 	// epoch is the transport epoch this detector was started in; every
 	// beat it emits is pinned to it, and Node.deliver only feeds it
 	// beats from the same epoch. A detector that outlives a Revive
@@ -120,6 +122,10 @@ func (c *Cluster) StartHeartbeats(opts HeartbeatOptions, onSuspect func(*ShardDo
 		opts:      opts,
 		onSuspect: onSuspect,
 		started:   time.Now(),
+		// Three extra conviction horizons of startup grace for peers
+		// never heard from (the horizon is the silence that drives phi
+		// to the threshold: threshold · interval · ln 10).
+		grace:     3 * time.Duration(opts.PhiThreshold*float64(opts.Every)*math.Ln10),
 		epoch:     c.epoch.Load(),
 		suspected: make([]bool, len(c.nodes)),
 		stopCh:    make(chan struct{}),
@@ -190,6 +196,15 @@ func (hb *hbState) run() {
 				// unwinding, declaring more nodes down is noise.
 				continue
 			}
+			if hb.c.epoch.Load() != hb.epoch {
+				// The cluster moved to a newer epoch (a peer revived past
+				// this detector's attempt). The detector is deaf by
+				// construction — its beats are dropped by the epoch gate
+				// and fresh beats no longer feed it — so its silence
+				// evidence is meaningless: convicting on it would declare
+				// healthy peers down and interrupt their new epoch.
+				continue
+			}
 			hb.beat()
 			hb.evaluate()
 		}
@@ -248,10 +263,18 @@ func (hb *hbState) observe(from, at NodeID) {
 // configured interval as its mean, so a peer that crashes right at
 // startup is still convictable; the mean is floored at the interval so
 // a burst of fast beats can never sharpen suspicion below nominal.
+//
+// A peer this observer has never heard from gets a startup grace of a
+// few conviction horizons before suspicion starts accruing: on a
+// multi-process cluster, peers enter a resumed attempt with real skew
+// (abort unwind, backoff, checkpoint spill, the restart-scope
+// exchange), and a detector armed early must not convict a peer that
+// is merely still arriving. A genuinely dead newcomer is still
+// convicted, just a few horizons later.
 func (hb *hbState) phi(ob *hbObserver, now time.Time) float64 {
 	last, mean := ob.last, ob.meanNs
 	if ob.last.IsZero() {
-		last = hb.started
+		last = hb.started.Add(hb.grace)
 	}
 	if ob.samples < hb.opts.MinSamples {
 		mean = float64(hb.opts.Every)

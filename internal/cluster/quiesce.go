@@ -1,0 +1,99 @@
+package cluster
+
+// The cluster half of the partial-restart park rendezvous. At a resumed
+// attempt boundary every process contributes one QuiesceVote per node it
+// hosts — is the node eligible for a partial plan, is it rejoining from
+// the checkpoint or parking at a retained frontier — and collects the
+// votes of every peer through Transport.Quiesce. The merged, de-duplicated
+// vote set is what the runtime derives the restart scope from; a missing
+// vote (peer still down, exchange timed out) simply leaves that shard out
+// of the result, which the runtime reads as "no agreement: full restart".
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+)
+
+// QuiesceVote is one shard's park descriptor for a resumed attempt.
+type QuiesceVote struct {
+	// Shard is the voting node.
+	Shard NodeID
+	// Eligible reports whether this shard consents to a partial plan at
+	// all; any ineligible vote forces a full restart cluster-wide.
+	Eligible bool
+	// Rejoiner reports whether the shard lost its in-memory state (it
+	// was convicted, or its process was reborn) and must re-execute from
+	// the checkpoint. Non-rejoiners park at Frontier and re-serve.
+	Rejoiner bool
+	// Frontier is the journal seq the shard retained state up to
+	// (meaningful only when !Rejoiner).
+	Frontier uint64
+}
+
+// quiesceVoteLen is the encoded size of one vote: shard u64, flags u8,
+// frontier u64.
+const quiesceVoteLen = 17
+
+func encodeQuiesceVotes(votes []QuiesceVote) []byte {
+	buf := make([]byte, 0, len(votes)*quiesceVoteLen)
+	for _, v := range votes {
+		var rec [quiesceVoteLen]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(v.Shard))
+		if v.Eligible {
+			rec[8] |= 1
+		}
+		if v.Rejoiner {
+			rec[8] |= 2
+		}
+		binary.LittleEndian.PutUint64(rec[9:], v.Frontier)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+func decodeQuiesceVotes(buf []byte) []QuiesceVote {
+	if len(buf)%quiesceVoteLen != 0 {
+		return nil // malformed descriptor: contributes no votes
+	}
+	votes := make([]QuiesceVote, 0, len(buf)/quiesceVoteLen)
+	for off := 0; off+quiesceVoteLen <= len(buf); off += quiesceVoteLen {
+		votes = append(votes, QuiesceVote{
+			Shard:    NodeID(binary.LittleEndian.Uint64(buf[off:])),
+			Eligible: buf[off+8]&1 != 0,
+			Rejoiner: buf[off+8]&2 != 0,
+			Frontier: binary.LittleEndian.Uint64(buf[off+9:]),
+		})
+	}
+	return votes
+}
+
+// QuiesceExchange publishes this process's votes for the given attempt
+// epoch and returns the cluster-wide vote set: the local votes merged
+// with every vote collected from peers, de-duplicated by shard (a
+// multi-shard peer answers identically for each node it hosts) and
+// sorted ascending. The result may be incomplete — peers that never
+// answered within the timeout contribute nothing — and the caller must
+// treat an incomplete set as vetoing any partial plan. timeout <= 0
+// selects the backend default.
+func (c *Cluster) QuiesceExchange(epoch uint64, local []QuiesceVote, timeout time.Duration) []QuiesceVote {
+	byShard := make(map[NodeID]QuiesceVote, c.Size())
+	for _, v := range local {
+		byShard[v.Shard] = v
+	}
+	if !c.closed.Load() {
+		for _, desc := range c.tr.Quiesce(epoch, encodeQuiesceVotes(local), timeout) {
+			for _, v := range decodeQuiesceVotes(desc) {
+				if _, dup := byShard[v.Shard]; !dup {
+					byShard[v.Shard] = v
+				}
+			}
+		}
+	}
+	votes := make([]QuiesceVote, 0, len(byShard))
+	for _, v := range byShard {
+		votes = append(votes, v)
+	}
+	sort.Slice(votes, func(i, j int) bool { return votes[i].Shard < votes[j].Shard })
+	return votes
+}

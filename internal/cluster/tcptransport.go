@@ -33,10 +33,17 @@ import (
 
 // TCPOptions configures a TCPTransport endpoint.
 type TCPOptions struct {
-	// Self is the node id this process hosts.
+	// Self is the node id this process hosts (the lowest one, when the
+	// process hosts several).
 	Self NodeID
+	// Shards optionally lists every node id this process hosts — a
+	// multi-shard process is one failure domain, which is what partial
+	// restart wants: fewer, larger survivor groups. It must include
+	// Self, every listed id must map to Self's listen address in Addrs,
+	// and nil means the process hosts exactly Self.
+	Shards []NodeID
 	// Addrs lists every node's listen address, indexed by node id
-	// (Addrs[Self] is this process's own).
+	// (Addrs[Self] is this process's own; co-hosted ids repeat it).
 	Addrs []string
 	// Listener optionally supplies a pre-bound listener for Self's
 	// address (tests bind 127.0.0.1:0 first and pass the result here
@@ -59,13 +66,15 @@ type TCPOptions struct {
 }
 
 // TCPTransport implements Transport over TCP sockets, one process per
-// hosted node.
+// group of hosted nodes.
 type TCPTransport struct {
-	self  NodeID
-	addrs []string
-	opts  TCPOptions
-	ln    net.Listener
-	peers []*tcpPeer // indexed by node id; nil for self
+	self   NodeID
+	locals []NodeID // hosted node ids, ascending (locals[0] == self)
+	isLoc  []bool   // indexed by node id
+	addrs  []string
+	opts   TCPOptions
+	ln     net.Listener
+	peers  []*tcpPeer // indexed by node id; nil for hosted ids
 
 	sink  Sink
 	bound chan struct{} // closed by Bind; delivery waits on it
@@ -91,6 +100,14 @@ type TCPTransport struct {
 	reviveAcked []uint64        // indexed by node id: highest epoch the peer acked
 	syncNonce   uint64          // current rendezvous round (stale replies ignored)
 	syncGot     map[NodeID]bool // peers heard from in the current round
+
+	// Quiesce rendezvous state (partial restart): the descriptor this
+	// process published for qEpoch, and the descriptors collected from
+	// peers in the current qRound.
+	qEpoch   uint64
+	qPayload []byte
+	qRound   uint64
+	qGot     map[NodeID][]byte
 
 	framesOut  atomic.Uint64
 	bytesOut   atomic.Uint64
@@ -128,6 +145,36 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 	if int(o.Self) < 0 || int(o.Self) >= len(o.Addrs) {
 		return nil, fmt.Errorf("cluster: tcp self %d out of range [0,%d)", o.Self, len(o.Addrs))
 	}
+	locals := o.Shards
+	if len(locals) == 0 {
+		locals = []NodeID{o.Self}
+	}
+	isLoc := make([]bool, len(o.Addrs))
+	hasSelf := false
+	for _, id := range locals {
+		if int(id) < 0 || int(id) >= len(o.Addrs) {
+			return nil, fmt.Errorf("cluster: tcp hosted shard %d out of range [0,%d)", id, len(o.Addrs))
+		}
+		if isLoc[id] {
+			return nil, fmt.Errorf("cluster: tcp hosted shard %d listed twice", id)
+		}
+		if o.Addrs[id] != o.Addrs[o.Self] {
+			return nil, fmt.Errorf("cluster: tcp hosted shard %d maps to %q, want self address %q",
+				id, o.Addrs[id], o.Addrs[o.Self])
+		}
+		isLoc[id] = true
+		hasSelf = hasSelf || id == o.Self
+	}
+	if !hasSelf {
+		return nil, fmt.Errorf("cluster: tcp Shards %v does not include Self %d", locals, o.Self)
+	}
+	sorted := make([]NodeID, 0, len(locals))
+	for i, l := range isLoc {
+		if l {
+			sorted = append(sorted, NodeID(i))
+		}
+	}
+	locals = sorted
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 2 * time.Second
 	}
@@ -148,19 +195,21 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 		}
 	}
 	t := &TCPTransport{
-		self:  o.Self,
-		addrs: append([]string(nil), o.Addrs...),
-		opts:  o,
-		ln:    ln,
-		bound: make(chan struct{}),
-		stop:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+		self:   locals[0],
+		locals: locals,
+		isLoc:  isLoc,
+		addrs:  append([]string(nil), o.Addrs...),
+		opts:   o,
+		ln:     ln,
+		bound:  make(chan struct{}),
+		stop:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	t.ctlCond = sync.NewCond(&t.ctlMu)
 	t.reviveAcked = make([]uint64, len(o.Addrs))
 	t.peers = make([]*tcpPeer, len(o.Addrs))
 	for i, addr := range o.Addrs {
-		if NodeID(i) == o.Self {
+		if isLoc[i] {
 			continue
 		}
 		p := &tcpPeer{t: t, id: NodeID(i), addr: addr,
@@ -178,8 +227,13 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 // Size implements Transport.
 func (t *TCPTransport) Size() int { return len(t.addrs) }
 
-// Local implements Transport: this process hosts exactly Self.
-func (t *TCPTransport) Local() []NodeID { return []NodeID{t.self} }
+// Local implements Transport: every node id this process hosts.
+func (t *TCPTransport) Local() []NodeID { return append([]NodeID(nil), t.locals...) }
+
+// isLocal reports whether this process hosts the node.
+func (t *TCPTransport) isLocal(id NodeID) bool {
+	return int(id) >= 0 && int(id) < len(t.isLoc) && t.isLoc[id]
+}
 
 // Addr returns the transport's actual listen address (useful when the
 // configured address was ":0").
@@ -202,7 +256,7 @@ func (t *TCPTransport) Send(f *Frame) error {
 	if int(f.To) < 0 || int(f.To) >= len(t.addrs) {
 		return fmt.Errorf("cluster: send to node %d of %d", f.To, len(t.addrs))
 	}
-	if f.To == t.self {
+	if t.isLoc[f.To] {
 		t.framesOut.Add(1)
 		t.bytesOut.Add(wireSize(f))
 		t.framesIn.Add(1)
@@ -253,7 +307,7 @@ func (t *TCPTransport) Revive(epoch uint64) error {
 	for {
 		var pending []NodeID
 		for i, acked := range t.reviveAcked {
-			if NodeID(i) != t.self && acked < epoch {
+			if !t.isLoc[i] && acked < epoch {
 				pending = append(pending, NodeID(i))
 			}
 		}
@@ -296,7 +350,7 @@ func (t *TCPTransport) SyncEpoch(timeout time.Duration) {
 	if timeout <= 0 {
 		timeout = t.opts.ReviveTimeout
 	}
-	if t.closed.Load() || len(t.addrs) == 1 {
+	if t.closed.Load() || len(t.addrs) == len(t.locals) {
 		return
 	}
 	t.ctlMu.Lock()
@@ -320,7 +374,7 @@ func (t *TCPTransport) SyncEpoch(timeout time.Duration) {
 		if nonce != t.syncNonce { // a newer rendezvous superseded this one
 			return
 		}
-		if len(t.syncGot) >= len(t.addrs)-1 || t.closed.Load() {
+		if len(t.syncGot) >= len(t.addrs)-len(t.locals) || t.closed.Load() {
 			return
 		}
 		now := time.Now()
@@ -348,6 +402,81 @@ func (t *TCPTransport) SyncEpoch(timeout time.Duration) {
 		}
 		t.ctlWaitLocked(wait)
 	}
+}
+
+// Quiesce implements Transport: the park rendezvous of partial restart.
+// The descriptor is published first — under ctlMu, so a concurrent
+// frameQuiesceReq from a faster peer sees it — then every remote node is
+// queried for its own. Replies are collected per node id (a multi-shard
+// peer answers once per hosted id, all carrying its process descriptor),
+// re-querying unresponsive nodes every tcpCtlRetry until the deadline.
+// An incomplete map is returned as-is: the caller treats missing peers
+// as "no agreement" and escalates to a full restart.
+func (t *TCPTransport) Quiesce(epoch uint64, payload []byte, timeout time.Duration) map[NodeID][]byte {
+	if timeout <= 0 {
+		timeout = t.opts.ReviveTimeout
+	}
+	t.ctlMu.Lock()
+	t.qEpoch = epoch
+	t.qPayload = append([]byte(nil), payload...)
+	t.qRound = epoch
+	t.qGot = make(map[NodeID][]byte)
+	t.ctlMu.Unlock()
+	if t.closed.Load() || len(t.addrs) == len(t.locals) {
+		return nil
+	}
+	req := func(to NodeID) {
+		t.sendControl(to, &Frame{Kind: frameQuiesceReq, Epoch: epoch})
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			req(p.id)
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	retry := time.Now().Add(tcpCtlRetry)
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	for {
+		if epoch != t.qRound { // a newer rendezvous superseded this one
+			break
+		}
+		if t.epoch.Load() != epoch { // a newer revive moved the cluster on
+			break
+		}
+		if len(t.qGot) >= len(t.addrs)-len(t.locals) || t.closed.Load() {
+			break
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		if !now.Before(retry) {
+			retry = now.Add(tcpCtlRetry)
+			var missing []NodeID
+			for _, p := range t.peers {
+				if p != nil && t.qGot[p.id] == nil {
+					missing = append(missing, p.id)
+				}
+			}
+			t.ctlMu.Unlock()
+			for _, id := range missing {
+				req(id)
+			}
+			t.ctlMu.Lock()
+			continue
+		}
+		wait := retry.Sub(now)
+		if d := deadline.Sub(now); d < wait {
+			wait = d
+		}
+		t.ctlWaitLocked(wait)
+	}
+	out := make(map[NodeID][]byte, len(t.qGot))
+	for id, desc := range t.qGot {
+		out[id] = desc
+	}
+	return out
 }
 
 // ctlWaitLocked waits on ctlCond (ctlMu held) for at most d.
@@ -395,6 +524,15 @@ func (t *TCPTransport) Epoch() uint64 { return t.epoch.Load() }
 // sendControl queues one control frame for a single peer (acks,
 // rendezvous queries and replies; broadcast handles the fan-out cases).
 func (t *TCPTransport) sendControl(to NodeID, f *Frame) {
+	t.sendControlFrom(t.self, to, f, nil)
+}
+
+// sendControlFrom is sendControl with an explicit sender id and payload.
+// Replies to per-node control queries (revive acks, epoch acks, quiesce
+// descriptors) must carry the *addressed* node as From, not the
+// process's primary id: the querier's barrier accounting is per node,
+// and a multi-shard process answers for each id it hosts.
+func (t *TCPTransport) sendControlFrom(from, to NodeID, f *Frame, payload []byte) {
 	if t.closed.Load() || int(to) < 0 || int(to) >= len(t.peers) {
 		return
 	}
@@ -402,9 +540,9 @@ func (t *TCPTransport) sendControl(to NodeID, f *Frame) {
 	if p == nil {
 		return
 	}
-	f.From = t.self
+	f.From = from
 	f.To = to
-	p.enqueue(appendFrame(nil, f, nil))
+	p.enqueue(appendFrame(nil, f, payload))
 }
 
 // noteReviveAck records a peer's barrier ack and wakes Revive waiters.
@@ -580,7 +718,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		t.bytesIn.Add(uint64(len(buf)))
 		switch f.Kind {
 		case frameHello:
-			if f.To != t.self || int(f.From) < 0 || int(f.From) >= len(t.addrs) ||
+			if !t.isLocal(f.To) || int(f.From) < 0 || int(f.From) >= len(t.addrs) ||
 				len(f.Wire) != 16 || binary.LittleEndian.Uint64(f.Wire) != uint64(len(t.addrs)) {
 				return // wrong cluster or wrong endpoint: refuse the stream
 			}
@@ -598,19 +736,44 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			if !t.adoptEpoch(f.Epoch) {
 				return
 			}
-			t.sendControl(f.From, &Frame{Kind: frameReviveAck, Epoch: f.Epoch})
+			t.sendControlFrom(f.To, f.From, &Frame{Kind: frameReviveAck, Epoch: f.Epoch}, nil)
 		case frameReviveAck:
 			t.noteReviveAck(f.From, f.Epoch)
 		case frameEpochReq:
 			if !t.adoptEpoch(f.Epoch) {
 				return
 			}
-			t.sendControl(f.From, &Frame{Kind: frameEpochAck, Epoch: t.epoch.Load(), Seq: f.Seq})
+			t.sendControlFrom(f.To, f.From, &Frame{Kind: frameEpochAck, Epoch: t.epoch.Load(), Seq: f.Seq}, nil)
 		case frameEpochAck:
 			if !t.adoptEpoch(f.Epoch) {
 				return
 			}
 			t.noteEpochAck(f.From, f.Seq)
+		case frameQuiesceReq:
+			if !t.adoptEpoch(f.Epoch) {
+				return
+			}
+			t.ctlMu.Lock()
+			var desc []byte
+			if t.qPayload != nil && t.qEpoch == f.Epoch {
+				desc = t.qPayload
+			}
+			t.ctlMu.Unlock()
+			// No descriptor published for that epoch yet: stay silent; the
+			// querier's retry loop asks again once this process reaches its
+			// own Quiesce call.
+			if desc != nil {
+				t.sendControlFrom(f.To, f.From, &Frame{Kind: frameQuiesceAck, Epoch: f.Epoch}, desc)
+			}
+		case frameQuiesceAck:
+			t.ctlMu.Lock()
+			if f.Epoch == t.qRound && t.qGot != nil {
+				if _, dup := t.qGot[f.From]; !dup {
+					t.qGot[f.From] = append([]byte(nil), f.Wire...)
+				}
+			}
+			t.ctlCond.Broadcast()
+			t.ctlMu.Unlock()
 		default:
 			if !t.deliver(&f) {
 				return

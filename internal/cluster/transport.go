@@ -55,6 +55,12 @@ const (
 	frameReviveAck = byte(5) // revive barrier acknowledgement (Epoch = acked epoch)
 	frameEpochReq  = byte(6) // epoch rendezvous query (Seq = nonce, Epoch = sender's)
 	frameEpochAck  = byte(7) // epoch rendezvous reply (Seq = echoed nonce)
+	// The quiesce rendezvous of partial restart: at a resumed attempt
+	// boundary every process publishes an opaque park descriptor (which
+	// shards it hosts, their retained frontiers, whether they are
+	// rejoining) and collects its peers', keyed by the attempt epoch.
+	frameQuiesceReq = byte(8) // park-descriptor query (Epoch = attempt epoch)
+	frameQuiesceAck = byte(9) // park-descriptor reply (Wire = descriptor)
 )
 
 // Sink is the upcall half of the seam: a bound Cluster receives
@@ -123,6 +129,15 @@ type Transport interface {
 	// epoch. timeout <= 0 selects the backend default; all-local
 	// backends return immediately.
 	SyncEpoch(timeout time.Duration)
+	// Quiesce is the park rendezvous of partial restart: the caller
+	// publishes an opaque descriptor for the given attempt epoch and
+	// collects the descriptors every peer process published for the same
+	// epoch, blocking until all peers answered or the timeout passed
+	// (timeout <= 0 selects the backend default). Missing peers simply
+	// have no entry in the result — the caller treats an incomplete
+	// exchange as "no agreement" and falls back to a full restart, so
+	// the barrier degrades safely. All-local backends return nil.
+	Quiesce(epoch uint64, payload []byte, timeout time.Duration) map[NodeID][]byte
 	// Stats snapshots the frame counters.
 	Stats() WireStats
 	// Close releases connections and joins backend goroutines.
@@ -197,7 +212,7 @@ func decodeFrame(b []byte) (Frame, int, error) {
 		return f, 0, fmt.Errorf("%w: unknown version %d", errBadFrame, h[0])
 	}
 	f.Kind = h[1]
-	if f.Kind < frameData || f.Kind > frameEpochAck {
+	if f.Kind < frameData || f.Kind > frameQuiesceAck {
 		return f, 0, fmt.Errorf("%w: unknown kind %d", errBadFrame, f.Kind)
 	}
 	f.Epoch = binary.LittleEndian.Uint64(h[2:])
@@ -306,6 +321,12 @@ func (t *MemTransport) Revive(epoch uint64) error { return nil }
 
 // SyncEpoch implements Transport: no remote peers to rendezvous with.
 func (t *MemTransport) SyncEpoch(timeout time.Duration) {}
+
+// Quiesce implements Transport: with every node local there are no
+// peer descriptors to collect.
+func (t *MemTransport) Quiesce(epoch uint64, payload []byte, timeout time.Duration) map[NodeID][]byte {
+	return nil
+}
 
 // Stats implements Transport. Delivery is synchronous, so the in
 // counters mirror the out counters.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"godcr/internal/cluster"
 	"godcr/internal/collective"
@@ -47,6 +48,17 @@ type Context struct {
 	replayTo uint64
 	epoch    uint64
 
+	// plan is the restart scope agreed for this attempt (nil for fresh
+	// runs or full restarts of a non-partial configuration); retained is
+	// the replay buffer this shard adopts as a survivor (nil for
+	// rejoiners and full restarts); scalars is the scalar results log
+	// (allocated whenever Config.PartialRestart, carried across attempts
+	// by survivors). scalarSeq numbers re-serve reply tags.
+	plan      *partialPlan
+	retained  *shardRetained
+	scalars   *scalarLog
+	scalarSeq atomic.Uint64
+
 	seq      uint64
 	coarseCh chan *op
 	fine     *fineStage
@@ -58,7 +70,7 @@ type Context struct {
 }
 
 func newContext(rt *Runtime, shard int) *Context {
-	return &Context{
+	ctx := &Context{
 		rt:      rt,
 		shard:   shard,
 		nShards: rt.cfg.Shards,
@@ -70,6 +82,15 @@ func newContext(rt *Runtime, shard int) *Context {
 		rs:      rt.run.Load(),
 		attempt: rt.salt.Load(),
 	}
+	ctx.plan = rt.lastPlan.Load()
+	ctx.retained = rt.retainedFor(ctx.plan, shard)
+	switch {
+	case ctx.retained != nil && ctx.retained.scalars != nil:
+		ctx.scalars = ctx.retained.scalars
+	case rt.cfg.PartialRestart:
+		ctx.scalars = newScalarLog()
+	}
+	return ctx
 }
 
 // abort, waitOrAbort, abortErr: the context-bound abort machinery. All
@@ -105,6 +126,9 @@ func (ctx *Context) run(program Program) {
 			ctx.abort(fmt.Errorf("shard %d: epoch %d re-admission: %w", ctx.shard, ctx.epoch, err))
 			return
 		}
+	}
+	if ctx.rt.cfg.PartialRestart && !ctx.rt.cfg.Centralized {
+		ctx.serveScalars()
 	}
 	ctx.coarseCh = make(chan *op, 1024)
 	fineCh := make(chan *op, 1024)

@@ -118,6 +118,22 @@ type Config struct {
 	// list (see cmd/godcr-node). The runtime owns the transport:
 	// Shutdown closes it.
 	Transport cluster.Transport
+	// PartialRestart lets the supervisor recover a single-shard failure
+	// without rolling back the survivors: the failed shard alone
+	// re-executes its gap from the checkpoint while survivors replay-skip
+	// from retained state and re-serve pulls, futures, and journaled
+	// reduction results (see partial.go). Requires the journal and
+	// replicated control; must be set uniformly across the processes of a
+	// multi-process run. Any failure class that does not name a
+	// recoverable shard-local cause — and any second failure during
+	// catch-up — falls back to the full restart path.
+	PartialRestart bool
+	// PartialRetainLimit bounds the per-shard replay buffer: a survivor
+	// whose store holds more versions than this at the attempt boundary
+	// retains nothing and rejoins as if it had failed (replay-buffer
+	// overflow degrades toward full restart, never blocks recovery).
+	// Default 1<<20 versions.
+	PartialRetainLimit int
 	// CheckpointDir, when set, spills every periodic checkpoint cut to
 	// <dir>/checkpoint.dcrc (atomically: temp file + rename, using the
 	// process-portable Checkpoint codec). LoadCheckpoint reads it back,
@@ -177,6 +193,16 @@ type Stats struct {
 	// VersionsDropped counts store versions reclaimed by fence-point
 	// garbage collection (summed over shards).
 	VersionsDropped uint64
+	// PartialRestarts / FullRestarts count resumed attempts by the
+	// restart scope the cluster agreed on (see Config.PartialRestart).
+	PartialRestarts uint64
+	FullRestarts    uint64
+	// ReplaySkips counts point tasks survivors resolved from retained
+	// state instead of re-executing during partial-restart replay.
+	ReplaySkips uint64
+	// ScalarServes counts journaled reduction results this process
+	// re-served to rejoining peers.
+	ScalarServes uint64
 	// Messages/Bytes are transport counters.
 	Messages uint64
 	Bytes    uint64
@@ -200,6 +226,10 @@ type Runtime struct {
 		detChecks      atomic.Uint64
 		gcDropped      atomic.Uint64
 		journalReplays atomic.Uint64
+		partialRuns    atomic.Uint64
+		fullRuns       atomic.Uint64
+		replaySkips    atomic.Uint64
+		scalarServes   atomic.Uint64
 	}
 
 	// run is the current attempt's abort state. It is replaced wholesale
@@ -250,6 +280,21 @@ type Runtime struct {
 	finalCtl atomic.Value // [2]uint64
 
 	progress []*shardProgress // per-shard counters sampled by the watchdog
+
+	// partial is the cross-attempt partial-restart state (replay
+	// buffers, conviction, eligibility latches); lastPlan is the restart
+	// scope the cluster agreed on for the current resumed attempt (nil
+	// for fresh runs).
+	partial  partialState
+	lastPlan atomic.Pointer[partialPlan]
+
+	// lastEpoch is the transport epoch the most recent attempt ran in.
+	// A resume compares it with the cluster's current epoch to decide
+	// between minting a recovery epoch (Revive — the epoch has not
+	// moved, this process leads the wave) and adopting one a peer
+	// already minted (Rejoin — resuming into it instead of superseding
+	// it keeps a cluster-wide failure wave convergent).
+	lastEpoch atomic.Uint64
 
 	// localShards lists the shard ids this process drives, ascending;
 	// every id on the in-process backend, a subset on a remote one.
@@ -368,6 +413,10 @@ func (rt *Runtime) Stats() Stats {
 		DeterminismChecks: rt.stats.detChecks.Load(),
 		JournalReplays:    rt.stats.journalReplays.Load(),
 		VersionsDropped:   rt.stats.gcDropped.Load(),
+		PartialRestarts:   rt.stats.partialRuns.Load(),
+		FullRestarts:      rt.stats.fullRuns.Load(),
+		ReplaySkips:       rt.stats.replaySkips.Load(),
+		ScalarServes:      rt.stats.scalarServes.Load(),
 		Messages:          cs.Messages,
 		Bytes:             cs.Bytes,
 	}
@@ -392,6 +441,23 @@ func (rt *Runtime) abortOn(rs *runState, err error) {
 		close(rs.abortCh)
 		if rt.run.Load() == rs {
 			rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
+		}
+	})
+}
+
+// abortLocalOn is abortOn for an attempt that discovered it is stale —
+// the cluster has already moved past its epoch. The local endpoints
+// are poisoned so the attempt's goroutines unwind, but nothing is
+// broadcast: the peers are healthy in the newer epoch, and a
+// propagated interrupt would kill their attempts and restart the
+// failure wave this process is trying to rejoin.
+func (rt *Runtime) abortLocalOn(rs *runState, err error) {
+	rs.errOnce.Do(func() {
+		rs.err.Store(err)
+		rs.aborted.Store(true)
+		close(rs.abortCh)
+		if rt.run.Load() == rs {
+			rt.clust.InterruptLocal(fmt.Errorf("core: aborted: %w", err))
 		}
 	})
 }
@@ -496,14 +562,31 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	var frontier uint64
 	switch {
 	case cp != nil:
+		// Capture the failed attempt's fine state as replay buffers
+		// before anything resets it: even when this attempt's plan comes
+		// out full, the buffers cost nothing and the next attempt may
+		// need them.
+		rt.capturePartialRetention()
 		// Heal the transport first: re-admit crashed endpoints into a
 		// new epoch and discard dead-epoch traffic. A healthy transport
 		// needs no healing — a checkpoint loaded from disk into a fresh
 		// process (Config.CheckpointDir) resumes in the current epoch.
+		// When a peer already minted a newer epoch than the failed
+		// attempt's, adopt it (Rejoin) instead of minting yet another:
+		// one mint per failure wave is what lets the cluster's resumes
+		// converge instead of perpetually superseding each other. A
+		// process's first attempt always mints — a reborn process must
+		// force the fresh-epoch rendezvous its rebirth announced.
 		if rt.clust.Err() != nil {
-			var err error
-			if epoch, err = rt.clust.Revive(); err != nil {
-				return fmt.Errorf("core: resume: %w", err)
+			joined := false
+			if rt.attempt.Load() > 1 {
+				epoch, joined = rt.clust.Rejoin(rt.lastEpoch.Load())
+			}
+			if !joined {
+				var err error
+				if epoch, err = rt.clust.Revive(); err != nil {
+					return fmt.Errorf("core: resume: %w", err)
+				}
 			}
 		}
 		// Fresh abort state and progress counters for the new attempt;
@@ -535,6 +618,7 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		salt = epoch + 1
 	}
 	rt.salt.Store(salt)
+	rt.lastEpoch.Store(epoch)
 	// The attempt's checkpoint baseline is what it resumed from (its
 	// journal already holds that prefix); a fresh attempt starts with
 	// none. A failed attempt's cuts must never survive this boundary.
@@ -560,6 +644,23 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 			rt.abortOn(rs, e)
 		})
 	}
+
+	// Restart-scope agreement: every resuming process exchanges park
+	// descriptors and derives the same plan (partial or full) for this
+	// attempt. Fresh runs and opted-out configs have no scope. Runs
+	// after heartbeats are armed so peers keep beating (and convicting)
+	// while a straggler is awaited; a conviction mid-exchange aborts
+	// this attempt at the next round boundary.
+	var plan *partialPlan
+	if cp != nil && !rt.cfg.Centralized && rt.cfg.PartialRestart {
+		plan = rt.decideRestartScope(rs, epoch)
+		if plan.partial {
+			rt.stats.partialRuns.Add(1)
+		} else {
+			rt.stats.fullRuns.Add(1)
+		}
+	}
+	rt.lastPlan.Store(plan)
 
 	// Wall-clock periodic checkpoints (op-count cuts live on shard 0's
 	// coarse stage, see coarse.run).
@@ -611,7 +712,18 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	if watchStop != nil {
 		close(watchStop)
 	}
-	return rt.Err()
+	err := rt.Err()
+	if err == nil {
+		// Success: the replay buffers and escalation latches are spent.
+		rt.clearPartialRetention()
+	} else if plan != nil {
+		// A failed partial attempt must not be retried partially: the
+		// next vote is ineligible, escalating to a full restart.
+		rt.partial.mu.Lock()
+		rt.partial.prevPartialFailed = plan.partial
+		rt.partial.mu.Unlock()
+	}
+	return err
 }
 
 // cutCheckpoint snapshots the current replayable control state and
@@ -619,6 +731,15 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 // monotone (a concurrent cut that got further wins). Returns the
 // published checkpoint (nil when the journal is disabled).
 func (rt *Runtime) cutCheckpoint() *Checkpoint {
+	if rs := rt.run.Load(); rs != nil && rs.aborted.Load() {
+		// Never cut for an aborted attempt: the post-abort drain keeps
+		// advancing the fine frontier over ops whose digests embed
+		// substituted zero futures, and a higher-frontier poisoned cut
+		// would win the monotone race and derail the next replay. (The
+		// heartbeat conviction path cuts before it aborts, so the
+		// freshest healthy frontier is already captured.)
+		return rt.lastCP.Load()
+	}
 	cp := rt.buildCheckpoint()
 	if cp == nil {
 		return nil

@@ -89,23 +89,29 @@ func (e *executor) submit(t *pointTask) {
 func (e *executor) quiesce() { e.inflight.Wait() }
 
 func (e *executor) runTask(t *pointTask) {
-	val, err := e.execute(t)
+	val, clean, err := e.execute(t)
 	if err != nil {
 		e.ctx.abort(fmt.Errorf("task %q point %v: %w", t.ls.taskName, t.point, err))
 	}
-	// Publish outputs (even after errors, so consumers never hang).
-	// Inputs were assembled in execute; outInsts holds the physical
-	// regions keyed by plan index.
+	// Deliver the scalar even after errors, so consumers never hang
+	// (data-version waiters are released by the abort broadcast).
 	e.ctx.rt.stats.points.Add(1)
-	e.deliverResult(t, val)
+	e.deliverResult(t, val, clean)
 }
 
-func (e *executor) deliverResult(t *pointTask, val float64) {
+// deliverResult resolves the task's scalar result; clean reports that
+// the compute actually ran without error, gating the scalar log — a
+// zero substituted during abort unwinding must never be retained as a
+// replayable result.
+func (e *executor) deliverResult(t *pointTask, val float64, clean bool) {
 	if t.ls.single {
 		if e.ctx.rt.cfg.Centralized {
 			// Only the controller holds the future.
 			t.ls.fut.set(val)
 			return
+		}
+		if clean {
+			e.ctx.scalars.logFut(t.o.seq, val)
 		}
 		// Push the value to every other shard, then resolve locally.
 		// A failed push means the transport is interrupted; the peer's
@@ -118,10 +124,18 @@ func (e *executor) deliverResult(t *pointTask, val float64) {
 		t.ls.fut.set(val)
 		return
 	}
+	if clean {
+		e.ctx.scalars.logPoint(t.o.seq, t.point, val)
+	}
 	t.ls.fm.deliver(t.point, val)
 }
 
-func (e *executor) execute(t *pointTask) (float64, error) {
+// execute assembles and runs one point task; clean reports that the
+// task body ran to completion without error — only then are its outputs
+// published (an abort-skipped or failed task must not install empty
+// versions into a store that may be retained as a replay buffer; its
+// consumers are released by the abort broadcast instead).
+func (e *executor) execute(t *pointTask) (val float64, clean bool, err error) {
 	// Wait for future arguments (they resolve on every shard). On
 	// abort they may never resolve; substitute zeros and fall through
 	// — assembly and compute are skipped once aborted.
@@ -138,20 +152,22 @@ func (e *executor) execute(t *pointTask) (float64, error) {
 
 	tc, err := e.assembleTask(t.ls.taskName, t.point, t.ls.spec.Args, futArgs, t.plans)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 
 	// Compute, gated by the processor semaphore.
-	var val float64
 	if !e.ctx.rs.aborted.Load() {
 		fn := e.ctx.rt.tasks[t.ls.taskName]
 		e.sem <- struct{}{}
 		val, err = e.invoke(fn, tc)
 		<-e.sem
+		clean = err == nil
 	}
 
-	e.publishPlans(tc, t.o.seq, t.point, t.plans)
-	return val, err
+	if clean {
+		e.publishPlans(tc, t.o.seq, t.point, t.plans)
+	}
+	return val, clean, err
 }
 
 // invoke runs a task body, converting panics into errors so one buggy

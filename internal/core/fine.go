@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"godcr/internal/cluster"
 	"godcr/internal/collective"
@@ -56,25 +57,53 @@ type fineStage struct {
 
 	traces *fineTraces
 
+	// scalars is the attempt's scalar results log (see partial.go);
+	// frontier tracks the last op seq this stage started processing —
+	// the shard's park frontier if the attempt fails.
+	scalars  *scalarLog
+	frontier atomic.Uint64
+	// window is the partial-restart replay window: non-nil from the
+	// start of a partial resumed attempt until the catch-up rendezvous
+	// at window.frontier. While set, survivors replay-skip retained
+	// tasks, reductions replay logged results, and store GC is deferred.
+	window *partialPlan
+	// catchup is the rendezvous barrier's collective space, keyed by the
+	// park frontier so it can never alias another attempt's collectives.
+	catchup *collective.Comm
+
 	// central is the controller-side state in centralized mode.
 	central *centralizedState
 }
 
 func newFineStage(ctx *Context) *fineStage {
 	st := newStore()
+	if ctx.retained != nil {
+		// Survivor of a partial restart: adopt the retained versioned
+		// store wholesale. The rejoiner's pulls for gap ops are answered
+		// from it by the ordinary pull protocol, and this shard's own
+		// re-run skips every task whose outputs it already holds.
+		st = ctx.retained.store
+	}
 	f := newFetcher(ctx, st)
 	fs := &fineStage{
-		ctx:    ctx,
-		comm:   ctx.rt.comm(ctx.shard, 0xCE000000),
-		store:  st,
-		fetch:  f,
-		exec:   newExecutor(ctx, st, f),
-		dir:    make(map[dirKey]*fineField),
-		traces: newFineTraces(),
+		ctx:     ctx,
+		comm:    ctx.rt.comm(ctx.shard, 0xCE000000),
+		store:   st,
+		fetch:   f,
+		exec:    newExecutor(ctx, st, f),
+		dir:     make(map[dirKey]*fineField),
+		traces:  newFineTraces(),
+		scalars: ctx.scalars,
+	}
+	if p := ctx.plan; p != nil && p.partial {
+		fs.window = p
+		fs.catchup = ctx.rt.comm(ctx.shard, 0xAC000000|(p.frontier&0xFFFFFF))
 	}
 	if ctx.rt.cfg.Centralized {
 		fs.central = newCentralizedState()
 		fs.installResultHandler()
+	} else {
+		ctx.rt.registerFine(ctx.shard, fs)
 	}
 	return fs
 }
@@ -92,13 +121,28 @@ func (fs *fineStage) field(root region.RegionID, f region.FieldID) *fineField {
 func (fs *fineStage) run(in <-chan *op) {
 	for o := range in {
 		fs.ctx.prog.fine.Store(o.seq)
+		fs.frontier.Store(o.seq)
+		// Catch-up rendezvous: the replay window ends at the park
+		// frontier. Every shard — survivors and rejoiners alike —
+		// quiesces its executor and meets on a frontier-keyed barrier,
+		// then the deferred store GC runs and normal execution resumes.
+		if w := fs.window; w != nil && o.seq >= w.frontier {
+			fs.exec.quiesce()
+			if err := fs.catchup.Barrier(); err != nil {
+				fs.ctx.abort(err)
+			}
+			fs.gcStore()
+			fs.window = nil
+		}
 		// Periodic op-count checkpoint. The cut lives here, not in the
 		// coarse stage: a checkpoint's frontier is capped by the
 		// slowest shard's fine progress, and the fine stages advance in
 		// near-lockstep (fence collectives couple them) while coarse
 		// can run arbitrarily far ahead — a coarse-side cut would
-		// snapshot a near-empty frontier. Shard 0 owns the cuts.
-		if every := fs.ctx.rt.cfg.CheckpointEvery; every > 0 && fs.ctx.shard == 0 && o.seq%uint64(every) == 0 {
+		// snapshot a near-empty frontier. The lowest local shard owns
+		// the cuts (shard 0 in-process; every process cuts its own on a
+		// remote transport).
+		if every := fs.ctx.rt.cfg.CheckpointEvery; every > 0 && fs.ctx.shard == fs.ctx.rt.localShards[0] && o.seq%uint64(every) == 0 {
 			fs.ctx.rt.cutCheckpoint()
 		}
 		// Cross-shard fences first: they order this shard's fine
@@ -123,7 +167,13 @@ func (fs *fineStage) run(in <-chan *op) {
 					fs.ctx.abort(err)
 				}
 			}
-			fs.gcStore()
+			// Inside the replay window the GC is deferred: its live set
+			// would be computed from the re-run's partial directory and
+			// would reclaim retained versions the rejoiner still needs.
+			// The catch-up rendezvous runs it once the window closes.
+			if fs.window == nil {
+				fs.gcStore()
+			}
 			o.done.Trigger()
 		case opInlineRead:
 			fs.handleInline(o)
@@ -248,6 +298,9 @@ func (fs *fineStage) handleLaunch(o *op) {
 		ls.fm.expectLocal(len(pts))
 	}
 	for pi, p := range pts {
+		if fs.replaySkip(o, ls, p) {
+			continue
+		}
 		fs.exec.submit(&pointTask{o: o, ls: ls, point: p, plans: plans[pi]})
 	}
 
@@ -414,6 +467,53 @@ func (fs *fineStage) handleInline(o *op) {
 		res.vals = inst.Data
 		res.done.Trigger()
 	}()
+}
+
+// replaySkip resolves one point of a replay-window launch from retained
+// state instead of re-executing it, reporting whether it did. A point is
+// skippable when this shard is a parked survivor, the op is inside the
+// window, its scalar result is logged, and every version it wrote is
+// still published in the retained store (pre-failure GC may have
+// reclaimed some — those tasks re-execute, and the recursion bottoms
+// out at fills, attaches, and retained versions).
+func (fs *fineStage) replaySkip(o *op, ls *launchState, p geom.Point) bool {
+	if fs.window == nil || fs.ctx.retained == nil || o.seq > fs.window.frontier {
+		return false
+	}
+	var val float64
+	var ok bool
+	if ls.single {
+		val, ok = fs.scalars.fut(o.seq)
+	} else {
+		val, ok = fs.scalars.point(o.seq, p)
+	}
+	if !ok {
+		return false
+	}
+	for _, rr := range ls.reqs {
+		if rr.req.Priv == ReadOnly {
+			continue
+		}
+		for _, f := range rr.fields {
+			if !fs.store.has(verKey{Seq: o.seq, Point: p, Root: rr.root, Field: f}) {
+				return false
+			}
+		}
+	}
+	fs.ctx.rt.stats.replaySkips.Add(1)
+	if ls.single {
+		// The owner's push still happens — rejoining peers await it on
+		// the attempt-salted future tag — just with the logged value.
+		for s := 0; s < fs.ctx.nShards; s++ {
+			if s != fs.ctx.shard {
+				_ = fs.ctx.node.Send(cluster.NodeID(s), fs.ctx.futureTag(o.seq), val)
+			}
+		}
+		ls.fut.set(val)
+		return true
+	}
+	ls.fm.deliver(p, val)
+	return true
 }
 
 // gcStore drops versions unreachable from the directory. Only legal at

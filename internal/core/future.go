@@ -140,10 +140,19 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 	fm.ctx.digest.Uint64(fm.seq)
 	fm.ctx.digest.Int(int(op))
 	fm.ctx.digest.Int(fm.reduceCount)
-	space := uint64(0xB0000000) + fm.seq<<4 + uint64(fm.reduceCount)
+	idx := fm.reduceCount
+	space := uint64(0xB0000000) + fm.seq<<4 + uint64(idx)
 	fm.reduceCount++
 	fut := newFuture(fm.ctx, fm.seq, -1)
 	centralized := fm.ctx.rt.cfg.Centralized
+	if w := fm.ctx.plan; w != nil && w.partial && fm.seq <= w.frontier && !centralized {
+		// Replay window: the fold concluded before the failure on at
+		// least one shard; replay its journaled result (locally or by
+		// re-requesting it from a peer) instead of re-running the
+		// collective. Escalates to a full restart if no shard holds it.
+		go fm.ctx.replayReduce(fm.seq, idx, fut)
+		return fut
+	}
 	var comm *collective.Comm
 	if !centralized {
 		comm = fm.ctx.rt.comm(fm.ctx.shard, space)
@@ -187,6 +196,17 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 		// shard count).
 		gathered, err := comm.AllGather(local)
 		if err != nil {
+			// The gather broke mid-collective: a peer died or the
+			// transport was interrupted under us. Resolving zero while the
+			// attempt is still live would hand replicated control flow a
+			// consistent bogus value — every survivor folds the same
+			// truncated gather, feeds it into downstream Args, and the run
+			// completes with silently wrong results that even the
+			// determinism checks cannot catch. Abort the attempt instead,
+			// exactly like a broken fence barrier (a no-op if the abort
+			// broadcast already landed — the first cause wins); only then
+			// is the zero the documented post-abort value Get promises.
+			fm.ctx.abort(err)
 			fut.set(0)
 			return
 		}
@@ -200,7 +220,11 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 				all[pv.P] = pv.V
 			}
 		}
-		fut.set(foldRowMajor(all))
+		v := foldRowMajor(all)
+		// Log the concluded fold: a later partial restart replays it
+		// instead of re-running the collective.
+		fm.ctx.scalars.logReduce(fm.seq, idx, v)
+		fut.set(v)
 	}()
 	return fut
 }

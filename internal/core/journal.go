@@ -96,11 +96,21 @@ func (j *Journal) snapshotUpTo(frontier uint64) []journalRec {
 	return append([]journalRec(nil), j.recs[:n]...)
 }
 
-// journalAppend records o's analysis outcome; called by shard 0's
-// coarse stage after analyze (all shards make identical decisions).
+// journalAppend records o's analysis outcome; called by the lowest
+// local shard's coarse stage after analyze (all shards make identical
+// decisions, so one recorder per process suffices — and with a remote
+// transport every process must keep its own journal, or survivor
+// fallback checkpoints would be empty).
 func (rt *Runtime) journalAppend(shard int, o *op) {
 	j := rt.journal
-	if j == nil || shard != 0 {
+	if j == nil || shard != rt.localShards[0] {
+		return
+	}
+	if rs := rt.run.Load(); rs != nil && rs.aborted.Load() {
+		// The app thread keeps issuing ops after an abort (its blocked
+		// futures resolve to substituted zeros), so every digest from
+		// here on is unsound — journaling one would poison a later
+		// checkpoint cut and make the healed replay diverge.
 		return
 	}
 	j.append(journalRec{

@@ -31,8 +31,9 @@ type verKey struct {
 }
 
 type storedVersion struct {
-	ready event.UserEvent
-	inst  *instance.Instance // valid once ready triggers
+	ready     event.UserEvent
+	inst      *instance.Instance // valid once ready triggers
+	published bool               // guarded by store.mu; makes publish idempotent
 }
 
 type store struct {
@@ -58,11 +59,35 @@ func (s *store) entry(key verKey) *storedVersion {
 	return sv
 }
 
-// publish installs the produced instance and releases waiters.
+// publish installs the produced instance and releases waiters. It is
+// idempotent: re-publishing an already-published version keeps the
+// first instance (re-executed ops during partial-restart replay — a
+// re-run attach, or a survivor task whose scalar delivery was lost —
+// produce bit-identical data, so dropping the duplicate is sound).
 func (s *store) publish(key verKey, inst *instance.Instance) {
-	sv := s.entry(key)
+	s.mu.Lock()
+	sv := s.versions[key]
+	if sv == nil {
+		sv = &storedVersion{ready: event.NewUserEvent()}
+		s.versions[key] = sv
+	}
+	if sv.published {
+		s.mu.Unlock()
+		return
+	}
+	sv.published = true
 	sv.inst = inst
+	s.mu.Unlock()
 	sv.ready.Trigger()
+}
+
+// has reports whether the version is published with data (the
+// survivor-side replay-skip condition).
+func (s *store) has(key verKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv := s.versions[key]
+	return sv != nil && sv.published && sv.inst != nil
 }
 
 // retain drops every version whose seq is not in live. Callers must

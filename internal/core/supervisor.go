@@ -93,6 +93,14 @@ type AttemptFailure struct {
 	// restarting from a stale cut because the disk is failing is worth
 	// surfacing alongside the failure itself.
 	SpillErr error
+	// Scope is the recovery scope of the restart that followed this
+	// failure — ScopePartial when only the failed shard re-executed its
+	// gap, ScopeFull for a whole-cluster rollback, ScopeNone when the
+	// attempt was never restarted (the final failure).
+	Scope RestartScope
+	// Restarted lists the shards the restart re-executed: the plan's
+	// rejoiners for a partial recovery, every shard for a full one.
+	Restarted []int
 }
 
 // SupervisorError is RunSupervised's permanent-failure verdict: the
@@ -111,6 +119,9 @@ func (e *SupervisorError) Error() string {
 	fmt.Fprintf(&b, "core: supervisor gave up after %d failed attempt(s)", e.Attempts)
 	for _, f := range e.History {
 		fmt.Fprintf(&b, "; attempt %d (frontier %d): %v", f.Attempt, f.Frontier, f.Err)
+		if f.Scope != ScopeNone {
+			fmt.Fprintf(&b, " [recovered %s, restarted %v]", f.Scope, f.Restarted)
+		}
 		if f.SpillErr != nil {
 			fmt.Fprintf(&b, " [spill failing: %v]", f.SpillErr)
 		}
@@ -155,6 +166,10 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 			// together in a fresh epoch (see AnnounceRebirth).
 			rt.AnnounceRebirth()
 		}
+		// A reborn process has no retained state (it votes rejoiner) but
+		// consents to a partial plan: the survivors may park and re-serve
+		// while this process alone re-executes its gap.
+		rt.setPartialIntent(rt.cfg.PartialRestart, nil)
 		err = rt.Resume(cp, program)
 	} else {
 		err = rt.Execute(program)
@@ -195,9 +210,45 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 			pol.OnEvent(SupervisorEvent{Attempt: attempt, Err: err, Frontier: failure.Frontier, Backoff: delay})
 		}
 		time.Sleep(delay)
+		eligible, convicted := partialIntentFor(err)
+		rt.setPartialIntent(eligible && rt.cfg.PartialRestart, convicted)
 		err = rt.Resume(cp, program)
+		// Attribute the restart we just ran: the resumed attempt's
+		// cluster-agreed plan says whether recovery was partial (and
+		// which shards re-executed) or a full rollback.
+		last := &history[len(history)-1]
+		if p := rt.lastPlan.Load(); p != nil && p.partial {
+			last.Scope = ScopePartial
+			last.Restarted = append([]int(nil), p.rejoiners...)
+		} else {
+			last.Scope = ScopeFull
+			for s := 0; s < rt.cfg.Shards; s++ {
+				last.Restarted = append(last.Restarted, s)
+			}
+		}
 	}
 	return nil
+}
+
+// partialIntentFor classifies a failure for restart-scope selection:
+// only classes naming a recoverable, shard-local cause consent to a
+// partial plan, and a heartbeat conviction names the shard that must
+// rejoin. Everything else (stalls, divergence verdicts, a failed
+// partial attempt) votes for a full restart.
+func partialIntentFor(err error) (eligible bool, convicted []int) {
+	var down *cluster.ShardDownError
+	switch {
+	case errors.As(err, &down):
+		return true, []int{int(down.Shard)}
+	case errors.Is(err, errPartialEscalate):
+		return false, nil
+	case errors.Is(err, cluster.ErrInterrupted), errors.Is(err, cluster.ErrReviveTimeout):
+		// A peer's abort or a rebirth announcement: the root cause lives
+		// on the peer, whose own vote carries the conviction; this
+		// process consents and lets the exchange decide.
+		return true, nil
+	}
+	return false, nil
 }
 
 // recoveryPoint classifies a failure and picks the checkpoint the next
@@ -235,6 +286,11 @@ func (rt *Runtime) recoveryPoint(err error) (cp *Checkpoint, recoverable bool) {
 		// not been respawned within the window. Retry the same recovery —
 		// by the next attempt the process supervisor has usually brought
 		// the worker back and the barrier completes.
+		return rt.fallbackCheckpoint(), true
+	case errors.Is(err, errPartialEscalate):
+		// A partial attempt could not be completed from retained state.
+		// Recoverable — but the escalation latch makes the retry vote
+		// ineligible, so the next attempt is a full restart.
 		return rt.fallbackCheckpoint(), true
 	}
 	return nil, false

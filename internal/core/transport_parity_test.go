@@ -181,3 +181,109 @@ func TestTransportBytesCounted(t *testing.T) {
 		t.Fatalf("Stats.Bytes is zero on a plain 4-shard run (messages=%d)", st.Messages)
 	}
 }
+
+// groupedTransports builds one TCPTransport per process-equivalent,
+// each hosting a group of shards behind a single listener
+// (TCPOptions.Shards) — the 4-shards-over-2-processes deployment,
+// where one process is one failure domain spanning several shards.
+func groupedTransports(t *testing.T, groups [][]int) []*cluster.TCPTransport {
+	t.Helper()
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	lns := make([]net.Listener, len(groups))
+	addrs := make([]string, total)
+	for gi, g := range groups {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[gi] = ln
+		for _, s := range g {
+			addrs[s] = ln.Addr().String()
+		}
+	}
+	trs := make([]*cluster.TCPTransport, len(groups))
+	for gi, g := range groups {
+		shards := make([]cluster.NodeID, len(g))
+		for i, s := range g {
+			shards[i] = cluster.NodeID(s)
+		}
+		tr, err := cluster.NewTCPTransport(cluster.TCPOptions{
+			Self: shards[0], Shards: shards, Addrs: addrs, Listener: lns[gi],
+		})
+		if err != nil {
+			t.Fatalf("transport group %d: %v", gi, err)
+		}
+		trs[gi] = tr
+	}
+	return trs
+}
+
+// TestMultiShardHostingParity runs every parity workload as 4 shards
+// over 2 process-equivalents (2 hosted shards each, TCPOptions.Shards)
+// and demands outputs and ControlHash bit-identical to both the
+// 4-over-4 single-shard-per-process deployment and the in-process
+// baseline: shard placement must be invisible to the analysis.
+func TestMultiShardHostingParity(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	for _, wl := range parityWorkloads() {
+		t.Run(wl.name, func(t *testing.T) {
+			var base vecCell
+			brt := runProgram(t, Config{Shards: 4, SafetyChecks: true}, wl.register, wl.build(&base))
+			wantOut, wantHash := base.get(), brt.ControlHash()
+			if wantHash == ([2]uint64{}) {
+				t.Fatal("zero baseline control hash")
+			}
+
+			flatVals, flatHashes := runOverTCP(t, wl, 4) // 4-over-4
+
+			groups := [][]int{{0, 1}, {2, 3}} // 4-over-2
+			trs := groupedTransports(t, groups)
+			rts := make([]*Runtime, len(groups))
+			outs := make([]*vecCell, len(groups))
+			for i := range rts {
+				rts[i] = NewRuntime(Config{Shards: 4, SafetyChecks: true, Transport: trs[i]})
+				wl.register(rts[i])
+				outs[i] = &vecCell{}
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, len(groups))
+			for i := range rts {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = rts[i].Execute(wl.build(outs[i]))
+				}(i)
+			}
+			wg.Wait()
+
+			check := func(label string, vals []float64, hash [2]uint64) {
+				t.Helper()
+				if hash != wantHash {
+					t.Fatalf("%s control hash %x, want %x", label, hash, wantHash)
+				}
+				if len(vals) != len(wantOut) {
+					t.Fatalf("%s has %d outputs, want %d", label, len(vals), len(wantOut))
+				}
+				for j := range wantOut {
+					// Bit-identical, not approximately equal.
+					if vals[j] != wantOut[j] {
+						t.Fatalf("%s output[%d] = %v, want %v", label, j, vals[j], wantOut[j])
+					}
+				}
+			}
+			for i := range flatVals {
+				check(fmt.Sprintf("4-over-4 proc %d", i), flatVals[i], flatHashes[i])
+			}
+			for i, rt := range rts {
+				if errs[i] != nil {
+					t.Fatalf("4-over-2 proc %d: %v", i, errs[i])
+				}
+				check(fmt.Sprintf("4-over-2 proc %d (shards %v)", i, groups[i]), outs[i].get(), rt.ControlHash())
+				rt.Shutdown()
+			}
+		})
+	}
+}

@@ -100,6 +100,10 @@ func describeTag(tag uint64) string {
 	case 0xFA:
 		// Bits 48–55 carry the attempt salt; the low bits the op seq.
 		return fmt.Sprintf("single-launch future push (seq %d)", tag&((uint64(1)<<48)-1))
+	case 0xF2:
+		return fmt.Sprintf("partial-restart scalar re-serve request (tag %#x)", tag)
+	case 0xF3:
+		return fmt.Sprintf("partial-restart scalar re-serve reply (tag %#x)", tag)
 	case 0xFD, 0xFE:
 		return fmt.Sprintf("reliable-delivery sublayer (tag %#x)", tag)
 	case 0xC7, 0xC8, 0xC9, 0xCA:
@@ -125,6 +129,8 @@ func describeTag(tag uint64) string {
 		return fmt.Sprintf("future-map reduce (collective space %#x, call %d)", space, call)
 	case space>>24 == 0xEB:
 		return fmt.Sprintf("epoch re-admission barrier (epoch %d, call %d)", space&0xFFFFFF, call)
+	case space>>24 == 0xAC:
+		return fmt.Sprintf("partial-restart catch-up rendezvous (frontier %d, call %d)", space&0xFFFFFF, call)
 	}
 	return fmt.Sprintf("collective space %#x (call %d)", space, call)
 }

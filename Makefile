@@ -54,6 +54,7 @@ chaos-multiproc:
 	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 7 -workload stencil -steps 30
 	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 11 -workload circuit -steps 24
 	./bin/godcr-node -launch -supervise -n 4 -kill 2 -seed 3 -workload stencil -steps 30
+	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 13 -codec gob -workload stencil -steps 30
 	$(GO) test -race -count=1 -run 'RemoteSupervisedRecovery|TCPReviveBarrier|TCPEpochSync|TCPCloseDuringDialBackoff|HeartbeatStaleEpoch' \
 		./internal/cluster ./internal/core
 
@@ -79,10 +80,12 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_core.json
 
-# Fuzz smoke: the wire codec and the journal/checkpoint codec each get
-# a short randomized hammering (longer runs: raise -fuzztime).
+# Fuzz smoke: the wire codec, the payload codec seam (binary decoder
+# totality + gob-fallback dispatch), and the journal/checkpoint codec
+# each get a short randomized hammering (longer runs: raise -fuzztime).
 FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzPayloadCodec -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME) ./internal/core

@@ -1,7 +1,8 @@
-// Command benchjson runs the core stencil and circuit workloads under
-// testing.Benchmark and writes a machine-readable benchmark record —
-// the committed BENCH_core.json — so perf regressions show up in
-// review as a diff rather than a vibe. Regenerate with `make bench-json`.
+// Command benchjson times the core stencil and circuit workloads and
+// writes a machine-readable benchmark record — the committed
+// BENCH_core.json — so perf regressions show up in review as a diff
+// rather than a vibe. Every row reports the median of repeated runs
+// (see bench). Regenerate with `make bench-json`.
 package main
 
 import (
@@ -13,7 +14,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"testing"
 	"time"
 
 	"godcr"
@@ -22,9 +22,10 @@ import (
 type result struct {
 	// Name is workload/shards (plus "/journal" for journal-on runs).
 	Name string `json:"name"`
-	// NsPerOp is one full workload execution (setup + run + teardown).
+	// NsPerOp is the median wall-clock of one full workload execution
+	// (setup + run + teardown).
 	NsPerOp int64 `json:"ns_per_op"`
-	// Runs is the iteration count testing.Benchmark settled on.
+	// Runs is the number of timed repetitions behind the median.
 	Runs int `json:"runs"`
 }
 
@@ -42,10 +43,25 @@ type record struct {
 	// it must stay in the same noise band as the journal itself.
 	CheckpointOverheadPct float64 `json:"checkpoint_overhead_pct"`
 	// TCPLoopbackOverheadPct is the stencil@4 slowdown of running each
-	// shard behind its own TCP-loopback endpoint (gob payload encode +
-	// framing + socket hop per message) versus the in-process backend's
-	// synchronous handoff, in percent of a full workload execution.
-	TCPLoopbackOverheadPct float64 `json:"tcp_loopback_overhead_pct"`
+	// shard behind its own TCP-loopback endpoint versus the in-process
+	// backend's synchronous handoff, in percent of a full workload
+	// execution, under the backend defaults (binary payload codec,
+	// frame coalescing). The two sides are timed interleaved in one
+	// window (benchPair), so a load shift on a shared box biases both
+	// medians instead of whichever ran second. The codec=/batching=
+	// rows in Results break the win down per dimension;
+	// TCPLoopbackGobNoBatchPct is the same number under the historical
+	// wire path (gob, one write per frame).
+	TCPLoopbackOverheadPct   float64 `json:"tcp_loopback_overhead_pct"`
+	TCPLoopbackGobNoBatchPct float64 `json:"tcp_loopback_gob_nobatch_pct"`
+	// TCPLoopbackDataPushPct is the same paired overhead with
+	// Config.DataPush on: ghost data shipped proactively at publication
+	// instead of demand-pulled. On a single-core host this sits above
+	// the pull number — the symmetric enumeration makes every process
+	// analyze every launch point, and with one shard per process that
+	// replicated analysis costs more than the saved request frames. The
+	// row is kept as an honest ablation, not the default.
+	TCPLoopbackDataPushPct float64 `json:"tcp_loopback_datapush_pct"`
 	// RecoveryFullNs / RecoveryPartialNs are the median wall-clock from
 	// a mid-run shard death (stencil@4 over TCP loopback, one shard's
 	// cluster torn down after its first checkpoint spill, then respawned
@@ -109,9 +125,12 @@ func runStencil(cfg godcr.Config, tiles, steps int) error {
 
 // runStencilTCP runs the stencil with every shard behind its own
 // TCP-loopback endpoint — one runtime per shard, frames crossing real
-// sockets. Still one OS process: the row measures the wire cost (gob
-// payload encode + framing + socket hop per message), not exec.
-func runStencilTCP(shards, tiles, steps int) error {
+// sockets. Still one OS process: the row measures the wire cost
+// (payload encode + framing + socket hop per message), not exec.
+// codec picks the payload encoding (nil = the backend default,
+// binary); noCoalesce disables frame batching, so the gob/no-batch row
+// reproduces the historical one-write-per-frame wire path.
+func runStencilTCP(shards, tiles, steps int, codec godcr.PayloadCodec, noCoalesce, push bool) error {
 	lns := make([]net.Listener, shards)
 	addrs := make([]string, shards)
 	for i := range lns {
@@ -126,11 +145,12 @@ func runStencilTCP(shards, tiles, steps int) error {
 	for i := range rts {
 		tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
 			Self: godcr.NodeID(i), Addrs: addrs, Listener: lns[i],
+			Codec: codec, NoCoalesce: noCoalesce,
 		})
 		if err != nil {
 			return err
 		}
-		rts[i] = godcr.NewRuntime(godcr.Config{Shards: shards, Transport: tr})
+		rts[i] = godcr.NewRuntime(godcr.Config{Shards: shards, Transport: tr, DataPush: push})
 		registerStencilTasks(rts[i])
 	}
 	var wg sync.WaitGroup
@@ -371,15 +391,78 @@ func recoveryMedian(partial bool, steps, reps int) (time.Duration, error) {
 	return lats[len(lats)/2], nil
 }
 
+// bench paces: every row gets at least benchMinReps timed runs and
+// roughly benchTargetTime of wall clock, after two warmups.
+const (
+	benchMinReps    = 20
+	benchTargetTime = time.Second
+)
+
+// bench times fn and reports the median nanoseconds per run. The
+// median, not the mean, is the location statistic every row uses: on
+// a shared box an occasional scheduler or GC hiccup drags a mean far
+// from what a typical run costs, and the overhead ratios this record
+// exists for would then compare noise floors instead of code paths
+// (the recovery rows already report medians for the same reason).
 func bench(name string, fn func() error) result {
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if err := fn(); err != nil {
-				b.Fatal(err)
-			}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for i := 0; i < 2; i++ {
+		if err := fn(); err != nil {
+			fail(err)
 		}
-	})
-	return result{Name: name, NsPerOp: r.NsPerOp(), Runs: r.N}
+	}
+	var lats []time.Duration
+	t0 := time.Now()
+	for len(lats) < benchMinReps || time.Since(t0) < benchTargetTime {
+		s := time.Now()
+		if err := fn(); err != nil {
+			fail(err)
+		}
+		lats = append(lats, time.Since(s))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return result{Name: name, NsPerOp: lats[len(lats)/2].Nanoseconds(), Runs: len(lats)}
+}
+
+// benchPair times two functions run strictly interleaved — A, B, A,
+// B, … inside one window — and returns both medians. Overhead ratios
+// must come from a pair: on a shared box the load level drifts between
+// windows, and two rows timed back to back would compare different
+// machines wearing the same hostname.
+func benchPair(nameA string, fnA func() error, nameB string, fnB func() error) (result, result) {
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for i := 0; i < 2; i++ {
+		if err := fnA(); err != nil {
+			fail(nameA, err)
+		}
+		if err := fnB(); err != nil {
+			fail(nameB, err)
+		}
+	}
+	var la, lb []time.Duration
+	t0 := time.Now()
+	for len(la) < benchMinReps || time.Since(t0) < 2*benchTargetTime {
+		s := time.Now()
+		if err := fnA(); err != nil {
+			fail(nameA, err)
+		}
+		la = append(la, time.Since(s))
+		s = time.Now()
+		if err := fnB(); err != nil {
+			fail(nameB, err)
+		}
+		lb = append(lb, time.Since(s))
+	}
+	sort.Slice(la, func(i, j int) bool { return la[i] < la[j] })
+	sort.Slice(lb, func(i, j int) bool { return lb[i] < lb[j] })
+	return result{Name: nameA, NsPerOp: la[len(la)/2].Nanoseconds(), Runs: len(la)},
+		result{Name: nameB, NsPerOp: lb[len(lb)/2].Nanoseconds(), Runs: len(lb)}
 }
 
 func main() {
@@ -406,12 +489,52 @@ func main() {
 		func() error { return runStencil(godcr.Config{Shards: 4, Journal: true}, 8, steps) })
 	ckpt := bench("stencil/shards=4/checkpoint=16",
 		func() error { return runStencil(godcr.Config{Shards: 4, CheckpointEvery: 16}, 8, steps) })
-	tcp := bench("stencil/shards=4/transport=tcp-loopback",
-		func() error { return runStencilTCP(4, 8, steps) })
-	rec.Results = append(rec.Results, off, on, ckpt, tcp)
+	rec.Results = append(rec.Results, off, on, ckpt)
 	rec.JournalOverheadPct = 100 * (float64(on.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
 	rec.CheckpointOverheadPct = 100 * (float64(ckpt.NsPerOp) - float64(on.NsPerOp)) / float64(on.NsPerOp)
-	rec.TCPLoopbackOverheadPct = 100 * (float64(tcp.NsPerOp) - float64(off.NsPerOp)) / float64(off.NsPerOp)
+
+	// The wire-path matrix: codec × batching over TCP loopback. The
+	// binary+batching cell is the backend default and the headline
+	// overhead number — timed as an interleaved pair against the
+	// in-process baseline so the ratio compares code paths, not load
+	// windows. The remaining cells are per-dimension breakdowns, each
+	// paired against the same baseline for a window-free ratio.
+	pairOverhead := func(name string, codec godcr.PayloadCodec, noCoalesce, push bool) (result, float64) {
+		mem, tcp := benchPair(
+			"stencil/shards=4/transport=mem/paired-vs-"+name,
+			func() error { return runStencil(godcr.Config{Shards: 4}, 8, steps) },
+			"stencil/shards=4/transport=tcp-loopback/"+name,
+			func() error { return runStencilTCP(4, 8, steps, codec, noCoalesce, push) })
+		return tcp, 100 * (float64(tcp.NsPerOp) - float64(mem.NsPerOp)) / float64(mem.NsPerOp)
+	}
+	tcpDefault, defaultPct := pairOverhead("codec=binary/batching=on", godcr.CodecBinary, false, false)
+	rec.Results = append(rec.Results, tcpDefault)
+	for _, w := range []struct {
+		name       string
+		codec      godcr.PayloadCodec
+		noCoalesce bool
+	}{
+		{"codec=binary/batching=off", godcr.CodecBinary, true},
+		{"codec=gob/batching=on", godcr.CodecGob, false},
+	} {
+		w := w
+		rec.Results = append(rec.Results, bench("stencil/shards=4/transport=tcp-loopback/"+w.name,
+			func() error { return runStencilTCP(4, 8, steps, w.codec, w.noCoalesce, false) }))
+	}
+	tcpLegacy, legacyPct := pairOverhead("codec=gob/batching=off", godcr.CodecGob, true, false)
+	rec.Results = append(rec.Results, tcpLegacy)
+	tcpPush, pushPct := pairOverhead("codec=binary/batching=on/datapush=on", godcr.CodecBinary, false, true)
+	rec.Results = append(rec.Results, tcpPush)
+	rec.TCPLoopbackOverheadPct = defaultPct
+	rec.TCPLoopbackGobNoBatchPct = legacyPct
+	rec.TCPLoopbackDataPushPct = pushPct
+	// The wire-path work exists to beat the historical path; refuse to
+	// commit a record where it does not.
+	if tcpDefault.NsPerOp >= tcpLegacy.NsPerOp {
+		fmt.Fprintf(os.Stderr, "benchjson: binary+batching (%d ns/op) not below gob+no-batch (%d ns/op)\n",
+			tcpDefault.NsPerOp, tcpLegacy.NsPerOp)
+		os.Exit(1)
+	}
 
 	const recoveryReps = 5
 	full, err := recoveryMedian(false, 40, recoveryReps)

@@ -270,6 +270,9 @@ type workerOpts struct {
 	// survivors abandon their in-flight attempt and the whole cluster
 	// resumes from checkpoints in a fresh epoch.
 	reborn bool
+	// codec names the payload codec on the TCP wire: "binary" (the
+	// default) or "gob". Must match across the cluster's processes.
+	codec string
 }
 
 // runWorker executes one shard over TCP and returns its report.
@@ -290,10 +293,20 @@ func runWorker(o workerOpts) (*report, error) {
 	for i, s := range hosted {
 		ids[i] = godcr.NodeID(s)
 	}
+	var codec godcr.PayloadCodec
+	switch o.codec {
+	case "", "binary":
+		codec = godcr.CodecBinary
+	case "gob":
+		codec = godcr.CodecGob
+	default:
+		return nil, fmt.Errorf("unknown codec %q (want binary or gob)", o.codec)
+	}
 	tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
 		Self:   godcr.NodeID(o.shard),
 		Shards: ids,
 		Addrs:  o.addrs,
+		Codec:  codec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -462,6 +475,8 @@ type launchOpts struct {
 	// (supervise mode only).
 	kills int
 	seed  int64
+	// codec is the payload codec name forwarded to every worker.
+	codec string
 }
 
 // splitShards deals n shard ids into procs contiguous groups, earlier
@@ -525,6 +540,9 @@ func superviseWorker(ctx context.Context, self string, o launchOpts, pi int, gro
 		}
 		if o.partial {
 			args = append(args, "-partial")
+		}
+		if o.codec != "" {
+			args = append(args, "-codec", o.codec)
 		}
 		if reborn {
 			args = append(args, "-reborn")
@@ -676,11 +694,16 @@ func launch(o launchOpts) error {
 				outs[pi], errs[pi] = superviseWorker(ctx, self, o, pi, groups[pi], addrs, ckptDir, reg)
 				return
 			}
-			cmd := exec.CommandContext(ctx, self,
+			args := []string{
 				"-shards", joinInts(groups[pi]),
 				"-addrs", strings.Join(addrs, ","),
 				"-workload", o.workload,
-				"-steps", fmt.Sprint(o.steps))
+				"-steps", fmt.Sprint(o.steps),
+			}
+			if o.codec != "" {
+				args = append(args, "-codec", o.codec)
+			}
+			cmd := exec.CommandContext(ctx, self, args...)
 			cmd.Stderr = os.Stderr
 			outs[pi], errs[pi] = cmd.Output()
 		}(pi)
@@ -725,6 +748,7 @@ func main() {
 		reborn    = flag.Bool("reborn", false, "this worker is a respawn: announce rebirth so the cluster restarts from checkpoints")
 		kills     = flag.Int("kill", 0, "SIGKILL this many randomly chosen workers mid-run (launcher mode, with -supervise)")
 		seed      = flag.Int64("seed", 1, "chaos kill RNG seed (launcher mode)")
+		codecName = flag.String("codec", "binary", "payload codec on the TCP wire: binary or gob")
 	)
 	flag.Parse()
 
@@ -745,6 +769,7 @@ func main() {
 		err := launch(launchOpts{
 			n: *n, workload: *name, steps: *steps, timeout: *timeout, procs: *procs,
 			supervise: *supervise, partial: *partial, kills: *kills, seed: *seed,
+			codec: *codecName,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)
@@ -759,6 +784,7 @@ func main() {
 		rep, err := runWorker(workerOpts{
 			shard: *shard, hosted: hosted, addrs: list, workload: *name, steps: *steps,
 			supervise: *supervise, partial: *partial, ckptDir: *ckpt, reborn: *reborn,
+			codec: *codecName,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)

@@ -68,10 +68,17 @@ type Config struct {
 	Nodes int
 	// Latency is injected one-way message delay (0 = immediate).
 	Latency time.Duration
-	// WireEncode forces every payload through gob encode/decode,
-	// guaranteeing nodes share no memory. Payload types must be
-	// registered with RegisterWireType.
+	// WireEncode forces every payload through the wire codec's
+	// encode/decode, guaranteeing nodes share no memory. Payload types
+	// must be registered with RegisterWireType (or, for the binary
+	// codec's fast path, RegisterBinaryPayload).
 	WireEncode bool
+	// Codec selects the payload codec WireEncode round-trips through
+	// (nil selects CodecGob, the historical behavior). The TCP backend
+	// has its own codec selection (TCPOptions.Codec); this one exists so
+	// the in-process backend can exercise a codec under the same
+	// bit-identical parity matrix the TCP backend must pass.
+	Codec PayloadCodec
 	// Faults injects transport faults (chaos testing); nil keeps the
 	// perfect-network fast path.
 	Faults *FaultPlan
@@ -93,8 +100,9 @@ type Stats struct {
 	Jittered      uint64 // transmissions given random extra latency
 	Stalled       uint64 // stall/crash windows triggered
 	Retransmits   uint64 // reliable-sublayer retransmissions
-	Acks          uint64 // reliable-sublayer ack envelopes that retired messages
+	Acks          uint64 // reliable-sublayer acks that retired messages (dedicated or piggybacked)
 	AckRetired    uint64 // messages retired by cumulative acks (≥ Acks)
+	PiggyAcks     uint64 // acks that rode outgoing data frames instead of dedicated ack frames
 	DupDeliveries uint64 // duplicates suppressed by receiver dedup
 	Heartbeats    uint64 // failure-detector beats delivered
 }
@@ -120,6 +128,7 @@ type Cluster struct {
 	retransmits  atomic.Uint64
 	acks         atomic.Uint64
 	ackRetired   atomic.Uint64
+	piggyAcks    atomic.Uint64
 	dupDelivered atomic.Uint64
 	heartbeats   atomic.Uint64
 
@@ -153,11 +162,19 @@ type Node struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  map[matchKey][]queuedMsg
-	handlers map[uint64]Handler
+	handlers map[uint64]registeredHandler
 	closed   bool
 	arrival  uint64
 	waits    map[uint64]*waitRecord
 	waitSeq  uint64
+}
+
+// registeredHandler pairs an active-message handler with its dispatch
+// mode: inline handlers run on the delivery goroutine itself, saving a
+// goroutine spawn and a scheduler hop per message.
+type registeredHandler struct {
+	fn     Handler
+	inline bool
 }
 
 type matchKey struct {
@@ -217,7 +234,7 @@ func NewWithTransport(cfg Config, tr Transport) *Cluster {
 			id:       NodeID(i),
 			c:        c,
 			pending:  make(map[matchKey][]queuedMsg),
-			handlers: make(map[uint64]Handler),
+			handlers: make(map[uint64]registeredHandler),
 			waits:    make(map[uint64]*waitRecord),
 		}
 		n.cond = sync.NewCond(&n.mu)
@@ -261,6 +278,7 @@ func (c *Cluster) Stats() Stats {
 		Retransmits:   c.retransmits.Load(),
 		Acks:          c.acks.Load(),
 		AckRetired:    c.ackRetired.Load(),
+		PiggyAcks:     c.piggyAcks.Load(),
 		DupDeliveries: c.dupDelivered.Load(),
 		Heartbeats:    c.heartbeats.Load(),
 	}
@@ -485,7 +503,9 @@ func (c *Cluster) Deliver(f *Frame) {
 	}
 	payload := f.Payload
 	if payload == nil && len(f.Wire) > 0 {
-		p, err := DecodeWire(f.Wire)
+		// Remote payloads open with the sending codec's ID byte; decode
+		// dispatches on it, so endpoints with different codecs interoperate.
+		p, err := DecodePayload(f.Wire)
 		if err != nil {
 			return // undecodable remote payload: drop, like line noise
 		}
@@ -575,7 +595,23 @@ func (n *Node) ClusterSize() int { return n.c.Size() }
 // are drained to the new handler in arrival order — a rejoining shard's
 // re-requests can land on a survivor before its fresh attempt has wired
 // up the serving handlers.
-func (n *Node) Handle(tag uint64, h Handler) {
+func (n *Node) Handle(tag uint64, h Handler) { n.handle(tag, h, false) }
+
+// HandleInline registers a handler that runs synchronously on the
+// delivery goroutine instead of a fresh one, eliminating a goroutine
+// spawn and a scheduler hop per message. The handler must not block:
+// on a remote transport it runs on the connection's read loop, so a
+// blocking handler stalls every later frame on that link. Handlers
+// that only sometimes block (a pull server whose version is usually
+// already published) should take the fast path inline and spawn a
+// goroutine themselves for the slow case. On clusters with fault
+// injection the hint is ignored and every dispatch gets its own
+// goroutine: the reliable sublayer's release path is re-entrant
+// through a handler that sends (the reply's piggybacked ack can
+// recurse into a pair lock already held up-stack).
+func (n *Node) HandleInline(tag uint64, h Handler) { n.handle(tag, h, true) }
+
+func (n *Node) handle(tag uint64, h Handler, inline bool) {
 	n.mu.Lock()
 	var backlog []queuedMsg
 	for key, q := range n.pending {
@@ -584,11 +620,15 @@ func (n *Node) Handle(tag uint64, h Handler) {
 			delete(n.pending, key)
 		}
 	}
-	n.handlers[tag] = h
+	n.handlers[tag] = registeredHandler{fn: h, inline: inline}
 	n.mu.Unlock()
 	sort.Slice(backlog, func(i, j int) bool { return backlog[i].arrival < backlog[j].arrival })
 	for _, qm := range backlog {
-		go h(qm.msg)
+		if inline && n.c.faults == nil {
+			h(qm.msg)
+		} else {
+			go h(qm.msg)
+		}
 	}
 }
 
@@ -607,13 +647,17 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 	}
 	msg := Message{From: n.id, To: to, Tag: tag, Payload: payload}
 	// nil payloads (barriers) are trivially copy-safe and cannot be
-	// gob-encoded inside an interface; skip the wire round-trip.
+	// wire-encoded inside an interface; skip the wire round-trip.
 	if n.c.cfg.WireEncode && payload != nil {
-		wire, err := EncodeWire(payload)
+		codec := n.c.cfg.Codec
+		if codec == nil {
+			codec = CodecGob
+		}
+		wire, err := codec.Append(nil, payload)
 		if err != nil {
 			return err
 		}
-		out, err := DecodeWire(wire)
+		out, err := codec.Decode(wire)
 		if err != nil {
 			return fmt.Errorf("%w: %T not wire-decodable: %v", ErrBadPayload, payload, err)
 		}
@@ -723,7 +767,11 @@ func (n *Node) enqueue(msg Message) {
 	h, ok := n.handlers[msg.Tag]
 	if ok {
 		n.mu.Unlock()
-		go h(msg)
+		if h.inline && n.c.faults == nil {
+			h.fn(msg)
+		} else {
+			go h.fn(msg)
+		}
 		return
 	}
 	n.arrival++

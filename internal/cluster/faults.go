@@ -62,6 +62,12 @@ type FaultPlan struct {
 	// exponential backoff (defaults 1ms / 32ms).
 	RetransmitBase time.Duration
 	RetransmitCap  time.Duration
+	// AckDelay is how long a receiver holds a pending cumulative ack
+	// hoping a reverse-direction data send piggybacks it first; a
+	// dedicated ack frame goes out only when the timer wins (default
+	// RetransmitBase/4, so a delayed ack still beats the sender's first
+	// retransmission).
+	AckDelay time.Duration
 }
 
 // StallWindow stalls or kills one node's traffic. The window triggers
@@ -96,10 +102,18 @@ const (
 // relData wraps one logical message with its link sequence number. On
 // the in-process backend it never crosses the gob boundary (the inner
 // payload is already wire-encoded by the time it is wrapped); remote
-// backends serialize it whole, hence the registration in init above.
+// backends serialize it whole, hence the registration in init above
+// (the binary codec encodes it natively, tag 0x0B).
 type relData struct {
-	Seq     uint64
-	Tag     uint64
+	Seq uint64
+	Tag uint64
+	// Ack piggybacks the sender's cumulative ack for the reverse link —
+	// the highest sequence it has contiguously received from the peer
+	// it is sending to — so request/reply traffic retires in-flight
+	// windows without dedicated ack frames. Zero means "nothing to ack"
+	// (link sequences start at 1). Retransmissions re-send the original
+	// Ack; a stale value is harmless, cumulative acks are monotonic.
+	Ack     uint64
 	Payload any
 }
 
@@ -124,6 +138,11 @@ type relRecv struct {
 	// arrivals above the first gap.
 	contig uint64
 	held   map[uint64]*Message
+	// ackPending marks that contig advanced (or a dup arrived) and the
+	// sender has not yet been acked: either a reverse-direction data
+	// send piggybacks the ack first, or the delayed ack flush sends a
+	// dedicated ack frame when the timer fires.
+	ackPending bool
 }
 
 // release records seq's logical message and emits, in sequence order,
@@ -193,6 +212,9 @@ func newFaultState(c *Cluster, plan *FaultPlan) *faultState {
 	}
 	if f.plan.RetransmitCap <= 0 {
 		f.plan.RetransmitCap = 32 * time.Millisecond
+	}
+	if f.plan.AckDelay <= 0 {
+		f.plan.AckDelay = f.plan.RetransmitBase / 4
 	}
 	n := len(c.nodes)
 	f.nodes = make([]*nodeFaultState, n)
@@ -321,12 +343,15 @@ func (f *faultState) send(msg Message) error {
 		f.transmit(msg, extra)
 		return nil
 	}
+	// Piggyback the reverse link's pending cumulative ack on this data
+	// send, cancelling the delayed dedicated ack it replaces.
+	ack := f.takeAck(msg.From, msg.To)
 	l := f.links[msg.From][msg.To]
 	l.mu.Lock()
 	l.nextSeq++
 	seq := l.nextSeq
 	wire := Message{From: msg.From, To: msg.To, Tag: relDataTag,
-		Payload: relData{Seq: seq, Tag: msg.Tag, Payload: msg.Payload}}
+		Payload: relData{Seq: seq, Tag: msg.Tag, Ack: ack, Payload: msg.Payload}}
 	p := &relPending{msg: wire, ack: make(chan struct{})}
 	l.unacked[seq] = p
 	l.mu.Unlock()
@@ -405,6 +430,83 @@ func (f *faultState) retransmitLoop(l *relLink, p *relPending) {
 	}
 }
 
+// takeAck claims the pending cumulative ack of the (at, peer) reverse
+// link for piggybacking: it returns at's contiguous high-water mark for
+// traffic from peer and clears the pending flag, so the delayed
+// dedicated ack (if armed) finds nothing to do when its timer fires.
+func (f *faultState) takeAck(at, peer NodeID) uint64 {
+	r := f.recvs[at][peer]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.ackPending {
+		return 0
+	}
+	r.ackPending = false
+	f.c.piggyAcks.Add(1)
+	return r.contig
+}
+
+// retire applies a cumulative ack — dedicated or piggybacked — for
+// messages `sender` sent to `receiver`, retiring every in-flight
+// message with sequence <= high.
+func (f *faultState) retire(sender, receiver NodeID, high uint64) {
+	if high == 0 {
+		return
+	}
+	l := f.links[sender][receiver]
+	l.mu.Lock()
+	var retired []*relPending
+	for seq, p := range l.unacked {
+		if seq <= high {
+			delete(l.unacked, seq)
+			retired = append(retired, p)
+		}
+	}
+	l.mu.Unlock()
+	if len(retired) > 0 {
+		f.c.acks.Add(1)
+		f.c.ackRetired.Add(uint64(len(retired)))
+		for _, p := range retired {
+			close(p.ack)
+		}
+	}
+}
+
+// scheduleAck marks the (to, from) link's cumulative ack pending and
+// arms the delayed flush: if no reverse-direction data send piggybacks
+// the ack within AckDelay, a dedicated ack frame goes out. The delay
+// is below the sender's retransmit backoff, so holding the ack back
+// never triggers a spurious retransmission; epoch and interrupt checks
+// keep a timer armed in a dead epoch from minting traffic into a
+// healed transport (the same guards deliverAfter applies).
+func (f *faultState) scheduleAck(to, from NodeID) {
+	r := f.recvs[to][from]
+	r.mu.Lock()
+	armed := r.ackPending
+	r.ackPending = true
+	r.mu.Unlock()
+	if armed {
+		return // an earlier flush timer is already running
+	}
+	c := f.c
+	epoch := c.epoch.Load()
+	c.wg.Add(1)
+	time.AfterFunc(f.plan.AckDelay, func() {
+		defer c.wg.Done()
+		if c.closed.Load() || c.Err() != nil || c.epoch.Load() != epoch {
+			return
+		}
+		r.mu.Lock()
+		pending := r.ackPending
+		r.ackPending = false
+		contig := r.contig
+		r.mu.Unlock()
+		if pending {
+			f.transmit(Message{From: to, To: from, Tag: relAckTag, Payload: contig}, 0)
+		}
+	})
+}
+
 // intercept handles reliable-sublayer envelopes on the receive path,
 // invoking release (possibly several times, in per-link sequence
 // order) for each logical message that becomes deliverable.
@@ -415,28 +517,14 @@ func (f *faultState) intercept(msg Message, release func(Message)) {
 		// the original receiver, To the original sender, the payload the
 		// highest contiguous sequence the receiver has released. Retire
 		// the whole acked window at once.
-		l := f.links[msg.To][msg.From]
-		high := msg.Payload.(uint64)
-		l.mu.Lock()
-		var retired []*relPending
-		for seq, p := range l.unacked {
-			if seq <= high {
-				delete(l.unacked, seq)
-				retired = append(retired, p)
-			}
-		}
-		l.mu.Unlock()
-		if len(retired) > 0 {
-			f.c.acks.Add(1)
-			f.c.ackRetired.Add(uint64(len(retired)))
-			for _, p := range retired {
-				close(p.ack)
-			}
-		}
+		f.retire(msg.To, msg.From, msg.Payload.(uint64))
 	case relDataTag:
 		d := msg.Payload.(relData)
+		// The envelope's piggybacked ack covers the reverse direction:
+		// messages this node (msg.To) sent to msg.From.
+		f.retire(msg.To, msg.From, d.Ack)
 		logical := Message{From: msg.From, To: msg.To, Tag: d.Tag, Payload: d.Payload}
-		contig, advanced, dup := f.recvs[msg.To][msg.From].release(d.Seq, logical, release)
+		_, advanced, dup := f.recvs[msg.To][msg.From].release(d.Seq, logical, release)
 		if dup {
 			f.c.dupDelivered.Add(1)
 		}
@@ -444,9 +532,11 @@ func (f *faultState) intercept(msg Message, release func(Message)) {
 		// batch of held messages) and on duplicates, since the ack that
 		// retired the original may itself have been lost. A first-time
 		// out-of-order arrival stays silent: the ack it needs is the one
-		// the gap-filling retransmission will trigger.
+		// the gap-filling retransmission will trigger. The ack is not
+		// sent eagerly: it sits pending for AckDelay so a reply headed
+		// the other way can carry it for free.
 		if advanced || dup {
-			f.transmit(Message{From: msg.To, To: msg.From, Tag: relAckTag, Payload: contig}, 0)
+			f.scheduleAck(msg.To, msg.From)
 		}
 	default:
 		release(msg)

@@ -3,17 +3,27 @@ package cluster
 // TCPTransport: the multi-process backend. Each OS process hosts one
 // (or more) of the cluster's nodes; frames cross real sockets as
 // length-prefixed binary frames (see the codec in transport.go) with
-// payloads serialized through the same gob wire codec WireEncode mode
-// uses, so every payload type the runtime registers works unchanged.
+// payloads serialized through a pluggable PayloadCodec (codec.go) —
+// the hand-rolled binary codec by default, gob selectable — so every
+// payload type the runtime registers works unchanged while the hot
+// types skip gob entirely.
 //
 // Connection management is per peer and lazy: the first frame queued
 // for a peer dials it, a broken connection is re-dialed with capped
-// exponential backoff and the unwritten frame is retried on the fresh
+// exponential backoff and the unwritten batch is retried on the fresh
 // connection, and peers that start later than their clients are
 // absorbed by the same retry loop (the launcher can start processes in
 // any order). Each established connection opens with a hello frame
 // carrying the sender id, cluster size, and current epoch; mismatches
 // close the connection rather than corrupting the stream.
+//
+// The writer coalesces: each peer link's single writer drains every
+// frame queued at wakeup (up to tcpMaxCoalesce bytes) into one pooled
+// buffer and issues one Write — so an idle link flushes a lone frame
+// immediately (no added latency), while a busy link amortizes the
+// syscall across the burst, preserving per-link FIFO either way.
+// Frame buffers are pooled (sync.Pool) on both the send and receive
+// paths, keeping the steady-state wire path allocation-free.
 //
 // The transport also carries the cluster's revive protocol: Revive is
 // an acked, epoch-numbered barrier (every peer adopts the new epoch —
@@ -22,6 +32,7 @@ package cluster
 // the cluster's current epoch instead of starting in a dead one.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -63,6 +74,13 @@ type TCPOptions struct {
 	// has to be respawned before survivors give up on the attempt and
 	// retry from the checkpoint (default 15s).
 	ReviveTimeout time.Duration
+	// Codec serializes data-frame payloads (nil selects CodecBinary).
+	// Endpoints may differ: every frame carries its codec's ID, and the
+	// receiver dispatches per frame.
+	Codec PayloadCodec
+	// NoCoalesce disables frame coalescing: every frame gets its own
+	// Write call (the pre-batching behavior). Benchmarking only.
+	NoCoalesce bool
 }
 
 // TCPTransport implements Transport over TCP sockets, one process per
@@ -73,6 +91,7 @@ type TCPTransport struct {
 	isLoc  []bool   // indexed by node id
 	addrs  []string
 	opts   TCPOptions
+	codec  PayloadCodec
 	ln     net.Listener
 	peers  []*tcpPeer // indexed by node id; nil for hosted ids
 
@@ -127,9 +146,20 @@ type tcpPeer struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    [][]byte
+	queue    []*wireBuf
 	draining bool
 	closed   bool
+
+	// conn is the established connection, published by the writer after
+	// each (re)dial+hello and shared so enqueue can take the inline
+	// fast path. flushing is the wire-write token: exactly one holder
+	// (the writer mid-batch, or one inline sender) may Write at a time,
+	// which keeps the stream per-link FIFO. An inline sender only takes
+	// the token when the queue is empty and the writer is idle, so no
+	// earlier frame can be overtaken; frames enqueued while it holds
+	// the token are flushed by the writer afterwards, in order.
+	conn     net.Conn
+	flushing bool
 
 	done    chan struct{} // closed when the writer goroutine exits
 	drainCh chan struct{} // closed by beginDrain; aborts dial backoff waits
@@ -187,6 +217,9 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 	if o.ReviveTimeout <= 0 {
 		o.ReviveTimeout = 15 * time.Second
 	}
+	if o.Codec == nil {
+		o.Codec = CodecBinary
+	}
 	ln := o.Listener
 	if ln == nil {
 		var err error
@@ -200,6 +233,7 @@ func NewTCPTransport(o TCPOptions) (*TCPTransport, error) {
 		isLoc:  isLoc,
 		addrs:  append([]string(nil), o.Addrs...),
 		opts:   o,
+		codec:  o.Codec,
 		ln:     ln,
 		bound:  make(chan struct{}),
 		stop:   make(chan struct{}),
@@ -264,16 +298,18 @@ func (t *TCPTransport) Send(f *Frame) error {
 		t.sink.Deliver(f)
 		return nil
 	}
-	wire := f.Wire
-	if wire == nil && f.Payload != nil {
-		var err error
-		if wire, err = EncodeWire(f.Payload); err != nil {
-			return err
-		}
+	wb := getWireBuf()
+	var err error
+	if wb.b, err = appendDataFrame(wb.b, f, t.codec); err != nil {
+		putWireBuf(wb)
+		return err
 	}
-	t.peers[f.To].enqueue(appendFrame(nil, f, wire))
+	t.peers[f.To].enqueue(wb)
 	return nil
 }
+
+// Codec returns the payload codec this endpoint encodes with.
+func (t *TCPTransport) Codec() PayloadCodec { return t.codec }
 
 // Interrupt implements Transport: broadcast an interrupt control frame
 // to every peer.
@@ -542,7 +578,9 @@ func (t *TCPTransport) sendControlFrom(from, to NodeID, f *Frame, payload []byte
 	}
 	f.From = from
 	f.To = to
-	p.enqueue(appendFrame(nil, f, payload))
+	wb := getWireBuf()
+	wb.b = appendFrame(wb.b, f, payload)
+	p.enqueue(wb)
 }
 
 // noteReviveAck records a peer's barrier ack and wakes Revive waiters.
@@ -578,7 +616,9 @@ func (t *TCPTransport) broadcast(f *Frame, payload []byte) {
 		}
 		g := *f
 		g.To = p.id
-		p.enqueue(appendFrame(nil, &g, payload))
+		wb := getWireBuf()
+		wb.b = appendFrame(wb.b, &g, payload)
+		p.enqueue(wb)
 	}
 }
 
@@ -686,6 +726,14 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
+// readerPool recycles the 64KiB buffered readers across connections:
+// short-lived endpoints (tests, benchmarks, reconnect churn) would
+// otherwise allocate a fresh buffer per accepted connection, which
+// dominates the wire path's GC pressure.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 64<<10) },
+}
+
 // readLoop decodes frames off one inbound connection until it breaks
 // or the stream is invalid.
 func (t *TCPTransport) readLoop(conn net.Conn) {
@@ -696,18 +744,33 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		delete(t.conns, conn)
 		t.connMu.Unlock()
 	}()
+	// Buffered reads pull whole coalesced batches out of the socket in
+	// one syscall; the frame buffer is reused across frames, which is
+	// safe because delivery is synchronous and every decoder copies what
+	// it keeps (frame payload decode, descriptor copies) before return.
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() {
+		br.Reset(nil) // drop the conn reference before pooling
+		readerPool.Put(br)
+	}()
+	sb := getWireBuf()
+	defer putWireBuf(sb)
 	var prefix [framePrefixLen]byte
 	for {
-		if _, err := io.ReadFull(conn, prefix[:]); err != nil {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
 			return
 		}
 		l := int(binary.LittleEndian.Uint32(prefix[:]))
 		if l < frameHeaderLen || l > frameHeaderLen+maxFramePayload {
 			return // corrupt stream: drop the connection, sender re-dials
 		}
-		buf := make([]byte, framePrefixLen+l)
+		if cap(sb.b) < framePrefixLen+l {
+			sb.b = make([]byte, framePrefixLen+l)
+		}
+		buf := sb.b[:framePrefixLen+l]
 		copy(buf, prefix[:])
-		if _, err := io.ReadFull(conn, buf[framePrefixLen:]); err != nil {
+		if _, err := io.ReadFull(br, buf[framePrefixLen:]); err != nil {
 			return
 		}
 		f, _, err := decodeFrame(buf)
@@ -782,31 +845,108 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-// enqueue appends one encoded frame to the peer's outbound queue.
-func (p *tcpPeer) enqueue(buf []byte) {
+// enqueue sends one encoded frame on the peer link. When the link is
+// idle — connection up, queue empty, writer between batches — the
+// frame is written inline on the caller's goroutine, skipping the
+// queue handoff and writer wakeup entirely; that saves a futex wake
+// and a scheduler hop per frame, which dominates the wire cost of
+// latency-bound request/response traffic. Otherwise the frame joins
+// the queue for the writer to coalesce. Either way the buffer is
+// recycled after the flush.
+func (p *tcpPeer) enqueue(wb *wireBuf) {
 	p.mu.Lock()
-	if !p.closed {
-		p.queue = append(p.queue, buf)
-		p.cond.Signal()
+	if p.closed {
+		p.mu.Unlock()
+		putWireBuf(wb)
+		return
 	}
+	if conn := p.conn; conn != nil && !p.flushing && len(p.queue) == 0 && !p.draining {
+		p.flushing = true
+		p.mu.Unlock()
+		_, err := conn.Write(wb.b)
+		p.mu.Lock()
+		p.flushing = false
+		if err == nil {
+			p.t.framesOut.Add(1)
+			p.t.bytesOut.Add(uint64(len(wb.b)))
+			// Frames queued while we held the token wait on the writer;
+			// wake it now that the wire is free again.
+			if len(p.queue) > 0 || p.draining || p.closed {
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+			putWireBuf(wb)
+			return
+		}
+		// Write failed: retire the connection and hand the frame to the
+		// writer, which owns redial. Anything queued during our write is
+		// logically later, so this frame goes to the front.
+		if p.conn == conn {
+			p.conn = nil
+		}
+		conn.Close()
+		if p.closed {
+			p.mu.Unlock()
+			putWireBuf(wb)
+			return
+		}
+		p.queue = append([]*wireBuf{wb}, p.queue...)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		return
+	}
+	p.queue = append(p.queue, wb)
+	p.cond.Signal()
 	p.mu.Unlock()
 }
 
-// next blocks for the next outbound frame; ok is false when the peer
-// link is closing (immediately on close, once the queue empties during
-// a drain).
-func (p *tcpPeer) next() (buf []byte, ok bool) {
+// tcpMaxCoalesce caps how many queued bytes one flush coalesces; a
+// deeper queue is drained across several writes.
+const tcpMaxCoalesce = 256 << 10
+
+// nextBatch blocks for outbound frames and pops every frame queued at
+// wakeup, up to the coalesce cap (always at least one). ok is false
+// when the peer link is closing (immediately on close, once the queue
+// empties during a drain). Popping the whole burst is what makes the
+// writer batch: an idle link gets a single frame and flushes it with no
+// added latency, a busy link hands the writer everything that queued
+// behind the previous flush. On ok the writer holds the wire-write
+// token (p.flushing) and must release it with endFlush after the batch
+// lands; an inline write in flight is waited out first, so the popped
+// batch can never overtake it on the wire.
+func (p *tcpPeer) nextBatch() (batch []*wireBuf, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.queue) == 0 && !p.closed && !p.draining {
+	for !p.closed && (p.flushing || (len(p.queue) == 0 && !p.draining)) {
 		p.cond.Wait()
 	}
 	if p.closed || len(p.queue) == 0 {
 		return nil, false
 	}
-	buf = p.queue[0]
-	p.queue = p.queue[1:]
-	return buf, true
+	n, bytes := 0, 0
+	for n < len(p.queue) {
+		bytes += len(p.queue[n].b)
+		n++
+		if bytes >= tcpMaxCoalesce || p.t.opts.NoCoalesce {
+			break
+		}
+	}
+	batch = p.queue[:n:n]
+	p.queue = p.queue[n:]
+	if len(p.queue) == 0 {
+		p.queue = nil // release the drained backing array
+	}
+	p.flushing = true
+	return batch, true
+}
+
+// endFlush releases the wire-write token after the writer's batch is
+// on the wire (or abandoned at shutdown). No wakeup is needed: the
+// only goroutine that ever waits on the token is the writer itself.
+func (p *tcpPeer) endFlush() {
+	p.mu.Lock()
+	p.flushing = false
+	p.mu.Unlock()
 }
 
 // beginDrain asks the writer to flush the queue and exit; p.done closes
@@ -831,42 +971,81 @@ func (p *tcpPeer) close() {
 }
 
 // run is the peer link's writer goroutine: it drains the queue onto a
-// connection it dials (and re-dials) itself. A frame whose write fails
-// is retried on the next connection, so transient peer restarts lose
-// at most what was already buffered in the dead socket.
+// connection it dials (and re-dials) itself, coalescing each wakeup's
+// batch into a single Write. The established connection is published
+// on p.conn so enqueue's inline fast path can use it between batches.
+// A batch whose write fails is retried whole on the next connection —
+// the same at-least-once semantics the single-frame retry had (the
+// receiver's length-prefixed reader discards a truncated trailing
+// frame with the broken connection, and duplicated prefixes are
+// absorbed by the layers above) — so transient peer restarts lose at
+// most what was already buffered in the dead socket.
 func (p *tcpPeer) run() {
 	t := p.t
 	defer t.wg.Done()
 	defer close(p.done)
-	var conn net.Conn
 	defer func() {
+		p.mu.Lock()
+		conn := p.conn
+		p.conn = nil
+		p.mu.Unlock()
 		if conn != nil {
 			conn.Close()
 		}
 	}()
 	established := false
+	// Eager dial: establish the link (and its hello) at construction,
+	// overlapping connection setup with the rest of process startup
+	// instead of paying it on the first frame's critical path. A peer
+	// that is not up yet is retried with the usual capped backoff; the
+	// dial aborts cleanly on close or drain.
+	if conn := p.dial(); conn != nil {
+		established = true
+		p.mu.Lock()
+		p.conn = conn
+		p.mu.Unlock()
+	}
+	flush := getWireBuf()
+	defer putWireBuf(flush)
 	for {
-		buf, ok := p.next()
+		batch, ok := p.nextBatch() // holds the wire-write token on ok
 		if !ok {
 			return
 		}
+		flush.b = flush.b[:0]
+		for _, wb := range batch {
+			flush.b = append(flush.b, wb.b...)
+			putWireBuf(wb)
+		}
 		for {
+			p.mu.Lock()
+			conn := p.conn
+			p.mu.Unlock()
 			if conn == nil {
 				if conn = p.dial(); conn == nil {
+					p.endFlush()
 					return // transport closed while dialing
 				}
 				if established {
 					t.reconnects.Add(1)
 				}
 				established = true
+				p.mu.Lock()
+				p.conn = conn
+				p.mu.Unlock()
 			}
-			if _, err := conn.Write(buf); err != nil {
+			if _, err := conn.Write(flush.b); err != nil {
 				conn.Close()
-				conn = nil
+				p.mu.Lock()
+				if p.conn == conn {
+					p.conn = nil
+				}
+				p.mu.Unlock()
 				continue
 			}
-			t.framesOut.Add(1)
-			t.bytesOut.Add(uint64(len(buf)))
+			t.framesOut.Add(uint64(len(batch)))
+			t.bytesOut.Add(uint64(len(flush.b)))
+			p.endFlush()
 			break
 		}
 	}

@@ -15,6 +15,7 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -149,14 +150,21 @@ type Transport interface {
 // The wire format is a length-prefixed versioned binary frame:
 //
 //	u32  length L of everything after this prefix (header + payload)
-//	u8   version (currently 1)
+//	u8   version (currently 2)
 //	u8   kind (data / interrupt / revive / hello / revive-ack / epoch-req / epoch-ack)
 //	u64  epoch
 //	u64  tag
 //	u64  seq
 //	u32  from
 //	u32  to
-//	[L-34]byte payload (EncodeWire bytes for data frames)
+//	[L-34]byte payload
+//
+// A data frame's payload opens with the one-byte ID of the payload
+// codec that produced the rest (see codec.go); control frames carry
+// raw metadata bytes. Version 1 frames carried bare gob bytes with no
+// codec prefix — the version bump makes the change loud: a v1 endpoint
+// decoding a v2 stream (or vice versa) rejects the first frame and
+// drops the connection instead of misparsing payloads.
 //
 // All integers little-endian. The decoder is total: truncated frames,
 // oversized lengths, and unknown versions or kinds return an error —
@@ -164,7 +172,7 @@ type Transport interface {
 // (FuzzFrameDecode).
 
 const (
-	frameVersion   = 1
+	frameVersion   = 2
 	framePrefixLen = 4
 	frameHeaderLen = 1 + 1 + 8 + 8 + 8 + 4 + 4
 	// maxFramePayload bounds a single frame's payload; a length prefix
@@ -187,6 +195,68 @@ func appendFrame(dst []byte, f *Frame, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
 	return append(dst, payload...)
+}
+
+// wireBuf is a pooled frame buffer: Send encodes into one, the peer
+// writer coalesces and recycles them. Pooling keeps the steady-state
+// wire path allocation-free.
+type wireBuf struct{ b []byte }
+
+var wireBufPool = sync.Pool{New: func() any { return new(wireBuf) }}
+
+// maxPooledBuf caps the capacity a recycled buffer may retain, so one
+// huge payload cannot pin its allocation in the pool forever.
+const maxPooledBuf = 1 << 20
+
+func getWireBuf() *wireBuf {
+	w := wireBufPool.Get().(*wireBuf)
+	w.b = w.b[:0]
+	return w
+}
+
+func putWireBuf(w *wireBuf) {
+	if cap(w.b) > maxPooledBuf {
+		return
+	}
+	wireBufPool.Put(w)
+}
+
+// appendFrameHeader appends the length prefix (as a placeholder) and
+// header for f, returning the extended slice; the caller appends the
+// payload and patches the prefix with patchFramePrefix.
+func appendFrameHeader(dst []byte, f *Frame) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, frameVersion, f.Kind)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Tag)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+	return binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+}
+
+// patchFramePrefix writes the length prefix of the frame that starts
+// at dst[start:], once the payload length is known.
+func patchFramePrefix(dst []byte, start int) {
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-framePrefixLen))
+}
+
+// appendDataFrame encodes a data frame directly into dst: header, the
+// codec-ID byte, and the codec's payload bytes — no intermediate
+// payload allocation. A nil payload (barriers, heartbeats) stays an
+// empty body. On error dst is returned truncated to its input length.
+func appendDataFrame(dst []byte, f *Frame, c PayloadCodec) ([]byte, error) {
+	start := len(dst)
+	dst = appendFrameHeader(dst, f)
+	if f.Payload != nil {
+		var err error
+		if dst, err = appendPayload(dst, c, f.Payload); err != nil {
+			return dst[:start], err
+		}
+	} else if len(f.Wire) > 0 {
+		dst = append(dst, f.Wire...)
+	}
+	patchFramePrefix(dst, start)
+	return dst, nil
 }
 
 // decodeFrame parses one length-prefixed frame from the front of b,
@@ -261,7 +331,7 @@ func payloadSizeHint(v any) int {
 	case []int64:
 		return 8 + 8*len(x)
 	case relData:
-		return 16 + payloadSizeHint(x.Payload)
+		return 24 + payloadSizeHint(x.Payload)
 	default:
 		return defaultHint
 	}

@@ -1,0 +1,57 @@
+package collective
+
+// Binary wire encodings for collective payloads. Gather rounds ship
+// []gatherItem (whose V is an arbitrary nested value, encoded with the
+// codec's tagged value format) and error broadcasts ship PayloadError.
+
+import (
+	"encoding/binary"
+
+	"godcr/internal/cluster"
+)
+
+// Binary payload tags owned by this package (core owns 0x40–0x4F).
+const (
+	wireTagGatherItems = cluster.BinaryTagCustomBase + 0x10 // 0x50
+	wireTagPayloadErr  = cluster.BinaryTagCustomBase + 0x11 // 0x51
+)
+
+func init() {
+	cluster.RegisterBinaryPayload(wireTagGatherItems, []gatherItem(nil),
+		func(dst []byte, v any) ([]byte, error) {
+			items := v.([]gatherItem)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(items)))
+			for _, it := range items {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(it.Rank))
+				var err error
+				if dst, err = cluster.AppendBinaryValue(dst, it.V); err != nil {
+					return nil, err
+				}
+			}
+			return dst, nil
+		},
+		func(b []byte) (any, int, error) {
+			r := cluster.WireReader{B: b}
+			// Each item is at least rank (8) + one value tag byte.
+			var items []gatherItem
+			if n := r.Count(9); n > 0 {
+				items = make([]gatherItem, n)
+				for i := range items {
+					items[i] = gatherItem{Rank: int(r.I64()), V: r.Value()}
+				}
+			}
+			return items, r.Off, r.Err()
+		})
+
+	cluster.RegisterBinaryPayload(wireTagPayloadErr, PayloadError{},
+		func(dst []byte, v any) ([]byte, error) {
+			s := v.(PayloadError).Msg
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+			return append(dst, s...), nil
+		},
+		func(b []byte) (any, int, error) {
+			r := cluster.WireReader{B: b}
+			e := PayloadError{Msg: r.Str()}
+			return e, r.Off, r.Err()
+		})
+}

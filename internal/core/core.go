@@ -52,8 +52,16 @@ type Config struct {
 	CPUsPerShard int
 	// Latency is the injected one-way network latency.
 	Latency time.Duration
-	// WireEncode forces payloads through gob (strict distribution).
+	// WireEncode forces payloads through the wire codec even on the
+	// in-process backend (strict distribution).
 	WireEncode bool
+	// Codec selects the payload codec WireEncode round-trips through
+	// on the in-process backend: nil means cluster.CodecGob (the
+	// historical behavior), cluster.CodecBinary exercises the same
+	// hand-rolled encodings the TCP backend defaults to. Remote
+	// backends ignore this field — pick the wire codec with
+	// cluster.TCPOptions.Codec instead.
+	Codec cluster.PayloadCodec
 	// SafetyChecks enables the control-determinism verification
 	// (paper §3). Fig. 21's "Safe" configurations.
 	SafetyChecks bool
@@ -65,6 +73,17 @@ type Config struct {
 	// benchmarks; unsafe only for programs that need analysis
 	// ordering for side effects.
 	DisableFences bool
+	// DataPush enables the proactive ghost-data push path
+	// (planmemo.go): producers run the replicated fine-stage analysis
+	// for the whole launch domain and ship version rectangles to their
+	// remote readers at publication, eliminating the request leg of
+	// every remote pull. Both paths move bit-identical data. Off by
+	// default: the symmetric enumeration requires every process to
+	// analyze every point, which pays off only when co-located shards
+	// amortize the shared plan (or analysis cores are plentiful) —
+	// on a single-core host with one shard per process the replicated
+	// analysis costs more than the saved request frames.
+	DataPush bool
 	// Seed seeds the replicated random stream handed to programs.
 	Seed uint64
 	// Centralized disables control replication entirely: shard 0
@@ -177,8 +196,12 @@ type Stats struct {
 	FencesElided   uint64
 	// PointTasks counts executed point tasks (cluster-wide).
 	PointTasks uint64
-	// RemotePulls counts cross-node data fetches.
+	// RemotePulls counts cross-node data fetches through the demand
+	// pull protocol (request + reply).
 	RemotePulls uint64
+	// RemotePushes counts cross-node data transfers shipped
+	// proactively by the producer (no request leg; see planmemo.go).
+	RemotePushes uint64
 	// LocalResolves counts data sources satisfied locally.
 	LocalResolves uint64
 	// TraceReplays counts operations whose analysis was skipped by
@@ -221,6 +244,7 @@ type Runtime struct {
 		fencesOut      atomic.Uint64
 		points         atomic.Uint64
 		remotePulls    atomic.Uint64
+		remotePushes   atomic.Uint64
 		localRes       atomic.Uint64
 		replays        atomic.Uint64
 		detChecks      atomic.Uint64
@@ -236,6 +260,11 @@ type Runtime struct {
 	// by Resume: stragglers from a failed attempt keep their (closed)
 	// abort channel while the new attempt starts from a clean one.
 	run atomic.Pointer[runState]
+
+	// planMemo is the current attempt's shared full-domain plan cache
+	// and push-tag allocator (planmemo.go); replaced at every attempt
+	// boundary.
+	planMemo atomic.Pointer[planMemo]
 
 	// attempt counts Execute/Resume attempts; it salts per-attempt wire
 	// tags (future pushes, pull replies, collective spaces) so traffic
@@ -327,8 +356,10 @@ func newRunState() *runState { return &runState{abortCh: make(chan struct{})} }
 // NewRuntime creates a runtime on a fresh simulated cluster.
 func NewRuntime(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
-	if cfg.Centralized && cfg.WireEncode {
-		panic("core: Centralized mode does not support WireEncode")
+	if cfg.Centralized && cfg.WireEncode && (cfg.Codec == nil || cfg.Codec.ID() == cluster.CodecGob.ID()) {
+		// Task plans carry unexported fields that gob silently drops;
+		// the binary codec encodes them natively (see wirecodec.go).
+		panic("core: Centralized WireEncode requires Codec: cluster.CodecBinary")
 	}
 	if cfg.Centralized && cfg.Faults != nil {
 		panic("core: fault injection requires replicated control (Centralized unsupported)")
@@ -346,7 +377,8 @@ func NewRuntime(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg: cfg,
 		clust: cluster.NewWithTransport(cluster.Config{
-			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode, Faults: cfg.Faults,
+			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode,
+			Codec: cfg.Codec, Faults: cfg.Faults,
 		}, tr),
 		tasks:       make(map[string]TaskFn),
 		memo:        mapper.NewMemo(),
@@ -408,6 +440,7 @@ func (rt *Runtime) Stats() Stats {
 		FencesElided:      rt.stats.fencesOut.Load(),
 		PointTasks:        rt.stats.points.Load(),
 		RemotePulls:       rt.stats.remotePulls.Load(),
+		RemotePushes:      rt.stats.remotePushes.Load(),
 		LocalResolves:     rt.stats.localRes.Load(),
 		TraceReplays:      rt.stats.replays.Load(),
 		DeterminismChecks: rt.stats.detChecks.Load(),
@@ -661,6 +694,10 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		}
 	}
 	rt.lastPlan.Store(plan)
+	// Fresh plan memo and push-tag counters for the attempt; the salt
+	// folds into every push tag so a straggler's push from a failed
+	// attempt can never satisfy this attempt's receive.
+	rt.planMemo.Store(newPlanMemo(salt, len(rt.localShards), rt.cfg.Shards))
 
 	// Wall-clock periodic checkpoints (op-count cuts live on shard 0's
 	// coarse stage, see coarse.run).

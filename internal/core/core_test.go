@@ -471,8 +471,8 @@ func TestStatsCounters(t *testing.T) {
 	if s.FencesElided == 0 {
 		t.Fatal("the stencil program must elide fences (Fig. 10)")
 	}
-	if s.RemotePulls == 0 {
-		t.Fatal("ghost exchange must pull remote data")
+	if s.RemotePulls+s.RemotePushes == 0 {
+		t.Fatal("ghost exchange must move remote data (pull or push)")
 	}
 }
 

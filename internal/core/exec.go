@@ -41,14 +41,19 @@ type sourcePiece struct {
 	key     verKey
 	owner   int
 	reds    []redPull
+	// pushTag, when nonzero, is the wire tag the remote owner pushes
+	// this piece under (see planmemo.go); the consumer receives instead
+	// of pulling. Attempt-local: never serialized, never traced.
+	pushTag uint64
 }
 
 // redPull is one reduction contribution to fold into a piece.
 type redPull struct {
-	rect  geom.Rect
-	key   verKey
-	owner int
-	op    instance.ReduceOp
+	rect    geom.Rect
+	key     verKey
+	owner   int
+	op      instance.ReduceOp
+	pushTag uint64 // as sourcePiece.pushTag
 }
 
 // pointTask is one executable point of a launch.
@@ -240,19 +245,63 @@ func (e *executor) publishPlans(tc *TaskContext, seq uint64, point geom.Point, p
 }
 
 // assemble initializes an instance from its resolved source pieces.
+// Remote pieces arrive one of two ways: pushed pieces (pushTag set)
+// were announced by the replicated analysis and the owner ships them
+// unprompted — the consumer just receives on the pre-agreed tag.
+// Pulled pieces go through the demand protocol in two phases so a
+// task with several remote sources overlaps the round trips: phase
+// one issues every pull request in source order, phase two applies
+// the pieces in that same order, blocking for each reply as it is
+// needed. The apply order is identical to the naive fetch-then-apply
+// loop, so outputs stay bit-identical; replies are matched by unique
+// tag, so out-of-order arrival is safe.
 func (e *executor) assemble(inst *instance.Instance, sources []sourcePiece) error {
+	remote := func(owner int, rect geom.Rect) bool {
+		return owner != e.ctx.shard && !rect.Empty()
+	}
+	var pending []pendingPull
+	for _, src := range sources {
+		if !src.fill && src.pushTag == 0 && remote(src.owner, src.rect) {
+			p, err := e.fetch.start(src.key, src.owner, src.rect)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, p)
+		}
+		for _, red := range src.reds {
+			if red.pushTag == 0 && remote(red.owner, red.rect) {
+				p, err := e.fetch.start(red.key, red.owner, red.rect)
+				if err != nil {
+					return err
+				}
+				pending = append(pending, p)
+			}
+		}
+	}
+	pi := 0
+	resolve := func(key verKey, owner int, rect geom.Rect, pushTag uint64) ([]float64, error) {
+		if remote(owner, rect) {
+			if pushTag != 0 {
+				return e.fetch.wait(pendingPull{tag: pushTag, owner: owner})
+			}
+			p := pending[pi]
+			pi++
+			return e.fetch.wait(p)
+		}
+		return e.fetch.fetch(key, owner, rect)
+	}
 	for _, src := range sources {
 		if src.fill {
 			inst.Fill(src.rect, src.fillVal)
 		} else {
-			vals, err := e.fetch.fetch(src.key, src.owner, src.rect)
+			vals, err := resolve(src.key, src.owner, src.rect, src.pushTag)
 			if err != nil {
 				return err
 			}
 			inst.Apply(src.rect, vals)
 		}
 		for _, red := range src.reds {
-			vals, err := e.fetch.fetch(red.key, red.owner, red.rect)
+			vals, err := resolve(red.key, red.owner, red.rect, red.pushTag)
 			if err != nil {
 				return err
 			}

@@ -81,8 +81,11 @@ func newFineStage(ctx *Context) *fineStage {
 		// Survivor of a partial restart: adopt the retained versioned
 		// store wholesale. The rejoiner's pulls for gap ops are answered
 		// from it by the ordinary pull protocol, and this shard's own
-		// re-run skips every task whose outputs it already holds.
+		// re-run skips every task whose outputs it already holds. Push
+		// registrations from the failed attempt are dead (their tags
+		// are salted to it) — drop them before they can drain.
 		st = ctx.retained.store
+		st.clearPushes()
 	}
 	f := newFetcher(ctx, st)
 	fs := &fineStage{
@@ -198,6 +201,22 @@ func (fs *fineStage) run(in <-chan *op) {
 	}
 }
 
+// pushOK reports whether proactive data pushes are in force for the
+// op being processed. Every input is replicated state evaluated at
+// the same position in the op stream, so all shards agree per op:
+// pushes require the opt-in Config.DataPush, and are off in
+// centralized mode (workers get plans from the controller), inside a
+// partial-restart replay window (survivors replay-skip tasks, so the
+// symmetric-enumeration invariant does not hold until the catch-up
+// rendezvous), and under trace replay (the recorded plans predate
+// this attempt's tag counters).
+func (fs *fineStage) pushOK() bool {
+	return fs.ctx.rt.cfg.DataPush &&
+		!fs.ctx.rt.cfg.Centralized &&
+		fs.window == nil &&
+		fs.traces.mode() != traceReplay
+}
+
 // pointRect returns the rectangle requirement ri of launch ls touches
 // at point p.
 func (fs *fineStage) pointRect(ls *launchState, ri int, p geom.Point) geom.Rect {
@@ -282,9 +301,29 @@ func (fs *fineStage) handleLaunch(o *op) {
 		}
 	}
 	if plans == nil {
-		plans = make([][]fieldPlan, len(pts))
-		for pi, p := range pts {
-			plans[pi] = fs.planPoint(o, ls, p)
+		if fs.pushOK() {
+			// Full-domain analysis from the per-process memo: this
+			// shard's plans come out of it, and so does the list of
+			// pieces this shard owes remote consumers — register them
+			// so publication (or retention, if already published)
+			// pushes the data without waiting for a request.
+			entry := fs.ctx.rt.planMemo.Load().get(fs, o, ls)
+			plans = make([][]fieldPlan, 0, len(pts))
+			for i, own := range entry.owners {
+				if own == fs.ctx.shard {
+					plans = append(plans, entry.plans[i])
+				}
+			}
+			for _, pr := range entry.pushes[fs.ctx.shard] {
+				if sv, ready := fs.store.addPush(pr.key, pr); ready {
+					fs.fetch.sendPush(sv, pr)
+				}
+			}
+		} else {
+			plans = make([][]fieldPlan, len(pts))
+			for pi, p := range pts {
+				plans[pi] = fs.planPoint(o, ls, p)
+			}
 		}
 		switch mode {
 		case traceRecording:

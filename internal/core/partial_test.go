@@ -91,8 +91,16 @@ func TestPartialRestartMatrix(t *testing.T) {
 			if wantHash == ([2]uint64{}) {
 				t.Fatal("zero baseline control hash")
 			}
-			for _, seed := range []uint64{1, 2} {
-				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Each seed also picks a payload codec (via WireEncode),
+			// so partial recovery's replay buffers and re-served
+			// results are exercised over both wire encodings.
+			codecs := []struct {
+				name  string
+				codec cluster.PayloadCodec
+			}{{"binary", cluster.CodecBinary}, {"gob", cluster.CodecGob}}
+			for ci, cc := range codecs {
+				seed := uint64(ci + 1)
+				t.Run(fmt.Sprintf("codec=%s/seed=%d", cc.name, seed), func(t *testing.T) {
 					testutil.CheckGoroutines(t)
 					rng := rand.New(rand.NewSource(int64(seed)))
 					node := cluster.NodeID(rng.Intn(4))
@@ -100,6 +108,8 @@ func TestPartialRestartMatrix(t *testing.T) {
 					rt := NewRuntime(Config{
 						Shards:          4,
 						SafetyChecks:    true,
+						WireEncode:      true,
+						Codec:           cc.codec,
 						PartialRestart:  true,
 						CheckpointEvery: 8,
 						HeartbeatEvery:  3 * time.Millisecond,
@@ -334,12 +344,17 @@ func TestPartialRestartTCP(t *testing.T) {
 	}
 	for _, wl := range workloads {
 		t.Run(wl.name, func(t *testing.T) {
-			testPartialRestartTCP(t, wl.register, wl.build)
+			testPartialRestartTCP(t, wl.register, wl.build, nil)
 		})
 	}
+	// One explicit gob row: partial recovery over TCP must be codec-
+	// blind (the other rows above ride the backend default, binary).
+	t.Run(workloads[0].name+"+gob", func(t *testing.T) {
+		testPartialRestartTCP(t, workloads[0].register, workloads[0].build, cluster.CodecGob)
+	})
 }
 
-func testPartialRestartTCP(t *testing.T, register func(rt *Runtime), build func(out *vecCell) Program) {
+func testPartialRestartTCP(t *testing.T, register func(rt *Runtime), build func(out *vecCell) Program, codec cluster.PayloadCodec) {
 	testutil.CheckGoroutines(t)
 	const shards = 3
 
@@ -366,7 +381,7 @@ func testPartialRestartTCP(t *testing.T, register func(rt *Runtime), build func(
 	}
 	mkTransport := func(i int, ln net.Listener) *cluster.TCPTransport {
 		tr, err := cluster.NewTCPTransport(cluster.TCPOptions{
-			Self: cluster.NodeID(i), Addrs: addrs, Listener: ln,
+			Self: cluster.NodeID(i), Addrs: addrs, Listener: ln, Codec: codec,
 		})
 		if err != nil {
 			t.Fatalf("transport %d: %v", i, err)

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+	"godcr/internal/geom"
+	"godcr/internal/testutil"
+)
+
+// Proactive data push (planmemo.go): with Config.DataPush, producers
+// run the replicated analysis for the whole launch domain and ship
+// ghost data at publication instead of answering demand pulls. The
+// tests below pin the protocol-substitution invariant — push must move
+// exactly the data pull would have, with pull traffic dropping to zero
+// on the steady-state path — and the fallback seams where push turns
+// itself off (trace replay, partial-restart windows).
+
+// TestDataPushReplacesPulls runs the stencil on co-located shards and
+// demands the protocol swap on the task path: every task-side ghost
+// read satisfied by a push (the residual pulls are the program's final
+// InlineReads, which stay on the demand protocol by design), outputs
+// and ControlHash bit-identical to the pull-mode baseline.
+func TestDataPushReplacesPulls(t *testing.T) {
+	var base vecCell
+	brt := runProgram(t, Config{Shards: 4, SafetyChecks: true}, registerStencilTasks,
+		stencil1DProgram(64, 8, 5, 1.0, func(state, flux []float64) error {
+			return base.record(append(append([]float64(nil), state...), flux...))
+		}))
+	wantOut, wantHash := base.get(), brt.ControlHash()
+	basePulls := brt.Stats().RemotePulls
+	if basePulls == 0 {
+		t.Fatal("pull-mode baseline moved no remote data")
+	}
+
+	var out vecCell
+	rt := runProgram(t, Config{Shards: 4, SafetyChecks: true, DataPush: true}, registerStencilTasks,
+		stencil1DProgram(64, 8, 5, 1.0, func(state, flux []float64) error {
+			return out.record(append(append([]float64(nil), state...), flux...))
+		}))
+	st := rt.Stats()
+	if st.RemotePushes == 0 {
+		t.Fatalf("DataPush run pushed nothing: %+v", st)
+	}
+	if st.RemotePulls+st.RemotePushes != basePulls {
+		t.Fatalf("push run moved %d+%d transfers, want the baseline's %d: every pull must "+
+			"become a push or stay an (inline-read) pull", st.RemotePulls, st.RemotePushes, basePulls)
+	}
+	if st.RemotePulls >= basePulls {
+		t.Fatalf("push run still pulled %d of the baseline's %d transfers", st.RemotePulls, basePulls)
+	}
+	if got := rt.ControlHash(); got != wantHash {
+		t.Fatalf("control hash %x, want %x", got, wantHash)
+	}
+	got := out.get()
+	if len(got) != len(wantOut) {
+		t.Fatalf("push run has %d outputs, want %d", len(got), len(wantOut))
+	}
+	for i := range wantOut {
+		// Bit-identical, not approximately equal.
+		if got[i] != wantOut[i] {
+			t.Fatalf("output[%d] = %v, want %v", i, got[i], wantOut[i])
+		}
+	}
+}
+
+// TestDataPushTCP repeats the swap assertion with one shard per TCP
+// endpoint: tags are agreed without negotiation across process
+// boundaries, so no node sends a pull request for task-side ghost
+// data (the residual pulls are the final InlineReads).
+func TestDataPushTCP(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	var base vecCell
+	brt := runProgram(t, Config{Shards: 4, SafetyChecks: true}, registerStencilTasks,
+		stencil1DProgram(64, 8, 5, 1.0, func(state, flux []float64) error {
+			return base.record(append(append([]float64(nil), state...), flux...))
+		}))
+	wantOut, wantHash := base.get(), brt.ControlHash()
+	basePulls := brt.Stats().RemotePulls
+
+	const shards = 4
+	trs := loopbackTransports(t, shards, nil)
+	rts := make([]*Runtime, shards)
+	outs := make([]*vecCell, shards)
+	for i := range rts {
+		rts[i] = NewRuntime(Config{Shards: shards, SafetyChecks: true, Transport: trs[i], DataPush: true})
+		registerStencilTasks(rts[i])
+		outs[i] = &vecCell{}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, shards)
+	for i := range rts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = rts[i].Execute(stencil1DProgram(64, 8, 5, 1.0, func(state, flux []float64) error {
+				return outs[i].record(append(append([]float64(nil), state...), flux...))
+			}))
+		}(i)
+	}
+	wg.Wait()
+	var pulls, pushes uint64
+	for i, rt := range rts {
+		defer rt.Shutdown()
+		if errs[i] != nil {
+			t.Fatalf("shard %d: %v", i, errs[i])
+		}
+		st := rt.Stats()
+		if st.RemotePushes == 0 {
+			t.Fatalf("shard %d pushed nothing over TCP: %+v", i, st)
+		}
+		pulls += st.RemotePulls
+		pushes += st.RemotePushes
+		if got := rt.ControlHash(); got != wantHash {
+			t.Fatalf("shard %d control hash %x, want %x", i, got, wantHash)
+		}
+		got := outs[i].get()
+		for j := range wantOut {
+			if got[j] != wantOut[j] {
+				t.Fatalf("shard %d output[%d] = %v, want %v", i, j, got[j], wantOut[j])
+			}
+		}
+	}
+	// Transfer conservation across the cluster: every baseline pull is
+	// now a push or an inline-read pull, and pushes dominate.
+	if pulls+pushes != basePulls {
+		t.Fatalf("cluster moved %d+%d transfers, want the baseline's %d", pulls, pushes, basePulls)
+	}
+	if pulls >= pushes {
+		t.Fatalf("pulls (%d) should be the inline-read residue, pushes (%d) the task path", pulls, pushes)
+	}
+}
+
+// TestDataPushWithTracing brackets the stencil body in a trace with
+// DataPush on. Replayed occurrences reuse recorded plans that predate
+// the attempt's tag counters, so pushOK turns the protocol off for
+// them and those reads fall back to demand pulls — both protocols
+// serve one run, and the results stay exact.
+func TestDataPushWithTracing(t *testing.T) {
+	const ncells, ntiles, nsteps = 48, 4, 8
+	wantState, wantFlux := referenceStencil1D(ncells, 1.0, nsteps)
+	rt := NewRuntime(Config{Shards: 3, SafetyChecks: true, DataPush: true})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	prog := func(ctx *Context) error {
+		cells := ctx.CreateRegion(geom.R1(0, int64(ncells)-1), "state", "flux")
+		owned := ctx.PartitionEqual(cells, ntiles)
+		interior := ctx.PartitionInterior(owned, 1)
+		ghost := ctx.PartitionHalo(owned, 1)
+		tiles := geom.R1(0, int64(ntiles)-1)
+		ctx.Fill(cells, "state", 1)
+		ctx.Fill(cells, "flux", 1)
+		for s := 0; s < nsteps; s++ {
+			ctx.BeginTrace(1)
+			ctx.IndexLaunch(Launch{Task: "add_one", Domain: tiles,
+				Reqs: []RegionReq{{Part: owned, Priv: ReadWrite, Fields: []string{"state"}}}})
+			ctx.IndexLaunch(Launch{Task: "mul_two", Domain: tiles,
+				Reqs: []RegionReq{{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}}}})
+			ctx.IndexLaunch(Launch{Task: "stencil", Domain: tiles,
+				Reqs: []RegionReq{
+					{Part: interior, Priv: ReadWrite, Fields: []string{"flux"}},
+					{Part: ghost, Priv: ReadOnly, Fields: []string{"state"}}}})
+			ctx.EndTrace(1)
+		}
+		state := ctx.InlineRead(cells, "state")
+		flux := ctx.InlineRead(cells, "flux")
+		for i := range wantState {
+			if state[i] != wantState[i] || flux[i] != wantFlux[i] {
+				return fmt.Errorf("results diverged at %d: state %v/%v flux %v/%v",
+					i, state[i], wantState[i], flux[i], wantFlux[i])
+			}
+		}
+		return nil
+	}
+	if err := rt.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.TraceReplays == 0 {
+		t.Fatalf("trace never replayed: %+v", st)
+	}
+	if st.RemotePushes == 0 {
+		t.Fatal("recorded occurrences must push ghost data")
+	}
+	if st.RemotePulls == 0 {
+		t.Fatal("replayed occurrences must fall back to demand pulls")
+	}
+}
+
+// TestDataPushPartialRestart crashes one shard mid-run with DataPush
+// on. Inside the partial-restart window survivors replay-skip their
+// tasks, breaking the symmetric-enumeration invariant, so pushOK gates
+// the protocol off until the catch-up rendezvous (and the rejoiner's
+// adopted store drops stale push registrations). Recovery must stay
+// bit-identical to the fault-free pull baseline.
+func TestDataPushPartialRestart(t *testing.T) {
+	var base vecCell
+	brt := runProgram(t, Config{Shards: 4, SafetyChecks: true}, registerStencilTasks,
+		stencil1DProgram(64, 8, 6, 1.0, func(state, flux []float64) error {
+			return base.record(append(append([]float64(nil), state...), flux...))
+		}))
+	wantOut, wantHash := base.get(), brt.ControlHash()
+
+	for _, seed := range []uint64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testutil.CheckGoroutines(t)
+			rng := rand.New(rand.NewSource(int64(seed)))
+			node := cluster.NodeID(rng.Intn(4))
+			// Push halves per-node data messages, so the crash window
+			// sits lower than the pull-era 30..50.
+			after := uint64(15 + rng.Intn(11))
+			rt := NewRuntime(Config{
+				Shards:          4,
+				SafetyChecks:    true,
+				DataPush:        true,
+				PartialRestart:  true,
+				CheckpointEvery: 8,
+				HeartbeatEvery:  3 * time.Millisecond,
+				HeartbeatPhi:    12,
+				OpDeadline:      2 * time.Second,
+				Faults: &cluster.FaultPlan{
+					Stalls: []cluster.StallWindow{{Node: node, AfterSends: after, Crash: true}},
+				},
+			})
+			defer rt.Shutdown()
+			registerStencilTasks(rt)
+			var out vecCell
+			err := rt.RunSupervised(stencil1DProgram(64, 8, 6, 1.0, func(state, flux []float64) error {
+				return out.record(append(append([]float64(nil), state...), flux...))
+			}), SupervisorPolicy{MaxRestarts: 6, Backoff: time.Millisecond, JitterSeed: seed})
+			if err != nil {
+				t.Fatalf("RunSupervised (crash shard %d after %d sends): %v", node, after, err)
+			}
+			if rt.TransportStats().Stalled == 0 {
+				t.Fatalf("crash window never triggered (shard %d after %d sends)", node, after)
+			}
+			st := rt.Stats()
+			if st.FullRestarts == 0 && st.PartialRestarts == 0 {
+				t.Fatalf("crash recovered without any restart: %+v", st)
+			}
+			if st.RemotePushes == 0 {
+				t.Fatalf("supervised push run pushed nothing: %+v", st)
+			}
+			if got := rt.ControlHash(); got != wantHash {
+				t.Fatalf("control hash %x, want %x", got, wantHash)
+			}
+			got := out.get()
+			if len(got) != len(wantOut) {
+				t.Fatalf("recovered run has %d outputs, want %d", len(got), len(wantOut))
+			}
+			for j := range wantOut {
+				// Bit-identical, not approximately equal.
+				if got[j] != wantOut[j] {
+					t.Fatalf("output[%d] = %v, want %v", j, got[j], wantOut[j])
+				}
+			}
+		})
+	}
+}

@@ -34,11 +34,15 @@ type storedVersion struct {
 	ready     event.UserEvent
 	inst      *instance.Instance // valid once ready triggers
 	published bool               // guarded by store.mu; makes publish idempotent
+	pushes    []pushReg          // proactive pushes drained at publication (store.mu)
 }
 
 type store struct {
 	mu       sync.Mutex
 	versions map[verKey]*storedVersion
+	// pushSend ships one registered push (set by newFetcher; called
+	// outside the store lock with a published version).
+	pushSend func(sv *storedVersion, pr pushReg)
 }
 
 func newStore() *store {
@@ -77,8 +81,46 @@ func (s *store) publish(key verKey, inst *instance.Instance) {
 	}
 	sv.published = true
 	sv.inst = inst
+	pushes := sv.pushes
+	sv.pushes = nil
 	s.mu.Unlock()
 	sv.ready.Trigger()
+	if s.pushSend != nil {
+		for _, pr := range pushes {
+			s.pushSend(sv, pr)
+		}
+	}
+}
+
+// addPush registers a proactive push of key's data, to be sent when
+// the version publishes. If the version is already published it is
+// returned with ready=true and nothing is registered: the caller sends
+// immediately (publication only drains earlier registrations).
+func (s *store) addPush(key verKey, pr pushReg) (sv *storedVersion, ready bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sv = s.versions[key]
+	if sv == nil {
+		sv = &storedVersion{ready: event.NewUserEvent()}
+		s.versions[key] = sv
+	}
+	if sv.published {
+		return sv, true
+	}
+	sv.pushes = append(sv.pushes, pr)
+	return sv, false
+}
+
+// clearPushes drops push registrations left behind by a failed
+// attempt (their tags are salted to that attempt, so draining them
+// would only ship junk frames). Survivors call it when adopting a
+// retained store.
+func (s *store) clearPushes() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sv := range s.versions {
+		sv.pushes = nil
+	}
 }
 
 // has reports whether the version is published with data (the
@@ -118,6 +160,7 @@ func (s *store) size() int {
 const (
 	pullReqTag   = uint64(0xF0) << 56
 	pullReplyTag = uint64(0xF1) << 56
+	pushTagBit   = uint64(0xF2) << 56
 	futureTagBit = uint64(0xFA) << 56
 )
 
@@ -131,6 +174,11 @@ type pullReq struct {
 type pullResp struct {
 	Vals []float64
 }
+
+// inlineReplyMax caps (in float64s — 8KiB of values is a 64KiB frame)
+// the pull replies the server sends from the delivery goroutine; see
+// newFetcher.
+const inlineReplyMax = 8 << 10
 
 func init() {
 	cluster.RegisterWireType(pullReq{})
@@ -152,22 +200,46 @@ type fetcher struct {
 
 func newFetcher(ctx *Context, st *store) *fetcher {
 	f := &fetcher{ctx: ctx, store: st}
-	// Serve incoming pulls: wait for the version, extract, reply.
-	// Handlers run on their own goroutines, so blocking is fine.
-	ctx.node.Handle(pullReqTag, func(m cluster.Message) {
+	// Serve incoming pulls: wait for the version, extract, reply. The
+	// handler is registered inline: the producer has usually published
+	// by the time a pull arrives, so the common case replies directly
+	// on the delivery goroutine (no spawn, no scheduler hop). Only a
+	// pull that outruns its producer falls back to a goroutine that
+	// blocks on the version's ready event.
+	serve := func(req pullReq, sv *storedVersion) {
+		vals := sv.inst.Extract(req.Rect)
+		if len(vals) > inlineReplyMax {
+			// A huge reply leaves the delivery goroutine before hitting
+			// the wire: an inline socket write of an unbounded frame
+			// from a read loop could otherwise block against a peer
+			// doing the same in the opposite direction.
+			go func() {
+				_ = ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
+			}()
+			return
+		}
+		_ = ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
+	}
+	st.pushSend = f.sendPush
+	ctx.node.HandleInline(pullReqTag, func(m cluster.Message) {
 		req, ok := m.Payload.(pullReq)
 		if !ok {
 			ctx.abort(fmt.Errorf("core: pull request carried %T", m.Payload))
 			return
 		}
 		sv := st.entry(req.Key)
-		if !ctx.waitOrAbort(sv.ready.Event) {
-			// Aborting: the requester's Recv has been interrupted, so
-			// dropping the reply cannot wedge it.
+		if sv.ready.HasTriggered() {
+			serve(req, sv)
 			return
 		}
-		vals := sv.inst.Extract(req.Rect)
-		_ = ctx.node.Send(cluster.NodeID(req.From), req.ReplyTag, pullResp{Vals: vals})
+		go func() {
+			if !ctx.waitOrAbort(sv.ready.Event) {
+				// Aborting: the requester's Recv has been interrupted,
+				// so dropping the reply cannot wedge it.
+				return
+			}
+			serve(req, sv)
+		}()
 	})
 	return f
 }
@@ -189,14 +261,48 @@ func (f *fetcher) fetch(key verKey, owner int, rect geom.Rect) ([]float64, error
 		}
 		return sv.inst.Extract(rect), nil
 	}
+	p, err := f.start(key, owner, rect)
+	if err != nil {
+		return nil, err
+	}
+	return f.wait(p)
+}
+
+// pendingPull is a remote pull in flight: start issued the request,
+// wait blocks for the reply.
+type pendingPull struct {
+	tag   uint64
+	owner int
+}
+
+// start issues a remote pull without blocking for the reply, so a
+// caller with several remote sources can overlap the round trips
+// (see executor.assemble). owner must be a remote shard and rect
+// non-empty.
+func (f *fetcher) start(key verKey, owner int, rect geom.Rect) (pendingPull, error) {
 	f.ctx.rt.stats.remotePulls.Add(1)
 	tag := f.ctx.pullTag(f.replySeq.Add(1))
 	if err := f.ctx.node.Send(cluster.NodeID(owner), pullReqTag, pullReq{
 		Key: key, Rect: rect, ReplyTag: tag, From: f.ctx.shard,
 	}); err != nil {
-		return nil, err
+		return pendingPull{}, err
 	}
-	payload, err := f.ctx.node.Recv(tag, cluster.NodeID(owner))
+	return pendingPull{tag: tag, owner: owner}, nil
+}
+
+// sendPush ships one registered proactive push: the published
+// version's rectangle goes straight to the consumer under the tag both
+// sides derived from the replicated analysis (see planmemo.go). The
+// push reuses the pullResp wire format, so the consumer's receive path
+// is the same as a pull reply's — it just never sent a request.
+func (f *fetcher) sendPush(sv *storedVersion, pr pushReg) {
+	f.ctx.rt.stats.remotePushes.Add(1)
+	_ = f.ctx.node.Send(cluster.NodeID(pr.to), pr.tag, pullResp{Vals: sv.inst.Extract(pr.rect)})
+}
+
+// wait blocks for a started pull's reply.
+func (f *fetcher) wait(p pendingPull) ([]float64, error) {
+	payload, err := f.ctx.node.Recv(p.tag, cluster.NodeID(p.owner))
 	if err != nil {
 		return nil, err
 	}

@@ -54,7 +54,7 @@ func TestSupervisorConvergence(t *testing.T) {
 			testutil.CheckGoroutines(t)
 			rng := rand.New(rand.NewSource(int64(seed)))
 			node := cluster.NodeID(rng.Intn(4))
-			after := uint64(25 + rng.Intn(26))
+			after := uint64(25 + rng.Intn(26)) // mid-run by send count
 			rt := NewRuntime(Config{
 				Shards:          4,
 				SafetyChecks:    true,

@@ -59,8 +59,9 @@ func parityWorkloads() []parityWorkload {
 }
 
 // loopbackTransports builds one TCPTransport per shard, all on
-// 127.0.0.1 with pre-bound :0 listeners (no port races).
-func loopbackTransports(t *testing.T, n int) []*cluster.TCPTransport {
+// 127.0.0.1 with pre-bound :0 listeners (no port races), each encoding
+// payloads with codec (nil keeps the backend default, CodecBinary).
+func loopbackTransports(t *testing.T, n int, codec cluster.PayloadCodec) []*cluster.TCPTransport {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -75,7 +76,7 @@ func loopbackTransports(t *testing.T, n int) []*cluster.TCPTransport {
 	trs := make([]*cluster.TCPTransport, n)
 	for i := range trs {
 		tr, err := cluster.NewTCPTransport(cluster.TCPOptions{
-			Self: cluster.NodeID(i), Addrs: addrs, Listener: lns[i],
+			Self: cluster.NodeID(i), Addrs: addrs, Listener: lns[i], Codec: codec,
 		})
 		if err != nil {
 			t.Fatalf("transport %d: %v", i, err)
@@ -89,13 +90,13 @@ func loopbackTransports(t *testing.T, n int) []*cluster.TCPTransport {
 // hosting one shard over its own TCP endpoint — the in-test equivalent
 // of shards OS processes — and returns each runtime's recorded output
 // and control hash.
-func runOverTCP(t *testing.T, wl parityWorkload, shards int) ([][]float64, [][2]uint64) {
+func runOverTCP(t *testing.T, wl parityWorkload, shards int, codec cluster.PayloadCodec, push bool) ([][]float64, [][2]uint64) {
 	t.Helper()
-	trs := loopbackTransports(t, shards)
+	trs := loopbackTransports(t, shards, codec)
 	rts := make([]*Runtime, shards)
 	outs := make([]*vecCell, shards)
 	for i := range rts {
-		rts[i] = NewRuntime(Config{Shards: shards, SafetyChecks: true, Transport: trs[i]})
+		rts[i] = NewRuntime(Config{Shards: shards, SafetyChecks: true, Transport: trs[i], DataPush: push})
 		wl.register(rts[i])
 		outs[i] = &vecCell{}
 	}
@@ -134,18 +135,44 @@ func TestTransportParity(t *testing.T) {
 				t.Fatal("zero baseline control hash")
 			}
 
-			for _, backend := range []string{"mem", "tcp"} {
+			// The backend × codec matrix: the runtime above the seam
+			// must be blind to both the transport and the payload
+			// encoding. "mem" is the plain in-process fast path;
+			// "mem+gob" / "mem+binary" force every payload through the
+			// named codec via WireEncode; the tcp rows select the wire
+			// codec per endpoint. The "+push" rows flip the data plane
+			// from demand pull to proactive push (Config.DataPush) —
+			// which data protocol moved the bytes must be equally
+			// invisible above the seam.
+			backends := []struct {
+				name  string
+				tcp   bool
+				push  bool
+				codec cluster.PayloadCodec
+			}{
+				{name: "mem"},
+				{name: "mem+gob", codec: cluster.CodecGob},
+				{name: "mem+binary", codec: cluster.CodecBinary},
+				{name: "mem+push", push: true},
+				{name: "tcp+gob", tcp: true, codec: cluster.CodecGob},
+				{name: "tcp+binary", tcp: true, codec: cluster.CodecBinary},
+				{name: "tcp+binary+push", tcp: true, push: true, codec: cluster.CodecBinary},
+			}
+			for _, backend := range backends {
 				for _, shards := range []int{2, 4} {
-					t.Run(fmt.Sprintf("%s/shards=%d", backend, shards), func(t *testing.T) {
+					t.Run(fmt.Sprintf("%s/shards=%d", backend.name, shards), func(t *testing.T) {
 						var vals [][]float64
 						var hashes [][2]uint64
-						if backend == "mem" {
+						if !backend.tcp {
 							var out vecCell
-							rt := runProgram(t, Config{Shards: shards, SafetyChecks: true}, wl.register, wl.build(&out))
+							cfg := Config{Shards: shards, SafetyChecks: true,
+								WireEncode: backend.codec != nil, Codec: backend.codec,
+								DataPush: backend.push}
+							rt := runProgram(t, cfg, wl.register, wl.build(&out))
 							vals = [][]float64{out.get()}
 							hashes = [][2]uint64{rt.ControlHash()}
 						} else {
-							vals, hashes = runOverTCP(t, wl, shards)
+							vals, hashes = runOverTCP(t, wl, shards, backend.codec, backend.push)
 						}
 						for i := range vals {
 							if hashes[i] != wantHash {
@@ -237,7 +264,7 @@ func TestMultiShardHostingParity(t *testing.T) {
 				t.Fatal("zero baseline control hash")
 			}
 
-			flatVals, flatHashes := runOverTCP(t, wl, 4) // 4-over-4
+			flatVals, flatHashes := runOverTCP(t, wl, 4, nil, false) // 4-over-4, default codec
 
 			groups := [][]int{{0, 1}, {2, 3}} // 4-over-2
 			trs := groupedTransports(t, groups)

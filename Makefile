@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial chaos-corrupt chaos-partition bench bench-json fuzz
 
 all: vet build test
 
@@ -71,6 +71,32 @@ chaos-partial:
 	./bin/godcr-node -launch -supervise -partial -n 4 -procs 2 -kill 1 -seed 5 -workload stencil -steps 30
 	$(GO) test -race -count=1 -run 'TestPartial' ./internal/core
 
+# Integrity soak, corruption half: frame/checkpoint codec totality and
+# CRC verdicts, corruption-as-loss recovery, generation-chain fallback,
+# and supervised convergence under corrupt spills — all under the race
+# detector — then real-process runs with seeded bit-flips on the TCP
+# wire (the launcher demands a nonzero cluster-wide CRC-rejection count)
+# and a SIGKILL+corrupted-checkpoint respawn.
+chaos-corrupt:
+	$(GO) test -race -count=1 -run 'Corrupt|TestFrame|CheckpointGeneration|CheckpointFileTruncation' \
+		./internal/cluster ./internal/core
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -launch -n 4 -corrupt 0.02 -workload stencil
+	./bin/godcr-node -launch -n 4 -corrupt 0.02 -workload circuit
+	./bin/godcr-node -launch -supervise -n 3 -kill 1 -seed 7 -corrupt-ckpt -workload stencil -steps 30
+
+# Integrity soak, partition half: link severing (two-way, one-way,
+# triggered, healing), deterministic phi conviction of a partitioned
+# shard, and supervised convergence across a heal — under the race
+# detector — then a real-process run where one shard is fully isolated
+# for a window and the cluster must converge bit-identically after it
+# heals.
+chaos-partition:
+	$(GO) test -race -count=1 -run 'Partition' ./internal/cluster ./internal/core
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -launch -supervise -n 4 -partition 400ms -partition-shard 2 -workload stencil -steps 30
+	./bin/godcr-node -launch -supervise -n 3 -partition 300ms -partition-shard 1 -workload circuit -steps 24
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -89,3 +115,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzPayloadCodec -fuzztime $(FUZZTIME) ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/core

@@ -62,6 +62,15 @@ type record struct {
 	// replicated analysis costs more than the saved request frames. The
 	// row is kept as an honest ablation, not the default.
 	TCPLoopbackDataPushPct float64 `json:"tcp_loopback_datapush_pct"`
+	// TCPCRCOverheadPct is the stencil@4 TCP-loopback slowdown of the
+	// per-frame CRC32C integrity pair (header CRC + payload CRC, written
+	// on send and verified on receive) versus the same wire path with
+	// checksumming disabled (TCPOptions.DisableCRC), in percent of a
+	// full workload execution, timed as an interleaved pair. Castagnoli
+	// CRC32 is a hardware instruction on amd64/arm64, so end-to-end
+	// frame integrity must stay in the low single digits; the record
+	// refuses to commit a number at or above 3%.
+	TCPCRCOverheadPct float64 `json:"tcp_crc_overhead_pct"`
 	// RecoveryFullNs / RecoveryPartialNs are the median wall-clock from
 	// a mid-run shard death (stencil@4 over TCP loopback, one shard's
 	// cluster torn down after its first checkpoint spill, then respawned
@@ -129,8 +138,10 @@ func runStencil(cfg godcr.Config, tiles, steps int) error {
 // (payload encode + framing + socket hop per message), not exec.
 // codec picks the payload encoding (nil = the backend default,
 // binary); noCoalesce disables frame batching, so the gob/no-batch row
-// reproduces the historical one-write-per-frame wire path.
-func runStencilTCP(shards, tiles, steps int, codec godcr.PayloadCodec, noCoalesce, push bool) error {
+// reproduces the historical one-write-per-frame wire path; noCRC
+// disables frame checksumming on every endpoint (the integrity-cost
+// ablation — never a production configuration).
+func runStencilTCP(shards, tiles, steps int, codec godcr.PayloadCodec, noCoalesce, push, noCRC bool) error {
 	lns := make([]net.Listener, shards)
 	addrs := make([]string, shards)
 	for i := range lns {
@@ -145,7 +156,7 @@ func runStencilTCP(shards, tiles, steps int, codec godcr.PayloadCodec, noCoalesc
 	for i := range rts {
 		tr, err := godcr.NewTCPTransport(godcr.TCPOptions{
 			Self: godcr.NodeID(i), Addrs: addrs, Listener: lns[i],
-			Codec: codec, NoCoalesce: noCoalesce,
+			Codec: codec, NoCoalesce: noCoalesce, DisableCRC: noCRC,
 		})
 		if err != nil {
 			return err
@@ -504,7 +515,7 @@ func main() {
 			"stencil/shards=4/transport=mem/paired-vs-"+name,
 			func() error { return runStencil(godcr.Config{Shards: 4}, 8, steps) },
 			"stencil/shards=4/transport=tcp-loopback/"+name,
-			func() error { return runStencilTCP(4, 8, steps, codec, noCoalesce, push) })
+			func() error { return runStencilTCP(4, 8, steps, codec, noCoalesce, push, false) })
 		return tcp, 100 * (float64(tcp.NsPerOp) - float64(mem.NsPerOp)) / float64(mem.NsPerOp)
 	}
 	tcpDefault, defaultPct := pairOverhead("codec=binary/batching=on", godcr.CodecBinary, false, false)
@@ -519,7 +530,7 @@ func main() {
 	} {
 		w := w
 		rec.Results = append(rec.Results, bench("stencil/shards=4/transport=tcp-loopback/"+w.name,
-			func() error { return runStencilTCP(4, 8, steps, w.codec, w.noCoalesce, false) }))
+			func() error { return runStencilTCP(4, 8, steps, w.codec, w.noCoalesce, false, false) }))
 	}
 	tcpLegacy, legacyPct := pairOverhead("codec=gob/batching=off", godcr.CodecGob, true, false)
 	rec.Results = append(rec.Results, tcpLegacy)
@@ -533,6 +544,22 @@ func main() {
 	if tcpDefault.NsPerOp >= tcpLegacy.NsPerOp {
 		fmt.Fprintf(os.Stderr, "benchjson: binary+batching (%d ns/op) not below gob+no-batch (%d ns/op)\n",
 			tcpDefault.NsPerOp, tcpLegacy.NsPerOp)
+		os.Exit(1)
+	}
+
+	// The integrity ablation: the same default wire path with frame
+	// checksumming off, interleaved against CRC on. Hardware CRC32C must
+	// keep end-to-end frame integrity effectively free.
+	crcOff, crcOn := benchPair(
+		"stencil/shards=4/transport=tcp-loopback/crc=off",
+		func() error { return runStencilTCP(4, 8, steps, godcr.CodecBinary, false, false, true) },
+		"stencil/shards=4/transport=tcp-loopback/crc=on",
+		func() error { return runStencilTCP(4, 8, steps, godcr.CodecBinary, false, false, false) })
+	rec.Results = append(rec.Results, crcOff, crcOn)
+	rec.TCPCRCOverheadPct = 100 * (float64(crcOn.NsPerOp) - float64(crcOff.NsPerOp)) / float64(crcOff.NsPerOp)
+	if rec.TCPCRCOverheadPct >= 3 {
+		fmt.Fprintf(os.Stderr, "benchjson: frame CRCs cost %.1f%% (>= 3%% budget) over the no-CRC wire path\n",
+			rec.TCPCRCOverheadPct)
 		os.Exit(1)
 	}
 

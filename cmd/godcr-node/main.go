@@ -42,6 +42,22 @@
 // enables partial restart: a SIGKILL'd process re-executes only its
 // hosted shard(s) from checkpoint while the survivors park at their
 // frontier and re-serve, instead of the whole cluster rolling back.
+//
+// Integrity chaos:
+//
+//	godcr-node -launch -n 4 -corrupt 0.02 -workload stencil
+//	godcr-node -launch -supervise -n 3 -kill 1 -corrupt-ckpt -workload stencil -steps 30
+//	godcr-node -launch -supervise -n 4 -partition 400ms -partition-shard 2 -workload stencil -steps 30
+//
+// -corrupt flips one seeded bit per outbound TCP frame with the given
+// probability; receivers' CRC32C checks turn every flip into a loss the
+// reliable sublayer retransmits, and the launcher demands both
+// bit-identical convergence and a nonzero cluster-wide CRC-rejection
+// count. -corrupt-ckpt damages a SIGKILL victim's newest checkpoint
+// generation before its respawn, forcing recovery through the
+// generation-chain fallback. -partition isolates one shard from every
+// peer for a window; the phi detectors convict it, and the supervisor
+// retries until the window heals.
 package main
 
 import (
@@ -78,6 +94,10 @@ type report struct {
 	// Bytes is the transport's outbound byte count — nonzero on any
 	// real multi-shard run.
 	Bytes uint64 `json:"bytes"`
+	// CorruptFrames counts inbound TCP frames this worker's receiver
+	// rejected on CRC — nonzero somewhere in the cluster whenever wire
+	// corruption is being injected.
+	CorruptFrames uint64 `json:"corrupt_frames"`
 }
 
 func hashWords(h [2]uint64) [2]string {
@@ -273,6 +293,39 @@ type workerOpts struct {
 	// codec names the payload codec on the TCP wire: "binary" (the
 	// default) or "gob". Must match across the cluster's processes.
 	codec string
+	// corrupt, when > 0, flips one seeded bit in outbound TCP frames
+	// with this probability; the receivers' CRCs turn every flip into a
+	// recoverable loss.
+	corrupt   float64
+	faultSeed uint64
+	// partitionShard (with partitionDur > 0) isolates that shard from
+	// every peer for partitionDur from process start: all workers
+	// install the same two-way partition windows, so whichever side
+	// would send over a severed link drops the traffic locally.
+	partitionShard int
+	partitionDur   time.Duration
+}
+
+// faultPlan builds the worker's fault plan from the corruption and
+// partition knobs, or nil when both are off.
+func (o workerOpts) faultPlan() *godcr.FaultPlan {
+	if o.corrupt <= 0 && (o.partitionShard < 0 || o.partitionDur <= 0) {
+		return nil
+	}
+	plan := &godcr.FaultPlan{Seed: o.faultSeed, Corrupt: o.corrupt}
+	if o.partitionShard >= 0 && o.partitionDur > 0 {
+		for s := range o.addrs {
+			if s == o.partitionShard {
+				continue
+			}
+			plan.Partitions = append(plan.Partitions, godcr.PartitionWindow{
+				From:     godcr.NodeID(o.partitionShard),
+				To:       godcr.NodeID(s),
+				Duration: o.partitionDur,
+			})
+		}
+	}
+	return plan
 }
 
 // runWorker executes one shard over TCP and returns its report.
@@ -315,6 +368,12 @@ func runWorker(o workerOpts) (*report, error) {
 		Shards:       len(o.addrs),
 		SafetyChecks: true,
 		Transport:    tr,
+		Faults:       o.faultPlan(),
+	}
+	if cfg.Faults != nil && !o.supervise {
+		// Fail loudly with a StallError snapshot well before the
+		// launcher's kill deadline if injected faults wedge the run.
+		cfg.OpDeadline = 30 * time.Second
 	}
 	if o.supervise {
 		cfg.CheckpointEvery = 4
@@ -351,13 +410,14 @@ func runWorker(o workerOpts) (*report, error) {
 		return nil, fmt.Errorf("shard %d: %w", o.shard, err)
 	}
 	return &report{
-		Shard:    o.shard,
-		Hosted:   hosted,
-		Shards:   len(o.addrs),
-		Workload: o.workload,
-		Hash:     hashWords(rt.ControlHash()),
-		Outputs:  out.get(),
-		Bytes:    rt.Stats().Bytes,
+		Shard:         o.shard,
+		Hosted:        hosted,
+		Shards:        len(o.addrs),
+		Workload:      o.workload,
+		Hash:          hashWords(rt.ControlHash()),
+		Outputs:       out.get(),
+		Bytes:         rt.Stats().Bytes,
+		CorruptFrames: tr.Stats().CorruptFrames,
 	}, nil
 }
 
@@ -477,6 +537,35 @@ type launchOpts struct {
 	seed  int64
 	// codec is the payload codec name forwarded to every worker.
 	codec string
+	// corrupt forwards wire-corruption probability to every worker; the
+	// launcher then demands at least one CRC rejection cluster-wide.
+	corrupt float64
+	// partition/partitionShard forward a timed full isolation of one
+	// shard to every worker (supervise mode only: severed traffic is
+	// unrecoverable without the supervisor's retry loop).
+	partition      time.Duration
+	partitionShard int
+	// corruptCkpt flips one bit in a respawned victim's newest
+	// checkpoint generation before the respawn, forcing the reborn
+	// worker onto the generation-chain fallback (supervise mode only).
+	corruptCkpt bool
+}
+
+// faultArgs renders the launcher's fault knobs as worker flags; pi
+// salts the per-worker wire-corruption seed.
+func (o launchOpts) faultArgs(pi int) []string {
+	var args []string
+	if o.corrupt > 0 {
+		args = append(args,
+			"-corrupt", fmt.Sprint(o.corrupt),
+			"-fault-seed", fmt.Sprint(uint64(o.seed)*1000+uint64(pi)))
+	}
+	if o.partition > 0 && o.partitionShard >= 0 {
+		args = append(args,
+			"-partition", o.partition.String(),
+			"-partition-shard", fmt.Sprint(o.partitionShard))
+	}
+	return args
 }
 
 // splitShards deals n shard ids into procs contiguous groups, earlier
@@ -544,8 +633,19 @@ func superviseWorker(ctx context.Context, self string, o launchOpts, pi int, gro
 		if o.codec != "" {
 			args = append(args, "-codec", o.codec)
 		}
+		args = append(args, o.faultArgs(pi)...)
 		if reborn {
 			args = append(args, "-reborn")
+			if o.corruptCkpt {
+				// Damage the newest spilled generation before the rebirth:
+				// the worker must fall back to an older valid generation
+				// (or a cold start) and still converge bit-identically.
+				if path, err := godcr.CorruptCheckpointFile(ckptDir, uint64(o.seed)+uint64(spawn)); err != nil {
+					fmt.Fprintf(os.Stderr, "godcr-node: worker %d: corrupt checkpoint: %v\n", pi, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "godcr-node: worker %d: flipped a bit in %s before respawn\n", pi, path)
+				}
+			}
 		}
 		cmd := exec.CommandContext(ctx, self, args...)
 		cmd.Stderr = os.Stderr
@@ -651,6 +751,9 @@ func verifyReports(baseline *report, groups [][]int, outs [][]byte, errs []error
 // mode it also plays process supervisor: chaos kills, respawns, and
 // still demands bit-identical convergence.
 func launch(o launchOpts) error {
+	if o.partition > 0 && !o.supervise {
+		return errors.New("-partition needs -supervise: severed traffic is only recovered by the supervisor's retry loop")
+	}
 	baseline, err := runInProcess(o.n, o.workload, o.steps)
 	if err != nil {
 		return fmt.Errorf("in-process baseline: %w", err)
@@ -703,6 +806,7 @@ func launch(o launchOpts) error {
 			if o.codec != "" {
 				args = append(args, "-codec", o.codec)
 			}
+			args = append(args, o.faultArgs(pi)...)
 			cmd := exec.CommandContext(ctx, self, args...)
 			cmd.Stderr = os.Stderr
 			outs[pi], errs[pi] = cmd.Output()
@@ -717,6 +821,21 @@ func launch(o launchOpts) error {
 
 	if failures := verifyReports(baseline, groups, outs, errs); len(failures) > 0 {
 		return errors.New(strings.Join(failures, "\n"))
+	}
+	if o.corrupt > 0 {
+		// Bit-identical convergence proves recovery; the counter proves
+		// there was something to recover from.
+		var corrupt uint64
+		for _, b := range outs {
+			var rep report
+			if json.Unmarshal(b, &rep) == nil {
+				corrupt += rep.CorruptFrames
+			}
+		}
+		if corrupt == 0 {
+			return fmt.Errorf("corrupt=%v injected no CRC rejections across the cluster", o.corrupt)
+		}
+		fmt.Printf("wire corruption: %d frame(s) rejected on CRC and recovered\n", corrupt)
 	}
 	mode := "processes over TCP loopback"
 	if o.supervise {
@@ -749,6 +868,11 @@ func main() {
 		kills     = flag.Int("kill", 0, "SIGKILL this many randomly chosen workers mid-run (launcher mode, with -supervise)")
 		seed      = flag.Int64("seed", 1, "chaos kill RNG seed (launcher mode)")
 		codecName = flag.String("codec", "binary", "payload codec on the TCP wire: binary or gob")
+		corrupt   = flag.Float64("corrupt", 0, "probability of flipping one bit in each outbound TCP frame")
+		faultSeed = flag.Uint64("fault-seed", 1, "wire-corruption RNG seed (worker mode)")
+		partition = flag.Duration("partition", 0, "isolate -partition-shard from every peer for this long from process start")
+		partShard = flag.Int("partition-shard", -1, "shard to isolate behind the -partition window")
+		corrCkpt  = flag.Bool("corrupt-ckpt", false, "flip one bit in a victim's newest checkpoint generation before each respawn (launcher mode, with -supervise -kill)")
 	)
 	flag.Parse()
 
@@ -769,7 +893,8 @@ func main() {
 		err := launch(launchOpts{
 			n: *n, workload: *name, steps: *steps, timeout: *timeout, procs: *procs,
 			supervise: *supervise, partial: *partial, kills: *kills, seed: *seed,
-			codec: *codecName,
+			codec: *codecName, corrupt: *corrupt,
+			partition: *partition, partitionShard: *partShard, corruptCkpt: *corrCkpt,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)
@@ -784,7 +909,8 @@ func main() {
 		rep, err := runWorker(workerOpts{
 			shard: *shard, hosted: hosted, addrs: list, workload: *name, steps: *steps,
 			supervise: *supervise, partial: *partial, ckptDir: *ckpt, reborn: *reborn,
-			codec: *codecName,
+			codec: *codecName, corrupt: *corrupt, faultSeed: *faultSeed,
+			partitionShard: *partShard, partitionDur: *partition,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)

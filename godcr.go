@@ -171,6 +171,11 @@ type (
 	// StallWindow freezes or crashes one node's transport after a
 	// trigger count of sends.
 	StallWindow = cluster.StallWindow
+	// PartitionWindow severs one (possibly one-way) link for a window:
+	// traffic on it silently vanishes until the window heals. Set on
+	// FaultPlan.Partitions; windows deliberately survive revivals — a
+	// partition is a property of the network, not of an endpoint.
+	PartitionWindow = cluster.PartitionWindow
 	// NodeID names a cluster node (== shard id).
 	NodeID = cluster.NodeID
 	// TransportStats counts messages, bytes, and injected faults.
@@ -216,13 +221,21 @@ var (
 )
 
 // Checkpoint spill (Config.CheckpointDir): WriteCheckpointFile
-// atomically persists a checkpoint image, LoadCheckpoint reads it back
-// ((nil, nil) when none exists). RunSupervised resumes from the spilled
-// cut automatically in a fresh process.
+// atomically appends a CRC-sealed checkpoint generation, LoadCheckpoint
+// reads back the freshest generation that verifies ((nil, nil) when none
+// exists), falling back through older generations when the newest is
+// corrupt. RunSupervised resumes from the spilled cut automatically in a
+// fresh process. CorruptCheckpointFile flips one seeded bit in the
+// newest generation — the chaos hook for exercising the fallback.
 var (
-	WriteCheckpointFile = core.WriteCheckpointFile
-	LoadCheckpoint      = core.LoadCheckpoint
+	WriteCheckpointFile   = core.WriteCheckpointFile
+	LoadCheckpoint        = core.LoadCheckpoint
+	CorruptCheckpointFile = core.CorruptCheckpointFile
 )
+
+// DefaultCheckpointKeep is the generation-chain depth when
+// Config.CheckpointKeep is unset.
+const DefaultCheckpointKeep = core.DefaultCheckpointKeep
 
 // Transport layer (see DESIGN.md §Transport). A Transport moves opaque
 // frames between cluster nodes; everything above the seam — tag

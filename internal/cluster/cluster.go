@@ -105,6 +105,8 @@ type Stats struct {
 	PiggyAcks     uint64 // acks that rode outgoing data frames instead of dedicated ack frames
 	DupDeliveries uint64 // duplicates suppressed by receiver dedup
 	Heartbeats    uint64 // failure-detector beats delivered
+	Corrupted     uint64 // transmissions corrupted on the wire (bit-flips injected, or corrupt-as-drop in-process)
+	PartitionDrops uint64 // transmissions severed by active partition windows
 }
 
 // Cluster is a set of nodes plus the transport connecting them.
@@ -128,9 +130,11 @@ type Cluster struct {
 	retransmits  atomic.Uint64
 	acks         atomic.Uint64
 	ackRetired   atomic.Uint64
-	piggyAcks    atomic.Uint64
-	dupDelivered atomic.Uint64
-	heartbeats   atomic.Uint64
+	piggyAcks      atomic.Uint64
+	dupDelivered   atomic.Uint64
+	heartbeats     atomic.Uint64
+	corrupted      atomic.Uint64
+	partitionDrops atomic.Uint64
 
 	// hb is the live heartbeat failure detector, if one is running
 	// (StartHeartbeats installs it, its stop function clears it).
@@ -242,6 +246,16 @@ func NewWithTransport(cfg Config, tr Transport) *Cluster {
 	}
 	if cfg.Faults != nil {
 		c.faults = newFaultState(c, cfg.Faults)
+		if c.faults.plan.Corrupt > 0 {
+			// A backend with real encoded bytes injects the bit-flips
+			// itself; the in-process corrupt-as-drop roll is then skipped
+			// so corruption is not applied twice.
+			if wc, ok := tr.(WireCorrupter); ok {
+				wc.SetWireCorruption(c.faults.plan.Corrupt, c.faults.plan.Seed,
+					func() { c.corrupted.Add(1) })
+				c.faults.wireCorrupt = true
+			}
+		}
 	}
 	tr.Bind(c)
 	return c
@@ -281,6 +295,8 @@ func (c *Cluster) Stats() Stats {
 		PiggyAcks:     c.piggyAcks.Load(),
 		DupDeliveries: c.dupDelivered.Load(),
 		Heartbeats:    c.heartbeats.Load(),
+		Corrupted:     c.corrupted.Load(),
+		PartitionDrops: c.partitionDrops.Load(),
 	}
 }
 
@@ -288,6 +304,21 @@ func (c *Cluster) Stats() Stats {
 func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
+	}
+	// On a multi-process cluster, drain the reliable sublayer before
+	// stopping it: an in-flight message this process sent may have been
+	// destroyed on the wire (corruption, drop) and only this process's
+	// retransmit loops can repair the loss — once the process exits,
+	// nobody can, and the peer blocks forever on a message that no
+	// longer exists anywhere. Skipped after an interrupt (the loops are
+	// already stopped); bounded, and excludes crashed/partitioned peers.
+	if c.faults != nil && len(c.locals) < len(c.nodes) {
+		c.stopMu.Lock()
+		interrupted := c.stopClosed
+		c.stopMu.Unlock()
+		if !interrupted {
+			c.faults.drain(2 * time.Second)
+		}
 	}
 	c.closeStop()
 	for _, n := range c.nodes {

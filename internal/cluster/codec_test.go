@@ -66,7 +66,8 @@ func TestBinaryGoldenVectors(t *testing.T) {
 }
 
 // TestDataFrameGolden pins the full on-the-wire image of a TCP data
-// frame: u32 length prefix, 34-byte v2 header, codec-ID byte, payload.
+// frame: u32 length prefix, 34-byte v3 header, header CRC32C, codec-ID
+// byte, payload, payload CRC32C.
 func TestDataFrameGolden(t *testing.T) {
 	f := Frame{Kind: frameData, Epoch: 1, Tag: 0xFA00000000000001, Seq: 5, From: 2, To: 3, Payload: float64(1.5)}
 	got, err := appendDataFrame(nil, &f, CodecBinary)
@@ -74,15 +75,17 @@ func TestDataFrameGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want, _ := hex.DecodeString(
-		"2c000000" + // length prefix: 34-byte header + 10-byte body
-			"02" + // frame version 2
+		"34000000" + // length prefix: 34B header + 4B hdr CRC + 10B body + 4B payload CRC
+			"03" + // frame version 3
 			"01" + // kind: data
 			"0100000000000000" + // epoch
 			"01000000000000fa" + // tag
 			"0500000000000000" + // seq
 			"02000000" + "03000000" + // from, to
+			"f4b420b6" + // CRC32C over prefix + header
 			"01" + // codec ID: binary
-			"06000000000000f83f") // float64 1.5
+			"06000000000000f83f" + // float64 1.5
+			"cf0babac") // CRC32C over the payload
 	if !bytes.Equal(got, want) {
 		t.Fatalf("frame image drifted:\n got %x\nwant %x", got, want)
 	}
@@ -101,27 +104,29 @@ func TestDataFrameGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id := got[framePrefixLen+frameHeaderLen]; id != codecIDGob {
+	if id := got[framePrefixLen+frameHeaderLen+frameCRCLen]; id != codecIDGob {
 		t.Fatalf("gob frame carries codec ID %d", id)
 	}
-	if v, err := DecodePayload(got[framePrefixLen+frameHeaderLen:]); err != nil || v != 1.5 {
+	body := got[framePrefixLen+frameHeaderLen+frameCRCLen : len(got)-frameCRCLen]
+	if v, err := DecodePayload(body); err != nil || v != 1.5 {
 		t.Fatalf("gob payload: %v %v", v, err)
 	}
 }
 
 // TestFrameVersionPins documents the compatibility story: data-frame
-// payloads grew a codec-ID prefix in v2, so a v1 peer parsing a v2
-// stream (or vice versa) would mis-read payload bytes. The version
-// byte makes the mismatch a loud, immediate connection error instead.
+// payloads grew a codec-ID prefix in v2 and frames grew header and
+// payload CRC32C fields in v3, so an old peer parsing a new stream (or
+// vice versa) would mis-read bytes. The version byte makes the
+// mismatch a loud, immediate connection error instead.
 func TestFrameVersionPins(t *testing.T) {
-	if frameVersion != 2 {
-		t.Fatalf("frameVersion = %d; golden vectors in this file pin version 2 — regenerate them with the bump", frameVersion)
+	if frameVersion != 3 {
+		t.Fatalf("frameVersion = %d; golden vectors in this file pin version 3 — regenerate them with the bump", frameVersion)
 	}
 	f := Frame{Kind: frameData, From: 0, To: 1}
 	b := appendFrame(nil, &f, nil)
-	b[framePrefixLen] = 1 // a v1 sender's header
+	b[framePrefixLen] = 2 // a v2 sender's header
 	if _, _, err := decodeFrame(b); err == nil {
-		t.Fatal("v1 frame accepted by v2 decoder")
+		t.Fatal("v2 frame accepted by v3 decoder")
 	}
 }
 

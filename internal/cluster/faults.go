@@ -47,6 +47,16 @@ type FaultPlan struct {
 	// Duplicate is the probability a transmission is delivered twice.
 	// Duplicate > 0 auto-enables the reliable-delivery sublayer.
 	Duplicate float64
+	// Corrupt is the per-transmission probability of a bit-flip on the
+	// wire. On a backend with real encoded bytes (TCP) the flip is
+	// injected into the outbound buffer and the receiver's frame CRCs
+	// turn it into a dropped frame or a torn-down connection; on the
+	// in-process backend — whose frames are never encoded — the
+	// transmission is dropped outright, the exact observable a
+	// CRC-verifying receiver produces for a payload flip. Corrupt > 0
+	// auto-enables the reliable-delivery sublayer, which is what turns
+	// corruption-as-loss back into exactly-once delivery.
+	Corrupt float64
 	// Reorder is the probability a transmission is held back long
 	// enough for later messages to overtake it.
 	Reorder float64
@@ -58,6 +68,12 @@ type FaultPlan struct {
 	ReorderDelay time.Duration
 	// Stalls schedules per-node stall/crash windows.
 	Stalls []StallWindow
+	// Partitions schedules link-level partition windows: traffic on the
+	// severed links is silently dropped while a window is active. Unlike
+	// Drop this is not recovered by retransmission alone when the window
+	// outlives the retransmit budget — partitions are the failure class
+	// the phi-accrual detector and supervisor handle.
+	Partitions []PartitionWindow
 	// RetransmitBase/RetransmitCap bound the reliable sublayer's
 	// exponential backoff (defaults 1ms / 32ms).
 	RetransmitBase time.Duration
@@ -87,10 +103,39 @@ type StallWindow struct {
 	Crash bool
 }
 
+// PartitionWindow severs the network link between a pair of nodes for
+// a window: transmissions From→To vanish while it is active, and so do
+// To→From unless OneWay is set (the asymmetric case — From's frames
+// are lost but From still hears To). Heartbeats are severed with the
+// data traffic, so the phi-accrual detector convicts the unreachable
+// side. The window triggers when node From has attempted its
+// AfterSends-th send — reproducible from the workload, like
+// StallWindow — or immediately at cluster construction when AfterSends
+// is 0 (heartbeat-only tests have no sends to key on). It heals
+// Duration after triggering; Duration 0 never heals (the permanent
+// partition of conviction tests). Unlike crash/stall verdicts a
+// partition is a property of the network, not of an endpoint, so
+// Revive does NOT heal it: a restarted attempt inside the window keeps
+// failing until the window expires, which is exactly the retry-until-
+// heal convergence the supervisor must exhibit.
+type PartitionWindow struct {
+	// From and To are the endpoints of the severed link.
+	From, To NodeID
+	// AfterSends is From's send-attempt count that triggers the window;
+	// 0 arms it immediately.
+	AfterSends uint64
+	// Duration is how long the window stays active after triggering;
+	// 0 means it never heals.
+	Duration time.Duration
+	// OneWay limits the severing to the From→To direction.
+	OneWay bool
+}
+
 // reliable reports whether the plan requires the ack/retransmit
-// sublayer to preserve exactly-once delivery semantics.
+// sublayer to preserve exactly-once delivery semantics. Corruption
+// counts: a corrupt frame is a lost frame once CRCs reject it.
 func (p *FaultPlan) reliable() bool {
-	return p != nil && (p.Drop > 0 || p.Duplicate > 0)
+	return p != nil && (p.Drop > 0 || p.Duplicate > 0 || p.Corrupt > 0)
 }
 
 // Reserved wire tags for the reliable sublayer's envelopes.
@@ -183,6 +228,16 @@ type nodeFaultState struct {
 	crashed    bool
 	stallUntil time.Time
 	windows    []StallWindow // untriggered windows for this node
+	parts      []*partition  // untriggered partition windows sourced here
+}
+
+// partition is one PartitionWindow's runtime state; triggered/until are
+// guarded by faultState.partMu (windows are shared across links and
+// read on every transmit).
+type partition struct {
+	w         PartitionWindow
+	triggered bool
+	until     time.Time // zero when the window never heals
 }
 
 // faultState is the per-cluster fault-injection engine.
@@ -190,7 +245,15 @@ type faultState struct {
 	c        *Cluster
 	plan     FaultPlan
 	reliable bool
-	nodes    []*nodeFaultState
+	// wireCorrupt is set when the transport injects real bit-flips
+	// itself (WireCorrupter, the TCP backend); the in-process
+	// corrupt-as-drop roll is then skipped so corruption is not applied
+	// twice.
+	wireCorrupt bool
+	nodes       []*nodeFaultState
+	// partMu guards every partition window's triggered/until state.
+	partMu sync.Mutex
+	parts  []*partition
 	links    [][]*relLink // [from][to], reliable mode only
 	recvs    [][]*relRecv // [to][from], reliable mode only
 	// wires counts physical transmissions per (from, to) link; it
@@ -226,6 +289,19 @@ func newFaultState(c *Cluster, plan *FaultPlan) *faultState {
 			}
 		}
 		f.nodes[i] = ns
+	}
+	now := time.Now()
+	for _, w := range f.plan.Partitions {
+		p := &partition{w: w}
+		if w.AfterSends == 0 {
+			p.triggered = true
+			if w.Duration > 0 {
+				p.until = now.Add(w.Duration)
+			}
+		} else if int(w.From) >= 0 && int(w.From) < n {
+			f.nodes[w.From].parts = append(f.nodes[w.From].parts, p)
+		}
+		f.parts = append(f.parts, p)
 	}
 	f.wires = make([][]*atomic.Uint64, n)
 	for i := range f.wires {
@@ -287,6 +363,17 @@ func (f *faultState) senderGate(from NodeID) (extra time.Duration, dead bool) {
 		}
 	}
 	ns.windows = kept
+	if len(ns.parts) > 0 {
+		keptP := ns.parts[:0]
+		for _, p := range ns.parts {
+			if ns.sends >= p.w.AfterSends {
+				f.triggerPartition(p)
+			} else {
+				keptP = append(keptP, p)
+			}
+		}
+		ns.parts = keptP
+	}
 	if ns.crashed {
 		return 0, true
 	}
@@ -296,6 +383,42 @@ func (f *faultState) senderGate(from NodeID) (extra time.Duration, dead bool) {
 	return extra, false
 }
 
+// triggerPartition arms one partition window, starting its heal clock.
+func (f *faultState) triggerPartition(p *partition) {
+	f.partMu.Lock()
+	if !p.triggered {
+		p.triggered = true
+		if p.w.Duration > 0 {
+			p.until = time.Now().Add(p.w.Duration)
+		}
+	}
+	f.partMu.Unlock()
+}
+
+// partitioned reports whether the from→to link is severed right now by
+// any active partition window.
+func (f *faultState) partitioned(from, to NodeID) bool {
+	if len(f.parts) == 0 {
+		return false
+	}
+	f.partMu.Lock()
+	defer f.partMu.Unlock()
+	now := time.Now()
+	for _, p := range f.parts {
+		if !p.triggered {
+			continue
+		}
+		if !p.until.IsZero() && now.After(p.until) {
+			continue
+		}
+		if (p.w.From == from && p.w.To == to) ||
+			(!p.w.OneWay && p.w.From == to && p.w.To == from) {
+			return true
+		}
+	}
+	return false
+}
+
 // revive re-admits crashed/stalled endpoints into a new transport
 // epoch: crash and stall verdicts are cleared (the node's "NIC" is
 // plugged back in) and the reliable sublayer's per-link sequencing is
@@ -303,7 +426,10 @@ func (f *faultState) senderGate(from NodeID) (extra time.Duration, dead bool) {
 // would otherwise make the receivers discard the new epoch's traffic
 // as duplicates. Untriggered stall windows and the per-link wire
 // counters (which key the fault PRNG) are preserved, so the fault
-// schedule stays reproducible across the revival.
+// schedule stays reproducible across the revival. Partition windows
+// are deliberately untouched in both directions: a partition is a
+// property of the network, not of an endpoint, so a revival inside the
+// window stays partitioned until the window's own heal clock expires.
 func (f *faultState) revive() {
 	for _, ns := range f.nodes {
 		ns.mu.Lock()
@@ -369,9 +495,22 @@ func (f *faultState) transmit(msg Message, extra time.Duration) {
 		f.c.dropped.Add(1)
 		return
 	}
+	if f.partitioned(msg.From, msg.To) {
+		f.c.partitionDrops.Add(1)
+		return
+	}
 	linkSeq := f.wires[msg.From][msg.To].Add(1)
 	if f.plan.Drop > 0 && f.roll(msg.From, msg.To, linkSeq, 0) < f.plan.Drop {
 		f.c.dropped.Add(1)
+		return
+	}
+	if f.plan.Corrupt > 0 && !f.wireCorrupt &&
+		f.roll(msg.From, msg.To, linkSeq, 4) < f.plan.Corrupt {
+		// In-process frames carry no encoded bytes to flip, so inject
+		// what a CRC-verifying receiver would observe for a flipped
+		// payload: the frame vanishes. (The TCP backend flips real bits
+		// instead — wireCorrupt — and its receiver's CRCs do the rest.)
+		f.c.corrupted.Add(1)
 		return
 	}
 	d := f.c.cfg.Latency + extra
@@ -427,6 +566,43 @@ func (f *faultState) retransmitLoop(l *relLink, p *relPending) {
 			}
 			timer.Reset(backoff)
 		}
+	}
+}
+
+// drain blocks until every reliable link sourced at a locally hosted
+// node has no unacked in-flight messages, or until timeout; it reports
+// whether the links emptied. Links to crashed or currently-partitioned
+// peers are excluded — those can only retire after a recovery, which is
+// the supervisor's job, not a graceful close's. Called before the stop
+// channel closes so the retransmit loops doing the repairing are still
+// alive.
+func (f *faultState) drain(timeout time.Duration) bool {
+	if !f.reliable {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		n := 0
+		for from, row := range f.links {
+			if !f.c.local[from] || f.crashedNode(NodeID(from)) {
+				continue
+			}
+			for to, l := range row {
+				if f.crashedNode(NodeID(to)) || f.partitioned(NodeID(from), NodeID(to)) {
+					continue
+				}
+				l.mu.Lock()
+				n += len(l.unacked)
+				l.mu.Unlock()
+			}
+		}
+		if n == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -172,6 +172,133 @@ func TestStallWindowDelaysTraffic(t *testing.T) {
 	}
 }
 
+// TestCorruptAsDropRecovered: on the in-process backend Corrupt is
+// corruption-as-loss (what a CRC-verifying receiver observes for a
+// flipped payload), and it must auto-enable the reliable sublayer so
+// every logical message still arrives exactly once, in order.
+func TestCorruptAsDropRecovered(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{Seed: 21, Corrupt: 0.3}})
+	defer c.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, err := c.Node(1).Recv(5, 0)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("message %d: got %v (order broken)", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Corrupted == 0 {
+		t.Fatal("plan with Corrupt=0.3 corrupted nothing")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("corruption recovered without any retransmission")
+	}
+}
+
+// TestCorruptScheduleIsSeedDeterministic: like drops, the corruption
+// schedule must reproduce from the seed.
+func TestCorruptScheduleIsSeedDeterministic(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		c := New(Config{Nodes: 2, Faults: &FaultPlan{
+			Seed: seed, Corrupt: 0.2,
+			RetransmitBase: time.Hour, RetransmitCap: time.Hour,
+		}})
+		for i := 0; i < 100; i++ {
+			c.Node(0).Send(1, 1, i)
+		}
+		st := c.Stats()
+		c.Close()
+		return st.Corrupted
+	}
+	a, b := run(13), run(13)
+	if a != b {
+		t.Fatalf("same seed, different corruption counts: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatal("no corruption at Corrupt=0.2")
+	}
+}
+
+// TestPartitionSeversBothDirections: an immediately-armed two-way
+// window kills traffic on the severed link in both directions while
+// unrelated links stay healthy.
+func TestPartitionSeversBothDirections(t *testing.T) {
+	c := New(Config{Nodes: 3, Faults: &FaultPlan{
+		Partitions: []PartitionWindow{{From: 0, To: 1}}, // armed at construction, never heals
+	}})
+	defer c.Close()
+	c.Node(0).Send(1, 1, "into the void")
+	if _, err := c.Node(1).RecvTimeout(1, 0, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned 0→1 message arrived (err=%v)", err)
+	}
+	c.Node(1).Send(0, 2, "reverse")
+	if _, err := c.Node(0).RecvTimeout(2, 1, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned 1→0 message arrived (err=%v)", err)
+	}
+	// The third node is on neither side of the window.
+	c.Node(0).Send(2, 3, "healthy")
+	if v, err := c.Node(2).Recv(3, 0); err != nil || v != "healthy" {
+		t.Fatalf("unpartitioned link broken: %v, %v", v, err)
+	}
+	if c.Stats().PartitionDrops != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", c.Stats().PartitionDrops)
+	}
+}
+
+// TestPartitionOneWayAsymmetric: OneWay severs only From→To; the
+// reverse direction keeps flowing — the asymmetric link-loss case.
+func TestPartitionOneWayAsymmetric(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{
+		Partitions: []PartitionWindow{{From: 0, To: 1, OneWay: true}},
+	}})
+	defer c.Close()
+	c.Node(0).Send(1, 1, "lost")
+	if _, err := c.Node(1).RecvTimeout(1, 0, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("severed direction delivered (err=%v)", err)
+	}
+	c.Node(1).Send(0, 2, "heard")
+	if v, err := c.Node(0).Recv(2, 1); err != nil || v != "heard" {
+		t.Fatalf("open direction broken: %v, %v", v, err)
+	}
+}
+
+// TestPartitionTriggersAndHeals: an AfterSends-keyed window arms on the
+// sender's Nth send attempt and heals once its Duration expires —
+// traffic before the trigger and after the heal flows normally.
+func TestPartitionTriggersAndHeals(t *testing.T) {
+	const window = 60 * time.Millisecond
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{
+		Partitions: []PartitionWindow{{From: 0, To: 1, AfterSends: 2, Duration: window}},
+	}})
+	defer c.Close()
+	// Send 1 precedes the trigger.
+	c.Node(0).Send(1, 1, "before")
+	if v, err := c.Node(1).Recv(1, 0); err != nil || v != "before" {
+		t.Fatalf("pre-trigger message: %v, %v", v, err)
+	}
+	// Send 2 triggers the window and vanishes with it.
+	c.Node(0).Send(1, 1, "severed")
+	if _, err := c.Node(1).RecvTimeout(1, 0, 20*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("triggering message arrived (err=%v)", err)
+	}
+	time.Sleep(window + 20*time.Millisecond)
+	c.Node(0).Send(1, 1, "after")
+	if v, err := c.Node(1).Recv(1, 0); err != nil || v != "after" {
+		t.Fatalf("post-heal message: %v, %v", v, err)
+	}
+	if c.Stats().PartitionDrops == 0 {
+		t.Fatal("window severed nothing")
+	}
+}
+
 // TestRecvAnyPicksOldestFirst is the regression test for the map-order
 // nondeterminism bug: with several senders pending, RecvAny must drain
 // in arrival order, not Go's random map order.

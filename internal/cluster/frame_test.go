@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 )
 
@@ -48,18 +49,16 @@ func TestFrameDecodeRejects(t *testing.T) {
 		{"short prefix", good[:3]},
 		{"truncated header", good[:framePrefixLen+5]},
 		{"truncated payload", good[:len(good)-1]},
-		{"length below header", binary.LittleEndian.AppendUint32(nil, frameHeaderLen-1)},
+		{"length below header", binary.LittleEndian.AppendUint32(nil, frameHeaderLen+2*frameCRCLen-1)},
 		{"oversized length", binary.LittleEndian.AppendUint32(nil, 1<<31)},
 		{"bad version", func() []byte {
 			b := append([]byte(nil), good...)
 			b[framePrefixLen] = 99
 			return b
 		}()},
-		{"bad kind", func() []byte {
-			b := append([]byte(nil), good...)
-			b[framePrefixLen+1] = 0
-			return b
-		}()},
+		// An unknown kind sealed with *valid* CRCs — the post-checksum
+		// kind check must still reject it.
+		{"bad kind", appendFrame(nil, &Frame{Kind: 0, Tag: 1, From: 0, To: 1}, []byte("x"))},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,6 +66,80 @@ func TestFrameDecodeRejects(t *testing.T) {
 				t.Fatalf("decodeFrame accepted %q", tc.b)
 			}
 		})
+	}
+}
+
+// TestFrameCRCVerdicts pins the two corruption regimes: a flipped
+// payload bit is errCorruptPayload with the full frame consumed (the
+// reader skips it and stays in sync), while a flipped header bit is a
+// connection-fatal error with nothing consumed.
+func TestFrameCRCVerdicts(t *testing.T) {
+	good := appendFrame(nil, &Frame{Kind: frameData, Epoch: 2, Tag: 7, Seq: 3, From: 0, To: 1},
+		[]byte("integrity plane"))
+
+	payloadOff := framePrefixLen + frameHeaderLen + frameCRCLen // first payload byte
+	b := append([]byte(nil), good...)
+	b[payloadOff+4] ^= 0x10
+	_, n, err := decodeFrame(b)
+	if !errors.Is(err, errCorruptPayload) {
+		t.Fatalf("payload flip: err = %v, want errCorruptPayload", err)
+	}
+	if n != len(b) {
+		t.Fatalf("payload flip consumed %d of %d bytes — reader would desync", n, len(b))
+	}
+
+	b = append([]byte(nil), good...)
+	b[framePrefixLen+2] ^= 0x01 // epoch field: header-CRC territory
+	if _, n, err = decodeFrame(b); !errors.Is(err, errCorruptHeader) {
+		t.Fatalf("header flip: err = %v, want errCorruptHeader", err)
+	} else if n != 0 {
+		t.Fatalf("header flip consumed %d bytes", n)
+	}
+
+	// A flipped length-prefix bit must never decode as a valid frame:
+	// either the bounds check or the header CRC (which covers the
+	// prefix) catches it.
+	b = append([]byte(nil), good...)
+	b[0] ^= 0x02
+	if _, _, err = decodeFrame(b); err == nil || errors.Is(err, errCorruptPayload) {
+		t.Fatalf("prefix flip: err = %v, want a connection-fatal error", err)
+	}
+}
+
+// TestFrameBitFlipTotal flips every single bit of an encoded frame in
+// turn: no flip may decode successfully — a 1-bit error is always
+// caught by a bounds check or a CRC. (Every-offset coverage for the
+// corruption dimension, the bit-level sibling of the truncation test.)
+func TestFrameBitFlipTotal(t *testing.T) {
+	good := appendFrame(nil, &Frame{Kind: frameData, Epoch: 9, Tag: 0xFC << 56, Seq: 17, From: 2, To: 0},
+		[]byte("every bit guarded"))
+	for bit := 0; bit < len(good)*8; bit++ {
+		b := append([]byte(nil), good...)
+		b[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := decodeFrame(b); err == nil {
+			t.Fatalf("bit %d: flipped frame decoded successfully", bit)
+		}
+	}
+}
+
+// TestFrameDecodeTruncationTotal feeds every prefix of several encoded
+// frames to the decoder: no truncation offset may panic or yield a
+// valid-looking frame.
+func TestFrameDecodeTruncationTotal(t *testing.T) {
+	frames := [][]byte{
+		appendFrame(nil, &Frame{Kind: frameData, Epoch: 3, Tag: 11, Seq: 5, From: 1, To: 2}, []byte("truncate me")),
+		appendFrame(nil, &Frame{Kind: frameRevive, Epoch: 8, From: 0, To: 1}, nil),
+		appendFrame(nil, &Frame{Kind: frameHello, From: 2, To: 0}, make([]byte, 16)),
+	}
+	for fi, buf := range frames {
+		for i := 0; i < len(buf); i++ {
+			if _, _, err := decodeFrame(buf[:i]); err == nil {
+				t.Fatalf("frame %d truncated at %d of %d bytes decoded successfully", fi, i, len(buf))
+			}
+		}
+		if _, n, err := decodeFrame(buf); err != nil || n != len(buf) {
+			t.Fatalf("frame %d full decode: n=%d err=%v", fi, n, err)
+		}
 	}
 }
 

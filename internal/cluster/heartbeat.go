@@ -231,6 +231,11 @@ func (hb *hbState) beat() {
 			if c.faults != nil && !c.faults.hbLive(to) {
 				continue
 			}
+			// Partitions sever heartbeats along with data traffic: the
+			// detector on the far side stops hearing from us and convicts.
+			if c.faults != nil && c.faults.partitioned(from, to) {
+				continue
+			}
 			c.deliverAfter(Message{From: from, To: to, Tag: hbTag, epoch: hb.epoch, epochPin: true}, c.cfg.Latency)
 		}
 	}

@@ -133,6 +133,54 @@ func TestHeartbeatSingleNodeNoop(t *testing.T) {
 	}
 }
 
+// TestPartitionConvictionDeterministic: a one-way partition that cuts a
+// node's outbound links (its beats vanish, but it still hears everyone)
+// must convict exactly the partitioned shard — the detector sees silence
+// from it at a majority of observers, not vice versa. Repeated trials
+// pin the conviction's determinism: always shard 3, never a bystander.
+func TestPartitionConvictionDeterministic(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		c := New(Config{Nodes: 4, Faults: &FaultPlan{
+			Partitions: []PartitionWindow{
+				{From: 3, To: 0, AfterSends: 1, OneWay: true},
+				{From: 3, To: 1, AfterSends: 1, OneWay: true},
+				{From: 3, To: 2, AfterSends: 1, OneWay: true},
+			},
+		}})
+
+		down := make(chan *ShardDownError, 4)
+		stop := c.StartHeartbeats(HeartbeatOptions{
+			Every:        2 * time.Millisecond,
+			PhiThreshold: 6,
+			MinSamples:   2,
+		}, func(e *ShardDownError) { down <- e })
+
+		// Build arrival history, then let node 3's first workload send arm
+		// all three windows at once: its beats stop reaching anyone, while
+		// everyone else's beats still reach node 3.
+		time.Sleep(20 * time.Millisecond)
+		c.Node(3).Send(0, 1, "armed")
+
+		select {
+		case e := <-down:
+			if e.Shard != 3 {
+				t.Fatalf("trial %d: convicted shard %d, want partitioned shard 3 (%v)", trial, e.Shard, e)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("trial %d: partitioned shard never declared down", trial)
+		}
+		// No bystander convictions: nodes 0-2 keep beating and keep being
+		// heard by each other (and by node 3 on its intact inbound links).
+		select {
+		case e := <-down:
+			t.Fatalf("trial %d: spurious second conviction: %v", trial, e)
+		case <-time.After(20 * time.Millisecond):
+		}
+		stop()
+		c.Close()
+	}
+}
+
 // TestHeartbeatStaleEpochDropped is the regression for epoch-unaware
 // beats: a revive under in-flight heartbeats must not let the dead
 // epoch's detector keep refreshing liveness. Two holes are closed —

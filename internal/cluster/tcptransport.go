@@ -34,7 +34,9 @@ package cluster
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -81,6 +83,11 @@ type TCPOptions struct {
 	// NoCoalesce disables frame coalescing: every frame gets its own
 	// Write call (the pre-batching behavior). Benchmarking only.
 	NoCoalesce bool
+	// DisableCRC skips frame-CRC computation on send and verification
+	// on receive — the ablation leg of the tcp_crc_overhead_pct bench
+	// row. Both endpoints of a link must agree. Benchmarking only:
+	// production endpoints always checksum.
+	DisableCRC bool
 }
 
 // TCPTransport implements Transport over TCP sockets, one process per
@@ -128,11 +135,23 @@ type TCPTransport struct {
 	qRound   uint64
 	qGot     map[NodeID][]byte
 
-	framesOut  atomic.Uint64
-	bytesOut   atomic.Uint64
-	framesIn   atomic.Uint64
-	bytesIn    atomic.Uint64
-	reconnects atomic.Uint64
+	framesOut     atomic.Uint64
+	bytesOut      atomic.Uint64
+	framesIn      atomic.Uint64
+	bytesIn       atomic.Uint64
+	reconnects    atomic.Uint64
+	corruptFrames atomic.Uint64
+
+	// Seeded wire-corruption injection (Faults.Corrupt over TCP),
+	// installed by the bound Cluster before any traffic flows: each
+	// outbound Write rolls a counter-keyed PRNG and, when the verdict
+	// fires, flips one bit of the buffer for exactly that write — the
+	// receiver's CRCs turn the flip into a dropped frame or a torn
+	// connection, and retransmissions re-roll.
+	wcProb  float64
+	wcSeed  uint64
+	wcHook  func()
+	wcCount atomic.Uint64
 }
 
 // tcpPeer is the outbound half of one (self, peer) link: an unbounded
@@ -300,13 +319,49 @@ func (t *TCPTransport) Send(f *Frame) error {
 	}
 	wb := getWireBuf()
 	var err error
-	if wb.b, err = appendDataFrame(wb.b, f, t.codec); err != nil {
+	if wb.b, err = appendDataFrameChecked(wb.b, f, t.codec, !t.opts.DisableCRC); err != nil {
 		putWireBuf(wb)
 		return err
 	}
 	t.peers[f.To].enqueue(wb)
 	return nil
 }
+
+// SetWireCorruption installs seeded outbound bit-flip injection
+// (Faults.Corrupt over TCP). Each Write rolls a counter-keyed PRNG;
+// a firing verdict flips one bit of the outgoing buffer for exactly
+// that write and calls onCorrupt. Must be installed before traffic
+// flows (the bound Cluster does it at construction).
+func (t *TCPTransport) SetWireCorruption(prob float64, seed uint64, onCorrupt func()) {
+	t.wcProb = prob
+	t.wcSeed = seed
+	t.wcHook = onCorrupt
+}
+
+// corruptForWrite rolls the corruption verdict for one outbound buffer
+// and, when it fires, flips a single seeded bit in place, returning
+// the bit index so the caller can restore it after the Write — the
+// buffer may be retried on a fresh connection and every transmission
+// must re-roll, or a corrupt header would tear down every redial
+// forever.
+func (t *TCPTransport) corruptForWrite(to NodeID, b []byte) (int, bool) {
+	if t.wcProb <= 0 || len(b) == 0 {
+		return 0, false
+	}
+	x := splitmix64(t.wcSeed ^ uint64(t.self)<<40 ^ uint64(to)<<24 ^ t.wcCount.Add(1))
+	if float64(x>>11)/(1<<53) >= t.wcProb {
+		return 0, false
+	}
+	bit := int(splitmix64(x) % uint64(len(b)*8))
+	b[bit/8] ^= 1 << (bit % 8)
+	if t.wcHook != nil {
+		t.wcHook()
+	}
+	return bit, true
+}
+
+// unflip restores a bit flipped by corruptForWrite.
+func unflip(b []byte, bit int) { b[bit/8] ^= 1 << (bit % 8) }
 
 // Codec returns the payload codec this endpoint encodes with.
 func (t *TCPTransport) Codec() PayloadCodec { return t.codec }
@@ -625,11 +680,12 @@ func (t *TCPTransport) broadcast(f *Frame, payload []byte) {
 // Stats implements Transport.
 func (t *TCPTransport) Stats() WireStats {
 	return WireStats{
-		FramesOut:  t.framesOut.Load(),
-		BytesOut:   t.bytesOut.Load(),
-		FramesIn:   t.framesIn.Load(),
-		BytesIn:    t.bytesIn.Load(),
-		Reconnects: t.reconnects.Load(),
+		FramesOut:     t.framesOut.Load(),
+		BytesOut:      t.bytesOut.Load(),
+		FramesIn:      t.framesIn.Load(),
+		BytesIn:       t.bytesIn.Load(),
+		Reconnects:    t.reconnects.Load(),
+		CorruptFrames: t.corruptFrames.Load(),
 	}
 }
 
@@ -756,25 +812,53 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}()
 	sb := getWireBuf()
 	defer putWireBuf(sb)
-	var prefix [framePrefixLen]byte
+	var hdr [framePrefixLen + frameHeaderLen + frameCRCLen]byte
 	for {
-		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
-		l := int(binary.LittleEndian.Uint32(prefix[:]))
-		if l < frameHeaderLen || l > frameHeaderLen+maxFramePayload {
+		l := int(binary.LittleEndian.Uint32(hdr[:]))
+		if l < frameHeaderLen+2*frameCRCLen || l > frameHeaderLen+2*frameCRCLen+maxFramePayload {
+			t.corruptFrames.Add(1)
 			return // corrupt stream: drop the connection, sender re-dials
+		}
+		// Verify the header CRC (which covers the length prefix) BEFORE
+		// committing to the body read. A bit-flipped length would
+		// otherwise start a multi-megabyte ReadFull that the sender never
+		// finishes feeding — and every retransmission arriving on this
+		// connection would be swallowed into the bogus body, wedging the
+		// link forever instead of tearing it down for a clean re-dial.
+		if !t.opts.DisableCRC {
+			want := binary.LittleEndian.Uint32(hdr[framePrefixLen+frameHeaderLen:])
+			if got := crc32.Checksum(hdr[:framePrefixLen+frameHeaderLen], castagnoli); got != want {
+				t.corruptFrames.Add(1)
+				return // length untrustworthy: desynced stream
+			}
 		}
 		if cap(sb.b) < framePrefixLen+l {
 			sb.b = make([]byte, framePrefixLen+l)
 		}
 		buf := sb.b[:framePrefixLen+l]
-		copy(buf, prefix[:])
-		if _, err := io.ReadFull(br, buf[framePrefixLen:]); err != nil {
+		copy(buf, hdr[:])
+		if _, err := io.ReadFull(br, buf[len(hdr):]); err != nil {
 			return
 		}
-		f, _, err := decodeFrame(buf)
+		f, _, err := decodeFrameChecked(buf, !t.opts.DisableCRC)
 		if err != nil {
+			t.corruptFrames.Add(1)
+			if errors.Is(err, errCorruptPayload) {
+				// The header CRC vouched for the frame boundary: this
+				// frame alone is lost — exactly like line loss, which the
+				// reliable sublayer's retransmit recovers — and the
+				// stream stays in sync.
+				t.framesIn.Add(1)
+				t.bytesIn.Add(uint64(len(buf)))
+				continue
+			}
+			// Header corruption (or a foreign protocol version): the
+			// length prefix itself is untrustworthy, so the stream is
+			// desynced. Tear the connection down; the sender re-dials
+			// and upper layers retransmit what the socket buffered.
 			return
 		}
 		t.framesIn.Add(1)
@@ -863,7 +947,11 @@ func (p *tcpPeer) enqueue(wb *wireBuf) {
 	if conn := p.conn; conn != nil && !p.flushing && len(p.queue) == 0 && !p.draining {
 		p.flushing = true
 		p.mu.Unlock()
+		bit, flipped := p.t.corruptForWrite(p.id, wb.b)
 		_, err := conn.Write(wb.b)
+		if flipped {
+			unflip(wb.b, bit) // a retried frame must re-roll its verdict
+		}
 		p.mu.Lock()
 		p.flushing = false
 		if err == nil {
@@ -1034,7 +1122,12 @@ func (p *tcpPeer) run() {
 				p.conn = conn
 				p.mu.Unlock()
 			}
-			if _, err := conn.Write(flush.b); err != nil {
+			bit, flipped := t.corruptForWrite(p.id, flush.b)
+			_, err := conn.Write(flush.b)
+			if flipped {
+				unflip(flush.b, bit) // a retried batch must re-roll its verdict
+			}
+			if err != nil {
 				conn.Close()
 				p.mu.Lock()
 				if p.conn == conn {

@@ -15,6 +15,7 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,11 @@ type WireStats struct {
 	// Reconnects counts established connections that broke and were
 	// re-dialed (always 0 on MemTransport).
 	Reconnects uint64
+	// CorruptFrames counts frames rejected by CRC verification before
+	// decode: payload-CRC failures dropped like line loss plus
+	// header-CRC failures that tore the connection down (always 0 on
+	// MemTransport, which never encodes).
+	CorruptFrames uint64
 }
 
 // Transport moves frames between cluster endpoints. Implementations
@@ -145,56 +151,95 @@ type Transport interface {
 	Close() error
 }
 
+// WireCorrupter is implemented by transports that carry real encoded
+// bytes and can therefore inject FaultPlan.Corrupt as genuine bit-flips
+// on the outgoing stream (exercising the CRC trailers end to end). The
+// cluster installs the plan's probability and seed at construction;
+// onCorrupt is invoked once per flipped transmission for accounting.
+// Backends without a byte-level wire (the in-process mem transport)
+// simply don't implement this and get corrupt-as-drop semantics from
+// the fault layer instead.
+type WireCorrupter interface {
+	SetWireCorruption(prob float64, seed uint64, onCorrupt func())
+}
+
 // --- Frame codec ---------------------------------------------------------
 
 // The wire format is a length-prefixed versioned binary frame:
 //
-//	u32  length L of everything after this prefix (header + payload)
-//	u8   version (currently 2)
+//	u32  length L of everything after this prefix
+//	u8   version (currently 3)
 //	u8   kind (data / interrupt / revive / hello / revive-ack / epoch-req / epoch-ack)
 //	u64  epoch
 //	u64  tag
 //	u64  seq
 //	u32  from
 //	u32  to
-//	[L-34]byte payload
+//	u32  header CRC32C over the prefix + 34-byte header above
+//	[L-42]byte payload
+//	u32  payload CRC32C over the payload bytes
 //
 // A data frame's payload opens with the one-byte ID of the payload
 // codec that produced the rest (see codec.go); control frames carry
-// raw metadata bytes. Version 1 frames carried bare gob bytes with no
-// codec prefix — the version bump makes the change loud: a v1 endpoint
-// decoding a v2 stream (or vice versa) rejects the first frame and
-// drops the connection instead of misparsing payloads.
+// raw metadata bytes. Version 2 frames carried no checksums — the
+// version bump makes the change loud: a v2 endpoint decoding a v3
+// stream (or vice versa) rejects the first frame and drops the
+// connection instead of misparsing payloads.
+//
+// The two CRCs (Castagnoli polynomial, hardware-accelerated via
+// hash/crc32) split corruption into two regimes. The header CRC covers
+// the length prefix and header: if it fails, the length itself cannot
+// be trusted, so the stream is unrecoverable and the reader tears the
+// connection down for a redial. Once it passes, the frame boundary is
+// sound, so a payload-CRC failure is contained: the reader drops just
+// that frame — indistinguishable from line loss, recovered by the
+// reliable sublayer's retransmit — and keeps the connection.
 //
 // All integers little-endian. The decoder is total: truncated frames,
-// oversized lengths, and unknown versions or kinds return an error —
-// never a panic and never an allocation larger than the input
-// (FuzzFrameDecode).
+// oversized lengths, unknown versions or kinds, and checksum
+// mismatches return an error — never a panic and never an allocation
+// larger than the input (FuzzFrameDecode).
 
 const (
-	frameVersion   = 2
+	frameVersion   = 3
 	framePrefixLen = 4
 	frameHeaderLen = 1 + 1 + 8 + 8 + 8 + 4 + 4
+	// frameCRCLen is the width of each of the two CRC32C fields.
+	frameCRCLen = 4
+	// frameOverhead is everything in a frame that is not payload.
+	frameOverhead = framePrefixLen + frameHeaderLen + 2*frameCRCLen
 	// maxFramePayload bounds a single frame's payload; a length prefix
 	// past this is rejected before any allocation happens.
 	maxFramePayload = 64 << 20
 )
 
+// castagnoli selects the CRC32C polynomial; on amd64/arm64 this table
+// routes hash/crc32 to the hardware instruction.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // errBadFrame wraps every frame-decoding failure.
 var errBadFrame = fmt.Errorf("cluster: bad frame")
 
-// appendFrame appends the encoded frame (prefix, header, payload) to
-// dst and returns the extended slice. payload is the encoded body
-// (may be nil).
+// errCorruptPayload marks the one recoverable decode failure: the
+// header CRC passed (frame boundary is sound) but the payload CRC did
+// not. The TCP reader treats it as loss — drop the frame, keep the
+// connection. Every other decode error is a stream desync and tears
+// the connection down.
+var errCorruptPayload = fmt.Errorf("%w: payload crc mismatch", errBadFrame)
+
+// errCorruptHeader marks a header-CRC failure: the length prefix
+// cannot be trusted, so the stream is desynced and the connection must
+// be torn down.
+var errCorruptHeader = fmt.Errorf("%w: header crc mismatch", errBadFrame)
+
+// appendFrame appends the encoded frame (prefix, header, CRCs,
+// payload) to dst and returns the extended slice. payload is the
+// encoded body (may be nil).
 func appendFrame(dst []byte, f *Frame, payload []byte) []byte {
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameHeaderLen+len(payload)))
-	dst = append(dst, frameVersion, f.Kind)
-	dst = binary.LittleEndian.AppendUint64(dst, f.Epoch)
-	dst = binary.LittleEndian.AppendUint64(dst, f.Tag)
-	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
-	return append(dst, payload...)
+	start := len(dst)
+	dst = appendFrameHeader(dst, f)
+	dst = append(dst, payload...)
+	return finishFrame(dst, start)
 }
 
 // wireBuf is a pooled frame buffer: Send encodes into one, the peer
@@ -221,9 +266,9 @@ func putWireBuf(w *wireBuf) {
 	wireBufPool.Put(w)
 }
 
-// appendFrameHeader appends the length prefix (as a placeholder) and
-// header for f, returning the extended slice; the caller appends the
-// payload and patches the prefix with patchFramePrefix.
+// appendFrameHeader appends the length prefix and header CRC (as
+// placeholders) and the header for f, returning the extended slice;
+// the caller appends the payload and seals the frame with finishFrame.
 func appendFrameHeader(dst []byte, f *Frame) []byte {
 	dst = append(dst, 0, 0, 0, 0)
 	dst = append(dst, frameVersion, f.Kind)
@@ -231,13 +276,31 @@ func appendFrameHeader(dst []byte, f *Frame) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, f.Tag)
 	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
-	return binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+	return append(dst, 0, 0, 0, 0) // header CRC placeholder
 }
 
-// patchFramePrefix writes the length prefix of the frame that starts
-// at dst[start:], once the payload length is known.
-func patchFramePrefix(dst []byte, start int) {
-	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-framePrefixLen))
+// finishFrame seals the frame that starts at dst[start:] once the
+// payload is in place: it patches the length prefix, fills the header
+// CRC (which covers the now-final prefix), and appends the payload CRC
+// trailer, returning the extended slice.
+func finishFrame(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:],
+		uint32(len(dst)-start-framePrefixLen+frameCRCLen))
+	hdrEnd := start + framePrefixLen + frameHeaderLen
+	binary.LittleEndian.PutUint32(dst[hdrEnd:], crc32.Checksum(dst[start:hdrEnd], castagnoli))
+	payloadCRC := crc32.Checksum(dst[hdrEnd+frameCRCLen:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, payloadCRC)
+}
+
+// finishFrameRaw seals the frame without computing checksums (the CRC
+// fields stay zero) — the send half of the DisableCRC benchmark
+// ablation. A verifying receiver rejects such frames; only matched
+// DisableCRC endpoints may exchange them.
+func finishFrameRaw(dst []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(dst[start:],
+		uint32(len(dst)-start-framePrefixLen+frameCRCLen))
+	return append(dst, 0, 0, 0, 0)
 }
 
 // appendDataFrame encodes a data frame directly into dst: header, the
@@ -245,6 +308,12 @@ func patchFramePrefix(dst []byte, start int) {
 // payload allocation. A nil payload (barriers, heartbeats) stays an
 // empty body. On error dst is returned truncated to its input length.
 func appendDataFrame(dst []byte, f *Frame, c PayloadCodec) ([]byte, error) {
+	return appendDataFrameChecked(dst, f, c, true)
+}
+
+// appendDataFrameChecked is appendDataFrame with checksumming optional
+// (crc=false is the DisableCRC benchmark ablation).
+func appendDataFrameChecked(dst []byte, f *Frame, c PayloadCodec, crc bool) ([]byte, error) {
 	start := len(dst)
 	dst = appendFrameHeader(dst, f)
 	if f.Payload != nil {
@@ -255,23 +324,35 @@ func appendDataFrame(dst []byte, f *Frame, c PayloadCodec) ([]byte, error) {
 	} else if len(f.Wire) > 0 {
 		dst = append(dst, f.Wire...)
 	}
-	patchFramePrefix(dst, start)
-	return dst, nil
+	if !crc {
+		return finishFrameRaw(dst, start), nil
+	}
+	return finishFrame(dst, start), nil
 }
 
 // decodeFrame parses one length-prefixed frame from the front of b,
-// returning the frame and the number of bytes consumed. The returned
-// frame's Wire aliases b.
+// verifying both CRCs, and returns the frame and the number of bytes
+// consumed. The returned frame's Wire aliases b. A payload-CRC
+// mismatch returns errCorruptPayload with the full frame length
+// consumed, so a streaming reader can skip the frame and stay in sync;
+// every other failure consumes nothing.
 func decodeFrame(b []byte) (Frame, int, error) {
+	return decodeFrameChecked(b, true)
+}
+
+// decodeFrameChecked is decodeFrame with CRC verification optional.
+// verify=false exists solely for the CRC-overhead benchmark ablation
+// (TCPOptions.DisableCRC) — production paths always verify.
+func decodeFrameChecked(b []byte, verify bool) (Frame, int, error) {
 	var f Frame
 	if len(b) < framePrefixLen {
 		return f, 0, fmt.Errorf("%w: short prefix (%d bytes)", errBadFrame, len(b))
 	}
 	l := int(binary.LittleEndian.Uint32(b))
-	if l < frameHeaderLen {
+	if l < frameHeaderLen+2*frameCRCLen {
 		return f, 0, fmt.Errorf("%w: length %d below header size", errBadFrame, l)
 	}
-	if l > frameHeaderLen+maxFramePayload {
+	if l > frameHeaderLen+2*frameCRCLen+maxFramePayload {
 		return f, 0, fmt.Errorf("%w: length %d exceeds payload cap", errBadFrame, l)
 	}
 	if len(b) < framePrefixLen+l {
@@ -280,6 +361,12 @@ func decodeFrame(b []byte) (Frame, int, error) {
 	h := b[framePrefixLen:]
 	if h[0] != frameVersion {
 		return f, 0, fmt.Errorf("%w: unknown version %d", errBadFrame, h[0])
+	}
+	if verify {
+		want := binary.LittleEndian.Uint32(h[frameHeaderLen:])
+		if got := crc32.Checksum(b[:framePrefixLen+frameHeaderLen], castagnoli); got != want {
+			return f, 0, fmt.Errorf("%w: %08x, want %08x", errCorruptHeader, got, want)
+		}
 	}
 	f.Kind = h[1]
 	if f.Kind < frameData || f.Kind > frameQuiesceAck {
@@ -290,16 +377,25 @@ func decodeFrame(b []byte) (Frame, int, error) {
 	f.Seq = binary.LittleEndian.Uint64(h[18:])
 	f.From = NodeID(int32(binary.LittleEndian.Uint32(h[26:])))
 	f.To = NodeID(int32(binary.LittleEndian.Uint32(h[30:])))
-	if payload := h[frameHeaderLen:l]; len(payload) > 0 {
+	payload := h[frameHeaderLen+frameCRCLen : l-frameCRCLen]
+	if verify {
+		want := binary.LittleEndian.Uint32(h[l-frameCRCLen:])
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			// The header CRC vouched for the frame boundary: the caller
+			// may skip exactly this frame and keep reading.
+			return f, framePrefixLen + l, errCorruptPayload
+		}
+	}
+	if len(payload) > 0 {
 		f.Wire = payload
 	}
 	return f, framePrefixLen + l, nil
 }
 
 // wireSize is the frame's on-the-wire byte count: exact when the
-// payload is encoded, header + Hint otherwise.
+// payload is encoded, overhead + Hint otherwise.
 func wireSize(f *Frame) uint64 {
-	n := framePrefixLen + frameHeaderLen
+	n := frameOverhead
 	if f.Wire != nil {
 		n += len(f.Wire)
 	} else {

@@ -154,11 +154,18 @@ type Config struct {
 	// Default 1<<20 versions.
 	PartialRetainLimit int
 	// CheckpointDir, when set, spills every periodic checkpoint cut to
-	// <dir>/checkpoint.dcrc (atomically: temp file + rename, using the
-	// process-portable Checkpoint codec). LoadCheckpoint reads it back,
-	// and RunSupervised starts by resuming from it when one exists —
-	// so whole-process crashes recover, not just transport ones.
+	// <dir>/checkpoint-<seq>.dcrc (atomically: temp file + rename, using
+	// the process-portable Checkpoint codec plus a CRC32C trailer).
+	// LoadCheckpoint reads back the newest generation that verifies, and
+	// RunSupervised starts by resuming from it when one exists — so
+	// whole-process crashes recover, not just transport ones, and a
+	// corrupted spill falls back to the previous generation instead of
+	// ending the run.
 	CheckpointDir string
+	// CheckpointKeep bounds the generation chain in CheckpointDir: each
+	// spill writes a new numbered file and garbage-collects all but the
+	// newest CheckpointKeep generations. Default 3.
+	CheckpointKeep int
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +186,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery > 0 || c.CheckpointInterval > 0 {
 		c.Journal = true
+	}
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = DefaultCheckpointKeep
 	}
 	if !c.Centralized && !c.Mapper.ReplicateControl() {
 		c.Centralized = true
@@ -333,6 +343,11 @@ type Runtime struct {
 	// (Config.CheckpointDir); spilling is best-effort and must never
 	// fail the run.
 	spillErr atomic.Pointer[spillErrBox]
+	// ckptLoadErr records the most recent spilled-checkpoint load
+	// failure (generation files existed but none verified); recovery
+	// degrades to the in-memory cut or a cold start and the supervisor
+	// surfaces the degradation in its attempt history.
+	ckptLoadErr atomic.Pointer[spillErrBox]
 
 	flog fenceLog
 

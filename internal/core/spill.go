@@ -4,21 +4,50 @@ package core
 // in memory (LatestCheckpoint); spilling each cut to disk through the
 // process-portable Checkpoint codec makes *whole-process* crashes
 // recoverable: a fresh process loads the file and Resume replays the
-// journal prefix on a fresh (never-interrupted) transport. Writes are
-// atomic — encode to a temp file in the same directory, fsync, rename
-// — so a crash mid-spill leaves the previous image intact, and a
-// reader never observes a torn file.
+// journal prefix on a fresh (never-interrupted) transport.
+//
+// Spills form a bounded generation chain: each cut is written to a new
+// checkpoint-<seq>.dcrc file carrying a CRC32C trailer over the encoded
+// image, and all but the newest Config.CheckpointKeep generations are
+// garbage-collected. Writes are atomic — encode to a temp file in the
+// same directory, fsync, rename, fsync the directory — so a crash
+// mid-spill leaves the previous generations intact and a reader never
+// observes a torn file. LoadCheckpoint walks the chain newest-first and
+// returns the first generation whose checksum and decode both verify:
+// silent disk corruption of the newest spill costs one generation of
+// progress, not the run.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
-// checkpointFileName is the spill file inside Config.CheckpointDir.
-const checkpointFileName = "checkpoint.dcrc"
+const (
+	// legacyCheckpointName is the pre-generation spill file: a bare
+	// Checkpoint image with no checksum trailer. Still readable (as the
+	// fallback of last resort) so checkpoint directories written by
+	// older builds keep working.
+	legacyCheckpointName = "checkpoint.dcrc"
+	// checkpointGenFormat names one generation; the fixed-width sequence
+	// number makes lexicographic and numeric order agree.
+	checkpointGenFormat = "checkpoint-%08d.dcrc"
+	// checkpointCRCLen is the CRC32C (Castagnoli) trailer appended to
+	// each generation's encoded image.
+	checkpointCRCLen = 4
+	// DefaultCheckpointKeep is the generation-chain depth when
+	// Config.CheckpointKeep is unset.
+	DefaultCheckpointKeep = 3
+)
+
+// checkpointCastagnoli mirrors the wire-frame CRC polynomial: one
+// integrity story end to end, and hardware-accelerated on amd64/arm64.
+var checkpointCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // spillErrBox wraps a spill failure for atomic storage.
 type spillErrBox struct{ err error }
@@ -31,7 +60,7 @@ func (rt *Runtime) spillCheckpoint(cp *Checkpoint) {
 	if dir == "" || cp == nil {
 		return
 	}
-	if err := WriteCheckpointFile(dir, cp); err != nil {
+	if err := writeCheckpointGeneration(dir, cp, rt.cfg.CheckpointKeep); err != nil {
 		rt.spillErr.Store(&spillErrBox{err: err})
 	}
 }
@@ -46,18 +75,67 @@ func (rt *Runtime) SpillError() error {
 	return nil
 }
 
-// WriteCheckpointFile atomically writes cp's encoded image to
-// dir/checkpoint.dcrc, creating dir if needed.
+// checkpointGen is one on-disk generation.
+type checkpointGen struct {
+	seq  uint64
+	name string
+}
+
+// checkpointGenerations lists dir's generation files, oldest first.
+// Files whose names don't parse as generations are ignored.
+func checkpointGenerations(dir string) ([]checkpointGen, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var gens []checkpointGen
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), checkpointGenFormat, &seq); n == 1 && err == nil &&
+			e.Name() == fmt.Sprintf(checkpointGenFormat, seq) {
+			gens = append(gens, checkpointGen{seq: seq, name: e.Name()})
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq < gens[j].seq })
+	return gens, nil
+}
+
+// WriteCheckpointFile atomically writes cp as a new checkpoint
+// generation in dir (creating dir if needed) and garbage-collects all
+// but the newest DefaultCheckpointKeep generations.
 func WriteCheckpointFile(dir string, cp *Checkpoint) error {
+	return writeCheckpointGeneration(dir, cp, DefaultCheckpointKeep)
+}
+
+func writeCheckpointGeneration(dir string, cp *Checkpoint, keep int) error {
+	if keep <= 0 {
+		keep = DefaultCheckpointKeep
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	gens, err := checkpointGenerations(dir)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint spill: %w", err)
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		next = gens[len(gens)-1].seq + 1
 	}
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
 	if err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(cp.Encode()); err != nil {
+	img := cp.Encode()
+	img = binary.LittleEndian.AppendUint32(img, crc32.Checksum(img, checkpointCastagnoli))
+	if _, err := tmp.Write(img); err != nil {
 		tmp.Close()
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
@@ -68,7 +146,7 @@ func WriteCheckpointFile(dir string, cp *Checkpoint) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, checkpointFileName)); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, fmt.Sprintf(checkpointGenFormat, next))); err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
 	// The rename is atomic but not durable until the *directory* entry
@@ -77,6 +155,15 @@ func WriteCheckpointFile(dir string, cp *Checkpoint) error {
 	if err := fsyncDir(dir); err != nil {
 		return fmt.Errorf("core: checkpoint spill: %w", err)
 	}
+	// GC older generations past the keep depth, plus any legacy
+	// un-checksummed spill a newer generation now supersedes.
+	// Best-effort: a failed unlink costs disk, not correctness.
+	if n := len(gens) + 1; n > keep {
+		for _, g := range gens[:n-keep] {
+			os.Remove(filepath.Join(dir, g.name))
+		}
+	}
+	os.Remove(filepath.Join(dir, legacyCheckpointName))
 	return nil
 }
 
@@ -91,35 +178,132 @@ var fsyncDir = func(dir string) error {
 	return d.Sync()
 }
 
-// LoadCheckpoint reads the spilled checkpoint from dir, or (nil, nil)
-// when none has been written. A corrupt file is an error — the codec
-// rejects arbitrary bytes rather than resuming from garbage.
+// decodeCheckpointGen verifies a generation file's CRC32C trailer and
+// decodes the image it guards.
+func decodeCheckpointGen(b []byte) (*Checkpoint, error) {
+	if len(b) < checkpointCRCLen {
+		return nil, fmt.Errorf("core: checkpoint file truncated below crc trailer (%d bytes)", len(b))
+	}
+	img := b[:len(b)-checkpointCRCLen]
+	want := binary.LittleEndian.Uint32(b[len(b)-checkpointCRCLen:])
+	if got := crc32.Checksum(img, checkpointCastagnoli); got != want {
+		return nil, fmt.Errorf("core: checkpoint crc mismatch (got %08x want %08x)", got, want)
+	}
+	return DecodeCheckpoint(img)
+}
+
+// LoadCheckpoint reads the freshest usable spilled checkpoint from dir,
+// or (nil, nil) when none has been written. Generations are tried
+// newest-first: one whose checksum or decode fails is skipped (disk
+// corruption costs that generation, not the run) and the next older one
+// is tried, down to a legacy un-checksummed checkpoint.dcrc if present.
+// An error is returned only when spill files exist but none verifies.
 func LoadCheckpoint(dir string) (*Checkpoint, error) {
-	b, err := os.ReadFile(filepath.Join(dir, checkpointFileName))
-	if errors.Is(err, fs.ErrNotExist) {
+	gens, err := checkpointGenerations(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint load: %w", err)
+	}
+	var firstErr error
+	tried := 0
+	for i := len(gens) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(filepath.Join(dir, gens[i].name))
+		if err == nil {
+			var cp *Checkpoint
+			if cp, err = decodeCheckpointGen(b); err == nil {
+				return cp, nil
+			}
+		}
+		tried++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: checkpoint load: %s: %w", gens[i].name, err)
+		}
+	}
+	// Legacy single-file format: plain Checkpoint image, no trailer.
+	b, err := os.ReadFile(filepath.Join(dir, legacyCheckpointName))
+	if err == nil {
+		cp, derr := DecodeCheckpoint(b)
+		if derr == nil {
+			return cp, nil
+		}
+		tried++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: checkpoint load: %s: %w", legacyCheckpointName, derr)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		tried++
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: checkpoint load: %w", err)
+		}
+	}
+	if tried == 0 {
 		return nil, nil
 	}
+	return nil, fmt.Errorf("%w (no generation of %d verified)", firstErr, tried)
+}
+
+// CorruptCheckpointFile flips one seeded bit in the newest checkpoint
+// generation in dir (falling back to a legacy checkpoint.dcrc) and
+// returns the damaged file's path. A test/chaos hook: it simulates the
+// silent disk corruption the generation chain exists to survive.
+func CorruptCheckpointFile(dir string, seed uint64) (string, error) {
+	gens, err := checkpointGenerations(dir)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint load: %w", err)
+		return "", fmt.Errorf("core: corrupt checkpoint: %w", err)
 	}
-	cp, err := DecodeCheckpoint(b)
+	name := legacyCheckpointName
+	if len(gens) > 0 {
+		name = gens[len(gens)-1].name
+	}
+	path := filepath.Join(dir, name)
+	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint load: %w", err)
+		return "", fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	if len(b) == 0 {
+		return "", fmt.Errorf("core: corrupt checkpoint: %s is empty", name)
+	}
+	// SplitMix64 finalizer picks the bit, so distinct seeds damage
+	// distinct offsets deterministically.
+	x := seed ^ 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	bit := x % uint64(len(b)*8)
+	b[bit/8] ^= 1 << (bit % 8)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	return path, nil
+}
+
+// loadSpilledCheckpoint is RunSupervised's restart hook: the freshest
+// on-disk cut, if one exists, verifies, and matches this runtime's
+// shape. Unusable directories degrade to a cold start, never a fatal
+// error — the supervisor's job is to make progress; the returned error
+// (non-nil only when spill files exist but none could be used) lets the
+// caller surface the degradation.
+func (rt *Runtime) loadSpilledCheckpoint() (*Checkpoint, error) {
+	if rt.cfg.CheckpointDir == "" {
+		return nil, nil
+	}
+	cp, err := LoadCheckpoint(rt.cfg.CheckpointDir)
+	if err != nil {
+		rt.ckptLoadErr.Store(&spillErrBox{err: err})
+		return nil, err
+	}
+	rt.ckptLoadErr.Store(&spillErrBox{}) // chain readable (or absent)
+	if cp == nil || cp.Shards != rt.cfg.Shards || cp.Frontier == 0 {
+		return nil, nil
 	}
 	return cp, nil
 }
 
-// loadSpilledCheckpoint is RunSupervised's restart hook: the freshest
-// on-disk cut, if one exists, is usable, and matches this runtime's
-// shape. Unusable files are ignored (cold start), not fatal — the
-// supervisor's job is to make progress.
-func (rt *Runtime) loadSpilledCheckpoint() *Checkpoint {
-	if rt.cfg.CheckpointDir == "" {
-		return nil
+// checkpointLoadError returns the spilled-checkpoint load failure
+// observed by the most recent load attempt, or nil when the chain was
+// readable or absent.
+func (rt *Runtime) checkpointLoadError() error {
+	if b := rt.ckptLoadErr.Load(); b != nil {
+		return b.err
 	}
-	cp, err := LoadCheckpoint(rt.cfg.CheckpointDir)
-	if err != nil || cp == nil || cp.Shards != rt.cfg.Shards || cp.Frontier == 0 {
-		return nil
-	}
-	return cp
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,13 +70,20 @@ func TestCheckpointSpillAndLoad(t *testing.T) {
 	if cp.Frontier != mem.Frontier || cp.Ctl != mem.Ctl || cp.Shards != mem.Shards {
 		t.Fatalf("spilled checkpoint %+v does not match in-memory cut %+v", cp, mem)
 	}
-	// No temp litter: the atomic write renamed or removed everything.
+	// No temp litter, and the generation chain is bounded: every entry
+	// is a checkpoint-<seq>.dcrc file and at most the keep depth remain.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != checkpointFileName {
-		t.Fatalf("checkpoint dir holds %v, want exactly %q", entries, checkpointFileName)
+	if len(entries) == 0 || len(entries) > DefaultCheckpointKeep {
+		t.Fatalf("checkpoint dir holds %d entries, want 1..%d generations", len(entries), DefaultCheckpointKeep)
+	}
+	for _, e := range entries {
+		var seq uint64
+		if n, err := fmt.Sscanf(e.Name(), checkpointGenFormat, &seq); n != 1 || err != nil {
+			t.Fatalf("checkpoint dir holds unexpected entry %q", e.Name())
+		}
 	}
 
 	// Fresh process: load the file and resume on a healthy transport.
@@ -176,11 +184,11 @@ func TestLoadCheckpointMissingAndCorrupt(t *testing.T) {
 	if err != nil || cp != nil {
 		t.Fatalf("LoadCheckpoint(empty dir) = %v, %v; want nil, nil", cp, err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, checkpointFileName), []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, legacyCheckpointName), []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := LoadCheckpoint(dir); err == nil {
-		t.Fatal("LoadCheckpoint accepted a corrupt file")
+		t.Fatal("LoadCheckpoint accepted a corrupt legacy file")
 	}
 }
 
@@ -211,6 +219,225 @@ func TestWriteCheckpointFileSyncsDir(t *testing.T) {
 	fsyncDir = func(string) error { return errors.New("dir sync failed") }
 	if err := WriteCheckpointFile(dir, cp); err == nil {
 		t.Fatal("WriteCheckpointFile swallowed the directory fsync failure")
+	}
+}
+
+// synthCheckpoint builds a structurally valid checkpoint at the given
+// frontier (the codec pins frontier == journal length) for tests that
+// exercise the spill files rather than the runtime.
+func synthCheckpoint(shards int, frontier uint64) *Checkpoint {
+	j := newJournal()
+	for s := uint64(1); s <= frontier; s++ {
+		j.append(journalRec{Seq: s, Kind: opLaunch, Ctl: [2]uint64{s, s ^ 0xABCD}})
+	}
+	return &Checkpoint{Shards: shards, Frontier: frontier, Journal: j}
+}
+
+// TestCheckpointGenerationFallback pins the chain's corruption story:
+// the newest generation wins while it verifies, a corrupted newest
+// falls back to the previous generation, and an all-corrupt chain is an
+// error (the caller degrades to a cold start) — never a checkpoint
+// decoded from damaged bytes.
+func TestCheckpointGenerationFallback(t *testing.T) {
+	dir := t.TempDir()
+	for i := uint64(1); i <= 3; i++ {
+		if err := WriteCheckpointFile(dir, synthCheckpoint(2, i)); err != nil {
+			t.Fatalf("spill generation %d: %v", i, err)
+		}
+	}
+	cp, err := LoadCheckpoint(dir)
+	if err != nil || cp == nil || cp.Frontier != 3 {
+		t.Fatalf("LoadCheckpoint = %+v, %v; want newest generation (frontier 3)", cp, err)
+	}
+
+	// One flipped bit in the newest generation: the chain absorbs it.
+	if _, err := CorruptCheckpointFile(dir, 42); err != nil {
+		t.Fatalf("CorruptCheckpointFile: %v", err)
+	}
+	cp, err = LoadCheckpoint(dir)
+	if err != nil || cp == nil || cp.Frontier != 2 {
+		t.Fatalf("LoadCheckpoint after corruption = %+v, %v; want fallback to frontier 2", cp, err)
+	}
+
+	// Damage every generation: load must fail, not fabricate state.
+	gens, err := checkpointGenerations(dir)
+	if err != nil || len(gens) != 3 {
+		t.Fatalf("generations = %v, %v; want 3", gens, err)
+	}
+	for _, g := range gens {
+		if err := os.WriteFile(filepath.Join(dir, g.name), []byte("rotted"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cp, err := LoadCheckpoint(dir); err == nil {
+		t.Fatalf("LoadCheckpoint(all corrupt) = %+v, want error", cp)
+	}
+}
+
+// TestCheckpointLegacyCompat: a pre-generation checkpoint.dcrc (bare
+// image, no trailer) still loads, and the first generation spill
+// supersedes and removes it.
+func TestCheckpointLegacyCompat(t *testing.T) {
+	dir := t.TempDir()
+	legacy := synthCheckpoint(2, 9)
+	if err := os.WriteFile(filepath.Join(dir, legacyCheckpointName), legacy.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadCheckpoint(dir)
+	if err != nil || cp == nil || cp.Frontier != 9 {
+		t.Fatalf("LoadCheckpoint(legacy) = %+v, %v; want frontier 9", cp, err)
+	}
+	if err := WriteCheckpointFile(dir, synthCheckpoint(2, 11)); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, legacyCheckpointName)); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatalf("legacy file survived the first generation spill: %v", statErr)
+	}
+	cp, err = LoadCheckpoint(dir)
+	if err != nil || cp == nil || cp.Frontier != 11 {
+		t.Fatalf("LoadCheckpoint after migration = %+v, %v; want frontier 11", cp, err)
+	}
+}
+
+// TestCheckpointFileTruncationTotal feeds every prefix of an on-disk
+// generation to the decoder: no truncation offset may panic or yield a
+// checkpoint (the CRC trailer or the codec's trailing-bytes check
+// catches each one). The durable sibling of the wire-frame truncation
+// test.
+func TestCheckpointFileTruncationTotal(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpointFile(dir, synthCheckpoint(2, 7)); err != nil {
+		t.Fatalf("WriteCheckpointFile: %v", err)
+	}
+	gens, err := checkpointGenerations(dir)
+	if err != nil || len(gens) != 1 {
+		t.Fatalf("generations = %v, %v; want 1", gens, err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, gens[0].name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(b); i++ {
+		if cp, err := decodeCheckpointGen(b[:i]); err == nil {
+			t.Fatalf("generation truncated at %d of %d bytes decoded to %+v", i, len(b), cp)
+		}
+	}
+	// Bit-level sibling: any single flipped bit fails the CRC (or, for a
+	// flip inside the trailer itself, the comparison).
+	for bit := 0; bit < len(b)*8; bit++ {
+		c := append([]byte(nil), b...)
+		c[bit/8] ^= 1 << (bit % 8)
+		if cp, err := decodeCheckpointGen(c); err == nil {
+			t.Fatalf("bit %d: corrupted generation decoded to %+v", bit, cp)
+		}
+	}
+	if cp, err := decodeCheckpointGen(b); err != nil || cp == nil || cp.Frontier != 7 {
+		t.Fatalf("pristine generation = %+v, %v", cp, err)
+	}
+}
+
+// TestCorruptSpillSupervisedConvergence is the satellite regression: a
+// corrupted spill must never end an otherwise-restartable run. A fresh
+// process pointed at a chain whose newest generation is damaged resumes
+// from the previous one; with *every* file damaged it restarts from
+// scratch — both converge to the bit-identical fault-free outputs.
+func TestCorruptSpillSupervisedConvergence(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	const ncells, ntiles, nsteps = 64, 8, 6
+	wantState, wantFlux, wantHash := spillReference(t)
+
+	for _, tc := range []struct {
+		name       string
+		corruptAll bool
+	}{
+		{"newest-generation", false},
+		{"all-generations", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			runProgram(t,
+				Config{Shards: 4, SafetyChecks: true, CheckpointEvery: 8, CheckpointDir: dir},
+				registerStencilTasks,
+				stencil1DProgram(ncells, ntiles, nsteps, 1.0, func(_, _ []float64) error { return nil }))
+			if tc.corruptAll {
+				gens, err := checkpointGenerations(dir)
+				if err != nil || len(gens) == 0 {
+					t.Fatalf("generations = %v, %v", gens, err)
+				}
+				for _, g := range gens {
+					if err := os.WriteFile(filepath.Join(dir, g.name), []byte("rotted"), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			} else if _, err := CorruptCheckpointFile(dir, 7); err != nil {
+				t.Fatalf("CorruptCheckpointFile: %v", err)
+			}
+
+			var out outputCell
+			rt := NewRuntime(Config{
+				Shards:          4,
+				SafetyChecks:    true,
+				CheckpointEvery: 8,
+				CheckpointDir:   dir,
+			})
+			defer rt.Shutdown()
+			registerStencilTasks(rt)
+			err := rt.RunSupervised(
+				stencil1DProgram(ncells, ntiles, nsteps, 1.0, out.record),
+				SupervisorPolicy{MaxRestarts: 6, Backoff: time.Millisecond})
+			if err != nil {
+				t.Fatalf("RunSupervised over corrupt spill: %v", err)
+			}
+			if err := out.compare(wantState, wantFlux); err != nil {
+				t.Fatalf("run over corrupt spill diverged: %v", err)
+			}
+			if got := rt.ControlHash(); got != wantHash {
+				t.Fatalf("control hash %x, want %x", got, wantHash)
+			}
+		})
+	}
+}
+
+// TestSupervisorSurfacesCheckpointLoadError: when recovery consults an
+// all-corrupt chain, the degradation (restart from memory or scratch)
+// must ride the attempt history as LoadErr, not stay invisible.
+func TestSupervisorSurfacesCheckpointLoadError(t *testing.T) {
+	defer testutil.CheckGoroutines(t)
+	dir := t.TempDir()
+	// A generation file of garbage: present, never verifies. Journal-only
+	// config cuts no new checkpoints, so the chain stays corrupt.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf(checkpointGenFormat, 1)), []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntime(Config{
+		Shards:        4,
+		SafetyChecks:  true,
+		Journal:       true,
+		CheckpointDir: dir,
+		OpDeadline:    5 * time.Second,
+	})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	rt.testPerturb = func(shard int, seq uint64) uint64 {
+		if shard == 1 && seq == 14 {
+			return 0xBAD // permanently broken shard: the supervisor gives up
+		}
+		return 0
+	}
+	err := rt.RunSupervised(
+		stencil1DProgram(64, 4, 6, 1.0, func(_, _ []float64) error { return nil }),
+		SupervisorPolicy{MaxRestarts: 1, Backoff: time.Millisecond})
+	var se *SupervisorError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SupervisorError", err)
+	}
+	for i, f := range se.History {
+		if f.LoadErr == nil {
+			t.Fatalf("history[%d] carries no LoadErr although the chain never verified", i)
+		}
+	}
+	if !strings.Contains(se.Error(), "spilled checkpoint unusable") {
+		t.Fatalf("SupervisorError text omits the load failure: %v", se)
 	}
 }
 

@@ -93,6 +93,11 @@ type AttemptFailure struct {
 	// restarting from a stale cut because the disk is failing is worth
 	// surfacing alongside the failure itself.
 	SpillErr error
+	// LoadErr records a spilled-checkpoint load failure observed while
+	// picking this restart's checkpoint: generation files existed but
+	// none verified, so recovery degraded to the in-memory cut or a
+	// from-scratch restart. Nil when the chain was readable or absent.
+	LoadErr error
 	// Scope is the recovery scope of the restart that followed this
 	// failure — ScopePartial when only the failed shard re-executed its
 	// gap, ScopeFull for a whole-cluster rollback, ScopeNone when the
@@ -125,6 +130,9 @@ func (e *SupervisorError) Error() string {
 		if f.SpillErr != nil {
 			fmt.Fprintf(&b, " [spill failing: %v]", f.SpillErr)
 		}
+		if f.LoadErr != nil {
+			fmt.Fprintf(&b, " [spilled checkpoint unusable: %v]", f.LoadErr)
+		}
 	}
 	return b.String()
 }
@@ -155,7 +163,14 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 	pol = pol.withDefaults()
 	var history []AttemptFailure
 	var err error
-	if cp := rt.loadSpilledCheckpoint(); cp != nil {
+	startCP, loadErr := rt.loadSpilledCheckpoint()
+	if loadErr != nil {
+		// Spill files exist but no generation verified: corrupt disk is a
+		// degradation (cold start), never a fatal failure — the run's
+		// correctness comes from deterministic re-execution, not the spill.
+		log.Printf("core: supervisor: spilled checkpoint unusable, starting cold: %v", loadErr)
+	}
+	if cp := startCP; cp != nil {
 		// A previous process of this run spilled a checkpoint
 		// (Config.CheckpointDir): resume from it instead of starting
 		// cold — whole-process crash recovery.
@@ -180,6 +195,12 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 		failure := AttemptFailure{Attempt: attempt, Err: err}
 		if cp != nil {
 			failure.Frontier = cp.Frontier
+		}
+		if le := rt.checkpointLoadError(); le != nil {
+			// recoveryPoint just consulted the on-disk chain; if nothing
+			// verified, this restart runs from the in-memory cut (or from
+			// scratch) — record the degradation with the attempt.
+			failure.LoadErr = le
 		}
 		if sp := rt.SpillError(); sp != nil {
 			// Spilling is best-effort, but a supervisor restarting while
@@ -305,7 +326,10 @@ func (rt *Runtime) recoveryPoint(err error) (cp *Checkpoint, recoverable bool) {
 // deterministic re-execution on the healed transport.
 func (rt *Runtime) fallbackCheckpoint() *Checkpoint {
 	cp := rt.LatestCheckpoint()
-	if disk := rt.loadSpilledCheckpoint(); disk != nil && (cp == nil || disk.Frontier > cp.Frontier) {
+	// A load error means the on-disk chain is unusable: fall through to
+	// the in-memory cut (or empty) — degradation, not failure. The error
+	// is recorded on the runtime and rides the attempt history.
+	if disk, _ := rt.loadSpilledCheckpoint(); disk != nil && (cp == nil || disk.Frontier > cp.Frontier) {
 		cp = disk
 	}
 	if cp != nil {

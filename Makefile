@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial chaos-corrupt chaos-partition bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial chaos-corrupt chaos-partition chaos-jobs bench bench-json fuzz
 
 all: vet build test
 
@@ -96,6 +96,16 @@ chaos-partition:
 	$(GO) build -o bin/godcr-node ./cmd/godcr-node
 	./bin/godcr-node -launch -supervise -n 4 -partition 400ms -partition-shard 2 -workload stencil -steps 30
 	./bin/godcr-node -launch -supervise -n 3 -partition 300ms -partition-shard 1 -workload circuit -steps 24
+
+# Multi-tenant job-plane soak: job-salted tag/collective isolation,
+# ErrProgramBusy admission, per-job checkpoint GC, concurrent jobs on
+# one resident host over both backends (including a seeded chaos kill
+# of one job while its neighbor completes bit-identically), and the
+# godcr-node job-server stream — all under the race detector.
+chaos-jobs:
+	$(GO) test -race -count=1 -run 'TestJob|TestConcurrentJobs|TestNewJobZero' \
+		./internal/cluster ./internal/collective ./internal/core
+	$(GO) test -race -count=1 ./cmd/godcr-node
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

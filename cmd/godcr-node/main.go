@@ -58,6 +58,15 @@
 // generation-chain fallback. -partition isolates one shard from every
 // peer for a window; the phi detectors convict it, and the supervisor
 // retries until the window heals.
+//
+// Server mode (long-lived job server; see server.go):
+//
+//	godcr-node -serve -n 4 -max-jobs 2 -listen 127.0.0.1:7100
+//	godcr-node -submit -server 127.0.0.1:7100 -workload logreg
+//
+// runs a resident multi-job host accepting a stream of submitted
+// workloads (stencil, circuit, logreg) over a JSON-lines control
+// socket, each as an isolated job on the shared shard pool.
 package main
 
 import (
@@ -67,6 +76,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"os"
@@ -144,12 +154,19 @@ func (c *agreeCell) get() []float64 {
 	return c.vals
 }
 
+// taskRegistrar is the seam both deployment shapes satisfy: a workload
+// registers its tasks on a single-job *godcr.Runtime (worker mode) or
+// once on a resident *godcr.Host shared by every job (server mode).
+type taskRegistrar interface {
+	RegisterTask(name string, fn godcr.TaskFn)
+}
+
 // workload builds a program producing a per-step output vector; every
 // backend and shard count must reproduce it bit-identically. steps <= 0
 // selects the workload's default step count; the chaos harness raises
 // it so a SIGKILL has a wide mid-run window to land in.
 type workload struct {
-	register     func(rt *godcr.Runtime)
+	register     func(reg taskRegistrar)
 	program      func(out *agreeCell, steps int) godcr.Program
 	defaultSteps int
 }
@@ -158,10 +175,11 @@ func workloads() map[string]workload {
 	return map[string]workload{
 		"stencil": {register: registerStencilTasks, program: stencilProgram, defaultSteps: 5},
 		"circuit": {register: registerCircuitTasks, program: circuitProgram, defaultSteps: 4},
+		"logreg":  {register: registerLogregTasks, program: logregProgram, defaultSteps: 6},
 	}
 }
 
-func registerStencilTasks(rt *godcr.Runtime) {
+func registerStencilTasks(rt taskRegistrar) {
 	rt.RegisterTask("bump", func(tc *godcr.TaskContext) (float64, error) {
 		x := tc.Region(0).Field("x")
 		sum := 0.0
@@ -209,7 +227,7 @@ func stencilProgram(out *agreeCell, steps int) godcr.Program {
 	}
 }
 
-func registerCircuitTasks(rt *godcr.Runtime) {
+func registerCircuitTasks(rt taskRegistrar) {
 	rt.RegisterTask("charge_up", func(tc *godcr.TaskContext) (float64, error) {
 		acc := tc.Region(0).Field("charge")
 		total := 0.0
@@ -265,6 +283,65 @@ func circuitProgram(out *agreeCell, steps int) godcr.Program {
 		}
 		outs = append(outs, ctx.InlineRead(nodes, "voltage")...)
 		return out.record(outs)
+	}
+}
+
+func registerLogregTasks(rt taskRegistrar) {
+	rt.RegisterTask("lr_init", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		y := tc.Region(0).Field("y")
+		x.Rect().Each(func(p godcr.Point) bool {
+			x.Set(p, float64((p[0]*37)%17)/8.0-1.0)
+			if p[0]%3 == 0 {
+				y.Set(p, 1)
+			} else {
+				y.Set(p, -1)
+			}
+			return true
+		})
+		return 0, nil
+	})
+	rt.RegisterTask("lr_grad", func(tc *godcr.TaskContext) (float64, error) {
+		x := tc.Region(0).Field("x")
+		y := tc.Region(0).Field("y")
+		w := tc.Args[0]
+		g := 0.0
+		x.Rect().Each(func(p godcr.Point) bool {
+			xv, yv := x.At(p), y.At(p)
+			g += -yv * xv / (1 + math.Exp(yv*w*xv))
+			return true
+		})
+		return g, nil
+	})
+}
+
+// logregProgram: logistic regression by gradient descent, where each
+// step's weight is a future-map reduction of per-tile gradients — the
+// workload whose control flow depends on values computed by earlier
+// tasks. The output vector is the weight trajectory.
+func logregProgram(out *agreeCell, steps int) godcr.Program {
+	const nsamples, ntiles = 48, 8
+	return func(ctx *godcr.Context) error {
+		grid := godcr.R1(0, nsamples-1)
+		tiles := godcr.R1(0, ntiles-1)
+		data := ctx.CreateRegion(grid, "x", "y")
+		owned := ctx.PartitionEqual(data, ntiles)
+		ctx.IndexLaunch(godcr.Launch{
+			Task: "lr_init", Domain: tiles,
+			Reqs: []godcr.RegionReq{{Part: owned, Priv: godcr.WriteDiscard, Fields: []string{"x", "y"}}},
+		})
+		w := 0.0
+		traj := make([]float64, 0, steps)
+		for step := 0; step < steps; step++ {
+			fm := ctx.IndexLaunch(godcr.Launch{
+				Task: "lr_grad", Domain: tiles,
+				Reqs: []godcr.RegionReq{{Part: owned, Priv: godcr.ReadOnly, Fields: []string{"x", "y"}}},
+				Args: []float64{w},
+			})
+			w -= 0.5 * fm.Reduce(godcr.ReduceAdd).Get() / float64(nsamples)
+			traj = append(traj, w)
+		}
+		return out.record(traj)
 	}
 }
 
@@ -858,7 +935,7 @@ func main() {
 		shard     = flag.Int("shard", -1, "this process's shard id (worker mode)")
 		shardsArg = flag.String("shards", "", "comma-separated shard ids this process hosts (worker mode; first is the lead shard)")
 		addrs     = flag.String("addrs", "", "comma-separated node addresses, index = shard id (worker mode)")
-		name      = flag.String("workload", "stencil", "workload: stencil or circuit")
+		name      = flag.String("workload", "stencil", "workload: stencil, circuit, or logreg")
 		steps     = flag.Int("steps", 0, "workload steps (0 = workload default)")
 		timeout   = flag.Duration("timeout", 60*time.Second, "launcher kill deadline")
 		supervise = flag.Bool("supervise", false, "run under the self-healing supervisor (worker: RunSupervised; launcher: respawn dead workers)")
@@ -873,6 +950,11 @@ func main() {
 		partition = flag.Duration("partition", 0, "isolate -partition-shard from every peer for this long from process start")
 		partShard = flag.Int("partition-shard", -1, "shard to isolate behind the -partition window")
 		corrCkpt  = flag.Bool("corrupt-ckpt", false, "flip one bit in a victim's newest checkpoint generation before each respawn (launcher mode, with -supervise -kill)")
+		doServe   = flag.Bool("serve", false, "run as a long-lived job server: a resident host accepting submitted jobs over a JSON-lines control socket")
+		listen    = flag.String("listen", "127.0.0.1:0", "control-socket listen address (server mode)")
+		maxJobs   = flag.Int("max-jobs", 2, "jobs running concurrently on the resident host; the rest queue FIFO (server mode)")
+		doSubmit  = flag.Bool("submit", false, "submit one job to a running server, wait, and print its result (client mode)")
+		server    = flag.String("server", "", "job server control address (client mode)")
 	)
 	flag.Parse()
 
@@ -889,6 +971,24 @@ func main() {
 	}
 
 	switch {
+	case *doServe:
+		err := runServe(serveOpts{
+			shards: *n, maxJobs: *maxJobs, listen: *listen,
+			supervise: *supervise, ckptDir: *ckpt,
+		}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node:", err)
+			os.Exit(1)
+		}
+	case *doSubmit:
+		if *server == "" {
+			fmt.Fprintln(os.Stderr, "godcr-node: -submit needs -server")
+			os.Exit(2)
+		}
+		if err := runSubmit(*server, *name, *steps); err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node:", err)
+			os.Exit(1)
+		}
 	case *doLaunch:
 		err := launch(launchOpts{
 			n: *n, workload: *name, steps: *steps, timeout: *timeout, procs: *procs,

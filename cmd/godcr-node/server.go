@@ -1,0 +1,397 @@
+// Server mode: godcr-node as a long-lived job server. Instead of
+// running one workload and exiting, the process builds a resident
+// godcr.Host — cluster, task registry, failure detector — and accepts a
+// stream of submitted jobs over a JSON-lines TCP control socket. Each
+// admitted job becomes an isolated Host.NewJob runtime multiplexed over
+// the same shard pool: jobs run concurrently (up to -max-jobs), and one
+// job's failure or chaos kill never touches another's traffic.
+//
+//	godcr-node -serve -n 4 -max-jobs 2 -listen 127.0.0.1:7100
+//	godcr-node -submit -server 127.0.0.1:7100 -workload logreg -steps 6
+//
+// The control protocol is one JSON object per line, in either
+// direction:
+//
+//	{"op":"submit","workload":"stencil","steps":12,"wait":true}
+//	{"op":"status","job":3}
+//	{"op":"result","job":3,"wait":true}
+//	{"op":"list"}
+//	{"op":"shutdown"}
+//
+// Admission is fair FIFO: jobs start in submission order, with at most
+// -max-jobs running at once; the rest queue. A completed job's reply
+// carries its outputs and ControlHash — bit-identical to the same
+// workload run solo, which the server test asserts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"godcr"
+)
+
+// jobState is a submitted job's lifecycle phase.
+type jobState string
+
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// jobRecord is one submitted job's public state, marshaled into status
+// and result replies.
+type jobRecord struct {
+	ID       uint64    `json:"job"`
+	Workload string    `json:"workload"`
+	Steps    int       `json:"steps"`
+	State    jobState  `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Hash     [2]string `json:"hash,omitempty"`
+	Outputs  []float64 `json:"outputs,omitempty"`
+
+	done chan struct{}
+}
+
+// ctlRequest is one control-socket request line.
+type ctlRequest struct {
+	Op       string `json:"op"`
+	Workload string `json:"workload,omitempty"`
+	Steps    int    `json:"steps,omitempty"`
+	// Wait blocks a submit or result reply until the job finishes.
+	Wait bool   `json:"wait,omitempty"`
+	Job  uint64 `json:"job,omitempty"`
+}
+
+// ctlReply is one control-socket reply line.
+type ctlReply struct {
+	OK    bool         `json:"ok"`
+	Error string       `json:"error,omitempty"`
+	Job   *jobRecord   `json:"job,omitempty"`
+	Jobs  []*jobRecord `json:"jobs,omitempty"`
+}
+
+// serveOpts configures the job server.
+type serveOpts struct {
+	shards  int
+	maxJobs int
+	listen  string
+	// supervise runs each job under RunSupervised with periodic
+	// checkpoints spilled under ckptDir/job-<id>.
+	supervise bool
+	ckptDir   string
+}
+
+// jobServer multiplexes submitted jobs over one resident host.
+type jobServer struct {
+	host *godcr.Host
+	opts serveOpts
+
+	mu   sync.Mutex
+	jobs map[uint64]*jobRecord
+	next uint64
+
+	// admit is the FIFO admission queue; the dispatcher starts jobs in
+	// submission order, at most maxJobs at once (slots).
+	admit chan *jobRecord
+	slots chan struct{}
+
+	quit     chan struct{}
+	quitOnce sync.Once
+	running  sync.WaitGroup
+}
+
+func newJobServer(o serveOpts) *jobServer {
+	if o.maxJobs <= 0 {
+		o.maxJobs = 2
+	}
+	cfg := godcr.Config{Shards: o.shards, SafetyChecks: true}
+	if o.supervise {
+		cfg.CheckpointEvery = 4
+		cfg.CheckpointDir = o.ckptDir
+		cfg.OpDeadline = 30 * time.Second
+	}
+	h := godcr.NewHost(cfg)
+	// Every workload's tasks are registered once on the resident host,
+	// before anything executes; jobs share the registry.
+	for _, wl := range workloads() {
+		wl.register(h)
+	}
+	return &jobServer{
+		host:  h,
+		opts:  o,
+		jobs:  make(map[uint64]*jobRecord),
+		admit: make(chan *jobRecord, 1024),
+		slots: make(chan struct{}, o.maxJobs),
+		quit:  make(chan struct{}),
+	}
+}
+
+// submit enqueues a job and returns its record.
+func (s *jobServer) submit(name string, steps int) (*jobRecord, error) {
+	wl, ok := workloads()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	if steps <= 0 {
+		steps = wl.defaultSteps
+	}
+	s.mu.Lock()
+	s.next++
+	rec := &jobRecord{
+		ID: s.next, Workload: name, Steps: steps,
+		State: jobQueued, done: make(chan struct{}),
+	}
+	s.jobs[rec.ID] = rec
+	s.mu.Unlock()
+	select {
+	case s.admit <- rec:
+		return rec, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, rec.ID)
+		s.mu.Unlock()
+		return nil, errors.New("admission queue full")
+	}
+}
+
+// dispatcher starts queued jobs in FIFO order, holding each until a
+// concurrency slot frees up.
+func (s *jobServer) dispatcher() {
+	for {
+		var rec *jobRecord
+		select {
+		case rec = <-s.admit:
+		case <-s.quit:
+			return
+		}
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.quit:
+			s.finish(rec, nil, [2]uint64{}, errors.New("server shut down before the job started"))
+			return
+		}
+		s.running.Add(1)
+		go func(rec *jobRecord) {
+			defer s.running.Done()
+			defer func() { <-s.slots }()
+			s.runJob(rec)
+		}(rec)
+	}
+}
+
+// runJob executes one admitted job on its own Host.NewJob runtime.
+func (s *jobServer) runJob(rec *jobRecord) {
+	s.mu.Lock()
+	rec.State = jobRunning
+	s.mu.Unlock()
+	wl := workloads()[rec.Workload]
+	rt := s.host.NewJob(rec.ID)
+	defer rt.Shutdown()
+	var out agreeCell
+	program := wl.program(&out, rec.Steps)
+	var err error
+	if s.opts.supervise {
+		err = rt.RunSupervised(program, godcr.SupervisorPolicy{
+			MaxRestarts: 6,
+			Backoff:     5 * time.Millisecond,
+			BackoffCap:  50 * time.Millisecond,
+			JitterSeed:  rec.ID,
+		})
+	} else {
+		err = rt.Execute(program)
+	}
+	s.finish(rec, out.get(), rt.ControlHash(), err)
+}
+
+// finish publishes a job's terminal state and wakes result waiters.
+func (s *jobServer) finish(rec *jobRecord, outputs []float64, hash [2]uint64, err error) {
+	s.mu.Lock()
+	if err != nil {
+		rec.State = jobFailed
+		rec.Error = err.Error()
+	} else {
+		rec.State = jobDone
+		rec.Hash = hashWords(hash)
+		rec.Outputs = outputs
+	}
+	s.mu.Unlock()
+	close(rec.done)
+}
+
+// snapshot copies a record for marshaling outside the lock.
+func (s *jobServer) snapshot(rec *jobRecord) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *rec
+	cp.Outputs = append([]float64(nil), rec.Outputs...)
+	cp.done = nil
+	return &cp
+}
+
+func (s *jobServer) lookup(id uint64) *jobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handle serves one control request.
+func (s *jobServer) handle(req ctlRequest) ctlReply {
+	switch req.Op {
+	case "submit":
+		rec, err := s.submit(req.Workload, req.Steps)
+		if err != nil {
+			return ctlReply{Error: err.Error()}
+		}
+		if req.Wait {
+			<-rec.done
+		}
+		return ctlReply{OK: true, Job: s.snapshot(rec)}
+	case "status", "result":
+		rec := s.lookup(req.Job)
+		if rec == nil {
+			return ctlReply{Error: fmt.Sprintf("unknown job %d", req.Job)}
+		}
+		if req.Op == "result" && req.Wait {
+			<-rec.done
+		}
+		return ctlReply{OK: true, Job: s.snapshot(rec)}
+	case "list":
+		s.mu.Lock()
+		ids := make([]*jobRecord, 0, len(s.jobs))
+		for _, rec := range s.jobs {
+			ids = append(ids, rec)
+		}
+		s.mu.Unlock()
+		reply := ctlReply{OK: true}
+		for _, rec := range ids {
+			reply.Jobs = append(reply.Jobs, s.snapshot(rec))
+		}
+		return reply
+	case "shutdown":
+		// The caller trips quit after the reply is flushed, so the
+		// shutdown's own acknowledgment is never severed with the rest of
+		// the control connections.
+		return ctlReply{OK: true}
+	}
+	return ctlReply{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// serveConn reads JSON-lines requests until EOF or server shutdown (a
+// shutdown severs every control connection so the drain never waits on
+// an idle client).
+func (s *jobServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		select {
+		case <-s.quit:
+			conn.Close()
+		case <-connDone:
+		}
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req ctlRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(ctlReply{Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		reply := s.handle(req)
+		if err := enc.Encode(reply); err != nil {
+			return
+		}
+		if req.Op == "shutdown" && reply.OK {
+			s.quitOnce.Do(func() { close(s.quit) })
+			return
+		}
+	}
+}
+
+// runServe runs the job server until a shutdown request. ln non-nil
+// supplies a pre-bound control listener (tests); otherwise o.listen is
+// bound. The bound address is printed as "listening <addr>" so scripts
+// can scrape it when o.listen holds port 0.
+func runServe(o serveOpts, ln net.Listener) error {
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", o.listen); err != nil {
+			return fmt.Errorf("listen %s: %w", o.listen, err)
+		}
+	}
+	s := newJobServer(o)
+	defer s.host.Shutdown()
+	fmt.Printf("listening %s\n", ln.Addr())
+	go s.dispatcher()
+	// The accept loop ends when shutdown closes the listener; in-flight
+	// jobs drain before the host goes down.
+	go func() {
+		<-s.quit
+		ln.Close()
+	}()
+	var conns sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				conns.Wait()
+				s.running.Wait()
+				return nil
+			default:
+				return fmt.Errorf("accept: %w", err)
+			}
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// runSubmit is the client half: submit one job to a running server,
+// wait for its result, and print the job record as JSON. A failed job
+// exits nonzero.
+func runSubmit(server, name string, steps int) error {
+	conn, err := net.Dial("tcp", server)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", server, err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(ctlRequest{Op: "submit", Workload: name, Steps: steps, Wait: true}); err != nil {
+		return err
+	}
+	var reply ctlReply
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		return fmt.Errorf("read reply: %w", err)
+	}
+	if reply.Error != "" {
+		return errors.New(reply.Error)
+	}
+	buf, err := json.Marshal(reply.Job)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(buf, '\n'))
+	if reply.Job != nil && reply.Job.State == jobFailed {
+		return fmt.Errorf("job %d failed: %s", reply.Job.ID, reply.Job.Error)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialCtl opens one control connection and returns a request/reply
+// round-tripper.
+func dialCtl(t *testing.T, addr string) (func(ctlRequest) ctlReply, func()) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial control socket: %v", err)
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	return func(req ctlRequest) ctlReply {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatalf("send %q: %v", req.Op, err)
+		}
+		var reply ctlReply
+		if err := dec.Decode(&reply); err != nil {
+			t.Fatalf("reply to %q: %v", req.Op, err)
+		}
+		return reply
+	}, func() { conn.Close() }
+}
+
+// The job server must run a stream of submitted jobs — more jobs than
+// concurrency slots, all three workloads at once — and every result
+// must be bit-identical to the same workload run solo on a fresh
+// single-job runtime.
+func TestServeJobStream(t *testing.T) {
+	const shards = 4
+	baselines := map[string]*report{}
+	for name := range workloads() {
+		rep, err := runInProcess(shards, name, 0)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", name, err)
+		}
+		baselines[name] = rep
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- runServe(serveOpts{shards: shards, maxJobs: 2}, ln) }()
+
+	// Six jobs over two concurrency slots: every workload twice, each
+	// submitted on its own connection with wait:true so the replies
+	// arrive only as jobs finish.
+	names := []string{"stencil", "circuit", "logreg", "logreg", "circuit", "stencil"}
+	results := make([]*jobRecord, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			call, closeConn := dialCtl(t, ln.Addr().String())
+			defer closeConn()
+			reply := call(ctlRequest{Op: "submit", Workload: name, Wait: true})
+			if reply.Error != "" {
+				t.Errorf("submit %s: %s", name, reply.Error)
+				return
+			}
+			results[i] = reply.Job
+		}(i, name)
+	}
+	wg.Wait()
+
+	ids := map[uint64]bool{}
+	for i, rec := range results {
+		if rec == nil {
+			t.Fatalf("job %d (%s): no result", i, names[i])
+		}
+		if rec.State != jobDone {
+			t.Fatalf("job %d (%s): state %s, error %q", rec.ID, names[i], rec.State, rec.Error)
+		}
+		if ids[rec.ID] {
+			t.Fatalf("job id %d assigned twice", rec.ID)
+		}
+		ids[rec.ID] = true
+		base := baselines[names[i]]
+		if rec.Hash != base.Hash {
+			t.Fatalf("job %d (%s): hash %v, want %v", rec.ID, names[i], rec.Hash, base.Hash)
+		}
+		if len(rec.Outputs) != len(base.Outputs) {
+			t.Fatalf("job %d (%s): %d outputs, want %d", rec.ID, names[i], len(rec.Outputs), len(base.Outputs))
+		}
+		for j := range base.Outputs {
+			if rec.Outputs[j] != base.Outputs[j] {
+				t.Fatalf("job %d (%s): output[%d] = %v, want %v", rec.ID, names[i], j, rec.Outputs[j], base.Outputs[j])
+			}
+		}
+	}
+
+	// Status, list, and error paths on a fresh connection.
+	call, closeConn := dialCtl(t, ln.Addr().String())
+	defer closeConn()
+	if reply := call(ctlRequest{Op: "status", Job: results[0].ID}); !reply.OK || reply.Job.State != jobDone {
+		t.Fatalf("status: %+v", reply)
+	}
+	if reply := call(ctlRequest{Op: "list"}); !reply.OK || len(reply.Jobs) != len(names) {
+		t.Fatalf("list returned %d jobs, want %d", len(reply.Jobs), len(names))
+	}
+	if reply := call(ctlRequest{Op: "submit", Workload: "no-such"}); reply.Error == "" {
+		t.Fatal("submitting an unknown workload did not error")
+	}
+	if reply := call(ctlRequest{Op: "status", Job: 999}); reply.Error == "" {
+		t.Fatal("status of an unknown job did not error")
+	}
+
+	if reply := call(ctlRequest{Op: "shutdown"}); !reply.OK {
+		t.Fatalf("shutdown: %+v", reply)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after shutdown")
+	}
+}
+
+// Submissions racing a single concurrency slot must all run — in FIFO
+// admission order — and the queue must never lose or double-run a job.
+func TestServeFIFOAdmission(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- runServe(serveOpts{shards: 2, maxJobs: 1}, ln) }()
+
+	// Submit without waiting, on one connection, so submission order is
+	// deterministic; then wait for each result.
+	call, closeConn := dialCtl(t, ln.Addr().String())
+	defer closeConn()
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		reply := call(ctlRequest{Op: "submit", Workload: "stencil"})
+		if reply.Error != "" {
+			t.Fatalf("submit %d: %s", i, reply.Error)
+		}
+		ids = append(ids, reply.Job.ID)
+	}
+	for i, id := range ids {
+		if i > 0 && id != ids[i-1]+1 {
+			t.Fatalf("job ids not monotone: %v", ids)
+		}
+		reply := call(ctlRequest{Op: "result", Job: id, Wait: true})
+		if reply.Error != "" || reply.Job.State != jobDone {
+			t.Fatalf("job %d: %+v", id, reply)
+		}
+	}
+
+	if reply := call(ctlRequest{Op: "shutdown"}); !reply.OK {
+		t.Fatalf("shutdown: %+v", reply)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after shutdown")
+	}
+}
+
+// The -submit client round-trips against a live server.
+func TestServeSubmitClient(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- runServe(serveOpts{shards: 2, maxJobs: 2}, ln) }()
+
+	if err := runSubmit(ln.Addr().String(), "logreg", 0); err != nil {
+		t.Fatalf("submit client: %v", err)
+	}
+
+	call, closeConn := dialCtl(t, ln.Addr().String())
+	defer closeConn()
+	if reply := call(ctlRequest{Op: "shutdown"}); !reply.OK {
+		t.Fatalf("shutdown: %+v", reply)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after shutdown")
+	}
+}

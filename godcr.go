@@ -296,6 +296,24 @@ var (
 // RNG is the replicable counter-based random stream (Philox4x32-10).
 type RNG = rng.Source
 
+// Job plane (see DESIGN.md §Job plane). A Host is the resident half of
+// a split runtime — the cluster handle, task registry, and failure
+// detector that survive across programs — and each Host.NewJob returns
+// an isolated Runtime multiplexed over the host's shard pool: its wire
+// traffic, collectives, checkpoints, and supervision can never touch
+// another job's. NewRuntime remains the single-job shim over a one-job
+// host.
+type Host = core.Host
+
+// NewHost creates a resident multi-job host; submit programs with
+// Host.NewJob.
+func NewHost(cfg Config) *Host { return core.NewHost(cfg) }
+
+// ErrProgramBusy is returned by Execute/Resume when the job already has
+// an attempt in flight — run more programs concurrently by submitting
+// more jobs to the host.
+var ErrProgramBusy = core.ErrProgramBusy
+
 // NewRuntime creates a runtime on a fresh simulated cluster.
 func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
 

@@ -158,10 +158,17 @@ type Cluster struct {
 // through an atomic pointer regardless of the error's concrete type.
 type intrBox struct{ err error }
 
-// Node is one endpoint of the cluster.
+// Node is one endpoint of the cluster — or a job-scoped *view* of one
+// (see jobs.go). The root node (ep == self) owns the queues; a view
+// shares them but XOR-mixes every tag with its job's mix and subjects
+// its sends/receives to the job's interrupt in addition to the
+// cluster's. mix 0 and jc nil is the root itself.
 type Node struct {
-	id NodeID
-	c  *Cluster
+	id  NodeID
+	c   *Cluster
+	ep  *Node // endpoint owning the queues below; self for root nodes
+	mix uint64
+	jc  *JobCtl
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -193,9 +200,12 @@ type queuedMsg struct {
 	arrival uint64
 }
 
-// waitRecord tracks one blocked receive for the stall watchdog.
+// waitRecord tracks one blocked receive for the stall watchdog. tag is
+// the wire (mixed) tag; mix is the recording view's job mix so a job's
+// watchdog only sees — and can unmix — its own waits.
 type waitRecord struct {
 	tag   uint64
+	mix   uint64
 	from  NodeID // -1 for RecvAny
 	since time.Time
 }
@@ -241,6 +251,7 @@ func NewWithTransport(cfg Config, tr Transport) *Cluster {
 			handlers: make(map[uint64]registeredHandler),
 			waits:    make(map[uint64]*waitRecord),
 		}
+		n.ep = n
 		n.cond = sync.NewCond(&n.mu)
 		c.nodes = append(c.nodes, n)
 	}
@@ -643,16 +654,24 @@ func (n *Node) Handle(tag uint64, h Handler) { n.handle(tag, h, false) }
 func (n *Node) HandleInline(tag uint64, h Handler) { n.handle(tag, h, true) }
 
 func (n *Node) handle(tag uint64, h Handler, inline bool) {
-	n.mu.Lock()
+	ep := n.ep
+	tag ^= n.mix
+	if n.mix != 0 {
+		// Hand the handler the unmixed tag: the mixing is a wire-level
+		// concern the layers above never see.
+		inner, mix := h, n.mix
+		h = func(m Message) { m.Tag ^= mix; inner(m) }
+	}
+	ep.mu.Lock()
 	var backlog []queuedMsg
-	for key, q := range n.pending {
+	for key, q := range ep.pending {
 		if key.tag == tag {
 			backlog = append(backlog, q...)
-			delete(n.pending, key)
+			delete(ep.pending, key)
 		}
 	}
-	n.handlers[tag] = registeredHandler{fn: h, inline: inline}
-	n.mu.Unlock()
+	ep.handlers[tag] = registeredHandler{fn: h, inline: inline}
+	ep.mu.Unlock()
 	sort.Slice(backlog, func(i, j int) bool { return backlog[i].arrival < backlog[j].arrival })
 	for _, qm := range backlog {
 		if inline && n.c.faults == nil {
@@ -676,7 +695,10 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 	if err := n.c.Err(); err != nil {
 		return err
 	}
-	msg := Message{From: n.id, To: to, Tag: tag, Payload: payload}
+	if err := n.jobErr(); err != nil {
+		return err
+	}
+	msg := Message{From: n.id, To: to, Tag: tag ^ n.mix, Payload: payload}
 	// nil payloads (barriers) are trivially copy-safe and cannot be
 	// wire-encoded inside an interface; skip the wire round-trip.
 	if n.c.cfg.WireEncode && payload != nil {
@@ -696,6 +718,9 @@ func (n *Node) Send(to NodeID, tag uint64, payload any) error {
 		msg.wireLen = len(wire)
 	}
 	n.c.msgs.Add(1)
+	if n.jc != nil {
+		n.jc.msgs.Add(1)
+	}
 	if n.c.faults != nil {
 		return n.c.faults.send(msg)
 	}
@@ -825,25 +850,33 @@ func (n *Node) popLocked(key matchKey) Message {
 }
 
 // beginWaitLocked registers a blocked receive for the watchdog; caller
-// holds n.mu.
+// holds n.ep.mu. tag is the wire (mixed) tag; the view's mix is stored
+// alongside so OldestWait can scope and unmix.
 func (n *Node) beginWaitLocked(tag uint64, from NodeID) uint64 {
-	n.waitSeq++
-	n.waits[n.waitSeq] = &waitRecord{tag: tag, from: from, since: time.Now()}
-	return n.waitSeq
+	ep := n.ep
+	ep.waitSeq++
+	ep.waits[ep.waitSeq] = &waitRecord{tag: tag, mix: n.mix, from: from, since: time.Now()}
+	return ep.waitSeq
 }
 
-func (n *Node) endWaitLocked(id uint64) { delete(n.waits, id) }
+func (n *Node) endWaitLocked(id uint64) { delete(n.ep.waits, id) }
 
-// OldestWait reports the longest-blocked receive on this node: its
-// tag, the sender it waits on (-1 for RecvAny), and when it started.
-// ok is false when nothing is blocked. The stall watchdog uses this to
-// name the collective a wedged shard is stuck inside.
+// OldestWait reports the longest-blocked receive on this node in the
+// view's job namespace: its (unmixed) tag, the sender it waits on (-1
+// for RecvAny), and when it started. ok is false when nothing is
+// blocked. The stall watchdog uses this to name the collective a
+// wedged shard is stuck inside; a job view only reports its own job's
+// waits, so one job's watchdog never blames another's traffic.
 func (n *Node) OldestWait() (tag uint64, from NodeID, since time.Time, ok bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, w := range n.waits {
+	ep := n.ep
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for _, w := range ep.waits {
+		if w.mix != n.mix {
+			continue
+		}
 		if !ok || w.since.Before(since) {
-			tag, from, since, ok = w.tag, w.from, w.since, true
+			tag, from, since, ok = w.tag^n.mix, w.from, w.since, true
 		}
 	}
 	return tag, from, since, ok
@@ -862,21 +895,22 @@ func (n *Node) RecvTimeout(tag uint64, from NodeID, d time.Duration) (any, error
 }
 
 func (n *Node) recv(tag uint64, from NodeID, timeout time.Duration) (any, error) {
-	key := matchKey{tag, from}
+	ep := n.ep
+	key := matchKey{tag ^ n.mix, from}
 	var deadline time.Time
 	var timer *time.Timer
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 		// The timer only wakes the cond loop; the loop checks the clock.
 		timer = time.AfterFunc(timeout, func() {
-			n.mu.Lock()
-			n.cond.Broadcast()
-			n.mu.Unlock()
+			ep.mu.Lock()
+			ep.cond.Broadcast()
+			ep.mu.Unlock()
 		})
 		defer timer.Stop()
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
 	waitID := uint64(0)
 	defer func() {
 		if waitID != 0 {
@@ -884,22 +918,25 @@ func (n *Node) recv(tag uint64, from NodeID, timeout time.Duration) (any, error)
 		}
 	}()
 	for {
-		if len(n.pending[key]) > 0 {
-			return n.popLocked(key).Payload, nil
+		if len(ep.pending[key]) > 0 {
+			return ep.popLocked(key).Payload, nil
 		}
-		if n.closed {
+		if ep.closed {
 			return nil, ErrClosed
 		}
 		if err := n.c.Err(); err != nil {
+			return nil, err
+		}
+		if err := n.jobErr(); err != nil {
 			return nil, err
 		}
 		if timeout > 0 && !time.Now().Before(deadline) {
 			return nil, ErrTimeout
 		}
 		if waitID == 0 {
-			waitID = n.beginWaitLocked(tag, from)
+			waitID = n.beginWaitLocked(key.tag, from)
 		}
-		n.cond.Wait()
+		ep.cond.Wait()
 	}
 }
 
@@ -908,8 +945,10 @@ func (n *Node) recv(tag uint64, from NodeID, timeout time.Duration) (any, error)
 // pending messages it picks the oldest (earliest arrival), so the
 // choice is deterministic and no sender can be starved.
 func (n *Node) RecvAny(tag uint64) (NodeID, any, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	ep := n.ep
+	tag ^= n.mix
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
 	waitID := uint64(0)
 	defer func() {
 		if waitID != 0 {
@@ -920,7 +959,7 @@ func (n *Node) RecvAny(tag uint64) (NodeID, any, error) {
 		bestKey := matchKey{}
 		bestArrival := uint64(0)
 		found := false
-		for key, q := range n.pending {
+		for key, q := range ep.pending {
 			if key.tag != tag || len(q) == 0 {
 				continue
 			}
@@ -929,30 +968,34 @@ func (n *Node) RecvAny(tag uint64) (NodeID, any, error) {
 			}
 		}
 		if found {
-			msg := n.popLocked(bestKey)
+			msg := ep.popLocked(bestKey)
 			return msg.From, msg.Payload, nil
 		}
-		if n.closed {
+		if ep.closed {
 			return -1, nil, ErrClosed
 		}
 		if err := n.c.Err(); err != nil {
 			return -1, nil, err
 		}
+		if err := n.jobErr(); err != nil {
+			return -1, nil, err
+		}
 		if waitID == 0 {
 			waitID = n.beginWaitLocked(tag, -1)
 		}
-		n.cond.Wait()
+		ep.cond.Wait()
 	}
 }
 
 // TryRecv returns a pending message with the given tag/from if one is
 // queued, without blocking.
 func (n *Node) TryRecv(tag uint64, from NodeID) (any, bool) {
-	key := matchKey{tag, from}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.pending[key]) > 0 {
-		return n.popLocked(key).Payload, true
+	ep := n.ep
+	key := matchKey{tag ^ n.mix, from}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if len(ep.pending[key]) > 0 {
+		return ep.popLocked(key).Payload, true
 	}
 	return nil, false
 }

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Two jobs using the same logical tag must never match each other's
+// traffic: the job mix keeps their wire namespaces disjoint.
+func TestJobTagNamespaces(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	jcA := c.NewJobCtl(1)
+	jcB := c.NewJobCtl(2)
+
+	const tag = 42
+	if err := c.JobNode(0, jcA).Send(1, tag, "from-A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JobNode(0, jcB).Send(1, tag, "from-B"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.JobNode(1, jcB).Recv(tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "from-B" {
+		t.Fatalf("job B received %v, want from-B", got)
+	}
+	got, err = c.JobNode(1, jcA).Recv(tag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "from-A" {
+		t.Fatalf("job A received %v, want from-A", got)
+	}
+	// The root namespace saw neither.
+	if _, ok := c.Node(1).TryRecv(tag, 0); ok {
+		t.Fatal("root namespace matched a job's message")
+	}
+}
+
+// Job 0 is the identity namespace: its view IS the root node, so the
+// legacy single-job wire format is bit-identical.
+func TestJobZeroIsRoot(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	defer c.Close()
+	jc := c.NewJobCtl(0)
+	if c.JobNode(0, jc) != c.Node(0) {
+		t.Fatal("job 0 view is not the root node")
+	}
+	if JobMix(0) != 0 {
+		t.Fatal("job 0 mix must be identity")
+	}
+	if JobMix(7) == 0 {
+		t.Fatal("job 7 mix must not be identity")
+	}
+}
+
+// Interrupting one job unwedges exactly that job's blocked receives;
+// another job's receive on the same endpoint keeps working, and Clear
+// re-arms the interrupted job.
+func TestJobInterruptScoped(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	jcA := c.NewJobCtl(1)
+	jcB := c.NewJobCtl(2)
+
+	errA := make(chan error, 1)
+	go func() {
+		_, err := c.JobNode(1, jcA).Recv(7, 0)
+		errA <- err
+	}()
+	gotB := make(chan any, 1)
+	go func() {
+		v, err := c.JobNode(1, jcB).Recv(7, 0)
+		if err != nil {
+			gotB <- err
+			return
+		}
+		gotB <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let both receives block
+
+	boom := errors.New("job A dead")
+	jcA.Interrupt(boom)
+	select {
+	case err := <-errA:
+		if !errors.Is(err, boom) {
+			t.Fatalf("job A receive failed with %v, want %v", err, boom)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("job A receive did not unwedge on its job interrupt")
+	}
+	// Job B is unaffected: its receive completes when traffic arrives.
+	if err := c.JobNode(0, jcB).Send(1, 7, "b"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-gotB:
+		if v != "b" {
+			t.Fatalf("job B received %v, want b", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("job B receive was poisoned by job A's interrupt")
+	}
+	// A poisoned job rejects sends too, until cleared.
+	if err := c.JobNode(0, jcA).Send(1, 8, nil); !errors.Is(err, boom) {
+		t.Fatalf("poisoned job send returned %v, want %v", err, boom)
+	}
+	jcA.Clear()
+	if err := c.JobNode(0, jcA).Send(1, 8, nil); err != nil {
+		t.Fatalf("cleared job send returned %v", err)
+	}
+	if _, err := c.JobNode(1, jcA).Recv(8, 0); err != nil {
+		t.Fatalf("cleared job recv returned %v", err)
+	}
+}
+
+// A job view's OldestWait reports only its own job's blocked receives,
+// with the tag unmixed back into the job's logical namespace.
+func TestJobOldestWaitScoped(t *testing.T) {
+	c := New(Config{Nodes: 1})
+	defer c.Close()
+	jc := c.NewJobCtl(3)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.JobNode(0, jc).RecvTimeout(0xABCD, 0, 200*time.Millisecond)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tag, _, _, ok := c.JobNode(0, jc).OldestWait()
+		if ok {
+			if tag != 0xABCD {
+				t.Fatalf("job wait tag %#x, want 0xABCD", tag)
+			}
+			// The root view must not see the job's wait.
+			if _, _, _, rootOK := c.Node(0).OldestWait(); rootOK {
+				t.Fatal("root OldestWait reported a job-scoped wait")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job wait never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+}
+
+// Per-job send counters: each job's views count their own traffic.
+func TestJobMessageCounters(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	jc := c.NewJobCtl(5)
+	for i := 0; i < 3; i++ {
+		if err := c.JobNode(0, jc).Send(1, uint64(100+i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Node(0).Send(1, 999, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := jc.Messages(); got != 3 {
+		t.Fatalf("job counted %d sends, want 3", got)
+	}
+	if got := c.Stats().Messages; got != 4 {
+		t.Fatalf("cluster counted %d sends, want 4", got)
+	}
+}

@@ -93,6 +93,20 @@ func NewGen(node *cluster.Node, space uint64, gen uint64) *Comm {
 	return c
 }
 
+// NewJob is NewGen for a job-scoped communicator: node must be a job
+// view of the cluster (cluster.JobNode) carrying the same job id, which
+// already mixes every wire tag into the job's namespace — that mixing
+// is the isolation. The explicit job parameter is threaded through the
+// generation salt as defense in depth: even if two jobs somehow shared
+// a namespace, their call sequence numbers would disagree. Job 0 is
+// identical to NewGen.
+func NewJob(node *cluster.Node, space uint64, job, gen uint64) *Comm {
+	if node.Job() != job {
+		panic(fmt.Sprintf("collective: node view is job %d, want %d", node.Job(), job))
+	}
+	return NewGen(node, space, gen^(job*0x9E37))
+}
+
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
 

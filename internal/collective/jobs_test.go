@@ -1,0 +1,77 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"godcr/internal/cluster"
+)
+
+// Two jobs running the same collective in the same space concurrently
+// must never cross-match: each job's AllReduce folds only its own
+// ranks' contributions.
+func TestJobScopedCollectives(t *testing.T) {
+	const n = 4
+	cl := cluster.New(cluster.Config{Nodes: n})
+	defer cl.Close()
+
+	run := func(job uint64, base int, out []any) {
+		jc := cl.NewJobCtl(job)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := NewJob(cl.JobNode(cluster.NodeID(rank), jc), 1, job, 0)
+				v, err := c.AllReduce(base+rank, func(a, b any) any { return a.(int) + b.(int) })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[rank] = v
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	outA := make([]any, n)
+	outB := make([]any, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); run(1, 0, outA) }()
+		go func() { defer wg.Done(); run(2, 1000, outB) }()
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job-scoped collectives deadlocked")
+	}
+	wantA := 0 + 1 + 2 + 3
+	wantB := 1000*n + wantA
+	for r := 0; r < n; r++ {
+		if outA[r] != wantA {
+			t.Fatalf("job 1 rank %d got %v, want %d", r, outA[r], wantA)
+		}
+		if outB[r] != wantB {
+			t.Fatalf("job 2 rank %d got %v, want %d", r, outB[r], wantB)
+		}
+	}
+}
+
+// NewJob with job 0 must behave exactly like NewGen (the legacy
+// single-job path).
+func TestNewJobZeroMatchesNewGen(t *testing.T) {
+	cl := cluster.New(cluster.Config{Nodes: 1})
+	defer cl.Close()
+	a := NewJob(cl.JobNode(0, cl.NewJobCtl(0)), 7, 0, 3)
+	b := NewGen(cl.Node(0), 7, 3)
+	if a.seq != b.seq || a.space != b.space {
+		t.Fatalf("job-0 comm (seq %d space %d) differs from NewGen (seq %d space %d)",
+			a.seq, a.space, b.seq, b.space)
+	}
+}

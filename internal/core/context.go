@@ -74,7 +74,7 @@ func newContext(rt *Runtime, shard int) *Context {
 		rt:      rt,
 		shard:   shard,
 		nShards: rt.cfg.Shards,
-		node:    rt.clust.Node(cluster.NodeID(shard)),
+		node:    rt.node(shard),
 		tree:    region.NewTree(),
 		digest:  dethash.New(),
 		random:  rng.New(rt.cfg.Seed ^ 0x9E3779B9),

@@ -241,12 +241,28 @@ type Stats struct {
 	Bytes    uint64
 }
 
-// Runtime is a DCR runtime instance bound to a (simulated) machine.
+// Runtime is one job's program state over a resident Host (see
+// host.go): everything per-attempt or per-run lives here, while the
+// cluster, transport, and task registry are the host's and shared by
+// every job. NewRuntime builds a one-job host and returns its legacy
+// job 0, preserving the historical single-program API.
 type Runtime struct {
+	// host is the resident half; cfg/clust/tasks/memo/localShards
+	// mirror the host's so the pipeline reads them without a hop (cfg
+	// is a per-job copy — jobs specialize CheckpointDir).
+	host  *Host
 	cfg   Config
 	clust *cluster.Cluster
 	tasks map[string]TaskFn
 	memo  *mapper.Memo
+
+	// jobID names this job's wire namespace; 0 is the legacy single-job
+	// namespace (identity tag mix, cluster-scoped interrupts). jc is
+	// the job's control block (nil for job 0), and nodes caches the
+	// per-shard node views in the job's namespace.
+	jobID uint64
+	jc    *cluster.JobCtl
+	nodes []*cluster.Node
 
 	stats struct {
 		ops            atomic.Uint64
@@ -368,62 +384,49 @@ type runState struct {
 
 func newRunState() *runState { return &runState{abortCh: make(chan struct{})} }
 
-// NewRuntime creates a runtime on a fresh simulated cluster.
+// NewRuntime creates a runtime on a fresh simulated cluster: a thin
+// shim that builds a one-job Host and returns its legacy job 0. The
+// runtime owns the host — Shutdown closes the cluster.
 func NewRuntime(cfg Config) *Runtime {
-	cfg = cfg.withDefaults()
-	if cfg.Centralized && cfg.WireEncode && (cfg.Codec == nil || cfg.Codec.ID() == cluster.CodecGob.ID()) {
-		// Task plans carry unexported fields that gob silently drops;
-		// the binary codec encodes them natively (see wirecodec.go).
-		panic("core: Centralized WireEncode requires Codec: cluster.CodecBinary")
-	}
-	if cfg.Centralized && cfg.Faults != nil {
-		panic("core: fault injection requires replicated control (Centralized unsupported)")
-	}
-	tr := cfg.Transport
-	if tr == nil {
-		tr = cluster.NewMemTransport(cfg.Shards)
-	}
-	if tr.Size() != cfg.Shards {
-		panic(fmt.Sprintf("core: Config.Shards = %d but transport connects %d nodes", cfg.Shards, tr.Size()))
-	}
-	if cfg.Centralized && len(tr.Local()) != tr.Size() {
-		panic("core: Centralized mode requires an all-local transport")
-	}
-	rt := &Runtime{
-		cfg: cfg,
-		clust: cluster.NewWithTransport(cluster.Config{
-			Nodes: cfg.Shards, Latency: cfg.Latency, WireEncode: cfg.WireEncode,
-			Codec: cfg.Codec, Faults: cfg.Faults,
-		}, tr),
-		tasks:       make(map[string]TaskFn),
-		memo:        mapper.NewMemo(),
-		progress:    make([]*shardProgress, cfg.Shards),
-		divVerdicts: make([]atomic.Pointer[DivergenceError], cfg.Shards),
-	}
-	for _, id := range rt.clust.LocalIDs() {
-		rt.localShards = append(rt.localShards, int(id))
-	}
-	rt.run.Store(newRunState())
-	for i := range rt.progress {
-		rt.progress[i] = &shardProgress{}
-	}
+	h := NewHost(cfg)
+	rt := h.newRuntime(0, h.cfg, nil)
+	h.mu.Lock()
+	h.jobs[0] = rt
+	h.mu.Unlock()
 	return rt
 }
 
+// Host returns the resident host this runtime runs on. For a
+// NewRuntime shim that is its private one-job host; submit more jobs
+// to it with Host().NewJob.
+func (rt *Runtime) Host() *Host { return rt.host }
+
+// JobID returns the job's wire-namespace id (0 for the legacy shim).
+func (rt *Runtime) JobID() uint64 { return rt.jobID }
+
+// node returns the shard's endpoint in this job's namespace.
+func (rt *Runtime) node(shard int) *cluster.Node { return rt.nodes[shard] }
+
 // RegisterTask registers a task body under a name. All registrations
-// must happen before Execute.
+// must happen before Execute. The registry is the host's: tasks are
+// shared by every job on it.
 func (rt *Runtime) RegisterTask(name string, fn TaskFn) {
 	if rt.executing.Load() {
 		panic("core: RegisterTask during Execute")
 	}
-	if _, dup := rt.tasks[name]; dup {
-		panic(fmt.Sprintf("core: duplicate task %q", name))
-	}
-	rt.tasks[name] = fn
+	rt.host.RegisterTask(name, fn)
 }
 
-// Shutdown releases the runtime's cluster.
-func (rt *Runtime) Shutdown() { rt.clust.Close() }
+// Shutdown releases the runtime. The legacy job 0 owns its host and
+// closes the cluster; a scoped job (Host.NewJob) only deregisters and
+// poisons its own namespace — the host stays up for other jobs.
+func (rt *Runtime) Shutdown() {
+	if rt.jobID == 0 {
+		rt.clust.Close()
+		return
+	}
+	rt.host.closeJob(rt)
+}
 
 // remote reports whether this process drives only a subset of the
 // shards — i.e. the runtime sits on a multi-process transport and peer
@@ -446,9 +449,14 @@ func (rt *Runtime) AnnounceRebirth() {
 	rt.clust.Interrupt(fmt.Errorf("%w: core: process reborn, restarting cluster from checkpoints", cluster.ErrInterrupted))
 }
 
-// Stats returns a snapshot of the runtime counters.
+// Stats returns a snapshot of the runtime counters. On a scoped job,
+// Messages counts only this job's sends; Bytes remains the shared
+// transport's total (frames are not attributable per job).
 func (rt *Runtime) Stats() Stats {
 	cs := rt.clust.Stats()
+	if rt.jc != nil {
+		cs.Messages = rt.jc.Messages()
+	}
 	return Stats{
 		Ops:               rt.stats.ops.Load(),
 		FencesInserted:    rt.stats.fencesIn.Load(),
@@ -488,9 +496,69 @@ func (rt *Runtime) abortOn(rs *runState, err error) {
 		rs.aborted.Store(true)
 		close(rs.abortCh)
 		if rt.run.Load() == rs {
-			rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
+			if rt.jc != nil {
+				// Job-scoped abort: tell the peer processes' halves of
+				// this job first (Send refuses once the job is poisoned),
+				// then poison only this job's namespace — every other
+				// job's traffic keeps flowing.
+				rt.broadcastJobAbort(err)
+				rt.jc.Interrupt(fmt.Errorf("core: aborted: %w", err))
+			} else {
+				rt.clust.Interrupt(fmt.Errorf("core: aborted: %w", err))
+			}
 		}
 	})
+}
+
+// jobAbortTag is the cross-process job-abort broadcast: when one
+// process's half of a scoped job aborts, it tells the peers so their
+// halves unwind too (a job-scoped interrupt does not travel on its
+// own — only cluster-wide interrupts do). Salted with the attempt like
+// every per-attempt protocol tag.
+const jobAbortTag = uint64(0xF4) << 56
+
+// broadcastJobAbort sends the job-abort frame to every remote shard.
+// Fire-and-forget: on a fault-injected transport the reliable sublayer
+// repairs losses, and a peer that misses it entirely still unwedges via
+// its own watchdog.
+func (rt *Runtime) broadcastJobAbort(err error) {
+	if !rt.remote() {
+		return
+	}
+	tag := jobAbortTag | (rt.salt.Load()&0xFF)<<48
+	src := rt.node(rt.localShards[0])
+	for s := 0; s < rt.cfg.Shards; s++ {
+		if rt.clust.IsLocal(cluster.NodeID(s)) {
+			continue
+		}
+		_ = src.Send(cluster.NodeID(s), tag, err.Error())
+	}
+}
+
+// abortFromPeer is abortOn for a job-abort frame from a peer process:
+// same unwind, but no re-broadcast (the aborting peer already told
+// everyone), so relayed aborts cannot loop.
+func (rt *Runtime) abortFromPeer(rs *runState, err error) {
+	rs.errOnce.Do(func() {
+		rs.err.Store(err)
+		rs.aborted.Store(true)
+		close(rs.abortCh)
+		if rt.run.Load() == rs && rt.jc != nil {
+			rt.jc.Interrupt(fmt.Errorf("core: aborted: %w", err))
+		}
+	})
+}
+
+// Kill aborts the job's in-flight attempt as if a fault had killed it:
+// the error wraps cluster.ErrInterrupted, which the supervisor
+// classifies as recoverable, so under RunSupervised the job restarts
+// from its freshest checkpoint. On a scoped job the kill — like any of
+// its failures — touches only that job's namespace; concurrent jobs
+// keep running. The chaos harness uses this to murder one job mid-run
+// and assert the others never notice. Harmless when no attempt is live
+// (the next attempt clears the poisoned state at its boundary).
+func (rt *Runtime) Kill(reason string) {
+	rt.abort(fmt.Errorf("%w: core: job killed: %s", cluster.ErrInterrupted, reason))
 }
 
 // abortLocalOn is abortOn for an attempt that discovered it is stale —
@@ -505,7 +573,13 @@ func (rt *Runtime) abortLocalOn(rs *runState, err error) {
 		rs.aborted.Store(true)
 		close(rs.abortCh)
 		if rt.run.Load() == rs {
-			rt.clust.InterruptLocal(fmt.Errorf("core: aborted: %w", err))
+			if rt.jc != nil {
+				// A scoped job's interrupt is already local to the job;
+				// skipping the broadcast is the "local" part.
+				rt.jc.Interrupt(fmt.Errorf("core: aborted: %w", err))
+			} else {
+				rt.clust.InterruptLocal(fmt.Errorf("core: aborted: %w", err))
+			}
 		}
 	})
 }
@@ -595,13 +669,21 @@ func (rt *Runtime) Resume(cp *Checkpoint, program Program) error {
 	return rt.execute(program, cp)
 }
 
+// ErrProgramBusy is returned by Execute/Resume when the job is already
+// executing an attempt: one program, one attempt at a time. (Run more
+// programs concurrently by submitting more jobs to the host.)
+var ErrProgramBusy = fmt.Errorf("core: program busy: Execute/Resume already in flight on this job")
+
 // execute runs one attempt; cp non-nil makes it a resumed attempt.
 func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	if rt.executing.Swap(true) {
-		panic("core: concurrent Execute")
+		return ErrProgramBusy
 	}
 	defer rt.executing.Store(false)
+	rt.host.active.Add(1)
+	defer rt.host.active.Add(-1)
 
+	scoped := rt.jc != nil
 	rt.attempt.Add(1)
 	for i := range rt.divVerdicts {
 		rt.divVerdicts[i].Store(nil)
@@ -625,15 +707,26 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		// converge instead of perpetually superseding each other. A
 		// process's first attempt always mints — a reborn process must
 		// force the fresh-epoch rendezvous its rebirth announced.
+		//
+		// A scoped job's failures never poison the shared transport, so
+		// normally there is nothing to heal; if a cluster-wide fault
+		// (a legacy job's abort, AnnounceRebirth) did poison it, the
+		// host heals it once on behalf of all resuming jobs.
 		if rt.clust.Err() != nil {
-			joined := false
-			if rt.attempt.Load() > 1 {
-				epoch, joined = rt.clust.Rejoin(rt.lastEpoch.Load())
-			}
-			if !joined {
-				var err error
-				if epoch, err = rt.clust.Revive(); err != nil {
+			if scoped {
+				if err := rt.host.heal(); err != nil {
 					return fmt.Errorf("core: resume: %w", err)
+				}
+			} else {
+				joined := false
+				if rt.attempt.Load() > 1 {
+					epoch, joined = rt.clust.Rejoin(rt.lastEpoch.Load())
+				}
+				if !joined {
+					var err error
+					if epoch, err = rt.clust.Revive(); err != nil {
+						return fmt.Errorf("core: resume: %w", err)
+					}
 				}
 			}
 		}
@@ -652,8 +745,25 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	default:
 		rt.journal = nil
 	}
+	if scoped {
+		// A fresh Execute over the wreck of a failed attempt needs the
+		// same state swap a resume performs: clearing the job interrupt
+		// while the old aborted runState stayed installed would run the
+		// program against a closed abort channel.
+		if cp == nil && rt.run.Load().aborted.Load() {
+			rt.run.Store(newRunState())
+			for _, p := range rt.progress {
+				p.reset()
+			}
+		}
+		// Re-arm the job's namespace for the new attempt. The poisoned
+		// state belongs to the previous attempt, whose runState was
+		// just replaced (resume) or is already terminally aborted
+		// (stragglers pin to it, not to the job).
+		rt.jc.Clear()
+	}
 	remote := rt.remote()
-	if remote {
+	if remote && !scoped {
 		// Multi-process attempt boundary: rendezvous with the peer
 		// processes on the newest transport epoch before anything runs.
 		// A reborn process adopts the survivors' epoch here (so its
@@ -662,9 +772,14 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 		epoch = rt.clust.SyncEpoch(0)
 	}
 	salt := rt.attempt.Load()
-	if remote {
+	if remote && !scoped {
 		salt = epoch + 1
 	}
+	// Scoped jobs always salt by the local attempt counter: the
+	// transport epoch never moves for a job-scoped failure, and the
+	// counters stay lockstep across processes because every job abort
+	// is broadcast to all of them — each process's half of the job
+	// fails (and resumes) exactly as often as its peers'.
 	rt.salt.Store(salt)
 	rt.lastEpoch.Store(epoch)
 	// The attempt's checkpoint baseline is what it resumed from (its
@@ -673,6 +788,22 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	rt.lastCP.Store(cp)
 
 	rs := rt.run.Load()
+	if scoped && remote {
+		// Wire the cross-process job-abort listener for this attempt:
+		// the handler is pinned to rs (and the tag to this attempt's
+		// salt), so a late abort frame from a previous attempt lands in
+		// its own attempt's handler and no-ops against its already-
+		// aborted state. Registration replaces the previous attempt's
+		// handler when the 8-bit salt wraps.
+		abortTag := jobAbortTag | (salt&0xFF)<<48
+		for _, s := range rt.localShards {
+			rt.node(s).Handle(abortTag, func(m cluster.Message) {
+				reason, _ := m.Payload.(string)
+				rt.abortFromPeer(rs, fmt.Errorf("%w: core: job %d aborted by peer shard %d: %s",
+					cluster.ErrInterrupted, rt.jobID, m.From, reason))
+			})
+		}
+	}
 	var watchStop chan struct{}
 	if rt.cfg.OpDeadline > 0 {
 		watchStop = rt.startWatchdog(rs)
@@ -681,13 +812,12 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	// Heartbeat failure detection: a majority-suspected shard aborts the
 	// attempt with the detector's ShardDownError in O(HeartbeatEvery).
 	// A checkpoint is cut first so the supervisor resumes from the
-	// freshest frontier rather than the last periodic cut.
+	// freshest frontier rather than the last periodic cut. The detector
+	// is the host's — refcounted across jobs, each conviction fanned out
+	// to every subscribed attempt.
 	var hbStop func()
 	if rt.cfg.HeartbeatEvery > 0 && !rt.cfg.Centralized {
-		hbStop = rt.clust.StartHeartbeats(cluster.HeartbeatOptions{
-			Every:        rt.cfg.HeartbeatEvery,
-			PhiThreshold: rt.cfg.HeartbeatPhi,
-		}, func(e *cluster.ShardDownError) {
+		hbStop = rt.host.armHeartbeats(rt, func(e *cluster.ShardDownError) {
 			rt.cutCheckpoint()
 			rt.abortOn(rs, e)
 		})
@@ -834,7 +964,13 @@ func (rt *Runtime) TransportStats() cluster.Stats { return rt.clust.Stats() }
 
 // comm builds a collective endpoint for the given shard in the given
 // tag space, salted with the current attempt's generation so that a
-// resumed run's collectives can never alias an aborted attempt's.
+// resumed run's collectives can never alias an aborted attempt's. A
+// scoped job's collectives additionally run over the job's node views,
+// whose tag mixing keeps two jobs' collectives in the same space from
+// ever matching.
 func (rt *Runtime) comm(shard int, space uint64) *collective.Comm {
-	return collective.NewGen(rt.clust.Node(cluster.NodeID(shard)), space, rt.salt.Load())
+	if rt.jc != nil {
+		return collective.NewJob(rt.node(shard), space, rt.jobID, rt.salt.Load())
+	}
+	return collective.NewGen(rt.node(shard), space, rt.salt.Load())
 }

@@ -187,10 +187,17 @@ func (rt *Runtime) startWatchdog(rs *runState) chan struct{} {
 }
 
 // progressSum folds every monotone counter the runtime advances; the
-// watchdog declares a stall only when this sum freezes.
+// watchdog declares a stall only when this sum freezes. On a scoped
+// job the message counter is the job's own — the cluster-wide count
+// would let another job's healthy traffic mask this job's wedge.
 func (rt *Runtime) progressSum() uint64 {
-	cs := rt.clust.Stats()
-	sum := cs.Messages + rt.stats.ops.Load() + rt.stats.points.Load() + rt.stats.detChecks.Load()
+	var msgs uint64
+	if rt.jc != nil {
+		msgs = rt.jc.Messages()
+	} else {
+		msgs = rt.clust.Stats().Messages
+	}
+	sum := msgs + rt.stats.ops.Load() + rt.stats.points.Load() + rt.stats.detChecks.Load()
 	for _, p := range rt.progress {
 		sum += p.api.Load() + p.coarse.Load() + p.fine.Load()
 	}
@@ -211,7 +218,10 @@ func (rt *Runtime) stallSnapshot(deadline time.Duration) ([]ShardProgress, bool)
 			CoarseSeq: p.coarse.Load(),
 			FineSeq:   p.fine.Load(),
 		}
-		if tag, from, since, ok := rt.clust.Node(cluster.NodeID(s)).OldestWait(); ok {
+		// The job's node view scopes the wait registry: a scoped job's
+		// snapshot names only its own blocked receives, with the tags
+		// unmixed back into the job's logical namespace for describeTag.
+		if tag, from, since, ok := rt.node(s).OldestWait(); ok {
 			sp.Blocked = true
 			sp.BlockedFor = now.Sub(since)
 			who := "any shard"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial chaos-corrupt chaos-partition chaos-jobs bench bench-json fuzz
+.PHONY: all build vet test race chaos chaos-supervised multiproc chaos-multiproc chaos-partial chaos-corrupt chaos-partition chaos-jobs stats-smoke bench bench-json fuzz
 
 all: vet build test
 
@@ -106,6 +106,14 @@ chaos-jobs:
 	$(GO) test -race -count=1 -run 'TestJob|TestConcurrentJobs|TestNewJobZero' \
 		./internal/cluster ./internal/collective ./internal/core
 	$(GO) test -race -count=1 ./cmd/godcr-node
+
+# Observability smoke: boot a supervised job server with the /stats
+# HTTP endpoint, submit a job, scrape /stats over real HTTP while the
+# job is mid-run, and validate every response against the schema the
+# server test asserts.
+stats-smoke:
+	$(GO) build -o bin/godcr-node ./cmd/godcr-node
+	./bin/godcr-node -stats-smoke -n 3
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -85,6 +85,19 @@ type record struct {
 	// RecoveryPartialSavingsPct is how much of the full-restart recovery
 	// latency the partial path saves, in percent.
 	RecoveryPartialSavingsPct float64 `json:"recovery_partial_savings_pct"`
+	// StatsOverheadPct is the stencil@4 slowdown of the per-stage timer
+	// tree (on by default; see Config.DisableTimers) versus the same
+	// run with timers off, in percent, timed as an interleaved pair.
+	// The hot path is two clock reads and two atomic adds per span, so
+	// the record refuses to commit an observability tax at or above 2%.
+	StatsOverheadPct float64 `json:"stats_overhead_pct"`
+	// StageNs breaks one stencil@4 execution down by pipeline stage —
+	// coarse analysis, fence waits, fine analysis, point bodies, wire
+	// waits, collectives — read from the same per-stage timer tree the
+	// godcr-node /stats endpoint serves (total ns summed over shards,
+	// one representative run; absolute values vary with the host, the
+	// column exists so the shape of the profile is reviewable).
+	StageNs map[string]int64 `json:"stage_ns"`
 	// JobsPerSec is the resident multi-job host's mixed-workload
 	// throughput: batches of stencil+circuit+logreg jobs streamed through
 	// one godcr.Host (max-jobs=2, in-process backend, shards=4), jobs
@@ -144,6 +157,32 @@ func runStencil(cfg godcr.Config, tiles, steps int) error {
 	defer rt.Shutdown()
 	registerStencilTasks(rt)
 	return rt.Execute(stencilProgram(tiles, steps))
+}
+
+// stageBreakdown runs one instrumented stencil and reads the per-stage
+// totals off the runtime's timer tree — the same counters godcr-node's
+// /stats endpoint serves live.
+func stageBreakdown(shards, tiles, steps int) (map[string]int64, error) {
+	rt := godcr.NewRuntime(godcr.Config{Shards: shards})
+	defer rt.Shutdown()
+	registerStencilTasks(rt)
+	if err := rt.Execute(stencilProgram(tiles, steps)); err != nil {
+		return nil, err
+	}
+	snap := rt.TimerSnapshot()
+	stages := make(map[string]int64)
+	for _, path := range []string{
+		"attempt", "coarse/analysis", "fine/fence_wait", "fine/analysis",
+		"execute/point", "execute/pull_wire", "execute/push_wire", "collective",
+	} {
+		if s := snap.Find(path); s != nil {
+			stages[path] = s.TotalNs
+		}
+	}
+	if stages["attempt"] == 0 || stages["coarse/analysis"] == 0 || stages["execute/point"] == 0 {
+		return nil, fmt.Errorf("timer tree empty after an instrumented run: %v", stages)
+	}
+	return stages, nil
 }
 
 // runStencilTCP runs the stencil with every shard behind its own
@@ -690,6 +729,29 @@ func main() {
 			rec.TCPCRCOverheadPct)
 		os.Exit(1)
 	}
+
+	// The observability tax: every row above ran with the per-stage
+	// timer tree on (the default); pair it against Config.DisableTimers
+	// to price it. The plane is only allowed to exist if it is near
+	// free — refuse the record at or above 2%.
+	timersOff, timersOn := benchPair(
+		"stencil/shards=4/timers=off",
+		func() error { return runStencil(godcr.Config{Shards: 4, DisableTimers: true}, 8, steps) },
+		"stencil/shards=4/timers=on",
+		func() error { return runStencil(godcr.Config{Shards: 4}, 8, steps) })
+	rec.Results = append(rec.Results, timersOff, timersOn)
+	rec.StatsOverheadPct = 100 * (float64(timersOn.NsPerOp) - float64(timersOff.NsPerOp)) / float64(timersOff.NsPerOp)
+	if rec.StatsOverheadPct >= 2 {
+		fmt.Fprintf(os.Stderr, "benchjson: per-stage timers cost %.1f%% (>= 2%% budget) over a timer-free run\n",
+			rec.StatsOverheadPct)
+		os.Exit(1)
+	}
+	stages, err := stageBreakdown(4, 8, steps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: stage breakdown:", err)
+		os.Exit(1)
+	}
+	rec.StageNs = stages
 
 	const recoveryReps = 5
 	full, err := recoveryMedian(false, 40, recoveryReps)

@@ -955,6 +955,8 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 2, "jobs running concurrently on the resident host; the rest queue FIFO (server mode)")
 		doSubmit  = flag.Bool("submit", false, "submit one job to a running server, wait, and print its result (client mode)")
 		server    = flag.String("server", "", "job server control address (client mode)")
+		statsAddr = flag.String("stats", "", "HTTP listen address for the live /stats observability endpoint (server mode; empty = off)")
+		doSmoke   = flag.Bool("stats-smoke", false, "boot a supervised server, submit a job, scrape /stats mid-run, and validate its schema (CI smoke)")
 	)
 	flag.Parse()
 
@@ -971,10 +973,16 @@ func main() {
 	}
 
 	switch {
+	case *doSmoke:
+		if err := runStatsSmoke(*n); err != nil {
+			fmt.Fprintln(os.Stderr, "godcr-node: stats smoke:", err)
+			os.Exit(1)
+		}
 	case *doServe:
 		err := runServe(serveOpts{
 			shards: *n, maxJobs: *maxJobs, listen: *listen,
 			supervise: *supervise, ckptDir: *ckpt,
+			statsAddr: *statsAddr,
 		}, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "godcr-node:", err)

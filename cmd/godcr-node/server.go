@@ -26,11 +26,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +62,11 @@ type jobRecord struct {
 	Outputs  []float64 `json:"outputs,omitempty"`
 
 	done chan struct{}
+	// rt is the job's runtime handle, set when the job starts and kept
+	// after it finishes: every counter /stats reads from it (Stats,
+	// LatestCheckpoint, TimerSnapshot) is an atomic or lock-guarded
+	// snapshot that stays valid after Shutdown.
+	rt *godcr.Runtime
 }
 
 // ctlRequest is one control-socket request line.
@@ -88,12 +96,19 @@ type serveOpts struct {
 	// checkpoints spilled under ckptDir/job-<id>.
 	supervise bool
 	ckptDir   string
+	// statsAddr, when nonempty, serves live observability JSON over
+	// HTTP at /stats; statsLn supplies a pre-bound listener (tests).
+	statsAddr string
+	statsLn   net.Listener
 }
 
 // jobServer multiplexes submitted jobs over one resident host.
 type jobServer struct {
 	host *godcr.Host
 	opts serveOpts
+	// ckptEvery mirrors the host config's checkpoint cadence for the
+	// /stats report (0 when unsupervised).
+	ckptEvery int
 
 	mu   sync.Mutex
 	jobs map[uint64]*jobRecord
@@ -126,12 +141,13 @@ func newJobServer(o serveOpts) *jobServer {
 		wl.register(h)
 	}
 	return &jobServer{
-		host:  h,
-		opts:  o,
-		jobs:  make(map[uint64]*jobRecord),
-		admit: make(chan *jobRecord, 1024),
-		slots: make(chan struct{}, o.maxJobs),
-		quit:  make(chan struct{}),
+		host:      h,
+		opts:      o,
+		ckptEvery: cfg.CheckpointEvery,
+		jobs:      make(map[uint64]*jobRecord),
+		admit:     make(chan *jobRecord, 1024),
+		slots:     make(chan struct{}, o.maxJobs),
+		quit:      make(chan struct{}),
 	}
 }
 
@@ -190,12 +206,13 @@ func (s *jobServer) dispatcher() {
 
 // runJob executes one admitted job on its own Host.NewJob runtime.
 func (s *jobServer) runJob(rec *jobRecord) {
-	s.mu.Lock()
-	rec.State = jobRunning
-	s.mu.Unlock()
 	wl := workloads()[rec.Workload]
 	rt := s.host.NewJob(rec.ID)
 	defer rt.Shutdown()
+	s.mu.Lock()
+	rec.State = jobRunning
+	rec.rt = rt
+	s.mu.Unlock()
 	var out agreeCell
 	program := wl.program(&out, rec.Steps)
 	var err error
@@ -265,14 +282,8 @@ func (s *jobServer) handle(req ctlRequest) ctlReply {
 		}
 		return ctlReply{OK: true, Job: s.snapshot(rec)}
 	case "list":
-		s.mu.Lock()
-		ids := make([]*jobRecord, 0, len(s.jobs))
-		for _, rec := range s.jobs {
-			ids = append(ids, rec)
-		}
-		s.mu.Unlock()
 		reply := ctlReply{OK: true}
-		for _, rec := range ids {
+		for _, rec := range s.sortedJobs() {
 			reply.Jobs = append(reply.Jobs, s.snapshot(rec))
 		}
 		return reply
@@ -283,6 +294,178 @@ func (s *jobServer) handle(req ctlRequest) ctlReply {
 		return ctlReply{OK: true}
 	}
 	return ctlReply{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// sortedJobs returns every job record ordered by job ID. Map iteration
+// order is randomized per run; list replies and /stats reports must be
+// stable so scripted diffs and dashboards don't see phantom churn.
+func (s *jobServer) sortedJobs() []*jobRecord {
+	s.mu.Lock()
+	recs := make([]*jobRecord, 0, len(s.jobs))
+	for _, rec := range s.jobs {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// statsReply is the /stats endpoint's JSON document: a live snapshot
+// of every job's progress counters and checkpoint frontier, the
+// cluster's transport and per-link wire counters, per-shard heartbeat
+// ages, and the merged per-stage timer tree.
+type statsReply struct {
+	Shards  int          `json:"shards"`
+	MaxJobs int          `json:"max_jobs"`
+	Jobs    []jobStats   `json:"jobs"`
+	Cluster clusterStats `json:"cluster"`
+	// Timers is the per-stage timer tree merged over every job this
+	// process has run (see godcr.TimerSnapshot).
+	Timers *godcr.TimerSnapshot `json:"timers"`
+}
+
+type jobStats struct {
+	jobRecord
+	Stats      *godcr.Stats `json:"stats,omitempty"`
+	Checkpoint *ckptStatus  `json:"checkpoint,omitempty"`
+}
+
+type ckptStatus struct {
+	// Frontier is the freshest cut's journal frontier (0 before the
+	// first cut); Every is the op-count cadence between cuts.
+	Frontier uint64 `json:"frontier"`
+	Every    int    `json:"every"`
+}
+
+type clusterStats struct {
+	Transport godcr.TransportStats `json:"transport"`
+	Wire      godcr.WireStats      `json:"wire"`
+	Links     []godcr.LinkStats    `json:"links"`
+	// HeartbeatAgesMs[i] is how many milliseconds ago the failure
+	// detector last heard shard i: 0 for this process's own shards,
+	// -1 for shards never heard from (heartbeats disarmed or remote
+	// peers not yet beating).
+	HeartbeatAgesMs []float64 `json:"heartbeat_ages_ms"`
+}
+
+// statsSnapshot assembles the /stats document from live counters.
+func (s *jobServer) statsSnapshot() statsReply {
+	reply := statsReply{
+		Shards:  s.host.Shards(),
+		MaxJobs: s.opts.maxJobs,
+		Jobs:    []jobStats{},
+	}
+	var timerParts []*godcr.TimerSnapshot
+	for _, rec := range s.sortedJobs() {
+		js := jobStats{jobRecord: *s.snapshot(rec)}
+		s.mu.Lock()
+		rt := rec.rt
+		s.mu.Unlock()
+		if rt != nil {
+			st := rt.Stats()
+			js.Stats = &st
+			cs := &ckptStatus{Every: s.ckptEvery}
+			if cp := rt.LatestCheckpoint(); cp != nil {
+				cs.Frontier = cp.Frontier
+			}
+			js.Checkpoint = cs
+			timerParts = append(timerParts, rt.TimerSnapshot())
+		}
+		reply.Jobs = append(reply.Jobs, js)
+	}
+	reply.Timers = godcr.MergeTimerSnapshots(timerParts...)
+	if reply.Timers == nil {
+		// No job has started yet: report an empty tree, not null — the
+		// schema promises a tree is always present.
+		reply.Timers = &godcr.TimerSnapshot{Name: "run"}
+	}
+	ages := s.host.HeartbeatAges()
+	agesMs := make([]float64, len(ages))
+	for i, a := range ages {
+		if a < 0 {
+			agesMs[i] = -1
+		} else {
+			agesMs[i] = float64(a) / float64(time.Millisecond)
+		}
+	}
+	reply.Cluster = clusterStats{
+		Transport:       s.host.Cluster().Stats(),
+		Wire:            s.host.WireStats(),
+		Links:           s.host.LinkStats(),
+		HeartbeatAgesMs: agesMs,
+	}
+	return reply
+}
+
+func (s *jobServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.statsSnapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveStats runs the observability HTTP listener until quit. The
+// bound address is printed as "stats listening <addr>" so scripts can
+// scrape it when the flag holds port 0.
+func (s *jobServer) serveStats(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-s.quit
+		srv.Close()
+	}()
+	fmt.Printf("stats listening %s\n", ln.Addr())
+	_ = srv.Serve(ln)
+}
+
+// validateStats structurally checks a /stats document: every required
+// top-level section present and shaped right. Shared by the server
+// test and the -stats-smoke CI mode so both gate the same schema.
+func validateStats(doc []byte) error {
+	var reply struct {
+		Shards  *int       `json:"shards"`
+		MaxJobs *int       `json:"max_jobs"`
+		Jobs    []jobStats `json:"jobs"`
+		Cluster *struct {
+			Transport       *godcr.TransportStats `json:"transport"`
+			Wire            *godcr.WireStats      `json:"wire"`
+			Links           []godcr.LinkStats     `json:"links"`
+			HeartbeatAgesMs []float64             `json:"heartbeat_ages_ms"`
+		} `json:"cluster"`
+		Timers *godcr.TimerSnapshot `json:"timers"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reply); err != nil {
+		return fmt.Errorf("stats document does not match schema: %w", err)
+	}
+	switch {
+	case reply.Shards == nil || *reply.Shards <= 0:
+		return errors.New("stats: missing or non-positive shards")
+	case reply.MaxJobs == nil || *reply.MaxJobs <= 0:
+		return errors.New("stats: missing or non-positive max_jobs")
+	case reply.Jobs == nil:
+		return errors.New("stats: missing jobs array")
+	case reply.Cluster == nil || reply.Cluster.Transport == nil || reply.Cluster.Wire == nil:
+		return errors.New("stats: missing cluster section")
+	case len(reply.Cluster.Links) != *reply.Shards:
+		return fmt.Errorf("stats: %d link entries for %d shards", len(reply.Cluster.Links), *reply.Shards)
+	case len(reply.Cluster.HeartbeatAgesMs) != *reply.Shards:
+		return fmt.Errorf("stats: %d heartbeat ages for %d shards", len(reply.Cluster.HeartbeatAgesMs), *reply.Shards)
+	case reply.Timers == nil || reply.Timers.Name == "":
+		return errors.New("stats: missing timer tree")
+	}
+	for i, prev := 0, uint64(0); i < len(reply.Jobs); i++ {
+		if id := reply.Jobs[i].ID; id <= prev {
+			return fmt.Errorf("stats: jobs not sorted by id at index %d", i)
+		} else {
+			prev = id
+		}
+	}
+	return nil
 }
 
 // serveConn reads JSON-lines requests until EOF or server shutdown (a
@@ -337,6 +520,15 @@ func runServe(o serveOpts, ln net.Listener) error {
 	s := newJobServer(o)
 	defer s.host.Shutdown()
 	fmt.Printf("listening %s\n", ln.Addr())
+	if statsLn := o.statsLn; statsLn != nil {
+		go s.serveStats(statsLn)
+	} else if o.statsAddr != "" {
+		statsLn, err := net.Listen("tcp", o.statsAddr)
+		if err != nil {
+			return fmt.Errorf("stats listen %s: %w", o.statsAddr, err)
+		}
+		go s.serveStats(statsLn)
+	}
 	go s.dispatcher()
 	// The accept loop ends when shutdown closes the listener; in-flight
 	// jobs drain before the host goes down.

@@ -2,7 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -159,6 +162,140 @@ func TestServeFIFOAdmission(t *testing.T) {
 		reply := call(ctlRequest{Op: "result", Job: id, Wait: true})
 		if reply.Error != "" || reply.Job.State != jobDone {
 			t.Fatalf("job %d: %+v", id, reply)
+		}
+	}
+
+	if reply := call(ctlRequest{Op: "shutdown"}); !reply.OK {
+		t.Fatalf("shutdown: %+v", reply)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after shutdown")
+	}
+}
+
+// Regression: the list reply used to be built by bare map iteration,
+// so its order changed run to run. It must come back sorted by job ID
+// — stable across repeated calls.
+func TestServeListSortedByJobID(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- runServe(serveOpts{shards: 2, maxJobs: 2}, ln) }()
+
+	call, closeConn := dialCtl(t, ln.Addr().String())
+	defer closeConn()
+	const jobs = 8
+	for i := 0; i < jobs; i++ {
+		if reply := call(ctlRequest{Op: "submit", Workload: "stencil"}); reply.Error != "" {
+			t.Fatalf("submit %d: %s", i, reply.Error)
+		}
+	}
+	// Enough entries that an unsorted map iteration would betray itself
+	// across repeated list calls with overwhelming probability.
+	for round := 0; round < 20; round++ {
+		reply := call(ctlRequest{Op: "list"})
+		if !reply.OK || len(reply.Jobs) != jobs {
+			t.Fatalf("round %d: list returned %d jobs, want %d", round, len(reply.Jobs), jobs)
+		}
+		for i, rec := range reply.Jobs {
+			if rec.ID != uint64(i+1) {
+				t.Fatalf("round %d: jobs[%d].ID = %d, want %d (unsorted list reply)", round, i, rec.ID, i+1)
+			}
+		}
+	}
+
+	if reply := call(ctlRequest{Op: "shutdown"}); !reply.OK {
+		t.Fatalf("shutdown: %+v", reply)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after shutdown")
+	}
+}
+
+// The /stats endpoint must serve schema-valid JSON before, during, and
+// after jobs, and its counters must reflect the completed work.
+func TestServeStatsEndpoint(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	statsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("stats listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- runServe(serveOpts{shards: 3, maxJobs: 2, statsLn: statsLn}, ln)
+	}()
+
+	scrape := func() []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/stats", statsLn.Addr()))
+		if err != nil {
+			t.Fatalf("GET /stats: %v", err)
+		}
+		defer resp.Body.Close()
+		doc, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read /stats body: %v", err)
+		}
+		if err := validateStats(doc); err != nil {
+			t.Fatalf("%v\n%s", err, doc)
+		}
+		return doc
+	}
+
+	scrape() // empty server: valid schema, zero jobs
+
+	call, closeConn := dialCtl(t, ln.Addr().String())
+	defer closeConn()
+	if reply := call(ctlRequest{Op: "submit", Workload: "circuit", Wait: true}); reply.Error != "" {
+		t.Fatalf("submit: %s", reply.Error)
+	}
+	if reply := call(ctlRequest{Op: "submit", Workload: "stencil", Wait: true}); reply.Error != "" {
+		t.Fatalf("submit: %s", reply.Error)
+	}
+
+	var reply statsReply
+	if err := json.Unmarshal(scrape(), &reply); err != nil {
+		t.Fatalf("unmarshal /stats: %v", err)
+	}
+	if reply.Shards != 3 || reply.MaxJobs != 2 {
+		t.Fatalf("shards/max_jobs = %d/%d, want 3/2", reply.Shards, reply.MaxJobs)
+	}
+	if len(reply.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(reply.Jobs))
+	}
+	for i, js := range reply.Jobs {
+		if js.ID != uint64(i+1) || js.State != jobDone {
+			t.Fatalf("jobs[%d] = id %d state %s, want id %d done", i, js.ID, js.State, i+1)
+		}
+		if js.Stats == nil || js.Stats.PointTasks == 0 {
+			t.Fatalf("jobs[%d]: empty stats counters", i)
+		}
+	}
+	if reply.Cluster.Transport.Messages == 0 {
+		t.Fatal("cluster transport counters empty after two jobs")
+	}
+	if reply.Cluster.Wire.FramesOut == 0 || reply.Cluster.Wire.FramesIn == 0 {
+		t.Fatalf("wire counters empty: %+v", reply.Cluster.Wire)
+	}
+	for _, path := range []string{"attempt", "coarse/analysis", "fine/analysis", "execute/point", "collective"} {
+		s := reply.Timers.Find(path)
+		if s == nil || s.Count == 0 {
+			t.Fatalf("merged timer tree missing samples for %q:\n%s", path, reply.Timers.Tree())
 		}
 	}
 

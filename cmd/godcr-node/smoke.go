@@ -1,0 +1,146 @@
+// -stats-smoke: a self-contained CI probe for the observability
+// plane. It boots a supervised job server with the /stats endpoint on
+// an ephemeral port, submits a job, scrapes /stats over real HTTP
+// while the job is in flight, and validates every scrape against the
+// schema the server test asserts — then once more after the job
+// completes, checking the timer tree actually accumulated stage time.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+func runStatsSmoke(shards int) error {
+	ctlLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	statsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ctlLn.Close()
+		return err
+	}
+	ckptDir, err := os.MkdirTemp("", "godcr-smoke-*")
+	if err != nil {
+		ctlLn.Close()
+		statsLn.Close()
+		return err
+	}
+	defer os.RemoveAll(ckptDir)
+
+	serveErr := make(chan error, 1)
+	go func() {
+		serveErr <- runServe(serveOpts{
+			shards: shards, maxJobs: 2,
+			supervise: true, ckptDir: ckptDir,
+			statsLn: statsLn,
+		}, ctlLn)
+	}()
+
+	ctl, err := net.Dial("tcp", ctlLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	enc := json.NewEncoder(ctl)
+	dec := json.NewDecoder(ctl)
+	request := func(req ctlRequest) (ctlReply, error) {
+		var reply ctlReply
+		if err := enc.Encode(req); err != nil {
+			return reply, err
+		}
+		if err := dec.Decode(&reply); err != nil {
+			return reply, err
+		}
+		if reply.Error != "" {
+			return reply, errors.New(reply.Error)
+		}
+		return reply, nil
+	}
+
+	scrape := func() ([]byte, error) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/stats", statsLn.Addr()))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("/stats returned %s", resp.Status)
+		}
+		doc, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		return doc, validateStats(doc)
+	}
+
+	// The endpoint must be schema-valid before any job exists...
+	if _, err := scrape(); err != nil {
+		return fmt.Errorf("pre-job scrape: %w", err)
+	}
+	// ...and stay valid while a job is live: submit without waiting,
+	// then scrape continuously until the job finishes.
+	submitted, err := request(ctlRequest{Op: "submit", Workload: "stencil", Steps: 24})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	midScrapes := 0
+	done := make(chan error, 1)
+	go func() {
+		_, err := request(ctlRequest{Op: "result", Job: submitted.Job.ID, Wait: true})
+		done <- err
+	}()
+scrapeLoop:
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("job %d: %w", submitted.Job.ID, err)
+			}
+			break scrapeLoop
+		default:
+			if _, err := scrape(); err != nil {
+				return fmt.Errorf("mid-run scrape: %w", err)
+			}
+			midScrapes++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Final scrape: the completed job's counters and timer tree must
+	// show the run happened.
+	doc, err := scrape()
+	if err != nil {
+		return fmt.Errorf("final scrape: %w", err)
+	}
+	var final statsReply
+	if err := json.Unmarshal(doc, &final); err != nil {
+		return err
+	}
+	if len(final.Jobs) != 1 || final.Jobs[0].State != jobDone {
+		return fmt.Errorf("final stats: job not done: %s", doc)
+	}
+	if js := final.Jobs[0]; js.Stats == nil || js.Stats.PointTasks == 0 {
+		return errors.New("final stats: job counters empty")
+	}
+	pt := final.Timers.Find("execute/point")
+	if pt == nil || pt.Count == 0 {
+		return errors.New("final stats: timer tree has no execute/point samples")
+	}
+	if _, err := request(ctlRequest{Op: "shutdown"}); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	fmt.Printf("stats smoke ok: %d mid-run scrape(s), %d point task(s), %d timed stages\n",
+		midScrapes, final.Jobs[0].Stats.PointTasks, len(final.Timers.Children))
+	return nil
+}

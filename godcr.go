@@ -45,6 +45,7 @@ import (
 	"godcr/internal/mapper"
 	"godcr/internal/region"
 	"godcr/internal/rng"
+	"godcr/internal/stats"
 )
 
 // Core runtime types.
@@ -295,6 +296,28 @@ var (
 
 // RNG is the replicable counter-based random stream (Philox4x32-10).
 type RNG = rng.Source
+
+// Observability (see DESIGN.md §Observability). Every runtime keeps a
+// per-stage hierarchical timer tree — coarse analysis, fence waits,
+// fine analysis, point execution, wire waits, collectives, attempt and
+// checkpoint boundaries — accumulated with per-shard atomics (disable
+// with Config.DisableTimers). Runtime.TimerSnapshot returns the merged
+// tree; godcr-node's -stats HTTP endpoint serves the same data live.
+type (
+	// TimerSnapshot is an immutable view of a timer (sub)tree:
+	// totals, counts, and averages per stage, renderable as an
+	// indented tree, CSV, or JSON.
+	TimerSnapshot = stats.Snapshot
+	// LinkStats counts frames/bytes sent toward one shard.
+	LinkStats = cluster.LinkStats
+)
+
+// MergeTimerSnapshots sums timer trees — use it to combine the
+// per-process snapshots of a multi-process run into the cluster-wide
+// view.
+func MergeTimerSnapshots(snaps ...*TimerSnapshot) *TimerSnapshot {
+	return stats.Merge(snaps...)
+}
 
 // Job plane (see DESIGN.md §Job plane). A Host is the resident half of
 // a split runtime — the cluster handle, task registry, and failure

@@ -94,18 +94,18 @@ type Stats struct {
 	Bytes uint64
 
 	// Fault-injection counters (zero on unperturbed clusters).
-	Dropped       uint64 // transmissions swallowed by drop/crash faults
-	Duplicated    uint64 // transmissions delivered twice
-	Reordered     uint64 // transmissions held back to force reordering
-	Jittered      uint64 // transmissions given random extra latency
-	Stalled       uint64 // stall/crash windows triggered
-	Retransmits   uint64 // reliable-sublayer retransmissions
-	Acks          uint64 // reliable-sublayer acks that retired messages (dedicated or piggybacked)
-	AckRetired    uint64 // messages retired by cumulative acks (≥ Acks)
-	PiggyAcks     uint64 // acks that rode outgoing data frames instead of dedicated ack frames
-	DupDeliveries uint64 // duplicates suppressed by receiver dedup
-	Heartbeats    uint64 // failure-detector beats delivered
-	Corrupted     uint64 // transmissions corrupted on the wire (bit-flips injected, or corrupt-as-drop in-process)
+	Dropped        uint64 // transmissions swallowed by drop/crash faults
+	Duplicated     uint64 // transmissions delivered twice
+	Reordered      uint64 // transmissions held back to force reordering
+	Jittered       uint64 // transmissions given random extra latency
+	Stalled        uint64 // stall/crash windows triggered
+	Retransmits    uint64 // reliable-sublayer retransmissions
+	Acks           uint64 // reliable-sublayer acks that retired messages (dedicated or piggybacked)
+	AckRetired     uint64 // messages retired by cumulative acks (≥ Acks)
+	PiggyAcks      uint64 // acks that rode outgoing data frames instead of dedicated ack frames
+	DupDeliveries  uint64 // duplicates suppressed by receiver dedup
+	Heartbeats     uint64 // failure-detector beats delivered
+	Corrupted      uint64 // transmissions corrupted on the wire (bit-flips injected, or corrupt-as-drop in-process)
 	PartitionDrops uint64 // transmissions severed by active partition windows
 }
 
@@ -122,14 +122,21 @@ type Cluster struct {
 	msgs     atomic.Uint64
 	frameSeq atomic.Uint64
 
-	dropped      atomic.Uint64
-	duplicated   atomic.Uint64
-	reordered    atomic.Uint64
-	jittered     atomic.Uint64
-	stalled      atomic.Uint64
-	retransmits  atomic.Uint64
-	acks         atomic.Uint64
-	ackRetired   atomic.Uint64
+	// linkFrames/linkBytes count outbound wire traffic per destination
+	// node (index = destination id), sized at transmit like the
+	// backend's own accounting. Observability only — never consulted by
+	// the protocol.
+	linkFrames []atomic.Uint64
+	linkBytes  []atomic.Uint64
+
+	dropped        atomic.Uint64
+	duplicated     atomic.Uint64
+	reordered      atomic.Uint64
+	jittered       atomic.Uint64
+	stalled        atomic.Uint64
+	retransmits    atomic.Uint64
+	acks           atomic.Uint64
+	ackRetired     atomic.Uint64
 	piggyAcks      atomic.Uint64
 	dupDelivered   atomic.Uint64
 	heartbeats     atomic.Uint64
@@ -235,6 +242,8 @@ func NewWithTransport(cfg Config, tr Transport) *Cluster {
 		panic(fmt.Sprintf("cluster: config has %d nodes, transport %d", cfg.Nodes, tr.Size()))
 	}
 	c := &Cluster{cfg: cfg, tr: tr, stop: make(chan struct{})}
+	c.linkFrames = make([]atomic.Uint64, cfg.Nodes)
+	c.linkBytes = make([]atomic.Uint64, cfg.Nodes)
 	c.local = make([]bool, cfg.Nodes)
 	for _, id := range tr.Local() {
 		if int(id) < 0 || int(id) >= cfg.Nodes {
@@ -293,20 +302,20 @@ func (c *Cluster) Transport() Transport { return c.tr }
 // Stats returns a snapshot of the transport counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Messages:      c.msgs.Load(),
-		Bytes:         c.tr.Stats().BytesOut,
-		Dropped:       c.dropped.Load(),
-		Duplicated:    c.duplicated.Load(),
-		Reordered:     c.reordered.Load(),
-		Jittered:      c.jittered.Load(),
-		Stalled:       c.stalled.Load(),
-		Retransmits:   c.retransmits.Load(),
-		Acks:          c.acks.Load(),
-		AckRetired:    c.ackRetired.Load(),
-		PiggyAcks:     c.piggyAcks.Load(),
-		DupDeliveries: c.dupDelivered.Load(),
-		Heartbeats:    c.heartbeats.Load(),
-		Corrupted:     c.corrupted.Load(),
+		Messages:       c.msgs.Load(),
+		Bytes:          c.tr.Stats().BytesOut,
+		Dropped:        c.dropped.Load(),
+		Duplicated:     c.duplicated.Load(),
+		Reordered:      c.reordered.Load(),
+		Jittered:       c.jittered.Load(),
+		Stalled:        c.stalled.Load(),
+		Retransmits:    c.retransmits.Load(),
+		Acks:           c.acks.Load(),
+		AckRetired:     c.ackRetired.Load(),
+		PiggyAcks:      c.piggyAcks.Load(),
+		DupDeliveries:  c.dupDelivered.Load(),
+		Heartbeats:     c.heartbeats.Load(),
+		Corrupted:      c.corrupted.Load(),
 		PartitionDrops: c.partitionDrops.Load(),
 	}
 }
@@ -771,8 +780,35 @@ func (c *Cluster) transmit(msg Message) {
 	if f.Hint == 0 && msg.Payload != nil {
 		f.Hint = payloadSizeHint(msg.Payload)
 	}
+	if int(f.To) >= 0 && int(f.To) < len(c.linkFrames) {
+		c.linkFrames[f.To].Add(1)
+		c.linkBytes[f.To].Add(wireSize(f))
+	}
 	_ = c.tr.Send(f)
 }
+
+// LinkStats is one destination's outbound wire traffic from this
+// process (see Cluster.Links).
+type LinkStats struct {
+	Frames uint64 `json:"frames"`
+	Bytes  uint64 `json:"bytes"`
+}
+
+// Links returns per-destination outbound frame/byte counts, indexed by
+// node id: the per-link half of the wire accounting WireStats
+// aggregates. Local sends on a remote backend still count — a link is
+// a (sender process, destination node) pair, not a TCP connection.
+func (c *Cluster) Links() []LinkStats {
+	out := make([]LinkStats, len(c.linkFrames))
+	for i := range out {
+		out[i] = LinkStats{Frames: c.linkFrames[i].Load(), Bytes: c.linkBytes[i].Load()}
+	}
+	return out
+}
+
+// WireStats returns the backend's frame counters (including CRC
+// rejections on backends that verify).
+func (c *Cluster) WireStats() WireStats { return c.tr.Stats() }
 
 type wireEnvelope struct{ Payload any }
 

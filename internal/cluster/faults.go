@@ -254,8 +254,8 @@ type faultState struct {
 	// partMu guards every partition window's triggered/until state.
 	partMu sync.Mutex
 	parts  []*partition
-	links    [][]*relLink // [from][to], reliable mode only
-	recvs    [][]*relRecv // [to][from], reliable mode only
+	links  [][]*relLink // [from][to], reliable mode only
+	recvs  [][]*relRecv // [to][from], reliable mode only
 	// wires counts physical transmissions per (from, to) link; it
 	// indexes the fault PRNG so decisions reproduce from the seed.
 	wires [][]*atomic.Uint64
@@ -488,20 +488,48 @@ func (f *faultState) send(msg Message) error {
 	return nil
 }
 
+// lossAccounter is implemented by backends that model the physical
+// wire in-process (MemTransport): transmissions the fault layer
+// vaporizes never reach Transport.Send, but on a real network the
+// sender's NIC counts them out before the wire loses them — the
+// accounting hook keeps the in-process backend's WireStats faithful
+// to that asymmetry. Backends with a real wire (TCP) never see these
+// frames and correctly count nothing.
+type lossAccounter interface {
+	accountLoss(bytes uint64)
+}
+
+// accountLoss charges one vaporized transmission to the backend's
+// outbound counters, sized exactly as transmit would have framed it.
+func (f *faultState) accountLoss(msg Message) {
+	la, ok := f.c.tr.(lossAccounter)
+	if !ok {
+		return
+	}
+	hint := msg.wireLen
+	if hint == 0 && msg.Payload != nil {
+		hint = payloadSizeHint(msg.Payload)
+	}
+	la.accountLoss(wireSize(&Frame{Kind: frameData, Hint: hint}))
+}
+
 // transmit is one physical transmission attempt: it rolls the drop,
 // jitter, reorder, and duplication faults and schedules delivery.
 func (f *faultState) transmit(msg Message, extra time.Duration) {
 	if f.crashedNode(msg.To) || f.crashedNode(msg.From) {
 		f.c.dropped.Add(1)
+		f.accountLoss(msg)
 		return
 	}
 	if f.partitioned(msg.From, msg.To) {
 		f.c.partitionDrops.Add(1)
+		f.accountLoss(msg)
 		return
 	}
 	linkSeq := f.wires[msg.From][msg.To].Add(1)
 	if f.plan.Drop > 0 && f.roll(msg.From, msg.To, linkSeq, 0) < f.plan.Drop {
 		f.c.dropped.Add(1)
+		f.accountLoss(msg)
 		return
 	}
 	if f.plan.Corrupt > 0 && !f.wireCorrupt &&
@@ -511,6 +539,7 @@ func (f *faultState) transmit(msg Message, extra time.Duration) {
 		// payload: the frame vanishes. (The TCP backend flips real bits
 		// instead — wireCorrupt — and its receiver's CRCs do the rest.)
 		f.c.corrupted.Add(1)
+		f.accountLoss(msg)
 		return
 	}
 	d := f.c.cfg.Latency + extra

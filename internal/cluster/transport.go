@@ -438,10 +438,17 @@ func payloadSizeHint(v any) int {
 // calling Send runs the delivery, exactly like the pre-seam cluster).
 // Interrupt/Revive are no-ops — there is no remote process to signal.
 type MemTransport struct {
-	n      int
-	sink   Sink
-	frames atomic.Uint64
-	bytes  atomic.Uint64
+	n    int
+	sink Sink
+	// Out counters cover every frame the sender's half put on the
+	// "wire" — including transmissions the fault layer vaporized before
+	// the synchronous handoff (accountLoss), mirroring a NIC that
+	// counts bytes the network then loses. In counters cover only
+	// actual deliveries to the sink.
+	frames   atomic.Uint64
+	bytes    atomic.Uint64
+	framesIn atomic.Uint64
+	bytesIn  atomic.Uint64
 }
 
 // NewMemTransport creates an in-process backend connecting n nodes.
@@ -467,15 +474,29 @@ func (t *MemTransport) Local() []NodeID {
 // Bind implements Transport.
 func (t *MemTransport) Bind(s Sink) { t.sink = s }
 
-// Send implements Transport: synchronous delivery to the sink.
+// Send implements Transport: synchronous delivery to the sink. The in
+// counters are bumped only after the sink accepts the frame, so they
+// count actual deliveries rather than mirroring the out side.
 func (t *MemTransport) Send(f *Frame) error {
 	if int(f.To) < 0 || int(f.To) >= t.n {
 		return fmt.Errorf("cluster: send to node %d of %d", f.To, t.n)
 	}
+	size := wireSize(f)
 	t.frames.Add(1)
-	t.bytes.Add(wireSize(f))
+	t.bytes.Add(size)
 	t.sink.Deliver(f)
+	t.framesIn.Add(1)
+	t.bytesIn.Add(size)
 	return nil
+}
+
+// accountLoss charges one fault-vaporized transmission to the outbound
+// counters (see lossAccounter in faults.go): the frame "left the NIC"
+// and the wire lost it, so the out side counts it and the in side
+// never sees it.
+func (t *MemTransport) accountLoss(bytes uint64) {
+	t.frames.Add(1)
+	t.bytes.Add(bytes)
 }
 
 // Interrupt implements Transport (no remote peers: no-op).
@@ -494,11 +515,14 @@ func (t *MemTransport) Quiesce(epoch uint64, payload []byte, timeout time.Durati
 	return nil
 }
 
-// Stats implements Transport. Delivery is synchronous, so the in
-// counters mirror the out counters.
+// Stats implements Transport. Under fault injection the in side lags
+// the out side by exactly the vaporized transmissions: FramesIn <
+// FramesOut on a lossy plan, as on a physical wire.
 func (t *MemTransport) Stats() WireStats {
-	frames, bytes := t.frames.Load(), t.bytes.Load()
-	return WireStats{FramesOut: frames, BytesOut: bytes, FramesIn: frames, BytesIn: bytes}
+	return WireStats{
+		FramesOut: t.frames.Load(), BytesOut: t.bytes.Load(),
+		FramesIn: t.framesIn.Load(), BytesIn: t.bytesIn.Load(),
+	}
 }
 
 // Close implements Transport.

@@ -1,0 +1,91 @@
+package cluster
+
+import "testing"
+
+// Regression: MemTransport.Stats used to mirror FramesOut/BytesOut
+// into FramesIn/BytesIn unconditionally, so under FaultPlan drops the
+// in side overcounted frames that were never delivered. The in side
+// must count actual deliveries: on a lossy plan it lags the out side
+// by exactly the vaporized transmissions.
+func TestMemTransportStatsUnderDrops(t *testing.T) {
+	c := New(Config{Nodes: 2, Faults: &FaultPlan{Seed: 42, Drop: 0.3}})
+	defer c.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Node(1).Recv(5, 0); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	st := c.WireStats()
+	if st.FramesIn == 0 {
+		t.Fatal("no frames counted in despite delivered messages")
+	}
+	if st.FramesIn >= st.FramesOut {
+		t.Fatalf("seeded drops: FramesIn %d must be < FramesOut %d", st.FramesIn, st.FramesOut)
+	}
+	if st.BytesIn >= st.BytesOut {
+		t.Fatalf("seeded drops: BytesIn %d must be < BytesOut %d", st.BytesIn, st.BytesOut)
+	}
+	if c.Stats().Dropped == 0 {
+		t.Fatal("plan with Drop=0.3 dropped nothing")
+	}
+}
+
+// On an unperturbed cluster the synchronous handoff really does
+// deliver every frame, so the sides must agree exactly.
+func TestMemTransportStatsPerfectNetwork(t *testing.T) {
+	c := New(Config{Nodes: 2})
+	defer c.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Node(1).Recv(5, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.WireStats()
+	if st.FramesIn != st.FramesOut || st.BytesIn != st.BytesOut {
+		t.Fatalf("perfect network: in (%d/%d) != out (%d/%d)",
+			st.FramesIn, st.BytesIn, st.FramesOut, st.BytesOut)
+	}
+	if st.FramesOut < n {
+		t.Fatalf("FramesOut %d < %d sends", st.FramesOut, n)
+	}
+}
+
+// Per-link accounting: outbound traffic lands on the destination's
+// link counter and nowhere else.
+func TestClusterLinkStats(t *testing.T) {
+	c := New(Config{Nodes: 3})
+	defer c.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c.Node(0).Send(1, 5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.Node(1).Recv(5, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := c.Links()
+	if len(links) != 3 {
+		t.Fatalf("got %d links, want 3", len(links))
+	}
+	if links[1].Frames != n || links[1].Bytes == 0 {
+		t.Fatalf("link to node 1: %+v, want %d frames", links[1], n)
+	}
+	if links[0].Frames != 0 || links[2].Frames != 0 {
+		t.Fatalf("idle links counted traffic: %+v", links)
+	}
+}

@@ -97,12 +97,14 @@ func (cs *coarseStage) run(in <-chan *op) {
 	defer close(cs.out)
 	for o := range in {
 		cs.ctx.prog.coarse.Store(o.seq)
+		start := cs.ctx.tm.coarse.Start()
 		if cs.ctx.replayTo > 0 && o.seq <= cs.ctx.replayTo && cs.ctx.rt.journal != nil {
 			cs.replay(o)
 		} else {
 			cs.analyze(o)
 			cs.ctx.rt.journalAppend(cs.ctx.shard, o)
 		}
+		cs.ctx.tm.coarse.Stop(start)
 		cs.ctx.rt.recordAnalysis(cs.ctx.shard, o)
 		cs.out <- o
 	}

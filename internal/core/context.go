@@ -31,6 +31,7 @@ type Context struct {
 	det     *detChecker
 	random  *rng.Source
 	prog    *shardProgress
+	tm      *shardTimers
 
 	// rs is the attempt's abort state, captured at context creation so
 	// every goroutine this context spawns aborts/waits against its own
@@ -79,6 +80,7 @@ func newContext(rt *Runtime, shard int) *Context {
 		digest:  dethash.New(),
 		random:  rng.New(rt.cfg.Seed ^ 0x9E3779B9),
 		prog:    rt.progress[shard],
+		tm:      rt.timers[shard],
 		rs:      rt.run.Load(),
 		attempt: rt.salt.Load(),
 	}

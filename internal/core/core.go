@@ -166,6 +166,12 @@ type Config struct {
 	// spill writes a new numbered file and garbage-collects all but the
 	// newest CheckpointKeep generations. Default 3.
 	CheckpointKeep int
+	// DisableTimers turns off the per-stage timer tree (timers.go). The
+	// timers cost two clock reads and two atomic adds per span and are
+	// on by default — benchjson gates their overhead below 2% — so this
+	// exists for the overhead benchmark itself and for callers who want
+	// the hot path clock-free.
+	DisableTimers bool
 }
 
 func (c Config) withDefaults() Config {
@@ -354,6 +360,12 @@ type Runtime struct {
 	// localShards lists the shard ids this process drives, ascending;
 	// every id on the in-process backend, a subset on a remote one.
 	localShards []int
+
+	// timers[s] is shard s's per-stage timer tree (nil for shards
+	// driven by peer processes); rtTimers holds the runtime-level spans
+	// (attempt, checkpoint cut, supervisor recovery). See timers.go.
+	timers   []*shardTimers
+	rtTimers *runtimeTimers
 
 	// spillErr records the most recent checkpoint-spill failure
 	// (Config.CheckpointDir); spilling is best-effort and must never
@@ -682,6 +694,7 @@ func (rt *Runtime) execute(program Program, cp *Checkpoint) error {
 	defer rt.executing.Store(false)
 	rt.host.active.Add(1)
 	defer rt.host.active.Add(-1)
+	defer rt.rtTimers.attempt.Stop(rt.rtTimers.attempt.Start())
 
 	scoped := rt.jc != nil
 	rt.attempt.Add(1)
@@ -922,6 +935,7 @@ func (rt *Runtime) cutCheckpoint() *Checkpoint {
 		// freshest healthy frontier is already captured.)
 		return rt.lastCP.Load()
 	}
+	defer rt.rtTimers.ckpt.Stop(rt.rtTimers.ckpt.Start())
 	cp := rt.buildCheckpoint()
 	if cp == nil {
 		return nil

@@ -164,7 +164,9 @@ func (e *executor) execute(t *pointTask) (val float64, clean bool, err error) {
 	if !e.ctx.rs.aborted.Load() {
 		fn := e.ctx.rt.tasks[t.ls.taskName]
 		e.sem <- struct{}{}
+		start := e.ctx.tm.point.Start()
 		val, err = e.invoke(fn, tc)
+		e.ctx.tm.point.Stop(start)
 		<-e.sem
 		clean = err == nil
 	}
@@ -281,12 +283,25 @@ func (e *executor) assemble(inst *instance.Instance, sources []sourcePiece) erro
 	pi := 0
 	resolve := func(key verKey, owner int, rect geom.Rect, pushTag uint64) ([]float64, error) {
 		if remote(owner, rect) {
+			var p pendingPull
+			tm := e.ctx.tm.pull
 			if pushTag != 0 {
-				return e.fetch.wait(pendingPull{tag: pushTag, owner: owner})
+				p = pendingPull{tag: pushTag, owner: owner}
+				tm = e.ctx.tm.push
+			} else {
+				p = pending[pi]
+				pi++
 			}
-			p := pending[pi]
-			pi++
-			return e.fetch.wait(p)
+			// A reply that already arrived cost zero wire wait: take it
+			// without a span (the wire timers price blocking, and a
+			// span here would be pure overhead on the hot path).
+			if vals, ok, err := e.fetch.tryWait(p); ok {
+				return vals, err
+			}
+			start := tm.Start()
+			vals, err := e.fetch.wait(p)
+			tm.Stop(start)
+			return vals, err
 		}
 		return e.fetch.fetch(key, owner, rect)
 	}

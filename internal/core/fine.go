@@ -151,24 +151,30 @@ func (fs *fineStage) run(in <-chan *op) {
 		// Cross-shard fences first: they order this shard's fine
 		// analysis against its peers'.
 		if len(o.fences) > 0 && !fs.ctx.rt.cfg.DisableFences && fs.central == nil {
+			fw := fs.ctx.tm.fence.Start()
 			if err := fs.comm.Barrier(); err != nil {
 				fs.ctx.abort(err)
 			}
+			fs.ctx.tm.fence.Stop(fw)
 		}
 		switch o.kind {
 		case opFill:
 			f := o.fill
 			fs.paintWrite(f.root, f.field, f.region.Bounds, fineRec{seq: o.seq, fill: true, fillVal: f.value})
 		case opLaunch, opSingle:
+			fa := fs.ctx.tm.fineAn.Start()
 			fs.handleLaunch(o)
+			fs.ctx.tm.fineAn.Stop(fa)
 		case opExecFence:
 			if fs.central != nil {
 				fs.quiesceCentral()
 			} else {
 				fs.exec.quiesce()
+				fw := fs.ctx.tm.fence.Start()
 				if err := fs.comm.Barrier(); err != nil {
 					fs.ctx.abort(err)
 				}
+				fs.ctx.tm.fence.Stop(fw)
 			}
 			// Inside the replay window the GC is deferred: its live set
 			// would be computed from the re-run's partial directory and
@@ -194,7 +200,9 @@ func (fs *fineStage) run(in <-chan *op) {
 				fs.exec.quiesce()
 				// Shutdown barrier failures (an aborting peer) are not
 				// re-reported: the first cause is already recorded.
+				fw := fs.ctx.tm.fence.Start()
 				_ = fs.comm.Barrier()
+				fs.ctx.tm.fence.Stop(fw)
 			}
 			o.done.Trigger()
 		}

@@ -194,7 +194,9 @@ func (fm *FutureMap) Reduce(op instance.ReduceOp) *Future {
 		// row-major order on every rank (instead of an all-reduce of
 		// per-shard partials, whose association would depend on the
 		// shard count).
+		collStart := fm.ctx.tm.coll.Start()
 		gathered, err := comm.AllGather(local)
+		fm.ctx.tm.coll.Stop(collStart)
 		if err != nil {
 			// The gather broke mid-collective: a peer died or the
 			// transport was interrupted under us. Resolving zero while the

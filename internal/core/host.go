@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"godcr/internal/cluster"
 	"godcr/internal/mapper"
@@ -136,6 +137,37 @@ func (h *Host) Shards() int { return h.cfg.Shards }
 // LocalShards returns the shard ids this process drives, ascending.
 func (h *Host) LocalShards() []int { return append([]int(nil), h.localShards...) }
 
+// WireStats returns the transport's frame/byte counters (both
+// directions; see cluster.WireStats).
+func (h *Host) WireStats() cluster.WireStats { return h.clust.WireStats() }
+
+// LinkStats returns per-destination frame/byte counters, indexed by
+// shard id.
+func (h *Host) LinkStats() []cluster.LinkStats { return h.clust.Links() }
+
+// HeartbeatAges returns, per shard, how long ago the failure detector
+// last heard from it: -1 for shards never heard from (including when
+// no job has armed heartbeats), 0 for this process's own shards.
+func (h *Host) HeartbeatAges() []time.Duration {
+	ages := make([]time.Duration, h.cfg.Shards)
+	local := make(map[int]bool, len(h.localShards))
+	for _, s := range h.localShards {
+		local[s] = true
+	}
+	now := time.Now()
+	for i := range ages {
+		if local[i] {
+			continue
+		}
+		if t, ok := h.clust.LastSeen(cluster.NodeID(i)); ok {
+			ages[i] = now.Sub(t)
+		} else {
+			ages[i] = -1
+		}
+	}
+	return ages
+}
+
 // newRuntime builds a job's per-program state over this host. cfg is
 // the job's (possibly specialized) config copy; jc nil means the
 // legacy job 0 namespace.
@@ -164,6 +196,11 @@ func (h *Host) newRuntime(job uint64, cfg Config, jc *cluster.JobCtl) *Runtime {
 	for i := range rt.progress {
 		rt.progress[i] = &shardProgress{}
 	}
+	rt.timers = make([]*shardTimers, cfg.Shards)
+	for _, s := range h.localShards {
+		rt.timers[s] = newShardTimers(!cfg.DisableTimers)
+	}
+	rt.rtTimers = newRuntimeTimers(!cfg.DisableTimers)
 	return rt
 }
 

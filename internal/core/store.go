@@ -300,6 +300,22 @@ func (f *fetcher) sendPush(sv *storedVersion, pr pushReg) {
 	_ = f.ctx.node.Send(cluster.NodeID(pr.to), pr.tag, pullResp{Vals: sv.inst.Extract(pr.rect)})
 }
 
+// tryWait returns a started pull's reply if it has already arrived,
+// without blocking. The executor uses it to keep the pull_wire/
+// push_wire timers honest (and cheap): a reply that beat us here cost
+// zero wait, so it should neither record a span nor pay for one.
+func (f *fetcher) tryWait(p pendingPull) ([]float64, bool, error) {
+	payload, ok := f.ctx.node.TryRecv(p.tag, cluster.NodeID(p.owner))
+	if !ok {
+		return nil, false, nil
+	}
+	resp, ok := payload.(pullResp)
+	if !ok {
+		return nil, true, fmt.Errorf("core: pull reply carried %T", payload)
+	}
+	return resp.Vals, true, nil
+}
+
 // wait blocks for a started pull's reply.
 func (f *fetcher) wait(p pendingPull) ([]float64, error) {
 	payload, err := f.ctx.node.Recv(p.tag, cluster.NodeID(p.owner))

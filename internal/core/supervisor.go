@@ -191,6 +191,10 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 	}
 	var spillLogged map[string]bool
 	for attempt := 1; err != nil; attempt++ {
+		// The recovery span covers classification, checkpoint selection,
+		// and backoff — everything between one attempt's failure and the
+		// next attempt's start (the resumed attempt times itself).
+		recStart := rt.rtTimers.recovery.Start()
 		cp, recoverable := rt.recoveryPoint(err)
 		failure := AttemptFailure{Attempt: attempt, Err: err}
 		if cp != nil {
@@ -218,12 +222,14 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 		}
 		history = append(history, failure)
 		if !recoverable {
+			rt.rtTimers.recovery.Stop(recStart)
 			if attempt == 1 {
 				return err // never restarted: surface the raw failure
 			}
 			return &SupervisorError{Attempts: attempt, History: history}
 		}
 		if attempt > pol.MaxRestarts {
+			rt.rtTimers.recovery.Stop(recStart)
 			return &SupervisorError{Attempts: attempt, History: history}
 		}
 		delay := backoffDelay(pol, attempt)
@@ -233,6 +239,7 @@ func (rt *Runtime) RunSupervised(program Program, pol SupervisorPolicy) error {
 		time.Sleep(delay)
 		eligible, convicted := partialIntentFor(err)
 		rt.setPartialIntent(eligible && rt.cfg.PartialRestart, convicted)
+		rt.rtTimers.recovery.Stop(recStart)
 		err = rt.Resume(cp, program)
 		// Attribute the restart we just ran: the resumed attempt's
 		// cluster-agreed plan says whether recovery was partial (and

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"godcr/internal/geom"
+	"godcr/internal/instance"
+	"godcr/internal/stats"
+)
+
+func timerProgram(ctx *Context) error {
+	r := ctx.CreateRegion(geom.R1(0, 7), "x")
+	p := ctx.PartitionEqual(r, 8)
+	for step := 0; step < 3; step++ {
+		fm := ctx.IndexLaunch(Launch{
+			Task: "ident", Domain: geom.R1(0, 7),
+			Reqs: []RegionReq{{Part: p, Priv: ReadWrite, Fields: []string{"x"}}},
+		})
+		if fm.Reduce(instance.ReduceAdd).Get() != 28 {
+			return nil
+		}
+	}
+	ctx.ExecutionFence()
+	return nil
+}
+
+// The timer tree must populate during a real replicated run: every
+// pipeline stage the program exercises shows a nonzero count, the
+// per-attempt and rollup invariants hold, and the merged tree equals
+// the sum of the shard trees plus the runtime spans.
+func TestTimersPopulateDuringRun(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 3, SafetyChecks: true})
+	defer rt.Shutdown()
+	rt.RegisterTask("ident", func(tc *TaskContext) (float64, error) {
+		return float64(tc.Point[0]), nil
+	})
+	if err := rt.Execute(timerProgram); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := rt.TimerSnapshot()
+	mustCount := func(path string, atLeast int64) {
+		t.Helper()
+		s := snap.Find(path)
+		if s == nil {
+			t.Fatalf("timer %q missing from snapshot:\n%s", path, snap.Tree())
+		}
+		if s.Count < atLeast {
+			t.Fatalf("timer %q count = %d, want >= %d\n%s", path, s.Count, atLeast, snap.Tree())
+		}
+	}
+	mustCount("attempt", 1)
+	// 3 steps x (launch + reduce) plus region setup, on every shard.
+	mustCount("coarse/analysis", 3*3)
+	mustCount("fine/analysis", 3*3)
+	// 8 points x 3 steps spread over 3 shards.
+	mustCount("execute/point", 8*3)
+	// One collective per Reduce per shard.
+	mustCount("collective", 3*3)
+	// The explicit ExecutionFence quiesces + barriers every shard.
+	mustCount("fine/fence_wait", 3)
+
+	// Merged totals must equal runtime tree + per-shard trees summed.
+	parts := []*stats.Snapshot{rt.rtTimers.tree.Snapshot()}
+	for s := 0; s < 3; s++ {
+		parts = append(parts, rt.ShardTimerSnapshot(s))
+	}
+	var wantPoints int64
+	for _, p := range parts[1:] {
+		if ps := p.Find("execute/point"); ps != nil {
+			wantPoints += ps.Count
+		}
+	}
+	if got := snap.Find("execute/point").Count; got != wantPoints {
+		t.Fatalf("merged point count %d != shard sum %d", got, wantPoints)
+	}
+}
+
+// DisableTimers must zero the whole tree without disturbing results.
+func TestTimersDisabled(t *testing.T) {
+	rt := NewRuntime(Config{Shards: 2, DisableTimers: true})
+	defer rt.Shutdown()
+	rt.RegisterTask("ident", func(tc *TaskContext) (float64, error) {
+		return float64(tc.Point[0]), nil
+	})
+	if err := rt.Execute(timerProgram); err != nil {
+		t.Fatal(err)
+	}
+	snap := rt.TimerSnapshot()
+	var walk func(s *stats.Snapshot)
+	walk = func(s *stats.Snapshot) {
+		if s.Count != 0 || s.TotalNs != 0 {
+			t.Fatalf("disabled timers recorded %q: count=%d total=%d", s.Name, s.Count, s.TotalNs)
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(snap)
+}

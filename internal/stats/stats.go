@@ -1,0 +1,310 @@
+// Package stats implements the hierarchical per-stage timer tree the
+// runtime uses to explain where time goes: coarse analysis, fence
+// wait, fine analysis, point execute, collectives, pull/push wire
+// time. The design goals, in order:
+//
+//  1. Near-zero overhead on the hot path. A timed span is two
+//     monotonic clock reads and two atomic adds; there are no locks
+//     and no allocations after registration. A disabled tree's spans
+//     cost one predictable branch.
+//  2. Mergeable. Each shard accumulates into its own tree; Merge sums
+//     any number of Snapshots into one, so a cluster-wide view is the
+//     sum of the per-shard views (the property tests assert this
+//     exactly).
+//  3. One measurement path. benchjson's stage-time columns and the
+//     /stats endpoint read the same counters the runtime accumulates
+//     in production — there is no separate "benchmark mode".
+//
+// Registration (Tree.Timer) locks and may allocate; call it at
+// pipeline construction, keep the *Timer handles, and use only those
+// on the hot path.
+//
+// A Snapshot's TotalNs rolls up self + descendants, so a parent's
+// total is always ≥ the sum of its children's (equal when the parent
+// is a pure grouping node that is never timed directly). Do not nest
+// directly-timed timers under each other if their spans overlap — the
+// rollup would double-count; give them a common untimed parent
+// instead, as the runtime's tree does.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	_ "unsafe" // for go:linkname (runtime.nanotime)
+)
+
+// nanotime is the runtime's monotonic clock. A span needs only a
+// monotonic delta, and time.Now reads both the wall and monotonic
+// clocks — twice the cost for a half we would throw away. With ~10^3
+// spans per run the difference is measurable: it is what keeps the
+// benchjson stats_overhead_pct gate under its 2% budget.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64
+
+// Timer is one node of a timer tree. It accumulates the total
+// duration and count of its own completed spans; hierarchy rollup
+// happens at Snapshot time.
+type Timer struct {
+	name     string
+	off      bool
+	children []*Timer
+
+	total atomic.Int64 // nanoseconds of completed spans
+	count atomic.Int64 // completed spans
+}
+
+// Tree is a registry of hierarchically named timers. The zero value
+// is not usable; call New.
+type Tree struct {
+	mu    sync.Mutex
+	root  *Timer
+	index map[string]*Timer
+	off   bool
+}
+
+// New creates an enabled timer tree whose root carries the given name.
+func New(name string) *Tree { return newTree(name, false) }
+
+// NewDisabled creates a tree whose timers are all no-ops: Start
+// returns the zero time and Stop discards it. Used by the overhead
+// ablation (benchjson's stats_overhead_pct pair) and by configs that
+// opt out of timing.
+func NewDisabled(name string) *Tree { return newTree(name, true) }
+
+func newTree(name string, off bool) *Tree {
+	root := &Timer{name: name, off: off}
+	return &Tree{root: root, index: map[string]*Timer{name: root}, off: off}
+}
+
+// Enabled reports whether the tree's timers record spans.
+func (tr *Tree) Enabled() bool { return !tr.off }
+
+// Timer returns the timer at a slash-separated path under the root
+// (e.g. "execute/point"), registering any missing nodes. Safe for
+// concurrent use, but it locks — resolve handles at construction, not
+// per span.
+func (tr *Tree) Timer(path string) *Timer {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	full := tr.root.name
+	node := tr.root
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		full += "/" + part
+		next := tr.index[full]
+		if next == nil {
+			next = &Timer{name: part, off: tr.off}
+			node.children = append(node.children, next)
+			tr.index[full] = next
+		}
+		node = next
+	}
+	return node
+}
+
+// Start begins a span, returning an opaque monotonic mark. On a
+// disabled tree (or a nil timer) it returns 0, which Stop discards.
+// (runtime.nanotime is nanoseconds since an arbitrary boot-time epoch,
+// so a real mark is never 0 on any live system.)
+func (t *Timer) Start() int64 {
+	if t == nil || t.off {
+		return 0
+	}
+	return nanotime()
+}
+
+// Stop completes a span begun by Start, accumulating its duration.
+func (t *Timer) Stop(start int64) {
+	if start == 0 {
+		return
+	}
+	t.total.Add(nanotime() - start)
+	t.count.Add(1)
+}
+
+// Add accumulates one span of a known duration (non-positive
+// durations count the span but add no time).
+func (t *Timer) Add(d time.Duration) {
+	if t == nil || t.off {
+		return
+	}
+	if d > 0 {
+		t.total.Add(int64(d))
+	}
+	t.count.Add(1)
+}
+
+// Snapshot is an immutable copy of a timer tree, safe to marshal,
+// merge, and ship across processes.
+type Snapshot struct {
+	Name string `json:"name"`
+	// TotalNs is self + all descendants: a parent's total is always
+	// ≥ the sum of its children's totals.
+	TotalNs int64 `json:"total_ns"`
+	// SelfNs and Count cover only spans timed directly on this node.
+	SelfNs int64 `json:"self_ns,omitempty"`
+	Count  int64 `json:"count,omitempty"`
+	// AvgNs is SelfNs/Count (0 when the node was never timed).
+	AvgNs    int64       `json:"avg_ns,omitempty"`
+	Children []*Snapshot `json:"children,omitempty"`
+}
+
+// Snapshot captures the tree's current totals. Concurrent spans may
+// complete during the walk; each node is individually consistent and
+// totals only ever grow.
+func (tr *Tree) Snapshot() *Snapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return snap(tr.root)
+}
+
+func snap(t *Timer) *Snapshot {
+	s := &Snapshot{
+		Name:   t.name,
+		SelfNs: t.total.Load(),
+		Count:  t.count.Load(),
+	}
+	s.TotalNs = s.SelfNs
+	if s.Count > 0 {
+		s.AvgNs = s.SelfNs / s.Count
+	}
+	for _, c := range t.children {
+		cs := snap(c)
+		s.TotalNs += cs.TotalNs
+		s.Children = append(s.Children, cs)
+	}
+	return s
+}
+
+// Merge sums any number of snapshots into one: totals, self times,
+// and counts add; children are unioned by name (first-seen order) and
+// merged recursively. Nil snapshots are skipped; merging nothing
+// returns nil. The cross-shard view of a run is exactly the Merge of
+// the per-shard snapshots.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	var out *Snapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if out == nil {
+			out = &Snapshot{Name: s.Name}
+		}
+		out.TotalNs += s.TotalNs
+		out.SelfNs += s.SelfNs
+		out.Count += s.Count
+		for _, c := range s.Children {
+			var into *Snapshot
+			for _, oc := range out.Children {
+				if oc.Name == c.Name {
+					into = oc
+					break
+				}
+			}
+			if into == nil {
+				out.Children = append(out.Children, Merge(c))
+				continue
+			}
+			merged := Merge(into, c)
+			*into = *merged
+		}
+	}
+	if out != nil && out.Count > 0 {
+		out.AvgNs = out.SelfNs / out.Count
+	}
+	return out
+}
+
+// Find returns the descendant at a slash-separated path below this
+// node ("" returns the node itself), or nil.
+func (s *Snapshot) Find(path string) *Snapshot {
+	if s == nil {
+		return nil
+	}
+	node := s
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		var next *Snapshot
+		for _, c := range node.Children {
+			if c.Name == part {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		node = next
+	}
+	return node
+}
+
+// Tree renders the snapshot as an indented tree with totals, counts,
+// and averages — the human-facing report.
+func (s *Snapshot) Tree() string {
+	var b strings.Builder
+	var walk func(n *Snapshot, depth int)
+	walk = func(n *Snapshot, depth int) {
+		fmt.Fprintf(&b, "%s%-*s total=%s", strings.Repeat("  ", depth), 24-2*depth, n.Name,
+			time.Duration(n.TotalNs))
+		if n.Count > 0 {
+			fmt.Fprintf(&b, " count=%d avg=%s", n.Count, time.Duration(n.AvgNs))
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return b.String()
+}
+
+// CSV renders the snapshot as "path,total_ns,self_ns,count,avg_ns"
+// rows (header included), paths slash-separated from the root and
+// sorted for diff-stable output.
+func (s *Snapshot) CSV() string {
+	type row struct {
+		path string
+		n    *Snapshot
+	}
+	var rows []row
+	var walk func(prefix string, n *Snapshot)
+	walk = func(prefix string, n *Snapshot) {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "/" + n.Name
+		}
+		rows = append(rows, row{path, n})
+		for _, c := range n.Children {
+			walk(path, c)
+		}
+	}
+	walk("", s)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].path < rows[j].path })
+	var b strings.Builder
+	b.WriteString("path,total_ns,self_ns,count,avg_ns\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d\n", r.path, r.n.TotalNs, r.n.SelfNs, r.n.Count, r.n.AvgNs)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON (the /stats wire form).
+func (s *Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// A Snapshot is plain data; marshaling cannot fail.
+		panic(err)
+	}
+	return b
+}
